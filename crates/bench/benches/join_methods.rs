@@ -1,0 +1,69 @@
+//! Macrobenchmarks of the foreign-join methods (wall-clock execution of
+//! each method on the paper's Q3/Q4 over a generated world). Simulated
+//! cost is what the paper's tables report; these benches additionally
+//! show the library's real execution speed.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use textjoin_bench::experiments::run_method;
+use textjoin_core::optimizer::single::MethodKind;
+use textjoin_core::query::prepare;
+use textjoin_workload::paper;
+use textjoin_workload::world::{World, WorldSpec};
+
+fn world() -> World {
+    World::generate(WorldSpec {
+        background_docs: 500,
+        students: 100,
+        projects: 20,
+        ..WorldSpec::default()
+    })
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let w = world();
+    let ts_schema = w.server.collection().schema();
+    let q3 = prepare(&paper::q3(&w), &w.catalog, ts_schema).unwrap();
+    let q4 = prepare(&paper::q4(&w), &w.catalog, ts_schema).unwrap();
+
+    let mut g = c.benchmark_group("q3");
+    g.bench_function("ts", |b| {
+        b.iter(|| run_method(&w, &q3, MethodKind::Ts, &[]).unwrap())
+    });
+    g.bench_function("sj_rtp", |b| {
+        b.iter(|| run_method(&w, &q3, MethodKind::Sj, &[]).unwrap())
+    });
+    g.bench_function("p1_ts", |b| {
+        b.iter(|| run_method(&w, &q3, MethodKind::PTs, &[0]).unwrap())
+    });
+    g.bench_function("p1_rtp", |b| {
+        b.iter(|| run_method(&w, &q3, MethodKind::PRtp, &[0]).unwrap())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("q4");
+    g.bench_function("ts", |b| {
+        b.iter(|| run_method(&w, &q4, MethodKind::Ts, &[]).unwrap())
+    });
+    g.bench_function("sj_rtp", |b| {
+        b.iter(|| run_method(&w, &q4, MethodKind::Sj, &[]).unwrap())
+    });
+    g.finish();
+}
+
+/// A fast Criterion profile: the numbers here are comparative, not
+/// publication-grade; keep total bench time in seconds, not minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_methods
+}
+criterion_main!(benches);
+

@@ -1,0 +1,138 @@
+//! Optimizer benchmarks: probe-column search (exhaustive O(2^k) vs the
+//! Theorem 5.3 bounded search) and multi-join enumeration scaling in the
+//! number of relations (the O(n·2^(n-1)) claim).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use textjoin_core::cost::formulas::cost_p_ts;
+use textjoin_core::cost::params::{CostParams, JoinStatistics, PredStats};
+use textjoin_core::methods::Projection;
+use textjoin_core::optimizer::multi::{plan_query, ExecutionSpace, PlannerInput};
+use textjoin_core::optimizer::plan::{ForeignSpec, MultiJoinQuery, RelJoinPred, RelSpec};
+use textjoin_core::optimizer::single::{optimal_probe_bounded, optimal_probe_exhaustive};
+use textjoin_rel::catalog::Catalog;
+use textjoin_rel::expr::{CmpOp, Pred};
+use textjoin_rel::schema::RelSchema;
+use textjoin_rel::table::Table;
+use textjoin_rel::tuple;
+use textjoin_rel::value::ValueType;
+use textjoin_text::doc::{Document, TextSchema};
+use textjoin_text::index::Collection;
+use textjoin_text::server::TextServer;
+
+fn stats_with_k(k: usize) -> JoinStatistics {
+    JoinStatistics {
+        n: 10_000.0,
+        n_k: 10_000.0,
+        preds: (0..k)
+            .map(|i| PredStats::simple(0.05 + 0.1 * i as f64, 1.0 + i as f64, 10.0 * (i + 1) as f64))
+            .collect(),
+        sel_fanout: 100_000.0,
+        sel_postings: 0.0,
+        sel_terms: 0,
+        needs_long: false,
+        short_form_sufficient: true,
+    }
+}
+
+fn bench_probe_search(c: &mut Criterion) {
+    let params = CostParams::mercury(100_000.0);
+    let mut g = c.benchmark_group("probe_column_search");
+    for k in [4usize, 8, 12] {
+        let stats = stats_with_k(k);
+        g.bench_with_input(BenchmarkId::new("exhaustive", k), &k, |b, _| {
+            b.iter(|| optimal_probe_exhaustive(&params, &stats, cost_p_ts))
+        });
+        g.bench_with_input(BenchmarkId::new("bounded_thm53", k), &k, |b, _| {
+            b.iter(|| optimal_probe_bounded(&params, &stats, cost_p_ts))
+        });
+    }
+    g.finish();
+}
+
+/// Builds an n-relation chain query plus the text source.
+fn chain_query(n: usize) -> (Catalog, TextServer, MultiJoinQuery) {
+    let mut catalog = Catalog::new();
+    let schema = TextSchema::bibliographic();
+    let au = schema.field_by_name("author").unwrap();
+    let mut coll = Collection::new(schema);
+    for i in 0..50 {
+        coll.add_document(Document::new().with(au, format!("Author{i}")));
+    }
+    let server = TextServer::new(coll);
+
+    let mut relations = Vec::new();
+    let mut rel_joins = Vec::new();
+    for r in 0..n {
+        let rs = RelSchema::from_columns(vec![
+            ("name", ValueType::Str),
+            ("key", ValueType::Str),
+        ]);
+        let mut t = Table::new(format!("r{r}"), rs);
+        for i in 0..40 {
+            t.push(tuple![format!("Author{}", i % 50), format!("k{}", i % 8)]);
+        }
+        catalog.register(t);
+        relations.push(RelSpec {
+            name: format!("r{r}"),
+            local_pred: Pred::True,
+        });
+        if r > 0 {
+            rel_joins.push(RelJoinPred {
+                left_rel: r - 1,
+                left_col: "key".into(),
+                op: CmpOp::Eq,
+                right_rel: r,
+                right_col: "key".into(),
+            });
+        }
+    }
+    let q = MultiJoinQuery {
+        relations,
+        rel_joins,
+        selections: vec![],
+        foreign: vec![ForeignSpec {
+            rel: 0,
+            column: "name".into(),
+            field: "author".into(),
+        }],
+        projection: Projection::Full,
+    };
+    (catalog, server, q)
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multijoin_enumeration");
+    for n in [2usize, 3, 4, 5] {
+        let (catalog, server, q) = chain_query(n);
+        let export = server.export_stats();
+        let params = CostParams::mercury(server.doc_count() as f64);
+        let input =
+            PlannerInput::gather(&q, &catalog, &export, server.collection().schema(), params)
+                .unwrap();
+        g.bench_with_input(BenchmarkId::new("prl", n), &n, |b, _| {
+            b.iter(|| plan_query(&input, ExecutionSpace::Prl).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("left_deep", n), &n, |b, _| {
+            b.iter(|| plan_query(&input, ExecutionSpace::LeftDeep).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// A fast Criterion profile: the numbers here are comparative, not
+/// publication-grade; keep total bench time in seconds, not minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_probe_search, bench_enumeration
+}
+criterion_main!(benches);
+

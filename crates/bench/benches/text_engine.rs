@@ -1,0 +1,101 @@
+//! Microbenchmarks of the Boolean text retrieval substrate: index
+//! construction and search evaluation (wall-clock, via Criterion).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use textjoin_workload::world::{World, WorldSpec};
+
+fn spec() -> WorldSpec {
+    WorldSpec {
+        background_docs: 1_000,
+        students: 100,
+        projects: 20,
+        ..WorldSpec::default()
+    }
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    c.bench_function("index_build_1k_docs", |b| {
+        b.iter_batched(
+            spec,
+            World::generate,
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let w = World::generate(spec());
+    let mut g = c.benchmark_group("search");
+    g.bench_function("word", |b| {
+        b.iter(|| w.server.search_str("TI='query'").unwrap())
+    });
+    g.bench_function("phrase", |b| {
+        b.iter(|| w.server.search_str("TI='query optimization'").unwrap())
+    });
+    g.bench_function("boolean_and_or", |b| {
+        b.iter(|| {
+            w.server
+                .search_str("TI='query' and (AB='join' or AB='index')")
+                .unwrap()
+        })
+    });
+    g.bench_function("truncated", |b| {
+        b.iter(|| w.server.search_str("TI='quer?'").unwrap())
+    });
+    g.finish();
+}
+
+fn bench_retrieve(c: &mut Criterion) {
+    let w = World::generate(spec());
+    let ids = w.server.search_str("TI='query'").unwrap().ids();
+    c.bench_function("retrieve_long_form", |b| {
+        b.iter(|| w.server.retrieve(ids[0]).unwrap())
+    });
+}
+
+fn bench_signature_vs_inverted(c: &mut Criterion) {
+    // The Section 2.1 premise: inversion beats signature files at scale.
+    use textjoin_text::signature::SignatureIndex;
+    let w = World::generate(spec());
+    let coll = w.server.collection();
+    let schema = coll.schema().clone();
+    let ti = schema.field_by_name("title").unwrap();
+    let mut sig = SignatureIndex::new(schema.clone(), 512);
+    for d in 0..coll.doc_count() {
+        sig.add_document(
+            coll.document(textjoin_text::doc::DocId(d as u32))
+                .unwrap()
+                .clone(),
+        );
+    }
+    let mut g = c.benchmark_group("access_method");
+    g.bench_function("inverted_conjunction", |b| {
+        b.iter(|| w.server.search_str("TI='query' and TI='optimization'").unwrap())
+    });
+    g.bench_function("signature_conjunction", |b| {
+        b.iter(|| {
+            sig.search_conjunctive(&[
+                ("query".to_owned(), ti),
+                ("optimization".to_owned(), ti),
+            ])
+        })
+    });
+    g.finish();
+}
+
+/// A fast Criterion profile: comparative numbers, seconds-not-minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_index_build, bench_search, bench_retrieve, bench_signature_vs_inverted
+}
+criterion_main!(benches);
+

@@ -1,0 +1,13 @@
+//! Reproduces the Section 4.1 calibration of the cost constants.
+
+use textjoin_bench::experiments::{calibrate, default_world};
+
+fn main() {
+    let w = default_world();
+    let c = calibrate(&w);
+    println!("Section 4.1 calibration against the text server:\n");
+    println!("  c_i = {:<10} (paper: 3 s/invocation)", c.c_i);
+    println!("  c_p = {:<10} (paper: 0.00001 s/posting)", c.c_p);
+    println!("  c_s = {:<10} (paper: 0.015 s/short-form doc)", c.c_s);
+    println!("  c_l = {:<10} (paper: 4 s/long-form doc)", c.c_l);
+}

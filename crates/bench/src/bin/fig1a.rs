@@ -1,0 +1,13 @@
+//! Reproduces Figure 1(A): Q3 method costs as s_1 sweeps 0 → 1.
+
+use textjoin_bench::experiments::fig1a;
+use textjoin_bench::format::series;
+
+fn main() {
+    let d = 10_000.0;
+    let f = fig1a(d, 20);
+    println!("Figure 1(A) — Q3 method costs vs s_1 (D = {d}, cost model, g = 1)\n");
+    println!("{}", series(f.x_name, &f.xs, &f.series));
+    println!("Expected shape: TS flat; P1+TS rises with s_1 and crosses TS;");
+    println!("SJ+RTP constant-ish and competitive at high s_1.");
+}

@@ -1,0 +1,13 @@
+//! Reproduces Figure 1(B): Q4 method costs as N_1/N sweeps 0.01 → 1.
+
+use textjoin_bench::experiments::fig1b;
+use textjoin_bench::format::series;
+
+fn main() {
+    let d = 10_000.0;
+    let f = fig1b(d, 20);
+    println!("Figure 1(B) — Q4 method costs vs N_1/N (D = {d}, s_1 = 1, g = 1)\n");
+    println!("{}", series(f.x_name, &f.xs, &f.series));
+    println!("Expected shape: probe-based methods (P1+TS, P1+RTP) rise with");
+    println!("N_1/N (more probes, all succeeding); TS unaffected.");
+}

@@ -1,0 +1,15 @@
+//! Reproduces Figure 2: TS vs P+TS winner regions over (s_1, N_1/N).
+
+use textjoin_bench::experiments::fig2;
+
+fn main() {
+    let d = 10_000.0;
+    let f = fig2(d, 24);
+    println!("Figure 2 — winner regions over (s_1, N_1/N), D = {d}\n");
+    println!("{}", f.render());
+    println!(
+        "Agreement with the analytic boundary s_1 < 1 − N_1/N: {:.1}%",
+        100.0 * f.boundary_agreement()
+    );
+    println!("(Paper: each method occupies about half the space, split by that line.)");
+}

@@ -1,0 +1,17 @@
+//! Section 6: Q5 planned and executed in each execution space.
+
+use textjoin_bench::experiments::{default_world, multijoin};
+
+fn main() {
+    let w = default_world();
+    println!("Q5 across execution spaces (left-deep ⊂ PrL ⊂ PrL+residuals)\n");
+    for r in multijoin(&w) {
+        println!(
+            "{:>14}: est {:>8.1}s  measured {:>8.1}s  probes {}  rows {}",
+            r.space, r.est_cost, r.measured, r.probes, r.rows
+        );
+        for line in r.plan.lines() {
+            println!("                 {line}");
+        }
+    }
+}

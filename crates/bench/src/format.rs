@@ -1,0 +1,110 @@
+//! Plain-text table and series formatting for the experiment binaries.
+
+/// Renders an aligned ASCII table. `headers.len()` must equal each row's
+/// length.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        assert_eq!(r.len(), ncols, "row arity mismatch");
+        for (i, cell) in r.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{c:>width$}", width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    out.push_str(&fmt_row(
+        widths.iter().map(|_| "-").collect::<Vec<_>>(),
+        &widths,
+    ));
+    for r in rows {
+        out.push_str(&fmt_row(r.iter().map(String::as_str).collect(), &widths));
+    }
+    out
+}
+
+/// Formats an optional cost cell: `-` when the method is inapplicable.
+pub fn cost_cell(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.1}"),
+        None => "-".to_owned(),
+    }
+}
+
+/// Renders series data (one x column, one column per named series) as an
+/// aligned table — the textual equivalent of a figure.
+pub fn series(
+    x_name: &str,
+    xs: &[f64],
+    series: &[(&str, Vec<Option<f64>>)],
+) -> String {
+    let mut headers = vec![x_name];
+    headers.extend(series.iter().map(|(n, _)| *n));
+    let rows: Vec<Vec<String>> = xs
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let mut row = vec![format!("{x:.3}")];
+            row.extend(series.iter().map(|(_, ys)| cost_cell(ys[i])));
+            row
+        })
+        .collect();
+    table(&headers, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            &["method", "cost"],
+            &[
+                vec!["TS".into(), "145.0".into()],
+                vec!["SJ+RTP".into(), "18.0".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].contains("TS"));
+        assert!(lines[3].contains("SJ+RTP"));
+        // Aligned: all lines same length.
+        assert_eq!(lines[0].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_checks_arity() {
+        table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn cost_cells() {
+        assert_eq!(cost_cell(Some(12.34)), "12.3");
+        assert_eq!(cost_cell(None), "-");
+    }
+
+    #[test]
+    fn series_renders() {
+        let s = series(
+            "s1",
+            &[0.0, 0.5],
+            &[("TS", vec![Some(1.0), Some(1.0)]), ("P+TS", vec![Some(0.5), None])],
+        );
+        assert!(s.contains("s1"));
+        assert!(s.contains("P+TS"));
+        assert!(s.lines().count() == 4);
+    }
+}

@@ -1,0 +1,21 @@
+//! # textjoin-bench — the experiment harness
+//!
+//! Deterministic reproductions of every table and figure in the paper's
+//! evaluation (Section 7), plus the Section 4.1 calibration and the
+//! Section 6 multi-join comparison. Each experiment is a library function
+//! ([`experiments`]) with a small printing binary in `src/bin/`:
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `table2` | Table 2 — execution times of each method on Q1–Q4 |
+//! | `fig1a`  | Figure 1(A) — Q3 method costs vs `s_1` |
+//! | `fig1b`  | Figure 1(B) — Q4 method costs vs `N_1/N` |
+//! | `fig2`   | Figure 2 — TS vs P+TS winner regions |
+//! | `calibrate` | Section 4.1 — cost-constant recovery |
+//! | `validate`  | Section 7 — model-predicted vs measured winners |
+//! | `multijoin` | Section 6 — Q5 across execution spaces |
+//!
+//! Criterion micro/macro benchmarks live in `benches/`.
+
+pub mod experiments;
+pub mod format;

@@ -1,0 +1,160 @@
+//! Cost-model parameters (paper, Table 1).
+//!
+//! | paper | here | meaning |
+//! |-------|------|---------|
+//! | `D`   | [`CostParams::d`] | total documents in the text database |
+//! | `M`   | [`CostParams::m`] | max basic terms per text search |
+//! | `c_i` | [`CostParams::constants.c_i`] | invocation cost |
+//! | `c_p` | [`CostParams::constants.c_p`] | per-posting processing cost |
+//! | `c_s` | [`CostParams::constants.c_s`] | short-form transmission cost |
+//! | `c_l` | [`CostParams::constants.c_l`] | long-form transmission cost |
+//! | `c_a` | [`CostParams::c_a`] | relational text-processing cost |
+//! | `N`   | [`JoinStatistics::n`] | joining tuples |
+//! | `k`   | `preds.len()` | join predicates |
+//! | `N_i` | [`PredStats::distinct`] | distinct values in join column i |
+//! | `s_i` | [`PredStats::selectivity`] | predicate selectivity |
+//! | `f_i` | [`PredStats::fanout`] | predicate fanout |
+
+use textjoin_text::server::CostConstants;
+
+/// Environment-level parameters: the text database size, the term cap, and
+/// the cost constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// `D` — total number of documents in the text database.
+    pub d: f64,
+    /// `M` — maximum number of basic terms per search.
+    pub m: usize,
+    /// The per-operation constants (`c_i`, `c_p`, `c_s`, `c_l`).
+    pub constants: CostConstants,
+    /// `c_a` — relational text processing cost per document–tuple
+    /// comparison.
+    pub c_a: f64,
+    /// `g` — the correlation parameter of the joint selectivity/fanout
+    /// model (Section 4.2): 1 = fully correlated, k = fully independent.
+    pub g: usize,
+}
+
+impl CostParams {
+    /// Parameters matching the calibrated OpenODB–Mercury system with the
+    /// fully-correlated (g = 1) model the paper's experiments use.
+    pub fn mercury(d: f64) -> Self {
+        Self {
+            d,
+            m: 70,
+            constants: CostConstants::mercury_calibrated(),
+            c_a: 1e-5,
+            g: 1,
+        }
+    }
+
+    /// Same but with correlation parameter `g`.
+    pub fn with_g(mut self, g: usize) -> Self {
+        self.g = g.max(1);
+        self
+    }
+}
+
+/// Per-predicate statistics (estimated by sampling, Section 4.2, or taken
+/// from the Section 8 statistics export).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredStats {
+    /// `s_i` — probability that a term drawn from join column i occurs in
+    /// the joined field of some document.
+    pub selectivity: f64,
+    /// `f_i` — expected number of documents a term from column i matches
+    /// (unconditional: zero-match terms count).
+    pub fanout: f64,
+    /// `N_i` — number of distinct values in join column i.
+    pub distinct: f64,
+    /// Average inverted-list length a term from column i causes the text
+    /// system to process. With one-document postings and single-word terms
+    /// this equals the fanout (the paper's simplification); phrases read
+    /// one list per word, so it may exceed the fanout.
+    pub list_len: f64,
+}
+
+impl PredStats {
+    /// Convenience constructor using the paper's simplification
+    /// `list_len = fanout`.
+    pub fn simple(selectivity: f64, fanout: f64, distinct: f64) -> Self {
+        Self {
+            selectivity,
+            fanout,
+            distinct,
+            list_len: fanout,
+        }
+    }
+}
+
+/// Statistics describing one foreign join, consumed by the formulas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinStatistics {
+    /// `N` — tuples in the (locally filtered) joining relation.
+    pub n: f64,
+    /// Distinct tuples over *all* join columns — the searches the
+    /// distinct-variant TS sends. The paper's `N_K`.
+    pub n_k: f64,
+    /// Per-predicate statistics, index-parallel to the join predicates.
+    pub preds: Vec<PredStats>,
+    /// Number of documents matching the constant text selections (their
+    /// joint fanout); `D` when there are no selections.
+    pub sel_fanout: f64,
+    /// Sum of inverted-list lengths the selections add to each search.
+    pub sel_postings: f64,
+    /// Number of basic terms the selections add to each search.
+    pub sel_terms: usize,
+    /// Whether the query projects full documents (long-form retrieval).
+    pub needs_long: bool,
+    /// Whether every joined field is short-form (RTP-family methods can
+    /// skip long retrieval when the projection allows).
+    pub short_form_sufficient: bool,
+}
+
+impl JoinStatistics {
+    /// `k` — the number of join predicates.
+    pub fn k(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// The paper's `N_J` estimate for a predicate subset: `min(Π N_i, N)`
+    /// — deliberately an over-estimate (Section 4.3).
+    pub fn n_j(&self, subset: &[usize]) -> f64 {
+        let prod: f64 = subset.iter().map(|&i| self.preds[i].distinct).product();
+        prod.min(self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mercury_defaults() {
+        let p = CostParams::mercury(10_000.0);
+        assert_eq!(p.m, 70);
+        assert_eq!(p.g, 1);
+        assert!((p.constants.c_i - 3.0).abs() < 1e-12);
+        assert_eq!(CostParams::mercury(1.0).with_g(0).g, 1, "g clamped to ≥1");
+    }
+
+    #[test]
+    fn n_j_overestimates_and_caps() {
+        let stats = JoinStatistics {
+            n: 100.0,
+            n_k: 100.0,
+            preds: vec![
+                PredStats::simple(0.5, 2.0, 20.0),
+                PredStats::simple(0.5, 2.0, 30.0),
+            ],
+            sel_fanout: 10.0,
+            sel_postings: 10.0,
+            sel_terms: 1,
+            needs_long: true,
+            short_form_sufficient: true,
+        };
+        assert_eq!(stats.n_j(&[0]), 20.0);
+        assert_eq!(stats.n_j(&[0, 1]), 100.0, "600 capped at N");
+        assert_eq!(stats.k(), 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! # textjoin-core — federated join processing with external text sources
+//!
+//! The primary contribution of the reproduced paper: execution and
+//! optimization techniques for conjunctive queries that join stored
+//! relations with an external Boolean text retrieval system.
+//!
+//! * [`methods`] — the foreign-join methods: tuple substitution (TS),
+//!   relational text processing (RTP), semi-join (SJ / SJ+RTP), and the
+//!   probing family (P+TS, P+RTP) with the probe cache.
+//! * [`cost`] — the Section 4 cost model: Table 1 parameters,
+//!   g-correlated joint selectivity/fanout, and closed-form cost formulas
+//!   for every method.
+//! * [`stats`] — sampling-based estimation of predicate selectivity and
+//!   fanout against a live text server (Section 4.2).
+//! * [`optimizer`] — single-join method + probe-column selection
+//!   (Section 5, incl. the Theorem 5.3 bounded search) and the multi-join
+//!   System-R enumeration over PrL trees (Section 6).
+//! * [`exec`] — plan execution against a relational catalog and the text
+//!   server, with per-operator cost accounting.
+//! * [`runtime`] — runtime re-optimization: budget-guarded executors for
+//!   the fetch-heavy methods that fall back to tuple substitution when
+//!   fanout estimates prove unreliable (the safeguard Section 5 points to).
+
+pub mod cost;
+pub mod exec;
+pub mod methods;
+pub mod optimizer;
+pub mod query;
+pub mod runtime;
+pub mod stats;

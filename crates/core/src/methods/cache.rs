@@ -1,0 +1,104 @@
+//! The probe cache — paper, Section 3.3.
+//!
+//! Probing remembers, per query execution, which probe keys (join-column
+//! value combinations) are known to fail or succeed, "so that no duplicate
+//! probes are sent". The same structure serves the plain fail-query cache
+//! the paper mentions for tuple substitution.
+
+use std::collections::HashMap;
+
+/// Outcome recorded for a probe key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// The probe (or a query implying it) matched at least one document.
+    Success,
+    /// The probe returned no matching documents — every query agreeing on
+    /// the probe columns is a fail-query.
+    Fail,
+}
+
+/// A per-execution cache from probe-key values to outcomes.
+#[derive(Debug, Default)]
+pub struct ProbeCache {
+    entries: HashMap<Vec<String>, ProbeOutcome>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ProbeCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a key, recording a hit or miss.
+    pub fn lookup(&mut self, key: &[String]) -> Option<ProbeOutcome> {
+        match self.entries.get(key) {
+            Some(&o) => {
+                self.hits += 1;
+                Some(o)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records an outcome for a key. Later records overwrite earlier ones
+    /// (a success learned from a full query upgrades a pending state).
+    pub fn record(&mut self, key: Vec<String>, outcome: ProbeOutcome) {
+        self.entries.insert(key, outcome);
+    }
+
+    /// Number of cached keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_record() {
+        let mut c = ProbeCache::new();
+        let key = vec!["garcia".to_owned()];
+        assert_eq!(c.lookup(&key), None);
+        c.record(key.clone(), ProbeOutcome::Fail);
+        assert_eq!(c.lookup(&key), Some(ProbeOutcome::Fail));
+        assert_eq!(c.stats(), (1, 1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_upgrades() {
+        let mut c = ProbeCache::new();
+        let key = vec!["x".to_owned(), "y".to_owned()];
+        c.record(key.clone(), ProbeOutcome::Fail);
+        c.record(key.clone(), ProbeOutcome::Success);
+        assert_eq!(c.lookup(&key), Some(ProbeOutcome::Success));
+    }
+
+    #[test]
+    fn multi_column_keys_distinct() {
+        let mut c = ProbeCache::new();
+        c.record(vec!["a".into(), "b".into()], ProbeOutcome::Fail);
+        assert_eq!(c.lookup(&["a".to_owned()]), None);
+        assert_eq!(
+            c.lookup(&["a".to_owned(), "b".to_owned()]),
+            Some(ProbeOutcome::Fail)
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Query optimization — paper, Sections 5 and 6.
+//!
+//! [`single`] chooses the join method and probe columns for queries with
+//! one stored relation; [`plan`] defines the PrL-tree plan language for
+//! multi-join queries; [`multi`] is the System-R style dynamic-programming
+//! enumerator over that extended execution space; [`relcost`] supplies the
+//! relational-side cost estimates the enumerator needs.
+
+pub mod multi;
+pub mod plan;
+pub mod relcost;
+pub mod single;
+
+pub use single::{choose_method, enumerate_methods, MethodCandidate, MethodKind};

@@ -1,0 +1,785 @@
+//! Multi-join enumeration — paper, Section 6.
+//!
+//! A System-R style dynamic program over subsets of {relations} ∪ {TEXT},
+//! extended to the PrL execution space: when a plan for subset `S` is
+//! extended with relation `R_i`, the four alternatives of the modified
+//! `Enumerate` are considered —
+//!
+//! (a) `joinPlan(optPlan(S), R_i)`
+//! (b) `joinPlan(probe(optPlan(S)), R_i)`
+//! (c) `joinPlan(optPlan(S), probe(R_i))`
+//! (d) `joinPlan(probe(optPlan(S)), probe(R_i))`
+//!
+//! — with probe columns chosen by the bounded Section 5 search. Probe nodes
+//! are only generated while the text source is not yet joined (they are
+//! redundant afterwards). Because a probed plan and an unprobed plan over
+//! the same subset are incomparable by cost alone (the probe buys a smaller
+//! relation at a price), each subset keeps a small **Pareto set** of
+//! (cost, cardinality) candidates rather than a single optimum; this
+//! implements the paper's observation that "there will not be a single
+//! optimal plan for {R_1, R_2}" while still guaranteeing the final plan is
+//! never worse than the best traditional left-deep plan (all left-deep
+//! trees remain in the space).
+
+use std::collections::HashMap;
+
+use textjoin_rel::catalog::Catalog;
+use textjoin_rel::ops::{distinct_count, filter};
+use textjoin_text::doc::{FieldId, TextSchema};
+use textjoin_text::stats::VocabularyStats;
+
+use crate::cost::formulas::{
+    cost_probe_phase, expected_result_fanout, probe_success_probability,
+};
+use crate::cost::params::{CostParams, JoinStatistics, PredStats};
+use crate::methods::{Projection, TextSelection};
+use crate::optimizer::plan::{MultiJoinQuery, PlanNode};
+use crate::optimizer::relcost::{containment_selectivity, join_selectivity, RelCostModel};
+use crate::optimizer::single::enumerate_methods;
+use crate::query::QueryError;
+use crate::stats::{export_predicate, export_selections};
+
+/// Per-foreign-predicate information gathered before planning.
+#[derive(Debug, Clone)]
+pub struct ForeignInfo {
+    /// Selectivity/fanout/distinct statistics of the predicate.
+    pub stats: PredStats,
+    /// The resolved text field.
+    pub field: FieldId,
+    /// Whether the field is available in short-form results.
+    pub short_form: bool,
+}
+
+/// Per-relation information gathered before planning.
+#[derive(Debug, Clone)]
+pub struct BaseRelInfo {
+    /// Rows after the local predicate.
+    pub rows: f64,
+    /// Distinct counts of the columns the query references.
+    pub distinct: HashMap<String, f64>,
+}
+
+/// Everything the planner needs, gathered once.
+#[derive(Debug, Clone)]
+pub struct PlannerInput {
+    /// The query being planned.
+    pub query: MultiJoinQuery,
+    /// Cost-model parameters.
+    pub params: CostParams,
+    /// Relational cost constants.
+    pub rel_model: RelCostModel,
+    /// Per-relation statistics.
+    pub base: Vec<BaseRelInfo>,
+    /// Per-foreign-predicate statistics.
+    pub foreign: Vec<ForeignInfo>,
+    /// Joint fanout of the text selections (`D` if none).
+    pub sel_fanout: f64,
+    /// Summed inverted-list length of the selection terms.
+    pub sel_postings: f64,
+    /// Number of selection terms.
+    pub sel_terms: usize,
+}
+
+impl PlannerInput {
+    /// Gathers statistics for `query` from the catalog and the text
+    /// server's statistics export.
+    pub fn gather(
+        query: &MultiJoinQuery,
+        catalog: &Catalog,
+        export: &VocabularyStats,
+        text_schema: &TextSchema,
+        params: CostParams,
+    ) -> Result<Self, QueryError> {
+        let mut base = Vec::with_capacity(query.relations.len());
+        let mut filtered_tables = Vec::with_capacity(query.relations.len());
+        for spec in &query.relations {
+            let t = catalog
+                .table(&spec.name)
+                .ok_or_else(|| QueryError::UnknownRelation(spec.name.clone()))?;
+            let filtered = filter(t, &spec.local_pred);
+            let mut distinct = HashMap::new();
+            let mut note_col = |name: &str, table: &textjoin_rel::table::Table| {
+                if let Some(c) = table.schema().column_by_name(name) {
+                    distinct.insert(name.to_owned(), distinct_count(table, c) as f64);
+                }
+            };
+            for j in &query.rel_joins {
+                if query.relations[j.left_rel].name == spec.name {
+                    note_col(&j.left_col, &filtered);
+                }
+                if query.relations[j.right_rel].name == spec.name {
+                    note_col(&j.right_col, &filtered);
+                }
+            }
+            for fp in &query.foreign {
+                if query.relations[fp.rel].name == spec.name {
+                    note_col(&fp.column, &filtered);
+                }
+            }
+            base.push(BaseRelInfo {
+                rows: filtered.len() as f64,
+                distinct,
+            });
+            filtered_tables.push(filtered);
+        }
+        let mut foreign = Vec::with_capacity(query.foreign.len());
+        for fp in &query.foreign {
+            let table = &filtered_tables[fp.rel];
+            let col = table
+                .schema()
+                .column_by_name(&fp.column)
+                .ok_or_else(|| QueryError::UnknownColumn(fp.column.clone()))?;
+            let field = text_schema
+                .resolve(&fp.field)
+                .ok_or_else(|| QueryError::UnknownField(fp.field.clone()))?;
+            foreign.push(ForeignInfo {
+                stats: export_predicate(export, table, col, field),
+                field,
+                short_form: text_schema.def(field).in_short_form,
+            });
+        }
+        let selections: Vec<TextSelection> = query
+            .selections
+            .iter()
+            .map(|(term, field)| {
+                Ok(TextSelection {
+                    term: term.clone(),
+                    field: text_schema
+                        .resolve(field)
+                        .ok_or_else(|| QueryError::UnknownField(field.clone()))?,
+                })
+            })
+            .collect::<Result<_, QueryError>>()?;
+        let (sel_fanout, sel_postings, sel_terms) = export_selections(export, &selections);
+        Ok(Self {
+            query: query.clone(),
+            params,
+            rel_model: RelCostModel::default(),
+            base,
+            foreign,
+            sel_fanout,
+            sel_postings,
+            sel_terms,
+        })
+    }
+
+    /// Builds [`JoinStatistics`] for the foreign predicates `preds`
+    /// evaluated against an intermediate relation with `rows` tuples.
+    fn stats_for(&self, rows: f64, preds: &[usize], projection: Projection) -> JoinStatistics {
+        let pred_stats: Vec<PredStats> = preds
+            .iter()
+            .map(|&i| {
+                let mut ps = self.foreign[i].stats;
+                // A column cannot have more distinct values than the
+                // intermediate has rows.
+                ps.distinct = ps.distinct.min(rows.max(1.0));
+                ps
+            })
+            .collect();
+        let n_k = pred_stats
+            .iter()
+            .map(|p| p.distinct)
+            .product::<f64>()
+            .min(rows);
+        JoinStatistics {
+            n: rows,
+            n_k,
+            preds: pred_stats,
+            sel_fanout: self.sel_fanout,
+            sel_postings: self.sel_postings,
+            sel_terms: self.sel_terms,
+            needs_long: projection == Projection::Full,
+            short_form_sufficient: preds.iter().all(|&i| self.foreign[i].short_form),
+        }
+    }
+}
+
+/// The execution space the planner searches.
+///
+/// * `LeftDeep` — the paper's *traditional* space: the text source is
+///   treated like a relation, so all foreign predicates (and text
+///   selections) are evaluated together, forcing the text join after every
+///   relation that carries a foreign predicate. No probe nodes.
+/// * `Prl` — the paper's contribution (Section 6): `LeftDeep` plus probe
+///   nodes acting as semi-join reducers before the text join.
+/// * `PrlResiduals` — an extension beyond the paper: the text source may
+///   join at any position, with foreign predicates on later relations
+///   evaluated relationally (RTP-style residuals) against the retrieved
+///   document fields. Subsumes both other spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionSpace {
+    /// Traditional left-deep trees, text joined last.
+    LeftDeep,
+    /// Left-deep + probe nodes (the paper's PrL trees).
+    Prl,
+    /// PrL + early text join with relational residuals (extension).
+    PrlResiduals,
+}
+
+/// A finished plan with its estimates.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// The chosen PrL tree.
+    pub plan: PlanNode,
+    /// Estimated total cost (simulated seconds).
+    pub est_cost: f64,
+    /// Estimated output rows.
+    pub est_rows: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    node: PlanNode,
+    rows: f64,
+    cost: f64,
+    /// Bitmask of foreign predicates already used in a probe node.
+    probed: u64,
+}
+
+/// Pareto set cap per subset: keeps enumeration polynomial in practice.
+const MAX_CANDIDATES: usize = 8;
+
+fn pareto_insert(set: &mut Vec<Candidate>, cand: Candidate) {
+    // Dominated by an existing candidate?
+    if set
+        .iter()
+        .any(|c| c.cost <= cand.cost + 1e-12 && c.rows <= cand.rows + 1e-12)
+    {
+        return;
+    }
+    // Remove candidates the new one dominates.
+    set.retain(|c| !(cand.cost <= c.cost + 1e-12 && cand.rows <= c.rows + 1e-12));
+    set.push(cand);
+    if set.len() > MAX_CANDIDATES {
+        set.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"));
+        set.truncate(MAX_CANDIDATES);
+    }
+}
+
+/// Plans `query` over the chosen [`ExecutionSpace`].
+pub fn plan_query(input: &PlannerInput, space: ExecutionSpace) -> Option<PlannedQuery> {
+    let enable_probes = space != ExecutionSpace::LeftDeep;
+    let n = input.query.relations.len();
+    assert!(n <= 10, "enumeration is exponential; {n} relations is too many");
+    assert!(
+        input.foreign.len() < 63,
+        "the probed-predicate bitmask supports at most 62 foreign predicates"
+    );
+    let text_bit: u64 = 1 << n;
+    let full: u64 = (1 << (n + 1)) - 1;
+
+    let mut best: HashMap<u64, Vec<Candidate>> = HashMap::new();
+
+    // Seed: single-relation scans.
+    for r in 0..n {
+        pareto_insert(
+            best.entry(1 << r).or_default(),
+            Candidate {
+                node: PlanNode::Scan { rel: r },
+                rows: input.base[r].rows,
+                cost: 0.0,
+                probed: 0,
+            },
+        );
+    }
+    // Seed: text-first scan (needs selections, and residual evaluation of
+    // every foreign predicate — only legal in the extended space unless the
+    // query has no foreign predicates at all).
+    if input.sel_terms > 0
+        && (space == ExecutionSpace::PrlResiduals || input.foreign.is_empty())
+    {
+        let c = &input.params.constants;
+        let mut cost = c.c_i + c.c_p * input.sel_postings + c.c_s * input.sel_fanout;
+        if input.query.projection == Projection::Full {
+            cost += c.c_l * input.sel_fanout;
+        }
+        pareto_insert(
+            best.entry(text_bit).or_default(),
+            Candidate {
+                node: PlanNode::TextJoin {
+                    input: None,
+                    preds: vec![],
+                    method: crate::optimizer::single::MethodKind::Rtp,
+                    probe_cols: vec![],
+                },
+                rows: input.sel_fanout,
+                cost,
+                probed: 0,
+            },
+        );
+    }
+
+    // Stage-wise extension.
+    for size in 1..=n {
+        let subsets: Vec<u64> = best
+            .keys()
+            .copied()
+            .filter(|&s| (s & !text_bit).count_ones() as usize + usize::from(s & text_bit != 0) == size)
+            .collect();
+        for s in subsets {
+            let cands = best.get(&s).cloned().unwrap_or_default();
+            for cand in cands {
+                // Extend with each absent relation.
+                for r in 0..n {
+                    let bit = 1u64 << r;
+                    if s & bit != 0 {
+                        continue;
+                    }
+                    for next in extend_with_relation(input, &cand, s, r, text_bit, enable_probes)
+                    {
+                        pareto_insert(best.entry(s | bit).or_default(), next);
+                    }
+                }
+                // Extend with the text source. Outside the extended space,
+                // the text join must wait until every relation carrying a
+                // foreign predicate is present (all text predicates are
+                // evaluated together — the paper's traditional semantics).
+                if s & text_bit == 0 && s != 0 {
+                    let all_foreign_present = (0..input.foreign.len())
+                        .all(|i| s & (1 << input.query.foreign[i].rel) != 0);
+                    if space == ExecutionSpace::PrlResiduals || all_foreign_present {
+                        if let Some(next) = extend_with_text(input, &cand, s) {
+                            pareto_insert(best.entry(s | text_bit).or_default(), next);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let finals = best.remove(&full)?;
+    let winner = finals
+        .into_iter()
+        .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))?;
+    Some(PlannedQuery {
+        plan: winner.node,
+        est_cost: winner.cost,
+        est_rows: winner.rows,
+    })
+}
+
+/// Foreign predicate indices whose relation is inside the mask.
+fn preds_in(input: &PlannerInput, mask: u64) -> Vec<usize> {
+    (0..input.foreign.len())
+        .filter(|&i| mask & (1 << input.query.foreign[i].rel) != 0)
+        .collect()
+}
+
+/// Probe-set candidates over `avail`, bounded per Theorem 5.3.
+fn probe_subsets(input: &PlannerInput, avail: &[usize]) -> Vec<Vec<usize>> {
+    let bound = avail.len().min(2 * input.params.g);
+    let mut out = Vec::new();
+    let k = avail.len();
+    assert!(k < 31, "probe enumeration supports at most 30 foreign predicates");
+    for mask in 1u32..(1u32 << k) {
+        if (mask.count_ones() as usize) <= bound {
+            out.push(
+                (0..k)
+                    .filter(|&i| mask & (1 << i) != 0)
+                    .map(|i| avail[i])
+                    .collect(),
+            );
+        }
+    }
+    out
+}
+
+/// Wraps `cand` in a probe node on `preds` (global indices), returning the
+/// reduced candidate.
+fn apply_probe(input: &PlannerInput, cand: &Candidate, preds: &[usize]) -> Candidate {
+    let stats = input.stats_for(cand.rows, preds, Projection::RelOnly);
+    let local: Vec<usize> = (0..preds.len()).collect();
+    let probe_cost = cost_probe_phase(&input.params, &stats, &local).total();
+    let survive = probe_success_probability(&input.params, &stats, &local);
+    let mut probed = cand.probed;
+    for &i in preds {
+        probed |= 1 << i;
+    }
+    Candidate {
+        node: PlanNode::Probe {
+            input: Box::new(cand.node.clone()),
+            preds: preds.to_vec(),
+        },
+        rows: cand.rows * survive,
+        cost: cand.cost + probe_cost,
+        probed,
+    }
+}
+
+/// All candidates for joining relation `r` onto `cand` (alternatives a–d).
+fn extend_with_relation(
+    input: &PlannerInput,
+    cand: &Candidate,
+    s: u64,
+    r: usize,
+    text_bit: u64,
+    enable_probes: bool,
+) -> Vec<Candidate> {
+    let text_joined = s & text_bit != 0;
+
+    // Left-side variants: the plan as-is, plus probed versions (b).
+    let mut lefts = vec![cand.clone()];
+    if enable_probes && !text_joined {
+        let avail: Vec<usize> = preds_in(input, s)
+            .into_iter()
+            .filter(|&i| cand.probed & (1 << i) == 0)
+            .collect();
+        for subset in probe_subsets(input, &avail) {
+            lefts.push(apply_probe(input, cand, &subset));
+        }
+    }
+
+    // Right-side variants: scan, plus probed scans (c).
+    let scan = Candidate {
+        node: PlanNode::Scan { rel: r },
+        rows: input.base[r].rows,
+        cost: 0.0,
+        probed: 0,
+    };
+    let mut rights = vec![scan.clone()];
+    if enable_probes && !text_joined {
+        let avail: Vec<usize> = (0..input.foreign.len())
+            .filter(|&i| input.query.foreign[i].rel == r)
+            .collect();
+        for subset in probe_subsets(input, &avail) {
+            rights.push(apply_probe(input, &scan, &subset));
+        }
+    }
+
+    // Join predicates between S and R.
+    let join_preds: Vec<usize> = (0..input.query.rel_joins.len())
+        .filter(|&i| {
+            let p = &input.query.rel_joins[i];
+            let lbit = 1u64 << p.left_rel;
+            let rbit = 1u64 << p.right_rel;
+            (s & lbit != 0 && p.right_rel == r) || (s & rbit != 0 && p.left_rel == r)
+        })
+        .collect();
+    // Foreign residuals: predicates on R evaluable relationally because the
+    // text source is already joined.
+    let residuals: Vec<usize> = if text_joined {
+        (0..input.foreign.len())
+            .filter(|&i| input.query.foreign[i].rel == r)
+            .collect()
+    } else {
+        vec![]
+    };
+
+    let mut out = Vec::new();
+    for l in &lefts {
+        for rt in &rights {
+            let mut sel = 1.0;
+            for &i in &join_preds {
+                let p = &input.query.rel_joins[i];
+                let dl = *input.base[p.left_rel]
+                    .distinct
+                    .get(&p.left_col)
+                    .unwrap_or(&1.0);
+                let dr = *input.base[p.right_rel]
+                    .distinct
+                    .get(&p.right_col)
+                    .unwrap_or(&1.0);
+                sel *= join_selectivity(p.op, dl, dr);
+            }
+            for &i in &residuals {
+                sel *= containment_selectivity(input.foreign[i].stats.fanout, input.params.d);
+            }
+            let rows = l.rows * rt.rows * sel;
+            let cost =
+                l.cost + rt.cost + input.rel_model.nested_loop(l.rows, rt.rows, rows);
+            out.push(Candidate {
+                node: PlanNode::RelJoin {
+                    left: Box::new(l.node.clone()),
+                    right: Box::new(rt.node.clone()),
+                    preds: join_preds.clone(),
+                    foreign_residuals: residuals.clone(),
+                },
+                rows,
+                cost,
+                probed: l.probed | rt.probed,
+            });
+        }
+    }
+    out
+}
+
+/// The candidate for joining the text source onto `cand`.
+fn extend_with_text(input: &PlannerInput, cand: &Candidate, s: u64) -> Option<Candidate> {
+    let preds = preds_in(input, s);
+    if preds.is_empty() && input.sel_terms == 0 {
+        // A text join with neither predicates nor selections is a cross
+        // product with the whole collection — never considered.
+        return None;
+    }
+    // Mirror the executor's projection rule: when foreign predicates on
+    // later relations remain, the text join must ship full documents so the
+    // residuals can be evaluated relationally (exec.rs::text_join_projection
+    // applies the same rule — estimates and execution must agree).
+    let projection = if preds.len() < input.foreign.len() {
+        Projection::Full
+    } else {
+        input.query.projection
+    };
+    let stats = input.stats_for(cand.rows, &preds, projection);
+    let choices = enumerate_methods(&input.params, &stats, projection, false);
+    let best = choices.first()?;
+    let fanout = expected_result_fanout(&input.params, &stats);
+    Some(Candidate {
+        node: PlanNode::TextJoin {
+            input: Some(Box::new(cand.node.clone())),
+            preds: preds.clone(),
+            method: best.kind,
+            probe_cols: best.probe_cols.clone(),
+        },
+        rows: cand.rows * fanout,
+        cost: cand.cost + best.cost.total(),
+        probed: cand.probed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::plan::{ForeignSpec, RelJoinPred, RelSpec};
+    use textjoin_rel::expr::{CmpOp, Pred};
+    use textjoin_rel::schema::RelSchema;
+    use textjoin_rel::table::Table;
+    use textjoin_rel::tuple;
+    use textjoin_rel::value::ValueType;
+    use textjoin_text::doc::{Document, TextSchema};
+    use textjoin_text::index::Collection;
+    use textjoin_text::server::TextServer;
+
+    /// Q5 fixture: students and faculty, papers in a given year.
+    fn fixture() -> (Catalog, TextServer) {
+        let mut catalog = Catalog::new();
+        let sschema = RelSchema::from_columns(vec![
+            ("name", ValueType::Str),
+            ("dept", ValueType::Str),
+        ]);
+        let mut student = Table::new("student", sschema);
+        // Many students, few of whom write papers.
+        for i in 0..30 {
+            student.push(tuple![format!("Student{i}"), "CS"]);
+        }
+        student.push(tuple!["Gravano", "CS"]);
+        student.push(tuple!["Kao", "EE"]);
+        catalog.register(student);
+
+        let fschema = RelSchema::from_columns(vec![
+            ("name", ValueType::Str),
+            ("dept", ValueType::Str),
+        ]);
+        let mut faculty = Table::new("faculty", fschema);
+        faculty.push(tuple!["Garcia", "EE"]);
+        faculty.push(tuple!["Dayal", "CS"]);
+        catalog.register(faculty);
+
+        let schema = TextSchema::bibliographic();
+        let ti = schema.field_by_name("title").unwrap();
+        let au = schema.field_by_name("author").unwrap();
+        let yr = schema.field_by_name("year").unwrap();
+        let mut coll = Collection::new(schema);
+        coll.add_document(
+            Document::new()
+                .with(ti, "joint work")
+                .with(au, "Gravano")
+                .with(au, "Garcia")
+                .with(yr, "May 1993"),
+        );
+        coll.add_document(
+            Document::new()
+                .with(ti, "solo work")
+                .with(au, "Kao")
+                .with(yr, "May 1993"),
+        );
+        coll.add_document(
+            Document::new()
+                .with(ti, "older work")
+                .with(au, "Dayal")
+                .with(yr, "May 1990"),
+        );
+        (catalog, TextServer::new(coll))
+    }
+
+    fn q5() -> MultiJoinQuery {
+        MultiJoinQuery {
+            relations: vec![
+                RelSpec {
+                    name: "student".into(),
+                    local_pred: Pred::True,
+                },
+                RelSpec {
+                    name: "faculty".into(),
+                    local_pred: Pred::True,
+                },
+            ],
+            rel_joins: vec![RelJoinPred {
+                left_rel: 0,
+                left_col: "dept".into(),
+                op: CmpOp::Ne,
+                right_rel: 1,
+                right_col: "dept".into(),
+            }],
+            selections: vec![("1993".into(), "year".into())],
+            foreign: vec![
+                ForeignSpec {
+                    rel: 0,
+                    column: "name".into(),
+                    field: "author".into(),
+                },
+                ForeignSpec {
+                    rel: 1,
+                    column: "name".into(),
+                    field: "author".into(),
+                },
+            ],
+            projection: Projection::Full,
+        }
+    }
+
+    fn gather(q: &MultiJoinQuery) -> PlannerInput {
+        let (catalog, server) = fixture();
+        let export = server.export_stats();
+        let params = CostParams::mercury(server.doc_count() as f64);
+        PlannerInput::gather(q, &catalog, &export, server.collection().schema(), params)
+            .unwrap()
+    }
+
+    #[test]
+    fn gather_collects_stats() {
+        let input = gather(&q5());
+        assert_eq!(input.base.len(), 2);
+        assert_eq!(input.base[0].rows, 32.0);
+        assert_eq!(input.foreign.len(), 2);
+        // 2 of 32 student names appear as authors.
+        assert!((input.foreign[0].stats.selectivity - 2.0 / 32.0).abs() < 1e-9);
+        assert_eq!(input.sel_terms, 1);
+        assert_eq!(input.sel_fanout, 2.0); // two 1993 docs
+    }
+
+    #[test]
+    fn plans_are_valid_prl() {
+        let input = gather(&q5());
+        let planned = plan_query(&input, ExecutionSpace::Prl).unwrap();
+        assert!(planned.plan.is_valid_prl());
+        assert!(planned.plan.has_text_join());
+        assert_eq!(planned.plan.relations(), vec![0, 1]);
+    }
+
+    #[test]
+    fn prl_space_never_worse_than_left_deep() {
+        let input = gather(&q5());
+        let prl = plan_query(&input, ExecutionSpace::Prl).unwrap();
+        let ld = plan_query(&input, ExecutionSpace::LeftDeep).unwrap();
+        assert!(
+            prl.est_cost <= ld.est_cost + 1e-9,
+            "PrL {:.2} must not exceed left-deep {:.2}",
+            prl.est_cost,
+            ld.est_cost
+        );
+        assert_eq!(ld.plan.probe_count(), 0, "baseline has no probes");
+    }
+
+    #[test]
+    fn example_6_1_probe_reduces_student_before_faculty_join() {
+        // Example 6.1's setting: large student and faculty relations, a
+        // low-selectivity relational predicate (dept !=), and few students
+        // who write papers. Without a text selection, the traditional
+        // left-deep plan must join student × faculty first (a huge
+        // intermediate) and then run the foreign join over it; the PrL
+        // plan probes student down to the few publishing students first.
+        let (mut catalog, server) = fixture();
+        let sschema = RelSchema::from_columns(vec![
+            ("name", ValueType::Str),
+            ("dept", ValueType::Str),
+        ]);
+        let mut student = Table::new("student", sschema.clone());
+        for i in 0..500 {
+            student.push(tuple![format!("Student{i}"), format!("D{}", i % 5)]);
+        }
+        student.push(tuple!["Gravano", "CS"]);
+        catalog.register(student);
+        let mut faculty = Table::new("faculty", sschema);
+        for i in 0..500 {
+            faculty.push(tuple![format!("Prof{i}"), format!("D{}", i % 5)]);
+        }
+        faculty.push(tuple!["Garcia", "EE"]);
+        catalog.register(faculty);
+
+        let mut q = q5();
+        q.selections.clear(); // no cheap RTP shortcut
+        let export = server.export_stats();
+        let params = CostParams::mercury(server.doc_count() as f64);
+        let mut input = PlannerInput::gather(
+            &q,
+            &catalog,
+            &export,
+            server.collection().schema(),
+            params,
+        )
+        .unwrap();
+        // A per-pair cost representative of the OpenODB-era nested loop:
+        // joining 501 × 501 tuples is NOT free, which is what makes
+        // reducing student before the join worthwhile.
+        input.rel_model.c_pair = 1e-3;
+
+        let prl = plan_query(&input, ExecutionSpace::Prl).unwrap();
+        let ld = plan_query(&input, ExecutionSpace::LeftDeep).unwrap();
+        assert!(
+            prl.plan.probe_count() >= 1,
+            "plan should probe:\n{}",
+            prl.plan.display(&input.query)
+        );
+        assert!(
+            prl.est_cost < ld.est_cost,
+            "probing must pay off: PrL {:.1} vs LD {:.1}",
+            prl.est_cost,
+            ld.est_cost
+        );
+    }
+
+    #[test]
+    fn text_first_plan_available_with_selections() {
+        // If the selection is extremely selective and relations are huge,
+        // scanning the text first can win.
+        let input = gather(&q5());
+        // The planner must at least *have* the text-first seed.
+        let n = input.query.relations.len();
+        let text_bit = 1u64 << n;
+        let mut best: HashMap<u64, Vec<Candidate>> = HashMap::new();
+        let _ = (&mut best, text_bit);
+        let planned = plan_query(&input, ExecutionSpace::Prl).unwrap();
+        // Sanity: whatever wins, cost is positive and finite.
+        assert!(planned.est_cost.is_finite() && planned.est_cost > 0.0);
+    }
+
+    #[test]
+    fn single_relation_multijoin_reduces_to_single_join() {
+        let mut q = q5();
+        q.relations.truncate(1);
+        q.rel_joins.clear();
+        q.foreign.truncate(1);
+        let input = gather(&q);
+        let planned = plan_query(&input, ExecutionSpace::Prl).unwrap();
+        assert!(matches!(planned.plan, PlanNode::TextJoin { .. }));
+    }
+
+    #[test]
+    fn pareto_insert_dominance() {
+        let mk = |cost: f64, rows: f64| Candidate {
+            node: PlanNode::Scan { rel: 0 },
+            rows,
+            cost,
+            probed: 0,
+        };
+        let mut set = Vec::new();
+        pareto_insert(&mut set, mk(10.0, 100.0));
+        pareto_insert(&mut set, mk(20.0, 50.0)); // incomparable: kept
+        assert_eq!(set.len(), 2);
+        pareto_insert(&mut set, mk(15.0, 200.0)); // dominated by first
+        assert_eq!(set.len(), 2);
+        pareto_insert(&mut set, mk(5.0, 40.0)); // dominates both
+        assert_eq!(set.len(), 1);
+    }
+}

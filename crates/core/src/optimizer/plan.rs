@@ -1,0 +1,384 @@
+//! PrL trees — the extended execution space (paper, Section 6).
+//!
+//! A **PrL tree** is a left-deep join tree augmented with *probe nodes*
+//! between relational joins (or between a scan and a join). A probe node
+//! semi-joins its input with the text source on a chosen subset of the
+//! foreign predicates, shrinking the relation before later joins; all probe
+//! nodes precede the (single) text-join node, after which probes would be
+//! redundant.
+//!
+//! The multi-join query model lives here too: a set of relations with
+//! local predicates, relational join predicates between them, constant
+//! text selections, and foreign predicates tying relation columns to text
+//! fields.
+
+use std::fmt;
+
+use textjoin_rel::expr::{CmpOp, Pred};
+
+use crate::methods::Projection;
+use crate::optimizer::single::MethodKind;
+
+/// One relation in a multi-join query.
+#[derive(Debug, Clone)]
+pub struct RelSpec {
+    /// Catalog name.
+    pub name: String,
+    /// Local selection applied at scan time.
+    pub local_pred: Pred,
+}
+
+/// A relational join predicate `left.col <op> right.col` between two
+/// relations of the query.
+#[derive(Debug, Clone)]
+pub struct RelJoinPred {
+    /// Index of the left relation in [`MultiJoinQuery::relations`].
+    pub left_rel: usize,
+    /// Column name in the left relation.
+    pub left_col: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Index of the right relation.
+    pub right_rel: usize,
+    /// Column name in the right relation.
+    pub right_col: String,
+}
+
+/// A foreign predicate `rel.col in text.field`.
+#[derive(Debug, Clone)]
+pub struct ForeignSpec {
+    /// Index of the relation in [`MultiJoinQuery::relations`].
+    pub rel: usize,
+    /// Column name.
+    pub column: String,
+    /// Text field name or alias.
+    pub field: String,
+}
+
+/// A conjunctive query over several relations and the text source.
+#[derive(Debug, Clone)]
+pub struct MultiJoinQuery {
+    /// The stored relations.
+    pub relations: Vec<RelSpec>,
+    /// Join predicates among the relations.
+    pub rel_joins: Vec<RelJoinPred>,
+    /// Constant text selections `(term, field)`.
+    pub selections: Vec<(String, String)>,
+    /// Foreign join predicates.
+    pub foreign: Vec<ForeignSpec>,
+    /// Projection at the text join (multi-join queries that keep document
+    /// attributes use `Full`).
+    pub projection: Projection,
+}
+
+/// A node of a PrL execution tree. Cardinality and cost annotations are
+/// estimates; the executor reports actuals.
+#[derive(Debug, Clone)]
+pub enum PlanNode {
+    /// Scan of a base relation (local predicate applied).
+    Scan {
+        /// Index into [`MultiJoinQuery::relations`].
+        rel: usize,
+    },
+    /// Probe node: semi-join reduction of `input` by the text source on
+    /// the foreign predicates `preds` (indices into
+    /// [`MultiJoinQuery::foreign`]). Always precedes the text join.
+    Probe {
+        /// The reduced input.
+        input: Box<PlanNode>,
+        /// Foreign predicate indices probed on.
+        preds: Vec<usize>,
+    },
+    /// Relational join of the running (left) intermediate with a base-side
+    /// (right) node, on `preds` (indices into rel_joins) plus any foreign
+    /// predicates that became relational residuals because the text source
+    /// was joined earlier (`foreign_residuals`).
+    RelJoin {
+        /// Left (accumulated) input.
+        left: Box<PlanNode>,
+        /// Right input (scan or probed scan — left-deep shape).
+        right: Box<PlanNode>,
+        /// Relational join predicate indices.
+        preds: Vec<usize>,
+        /// Foreign predicate indices evaluated relationally here.
+        foreign_residuals: Vec<usize>,
+    },
+    /// The foreign join with the text source, evaluating the foreign
+    /// predicates `preds` with the chosen method. `input` is `None` when
+    /// the text source is accessed first (a pure text-selection scan,
+    /// which requires text selections).
+    TextJoin {
+        /// The relational input, if any.
+        input: Option<Box<PlanNode>>,
+        /// Foreign predicate indices evaluated here.
+        preds: Vec<usize>,
+        /// The join method chosen by the single-join optimizer.
+        method: MethodKind,
+        /// Probe predicate indices (within `preds`) for probing methods.
+        probe_cols: Vec<usize>,
+    },
+}
+
+impl PlanNode {
+    /// Indices of the relations contained in this subtree (text excluded).
+    pub fn relations(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_relations(&mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn collect_relations(&self, out: &mut Vec<usize>) {
+        match self {
+            PlanNode::Scan { rel } => out.push(*rel),
+            PlanNode::Probe { input, .. } => input.collect_relations(out),
+            PlanNode::RelJoin { left, right, .. } => {
+                left.collect_relations(out);
+                right.collect_relations(out);
+            }
+            PlanNode::TextJoin { input, .. } => {
+                if let Some(i) = input {
+                    i.collect_relations(out);
+                }
+            }
+        }
+    }
+
+    /// Whether the subtree contains the text-join node.
+    pub fn has_text_join(&self) -> bool {
+        match self {
+            PlanNode::Scan { .. } => false,
+            PlanNode::Probe { input, .. } => input.has_text_join(),
+            PlanNode::RelJoin { left, right, .. } => {
+                left.has_text_join() || right.has_text_join()
+            }
+            PlanNode::TextJoin { .. } => true,
+        }
+    }
+
+    /// Number of probe nodes in the subtree.
+    pub fn probe_count(&self) -> usize {
+        match self {
+            PlanNode::Scan { .. } => 0,
+            PlanNode::Probe { input, .. } => 1 + input.probe_count(),
+            PlanNode::RelJoin { left, right, .. } => left.probe_count() + right.probe_count(),
+            PlanNode::TextJoin { input, .. } => {
+                input.as_ref().map_or(0, |i| i.probe_count())
+            }
+        }
+    }
+
+    /// Checks the PrL invariant: probe nodes precede the text join — no
+    /// probe node may sit above (consume the output of) the text join.
+    pub fn is_valid_prl(&self) -> bool {
+        match self {
+            PlanNode::Scan { .. } => true,
+            PlanNode::Probe { input, .. } => !input.has_text_join() && input.is_valid_prl(),
+            PlanNode::RelJoin { left, right, .. } => left.is_valid_prl() && right.is_valid_prl(),
+            PlanNode::TextJoin { input, .. } => {
+                input.as_ref().is_none_or(|i| i.is_valid_prl())
+            }
+        }
+    }
+
+    /// Pretty-prints the plan with the query's names.
+    pub fn display<'a>(&'a self, q: &'a MultiJoinQuery) -> DisplayPlan<'a> {
+        DisplayPlan { node: self, q }
+    }
+}
+
+/// [`fmt::Display`] helper for plans.
+pub struct DisplayPlan<'a> {
+    node: &'a PlanNode,
+    q: &'a MultiJoinQuery,
+}
+
+impl fmt::Display for DisplayPlan<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_node(self.node, self.q, f, 0)
+    }
+}
+
+fn fmt_node(
+    n: &PlanNode,
+    q: &MultiJoinQuery,
+    f: &mut fmt::Formatter<'_>,
+    depth: usize,
+) -> fmt::Result {
+    let pad = "  ".repeat(depth);
+    match n {
+        PlanNode::Scan { rel } => writeln!(f, "{pad}Scan({})", q.relations[*rel].name),
+        PlanNode::Probe { input, preds } => {
+            let ps: Vec<String> = preds
+                .iter()
+                .map(|&i| format!("{}.{}", q.relations[q.foreign[i].rel].name, q.foreign[i].column))
+                .collect();
+            writeln!(f, "{pad}Probe[{}]", ps.join(", "))?;
+            fmt_node(input, q, f, depth + 1)
+        }
+        PlanNode::RelJoin {
+            left,
+            right,
+            preds,
+            foreign_residuals,
+        } => {
+            let mut conds: Vec<String> = preds
+                .iter()
+                .map(|&i| {
+                    let p = &q.rel_joins[i];
+                    format!(
+                        "{}.{} {} {}.{}",
+                        q.relations[p.left_rel].name,
+                        p.left_col,
+                        p.op,
+                        q.relations[p.right_rel].name,
+                        p.right_col
+                    )
+                })
+                .collect();
+            conds.extend(foreign_residuals.iter().map(|&i| {
+                format!(
+                    "{}.{} in {}",
+                    q.relations[q.foreign[i].rel].name, q.foreign[i].column, q.foreign[i].field
+                )
+            }));
+            writeln!(f, "{pad}RelJoin[{}]", conds.join(" and "))?;
+            fmt_node(left, q, f, depth + 1)?;
+            fmt_node(right, q, f, depth + 1)
+        }
+        PlanNode::TextJoin {
+            input,
+            preds,
+            method,
+            probe_cols,
+        } => {
+            let ps: Vec<String> = preds
+                .iter()
+                .map(|&i| {
+                    format!(
+                        "{}.{} in {}",
+                        q.relations[q.foreign[i].rel].name,
+                        q.foreign[i].column,
+                        q.foreign[i].field
+                    )
+                })
+                .collect();
+            writeln!(
+                f,
+                "{pad}TextJoin[{}] method={method:?} probe={probe_cols:?}",
+                ps.join(" and ")
+            )?;
+            match input {
+                Some(i) => fmt_node(i, q, f, depth + 1),
+                None => writeln!(f, "{pad}  TextScan(selections only)"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q5_like() -> MultiJoinQuery {
+        MultiJoinQuery {
+            relations: vec![
+                RelSpec {
+                    name: "student".into(),
+                    local_pred: Pred::True,
+                },
+                RelSpec {
+                    name: "faculty".into(),
+                    local_pred: Pred::True,
+                },
+            ],
+            rel_joins: vec![RelJoinPred {
+                left_rel: 0,
+                left_col: "dept".into(),
+                op: CmpOp::Ne,
+                right_rel: 1,
+                right_col: "dept".into(),
+            }],
+            selections: vec![("1993".into(), "year".into())],
+            foreign: vec![
+                ForeignSpec {
+                    rel: 0,
+                    column: "name".into(),
+                    field: "author".into(),
+                },
+                ForeignSpec {
+                    rel: 1,
+                    column: "name".into(),
+                    field: "author".into(),
+                },
+            ],
+            projection: Projection::Full,
+        }
+    }
+
+    fn prl_plan() -> PlanNode {
+        // Probe student, join faculty, then text join — Example 6.1's shape.
+        PlanNode::TextJoin {
+            input: Some(Box::new(PlanNode::RelJoin {
+                left: Box::new(PlanNode::Probe {
+                    input: Box::new(PlanNode::Scan { rel: 0 }),
+                    preds: vec![0],
+                }),
+                right: Box::new(PlanNode::Scan { rel: 1 }),
+                preds: vec![0],
+                foreign_residuals: vec![],
+            })),
+            preds: vec![0, 1],
+            method: MethodKind::Ts,
+            probe_cols: vec![],
+        }
+    }
+
+    #[test]
+    fn relations_and_flags() {
+        let p = prl_plan();
+        assert_eq!(p.relations(), vec![0, 1]);
+        assert!(p.has_text_join());
+        assert_eq!(p.probe_count(), 1);
+        assert!(p.is_valid_prl());
+    }
+
+    #[test]
+    fn probe_after_text_join_invalid() {
+        let bad = PlanNode::Probe {
+            input: Box::new(PlanNode::TextJoin {
+                input: Some(Box::new(PlanNode::Scan { rel: 0 })),
+                preds: vec![0],
+                method: MethodKind::Ts,
+                probe_cols: vec![],
+            }),
+            preds: vec![1],
+        };
+        assert!(!bad.is_valid_prl());
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let q = q5_like();
+        let s = prl_plan().display(&q).to_string();
+        assert!(s.contains("Probe[student.name]"));
+        assert!(s.contains("RelJoin[student.dept != faculty.dept]"));
+        assert!(s.contains("TextJoin[student.name in author and faculty.name in author]"));
+        assert!(s.contains("Scan(faculty)"));
+    }
+
+    #[test]
+    fn text_scan_display() {
+        let q = q5_like();
+        let p = PlanNode::TextJoin {
+            input: None,
+            preds: vec![],
+            method: MethodKind::Rtp,
+            probe_cols: vec![],
+        };
+        let s = p.display(&q).to_string();
+        assert!(s.contains("TextScan"));
+        assert!(p.is_valid_prl());
+        assert_eq!(p.relations(), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,393 @@
+//! Single-join optimization — paper, Section 5.
+//!
+//! Choosing a plan for one relation ⋈ text reduces to (1) costing every
+//! applicable method with the Section 4 formulas and (2), for the probing
+//! family, choosing the probe column set. The probe-column search comes in
+//! two flavors:
+//!
+//! * [`optimal_probe_exhaustive`] — all `2^k − 1` non-empty subsets;
+//! * [`optimal_probe_bounded`] — only subsets of size ≤ `min(k, 2g)`,
+//!   justified by Theorem 5.3 (for 1-correlated cost models the optimal
+//!   probe has at most 2 columns; generalized, at most `min(k, 2g)`).
+
+use crate::cost::formulas::{
+    cost_p_rtp, cost_p_ts, cost_rtp, cost_sj, cost_ts, CostBreakdown,
+};
+use crate::cost::params::{CostParams, JoinStatistics};
+use crate::methods::Projection;
+
+/// Which executable method a candidate names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodKind {
+    /// Tuple substitution (distinct variant).
+    Ts,
+    /// Relational text processing.
+    Rtp,
+    /// Semi-join (pure, docids projection) or SJ+RTP otherwise.
+    Sj,
+    /// Probing + tuple substitution.
+    PTs,
+    /// Probing + relational text processing.
+    PRtp,
+}
+
+/// A costed candidate plan for the single join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodCandidate {
+    /// Which method.
+    pub kind: MethodKind,
+    /// Display label (`"TS"`, `"P1+TS"`, `"SJ+RTP"`, …).
+    pub label: String,
+    /// Probe predicate indices (empty for non-probing methods).
+    pub probe_cols: Vec<usize>,
+    /// The cost estimate.
+    pub cost: CostBreakdown,
+}
+
+/// Enumerates all non-empty subsets of `0..k` with at most `max_size`
+/// elements.
+fn subsets_up_to(k: usize, max_size: usize) -> Vec<Vec<usize>> {
+    assert!(k < 31, "probe-column enumeration supports at most 30 predicates");
+    let mut out = Vec::new();
+    for mask in 1u32..(1u32 << k) {
+        if (mask.count_ones() as usize) <= max_size {
+            let subset: Vec<usize> = (0..k).filter(|&i| mask & (1 << i) != 0).collect();
+            out.push(subset);
+        }
+    }
+    out
+}
+
+/// Finds the cheapest probe set by exhaustive `O(2^k)` search, under the
+/// cost function `f` (e.g. [`cost_p_ts`] or [`cost_p_rtp`]).
+pub fn optimal_probe_exhaustive(
+    p: &CostParams,
+    s: &JoinStatistics,
+    f: impl Fn(&CostParams, &JoinStatistics, &[usize]) -> CostBreakdown,
+) -> Option<(Vec<usize>, CostBreakdown)> {
+    best_subset(subsets_up_to(s.k(), s.k()), p, s, f)
+}
+
+/// Finds the cheapest probe set searching only subsets of size
+/// ≤ `min(k, 2g)` — the Theorem 5.3 bound, `O(k^(2g))` instead of `O(2^k)`.
+pub fn optimal_probe_bounded(
+    p: &CostParams,
+    s: &JoinStatistics,
+    f: impl Fn(&CostParams, &JoinStatistics, &[usize]) -> CostBreakdown,
+) -> Option<(Vec<usize>, CostBreakdown)> {
+    let bound = s.k().min(2 * p.g);
+    best_subset(subsets_up_to(s.k(), bound), p, s, f)
+}
+
+fn best_subset(
+    candidates: Vec<Vec<usize>>,
+    p: &CostParams,
+    s: &JoinStatistics,
+    f: impl Fn(&CostParams, &JoinStatistics, &[usize]) -> CostBreakdown,
+) -> Option<(Vec<usize>, CostBreakdown)> {
+    candidates
+        .into_iter()
+        .map(|subset| {
+            let c = f(p, s, &subset);
+            (subset, c)
+        })
+        .min_by(|a, b| {
+            a.1.total()
+                .partial_cmp(&b.1.total())
+                .expect("costs are finite")
+                // Tie-break on fewer probe columns (cheaper bookkeeping).
+                .then(a.0.len().cmp(&b.0.len()))
+        })
+}
+
+fn probe_label(prefix: &str, cols: &[usize], suffix: &str) -> String {
+    let s: Vec<String> = cols.iter().map(|i| (i + 1).to_string()).collect();
+    format!("{prefix}{}+{suffix}", s.join(""))
+}
+
+/// Costs every applicable method for the join, using the bounded
+/// probe-column search (pass `exhaustive_probe = true` for the `O(2^k)`
+/// ablation). Candidates are returned sorted cheapest-first.
+pub fn enumerate_methods(
+    p: &CostParams,
+    s: &JoinStatistics,
+    projection: Projection,
+    exhaustive_probe: bool,
+) -> Vec<MethodCandidate> {
+    let mut out = Vec::new();
+    let has_joins = s.k() > 0;
+
+    if has_joins {
+        out.push(MethodCandidate {
+            kind: MethodKind::Ts,
+            label: "TS".into(),
+            probe_cols: vec![],
+            cost: cost_ts(p, s),
+        });
+    }
+    if let Some(c) = cost_rtp(p, s) {
+        out.push(MethodCandidate {
+            kind: MethodKind::Rtp,
+            label: "RTP".into(),
+            probe_cols: vec![],
+            cost: c,
+        });
+    }
+    if has_joins {
+        let rtp_completion = projection != Projection::DocIds;
+        if let Some(c) = cost_sj(p, s, rtp_completion) {
+            out.push(MethodCandidate {
+                kind: MethodKind::Sj,
+                label: if rtp_completion { "SJ+RTP" } else { "SJ" }.into(),
+                probe_cols: vec![],
+                cost: c,
+            });
+        }
+        let search = |f: fn(&CostParams, &JoinStatistics, &[usize]) -> CostBreakdown| {
+            if exhaustive_probe {
+                optimal_probe_exhaustive(p, s, f)
+            } else {
+                optimal_probe_bounded(p, s, f)
+            }
+        };
+        if let Some((cols, c)) = search(cost_p_ts) {
+            out.push(MethodCandidate {
+                kind: MethodKind::PTs,
+                label: probe_label("P", &cols, "TS"),
+                probe_cols: cols,
+                cost: c,
+            });
+        }
+        if let Some((cols, c)) = search(cost_p_rtp) {
+            out.push(MethodCandidate {
+                kind: MethodKind::PRtp,
+                label: probe_label("P", &cols, "RTP"),
+                probe_cols: cols,
+                cost: c,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        a.cost
+            .total()
+            .partial_cmp(&b.cost.total())
+            .expect("costs are finite")
+    });
+    out
+}
+
+/// Picks the cheapest applicable method.
+pub fn choose_method(
+    p: &CostParams,
+    s: &JoinStatistics,
+    projection: Projection,
+) -> Option<MethodCandidate> {
+    enumerate_methods(p, s, projection, false).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::params::PredStats;
+    use textjoin_text::server::CostConstants;
+
+    fn base() -> (CostParams, JoinStatistics) {
+        let p = CostParams::mercury(10_000.0);
+        let s = JoinStatistics {
+            n: 100.0,
+            n_k: 100.0,
+            preds: vec![
+                PredStats::simple(0.16, 2.0, 20.0),
+                PredStats::simple(0.80, 5.0, 80.0),
+            ],
+            sel_fanout: 10_000.0,
+            sel_postings: 0.0,
+            sel_terms: 0,
+            needs_long: true,
+            short_form_sufficient: true,
+        };
+        (p, s)
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        assert_eq!(subsets_up_to(3, 3).len(), 7);
+        assert_eq!(subsets_up_to(3, 1).len(), 3);
+        assert_eq!(subsets_up_to(3, 2).len(), 6);
+        assert_eq!(subsets_up_to(0, 2).len(), 0);
+    }
+
+    #[test]
+    fn theorem_5_3_bound_matches_exhaustive_for_g1() {
+        // For 1-correlated cost models the exhaustive optimum is always a
+        // subset of ≤ 2 columns — sweep a grid of parameters and check.
+        let d = 10_000.0;
+        for n1 in [5.0, 50.0, 500.0] {
+            for s1 in [0.01, 0.2, 0.9] {
+                for f1 in [1.0, 10.0] {
+                    let p = CostParams::mercury(d); // g = 1
+                    let s = JoinStatistics {
+                        n: 1000.0,
+                        n_k: 1000.0,
+                        preds: vec![
+                            PredStats::simple(s1, f1, n1),
+                            PredStats::simple(0.5, 3.0, 40.0),
+                            PredStats::simple(0.05, 8.0, 300.0),
+                            PredStats::simple(0.7, 1.5, 10.0),
+                        ],
+                        sel_fanout: d,
+                        sel_postings: 0.0,
+                        sel_terms: 0,
+                        needs_long: false,
+                        short_form_sufficient: true,
+                    };
+                    let (ec, e) =
+                        optimal_probe_exhaustive(&p, &s, crate::cost::formulas::cost_p_ts)
+                            .unwrap();
+                    let (bc, b) = optimal_probe_bounded(&p, &s, crate::cost::formulas::cost_p_ts)
+                        .unwrap();
+                    assert!(
+                        (e.total() - b.total()).abs() < 1e-9,
+                        "bounded search missed optimum: {ec:?} ({}) vs {bc:?} ({})",
+                        e.total(),
+                        b.total()
+                    );
+                    assert!(ec.len() <= 2, "g=1 optimum uses ≤2 columns, got {ec:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn example_5_2_multi_column_probe_dominates() {
+        // Paper Example 5.2: product (fully independent) selectivity model,
+        // invocation cost only; a 2-column probe beats every 1-column probe.
+        let mut p = CostParams::mercury(1e6).with_g(3);
+        p.constants = CostConstants {
+            c_i: 1.0,
+            c_p: 0.0,
+            c_s: 0.0,
+            c_l: 0.0,
+        };
+        let s = JoinStatistics {
+            n: 1e5,
+            n_k: 1e5,
+            preds: vec![
+                PredStats::simple(0.005, 1.0, 1e3),
+                PredStats::simple(0.01, 1.0, 10.0),
+                PredStats::simple(0.01, 1.0, 10.0),
+            ],
+            sel_fanout: 1e6,
+            sel_postings: 0.0,
+            sel_terms: 0,
+            needs_long: false,
+            short_form_sufficient: true,
+        };
+        let best1 = subsets_up_to(3, 1)
+            .into_iter()
+            .map(|j| crate::cost::formulas::cost_p_ts(&p, &s, &j).total())
+            .fold(f64::INFINITY, f64::min);
+        let (cols, best) =
+            optimal_probe_exhaustive(&p, &s, crate::cost::formulas::cost_p_ts).unwrap();
+        assert!(cols.len() == 2, "optimal probe is 2-column: {cols:?}");
+        assert!(best.total() < best1);
+        // And the bounded search (min(k, 2g) = 3) finds it too.
+        let (_, b) = optimal_probe_bounded(&p, &s, crate::cost::formulas::cost_p_ts).unwrap();
+        assert!((b.total() - best.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn example_5_1_optimal_column_not_most_selective() {
+        // Invocation-only model: probe column choice trades N_i against
+        // s_i·N — the most selective column is not automatically best.
+        let mut p = CostParams::mercury(1e6);
+        p.constants = CostConstants {
+            c_i: 1.0,
+            c_p: 0.0,
+            c_s: 0.0,
+            c_l: 0.0,
+        };
+        let s = JoinStatistics {
+            n: 1000.0,
+            n_k: 1000.0,
+            preds: vec![
+                // More selective but many distinct values: 900 + 0.1·1000 = 1000.
+                PredStats::simple(0.10, 1.0, 900.0),
+                // Less selective but few distinct values: 10 + 0.2·1000 = 210.
+                PredStats::simple(0.20, 1.0, 10.0),
+            ],
+            sel_fanout: 1e6,
+            sel_postings: 0.0,
+            sel_terms: 0,
+            needs_long: false,
+            short_form_sufficient: true,
+        };
+        let c0 = crate::cost::formulas::cost_p_ts(&p, &s, &[0]).total();
+        let c1 = crate::cost::formulas::cost_p_ts(&p, &s, &[1]).total();
+        assert!(
+            c1 < c0,
+            "column 2 (s=0.2, N_2=10) must beat column 1 (s=0.1, N_1=900): {c1} vs {c0}"
+        );
+    }
+
+    #[test]
+    fn enumerate_sorted_and_labeled() {
+        let (p, mut s) = base();
+        s.sel_terms = 1;
+        s.sel_fanout = 8.0;
+        s.sel_postings = 8.0;
+        let cands = enumerate_methods(&p, &s, Projection::Full, false);
+        assert!(cands.len() >= 4);
+        for w in cands.windows(2) {
+            assert!(w[0].cost.total() <= w[1].cost.total());
+        }
+        let labels: Vec<&str> = cands.iter().map(|c| c.label.as_str()).collect();
+        assert!(labels.contains(&"TS"));
+        assert!(labels.contains(&"RTP"));
+        assert!(labels.contains(&"SJ+RTP"));
+        assert!(labels.iter().any(|l| l.starts_with('P') && l.ends_with("TS")));
+    }
+
+    #[test]
+    fn rtp_absent_without_selections() {
+        let (p, s) = base();
+        let cands = enumerate_methods(&p, &s, Projection::Full, false);
+        assert!(cands.iter().all(|c| c.kind != MethodKind::Rtp));
+    }
+
+    #[test]
+    fn docids_projection_gets_pure_sj() {
+        let (p, mut s) = base();
+        s.needs_long = false;
+        let cands = enumerate_methods(&p, &s, Projection::DocIds, false);
+        let sj = cands.iter().find(|c| c.kind == MethodKind::Sj).unwrap();
+        assert_eq!(sj.label, "SJ");
+    }
+
+    #[test]
+    fn choose_picks_cheapest() {
+        let (p, mut s) = base();
+        s.sel_terms = 1;
+        s.sel_fanout = 8.0; // very selective text selection → RTP should win
+        s.sel_postings = 8.0;
+        let best = choose_method(&p, &s, Projection::Full).unwrap();
+        let all = enumerate_methods(&p, &s, Projection::Full, false);
+        assert_eq!(best, all[0]);
+        // With a selective selection, a relational-processing method (RTP
+        // or SJ+RTP, which also exploits it) must beat plain TS.
+        assert_ne!(best.kind, MethodKind::Ts);
+        let rtp = all.iter().find(|c| c.kind == MethodKind::Rtp).unwrap();
+        let ts = all.iter().find(|c| c.kind == MethodKind::Ts).unwrap();
+        assert!(rtp.cost.total() < ts.cost.total(), "RTP beats TS at Q1-like params");
+    }
+
+    #[test]
+    fn exhaustive_flag_never_worse() {
+        let (p, s) = base();
+        let bounded = enumerate_methods(&p, &s, Projection::Full, false);
+        let exhaustive = enumerate_methods(&p, &s, Projection::Full, true);
+        let b = bounded.first().unwrap().cost.total();
+        let e = exhaustive.first().unwrap().cost.total();
+        assert!(e <= b + 1e-9);
+    }
+}

@@ -1,0 +1,362 @@
+//! Row predicates.
+//!
+//! Predicates are evaluated over a single tuple; join predicates are
+//! expressed over the *concatenated* schema of the join's operands, which is
+//! how the executor materializes candidate rows.
+
+use std::fmt;
+
+use crate::schema::{ColId, RelSchema};
+use crate::strmatch::{contains_term, like};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn eval(self, ord: Option<std::cmp::Ordering>) -> bool {
+        use std::cmp::Ordering::*;
+        match (self, ord) {
+            (_, None) => false, // NULL or type mismatch: predicate is false
+            (CmpOp::Eq, Some(Equal)) => true,
+            (CmpOp::Ne, Some(o)) => o != Equal,
+            (CmpOp::Lt, Some(Less)) => true,
+            (CmpOp::Le, Some(Less | Equal)) => true,
+            (CmpOp::Gt, Some(Greater)) => true,
+            (CmpOp::Ge, Some(Greater | Equal)) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A Boolean predicate over one tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// Always true (the empty conjunction).
+    True,
+    /// `col <op> literal`.
+    Cmp {
+        /// Column operand.
+        col: ColId,
+        /// Operator.
+        op: CmpOp,
+        /// Literal operand.
+        rhs: Value,
+    },
+    /// `left <op> right` over two columns (join predicates).
+    CmpCols {
+        /// Left column.
+        left: ColId,
+        /// Operator.
+        op: CmpOp,
+        /// Right column.
+        right: ColId,
+    },
+    /// SQL `col LIKE pattern`.
+    Like {
+        /// Column operand (string).
+        col: ColId,
+        /// LIKE pattern with `%`/`_`.
+        pattern: String,
+    },
+    /// Term containment: the literal occurs (word-boundary, normalized) in
+    /// the column's string — the relational mirror of a text search term.
+    ContainsTerm {
+        /// Column searched.
+        col: ColId,
+        /// The term looked for.
+        term: String,
+    },
+    /// Term containment between columns: `needle_col`'s value occurs in
+    /// `hay_col`'s string. This is the RTP join predicate
+    /// (`student.name in mercury.author` computed relationally).
+    ContainsCol {
+        /// Column holding the text searched.
+        hay_col: ColId,
+        /// Column holding the term looked for.
+        needle_col: ColId,
+    },
+    /// Conjunction.
+    And(Vec<Pred>),
+    /// Disjunction.
+    Or(Vec<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+}
+
+impl Pred {
+    /// `col = literal` shorthand.
+    pub fn eq(col: ColId, rhs: impl Into<Value>) -> Self {
+        Pred::Cmp {
+            col,
+            op: CmpOp::Eq,
+            rhs: rhs.into(),
+        }
+    }
+
+    /// `col > literal` shorthand.
+    pub fn gt(col: ColId, rhs: impl Into<Value>) -> Self {
+        Pred::Cmp {
+            col,
+            op: CmpOp::Gt,
+            rhs: rhs.into(),
+        }
+    }
+
+    /// Conjunction that flattens and drops `True` children.
+    pub fn and(children: Vec<Pred>) -> Self {
+        let mut flat = Vec::new();
+        for c in children {
+            match c {
+                Pred::True => {}
+                Pred::And(cs) => flat.extend(cs),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Pred::True,
+            1 => flat.pop().expect("len checked"),
+            _ => Pred::And(flat),
+        }
+    }
+
+    /// Evaluates over `t`.
+    pub fn eval(&self, t: &Tuple) -> bool {
+        match self {
+            Pred::True => true,
+            Pred::Cmp { col, op, rhs } => op.eval(t.get(*col).sql_cmp(rhs)),
+            Pred::CmpCols { left, op, right } => op.eval(t.get(*left).sql_cmp(t.get(*right))),
+            Pred::Like { col, pattern } => t
+                .get(*col)
+                .as_str()
+                .is_some_and(|s| like(s, pattern)),
+            Pred::ContainsTerm { col, term } => t
+                .get(*col)
+                .as_str()
+                .is_some_and(|s| contains_term(s, term)),
+            Pred::ContainsCol {
+                hay_col,
+                needle_col,
+            } => match (t.get(*hay_col).as_str(), t.get(*needle_col).as_str()) {
+                (Some(h), Some(n)) => contains_term(h, n),
+                _ => false,
+            },
+            Pred::And(cs) => cs.iter().all(|c| c.eval(t)),
+            Pred::Or(cs) => cs.iter().any(|c| c.eval(t)),
+            Pred::Not(c) => !c.eval(t),
+        }
+    }
+
+    /// Shifts every column reference by `offset` — used to rebase a
+    /// predicate onto the concatenated schema of a join.
+    pub fn shift(&self, offset: usize) -> Pred {
+        match self {
+            Pred::True => Pred::True,
+            Pred::Cmp { col, op, rhs } => Pred::Cmp {
+                col: ColId(col.0 + offset),
+                op: *op,
+                rhs: rhs.clone(),
+            },
+            Pred::CmpCols { left, op, right } => Pred::CmpCols {
+                left: ColId(left.0 + offset),
+                op: *op,
+                right: ColId(right.0 + offset),
+            },
+            Pred::Like { col, pattern } => Pred::Like {
+                col: ColId(col.0 + offset),
+                pattern: pattern.clone(),
+            },
+            Pred::ContainsTerm { col, term } => Pred::ContainsTerm {
+                col: ColId(col.0 + offset),
+                term: term.clone(),
+            },
+            Pred::ContainsCol {
+                hay_col,
+                needle_col,
+            } => Pred::ContainsCol {
+                hay_col: ColId(hay_col.0 + offset),
+                needle_col: ColId(needle_col.0 + offset),
+            },
+            Pred::And(cs) => Pred::And(cs.iter().map(|c| c.shift(offset)).collect()),
+            Pred::Or(cs) => Pred::Or(cs.iter().map(|c| c.shift(offset)).collect()),
+            Pred::Not(c) => Pred::Not(Box::new(c.shift(offset))),
+        }
+    }
+
+    /// Renders against `schema` for EXPLAIN output.
+    pub fn display<'a>(&'a self, schema: &'a RelSchema) -> DisplayPred<'a> {
+        DisplayPred { pred: self, schema }
+    }
+}
+
+/// [`fmt::Display`] helper binding a predicate to its schema.
+pub struct DisplayPred<'a> {
+    pred: &'a Pred,
+    schema: &'a RelSchema,
+}
+
+impl fmt::Display for DisplayPred<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_pred(self.pred, self.schema, f)
+    }
+}
+
+fn fmt_pred(p: &Pred, s: &RelSchema, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match p {
+        Pred::True => write!(f, "true"),
+        Pred::Cmp { col, op, rhs } => write!(f, "{} {op} {rhs}", s.def(*col).name),
+        Pred::CmpCols { left, op, right } => {
+            write!(f, "{} {op} {}", s.def(*left).name, s.def(*right).name)
+        }
+        Pred::Like { col, pattern } => write!(f, "{} like '{pattern}'", s.def(*col).name),
+        Pred::ContainsTerm { col, term } => write!(f, "'{term}' in {}", s.def(*col).name),
+        Pred::ContainsCol {
+            hay_col,
+            needle_col,
+        } => write!(f, "{} in {}", s.def(*needle_col).name, s.def(*hay_col).name),
+        Pred::And(cs) => {
+            for (i, c) in cs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " and ")?;
+                }
+                fmt_pred(c, s, f)?;
+            }
+            Ok(())
+        }
+        Pred::Or(cs) => {
+            write!(f, "(")?;
+            for (i, c) in cs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " or ")?;
+                }
+                fmt_pred(c, s, f)?;
+            }
+            write!(f, ")")
+        }
+        Pred::Not(c) => {
+            write!(f, "not (")?;
+            fmt_pred(c, s, f)?;
+            write!(f, ")")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+    use crate::value::ValueType;
+
+    #[test]
+    fn cmp_literal() {
+        let t = tuple!["AI", 4i64];
+        assert!(Pred::eq(ColId(0), "AI").eval(&t));
+        assert!(Pred::gt(ColId(1), 3i64).eval(&t));
+        assert!(!Pred::gt(ColId(1), 4i64).eval(&t));
+    }
+
+    #[test]
+    fn null_comparisons_false() {
+        let t = Tuple::new(vec![Value::Null]);
+        assert!(!Pred::eq(ColId(0), "x").eval(&t));
+        assert!(!Pred::Cmp {
+            col: ColId(0),
+            op: CmpOp::Ne,
+            rhs: Value::str("x")
+        }
+        .eval(&t));
+    }
+
+    #[test]
+    fn cmp_cols_for_joins() {
+        // faculty.dept != student.dept over a concatenated row
+        let t = tuple!["CS", "EE"];
+        let p = Pred::CmpCols {
+            left: ColId(0),
+            op: CmpOp::Ne,
+            right: ColId(1),
+        };
+        assert!(p.eval(&t));
+        let same = tuple!["CS", "CS"];
+        assert!(!p.eval(&same));
+    }
+
+    #[test]
+    fn contains_variants() {
+        let t = tuple!["Update of Belief Networks", "belief"];
+        assert!(Pred::ContainsTerm {
+            col: ColId(0),
+            term: "belief networks".into()
+        }
+        .eval(&t));
+        assert!(Pred::ContainsCol {
+            hay_col: ColId(0),
+            needle_col: ColId(1)
+        }
+        .eval(&t));
+        assert!(Pred::Like {
+            col: ColId(0),
+            pattern: "%Belief%".into()
+        }
+        .eval(&t));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let t = tuple![1i64];
+        let p = Pred::and(vec![Pred::True, Pred::gt(ColId(0), 0i64)]);
+        assert!(p.eval(&t));
+        assert!(matches!(p, Pred::Cmp { .. }), "True dropped, And collapsed");
+        let q = Pred::Or(vec![Pred::eq(ColId(0), 2i64), Pred::eq(ColId(0), 1i64)]);
+        assert!(q.eval(&t));
+        assert!(!Pred::Not(Box::new(q)).eval(&t));
+    }
+
+    #[test]
+    fn shift_rebases_columns() {
+        let p = Pred::ContainsCol {
+            hay_col: ColId(0),
+            needle_col: ColId(1),
+        };
+        let t = tuple!["ignored", "Update of Belief", "belief"];
+        assert!(p.shift(1).eval(&t));
+    }
+
+    #[test]
+    fn display_readable() {
+        let mut s = RelSchema::new();
+        let name = s.add_column("name", ValueType::Str);
+        let year = s.add_column("year", ValueType::Int);
+        let p = Pred::and(vec![Pred::eq(name, "Kao"), Pred::gt(year, 3i64)]);
+        assert_eq!(p.display(&s).to_string(), "name = 'Kao' and year > 3");
+    }
+}

@@ -1,0 +1,106 @@
+//! Table statistics.
+//!
+//! The paper's cost model needs, per joining relation: the row count `N`
+//! and the number of distinct values `N_i` in each (potential probe)
+//! column. These are standard catalog statistics; we compute them exactly
+//! (real systems would estimate — exactness only sharpens the experiments).
+
+use crate::ops::{distinct_count, distinct_count_multi};
+use crate::schema::ColId;
+use crate::table::Table;
+
+/// Statistics for one table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Row count `N`.
+    pub rows: usize,
+    /// Distinct-value count `N_i` per column, indexed by `ColId`.
+    pub distinct: Vec<usize>,
+}
+
+impl TableStats {
+    /// Computes statistics for `t`.
+    pub fn compute(t: &Table) -> Self {
+        let distinct = (0..t.schema().len())
+            .map(|i| distinct_count(t, ColId(i)))
+            .collect();
+        Self {
+            rows: t.len(),
+            distinct,
+        }
+    }
+
+    /// `N_i` for column `c`.
+    pub fn distinct_in(&self, c: ColId) -> usize {
+        self.distinct[c.0]
+    }
+
+    /// The paper's estimate of `N_J` for a multi-column set `J`:
+    /// `min(Π N_i, N)` — deliberately an over-estimate so probing is chosen
+    /// "only when the default method of tuple substitution is expected to
+    /// perform significantly worse" (Section 4.3).
+    pub fn estimated_distinct_multi(&self, cols: &[ColId]) -> usize {
+        let prod = cols
+            .iter()
+            .map(|c| self.distinct_in(*c))
+            .try_fold(1usize, |acc, n| acc.checked_mul(n))
+            .unwrap_or(usize::MAX);
+        prod.min(self.rows)
+    }
+
+    /// The *exact* `N_J`, for comparison with the estimate (used in tests
+    /// and the runtime-optimization extension).
+    pub fn exact_distinct_multi(t: &Table, cols: &[ColId]) -> usize {
+        distinct_count_multi(t, cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelSchema;
+    use crate::tuple;
+    use crate::value::ValueType;
+
+    fn sample() -> Table {
+        let schema = RelSchema::from_columns(vec![
+            ("name", ValueType::Str),
+            ("advisor", ValueType::Str),
+        ]);
+        let mut t = Table::new("student", schema);
+        t.push(tuple!["Gravano", "Garcia"]);
+        t.push(tuple!["Kao", "Garcia"]);
+        t.push(tuple!["Pham", "Wiederhold"]);
+        t
+    }
+
+    #[test]
+    fn compute_counts() {
+        let t = sample();
+        let s = TableStats::compute(&t);
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.distinct_in(ColId(0)), 3);
+        assert_eq!(s.distinct_in(ColId(1)), 2);
+    }
+
+    #[test]
+    fn multi_column_estimate_capped_by_rows() {
+        let t = sample();
+        let s = TableStats::compute(&t);
+        // Π = 3 × 2 = 6, capped at N = 3.
+        assert_eq!(s.estimated_distinct_multi(&[ColId(0), ColId(1)]), 3);
+        assert_eq!(s.estimated_distinct_multi(&[ColId(1)]), 2);
+        // Estimate over-approximates the exact count.
+        let exact = TableStats::exact_distinct_multi(&t, &[ColId(0), ColId(1)]);
+        assert_eq!(exact, 3);
+        assert!(s.estimated_distinct_multi(&[ColId(0), ColId(1)]) >= exact.min(s.rows));
+    }
+
+    #[test]
+    fn overflow_safe() {
+        let t = sample();
+        let mut s = TableStats::compute(&t);
+        s.distinct = vec![usize::MAX / 2, usize::MAX / 2];
+        assert_eq!(s.estimated_distinct_multi(&[ColId(0), ColId(1)]), s.rows);
+    }
+}

@@ -1,0 +1,110 @@
+//! SQL-style string matching.
+//!
+//! The RTP join method (paper, Section 3.2) finishes a foreign join on the
+//! relational side using "the string matching functions in SQL". Two
+//! functions are provided:
+//!
+//! * [`like`] — SQL `LIKE` with `%` and `_` wildcards, the primitive the
+//!   paper calls SQL's "primitive string matching operations";
+//! * [`contains_term`] — word-boundary phrase containment with the *same
+//!   normalization as the text system's indexer*. The paper stresses that
+//!   relational processing of text predicates needs "consistent semantics"
+//!   with the foreign system; matching on normalized word boundaries is what
+//!   makes `'smith' in author` computed relationally agree with the text
+//!   server's answer.
+
+/// SQL `LIKE`: `%` matches any run (including empty), `_` any single
+/// character. Matching is case-sensitive, per standard SQL.
+pub fn like(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.split_first() {
+            None => s.is_empty(),
+            Some(('%', rest)) => (0..=s.len()).any(|k| rec(&s[k..], rest)),
+            Some(('_', rest)) => !s.is_empty() && rec(&s[1..], rest),
+            Some((&c, rest)) => s.first() == Some(&c) && rec(&s[1..], rest),
+        }
+    }
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&s, &p)
+}
+
+/// Returns `true` if `needle` occurs in `haystack` as a contiguous sequence
+/// of whole words, under the text system's normalization (case-folded
+/// alphanumeric words). An empty needle never matches.
+///
+/// ```
+/// use textjoin_rel::strmatch::contains_term;
+/// assert!(contains_term("Belief Update, revisited", "belief UPDATE"));
+/// assert!(!contains_term("Belief-free Updating", "belief update"));
+/// assert!(!contains_term("disbelief update", "belief update"));
+/// ```
+pub fn contains_term(haystack: &str, needle: &str) -> bool {
+    let hay = normalize_words(haystack);
+    let ned = normalize_words(needle);
+    if ned.is_empty() || ned.len() > hay.len() {
+        return false;
+    }
+    hay.windows(ned.len()).any(|w| w == ned.as_slice())
+}
+
+fn normalize_words(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in s.chars() {
+        if c.is_alphanumeric() {
+            cur.extend(c.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_wildcards() {
+        assert!(like("Gravano", "Gra%"));
+        assert!(like("Gravano", "%van%"));
+        assert!(like("Gravano", "G_avano"));
+        assert!(!like("Gravano", "gra%")); // case-sensitive
+        assert!(like("", "%"));
+        assert!(!like("", "_"));
+        assert!(like("abc", "abc"));
+        assert!(!like("abc", "ab"));
+    }
+
+    #[test]
+    fn like_adjacent_percents() {
+        assert!(like("abc", "%%"));
+        assert!(like("abc", "a%%c"));
+        assert!(like("ac", "a%c"));
+    }
+
+    #[test]
+    fn contains_term_word_boundaries() {
+        assert!(contains_term("Update of Belief Networks", "belief networks"));
+        assert!(!contains_term("Update of Belief Networks", "update networks"));
+        assert!(!contains_term("disbelief", "belief"));
+        assert!(contains_term("A belief.", "BELIEF"));
+    }
+
+    #[test]
+    fn contains_term_empty_and_longer() {
+        assert!(!contains_term("abc", ""));
+        assert!(!contains_term("one", "one two"));
+        assert!(contains_term("one two", "one two"));
+    }
+
+    #[test]
+    fn contains_term_matches_indexer_semantics() {
+        // Punctuation-insensitive, like the tokenizer.
+        assert!(contains_term("Garcia-Molina, H.", "garcia molina"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests: relational-algebra laws of the operators and joins.
+
+use proptest::prelude::*;
+use textjoin_rel::expr::{CmpOp, Pred};
+use textjoin_rel::join::{hash_join, nested_loop_join, semi_join};
+use textjoin_rel::ops::{distinct, distinct_count_multi, filter, project_distinct, sort_by};
+use textjoin_rel::schema::{ColId, RelSchema};
+use textjoin_rel::strmatch::{contains_term, like};
+use textjoin_rel::table::Table;
+use textjoin_rel::tuple::Tuple;
+use textjoin_rel::value::{Value, ValueType};
+
+const KEYS: &[&str] = &["a", "b", "c", "d"];
+
+fn table(name: &'static str) -> impl Strategy<Value = Table> {
+    prop::collection::vec((prop::sample::select(KEYS), 0i64..5), 0..12).prop_map(move |rows| {
+        let schema =
+            RelSchema::from_columns(vec![("k", ValueType::Str), ("v", ValueType::Int)]);
+        let mut t = Table::new(name, schema);
+        for (k, v) in rows {
+            t.push(Tuple::new(vec![Value::str(k), Value::int(v)]));
+        }
+        t
+    })
+}
+
+fn row_set(t: &Table) -> Vec<String> {
+    let mut v: Vec<String> = t.iter().map(|r| r.to_string()).collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    /// Hash join equals nested-loop join with the equality predicate.
+    #[test]
+    fn hash_join_equals_nested_loop(l in table("l"), r in table("r")) {
+        let eq = Pred::CmpCols { left: ColId(0), op: CmpOp::Eq, right: ColId(2) };
+        let nl = nested_loop_join(&l, &r, &eq);
+        let hj = hash_join(&l, &r, ColId(0), ColId(0), &Pred::True);
+        prop_assert_eq!(row_set(&nl), row_set(&hj));
+    }
+
+    /// Semi-join keeps exactly the left rows with a match, schema intact.
+    #[test]
+    fn semi_join_is_exists_filter(l in table("l"), r in table("r")) {
+        let sj = semi_join(&l, &r, ColId(0), ColId(0));
+        let keys: std::collections::HashSet<&Value> =
+            r.iter().map(|t| t.get(ColId(0))).collect();
+        let expected: Vec<String> = {
+            let mut v: Vec<String> = l
+                .iter()
+                .filter(|t| keys.contains(t.get(ColId(0))))
+                .map(|t| t.to_string())
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(row_set(&sj), expected);
+        prop_assert_eq!(sj.schema(), l.schema());
+    }
+
+    /// Filter by conjunction equals sequential filters.
+    #[test]
+    fn filter_composes(t in table("t"), a in 0i64..5, b in 0i64..5) {
+        let p1 = Pred::gt(ColId(1), a);
+        let p2 = Pred::Cmp { col: ColId(1), op: CmpOp::Lt, rhs: Value::int(b) };
+        let both = filter(&t, &Pred::and(vec![p1.clone(), p2.clone()]));
+        let seq = filter(&filter(&t, &p1), &p2);
+        prop_assert_eq!(row_set(&both), row_set(&seq));
+    }
+
+    /// Distinct is idempotent and never grows.
+    #[test]
+    fn distinct_idempotent(t in table("t")) {
+        let d1 = distinct(&t);
+        let d2 = distinct(&d1);
+        prop_assert!(d1.len() <= t.len());
+        prop_assert_eq!(row_set(&d1), row_set(&d2));
+    }
+
+    /// project_distinct row count equals the multi-column distinct count.
+    #[test]
+    fn project_distinct_counts(t in table("t")) {
+        let cols = vec![ColId(0), ColId(1)];
+        let pd = project_distinct(&t, &cols);
+        prop_assert_eq!(pd.len(), distinct_count_multi(&t, &cols));
+    }
+
+    /// sort_by produces a sorted permutation.
+    #[test]
+    fn sort_by_sorts(t in table("t")) {
+        let s = sort_by(&t, &[ColId(0), ColId(1)]);
+        prop_assert_eq!(s.len(), t.len());
+        prop_assert_eq!(row_set(&s), row_set(&t));
+        for w in s.rows().windows(2) {
+            let o = w[0]
+                .get(ColId(0))
+                .total_cmp(w[1].get(ColId(0)))
+                .then(w[0].get(ColId(1)).total_cmp(w[1].get(ColId(1))));
+            prop_assert!(o != std::cmp::Ordering::Greater);
+        }
+    }
+
+    /// LIKE with no wildcards is equality; %s% matches any embedding.
+    #[test]
+    fn like_laws(s in "[a-z]{0,6}", pre in "[a-z]{0,3}", post in "[a-z]{0,3}") {
+        prop_assert!(like(&s, &s));
+        let embedded = format!("{pre}{s}{post}");
+        let pat = format!("%{s}%");
+        prop_assert!(like(&embedded, &pat));
+        prop_assert!(like(&embedded, "%"));
+    }
+
+    /// contains_term is reflexive on normalized text and invariant under
+    /// case change of the needle.
+    #[test]
+    fn contains_term_laws(words in prop::collection::vec("[a-z]{1,5}", 1..4)) {
+        let text = words.join(" ");
+        prop_assert!(contains_term(&text, &text));
+        prop_assert!(contains_term(&text, &text.to_uppercase()));
+        for w in &words {
+            prop_assert!(contains_term(&text, w));
+        }
+    }
+}

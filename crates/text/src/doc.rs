@@ -1,0 +1,276 @@
+//! Documents, text fields, and result forms.
+//!
+//! The paper's model (Section 2.1): a text retrieval system manages a
+//! collection of documents, each uniquely identified by a *docid*. A document
+//! consists of a set of *text fields* (author, title, abstract, date, ...).
+//! Searches return the *short form* (docid plus a subset of the fields);
+//! the full document (*long form*) is retrievable separately by docid.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Unique document identifier within a collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocId(pub u32);
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "doc{}", self.0)
+    }
+}
+
+/// Identifier of a text field within a collection's [`TextSchema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FieldId(pub u16);
+
+/// Schema of a document collection: the named text fields, which of them are
+/// included in the short form, and the short search aliases (`TI`, `AU`, ...)
+/// used in the Mercury-style query syntax.
+#[derive(Debug, Clone, Default)]
+pub struct TextSchema {
+    fields: Vec<FieldDef>,
+}
+
+/// Definition of one text field.
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    /// Full field name, e.g. `"title"`.
+    pub name: String,
+    /// Search alias, e.g. `"TI"`. Matched case-insensitively by the parser.
+    pub alias: String,
+    /// Whether this field's values are included in short-form results.
+    pub in_short_form: bool,
+}
+
+impl TextSchema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a field and returns its [`FieldId`].
+    pub fn add_field(
+        &mut self,
+        name: impl Into<String>,
+        alias: impl Into<String>,
+        in_short_form: bool,
+    ) -> FieldId {
+        let id = FieldId(self.fields.len() as u16);
+        self.fields.push(FieldDef {
+            name: name.into(),
+            alias: alias.into(),
+            in_short_form,
+        });
+        id
+    }
+
+    /// A bibliographic schema modeled on the CSTR database served by Project
+    /// Mercury: `title` (TI), `author` (AU), `abstract` (AB), `year` (YR),
+    /// `institution` (IN). Title, author and year are in the short form.
+    pub fn bibliographic() -> Self {
+        let mut s = Self::new();
+        s.add_field("title", "TI", true);
+        s.add_field("author", "AU", true);
+        s.add_field("abstract", "AB", false);
+        s.add_field("year", "YR", true);
+        s.add_field("institution", "IN", false);
+        s
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Looks up a field by full name (case-insensitive).
+    pub fn field_by_name(&self, name: &str) -> Option<FieldId> {
+        self.fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
+            .map(|i| FieldId(i as u16))
+    }
+
+    /// Looks up a field by search alias (case-insensitive), e.g. `"TI"`.
+    pub fn field_by_alias(&self, alias: &str) -> Option<FieldId> {
+        self.fields
+            .iter()
+            .position(|f| f.alias.eq_ignore_ascii_case(alias))
+            .map(|i| FieldId(i as u16))
+    }
+
+    /// Resolves either a full name or an alias to a field id.
+    pub fn resolve(&self, name_or_alias: &str) -> Option<FieldId> {
+        self.field_by_name(name_or_alias)
+            .or_else(|| self.field_by_alias(name_or_alias))
+    }
+
+    /// Returns the definition of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is not part of this schema.
+    pub fn def(&self, id: FieldId) -> &FieldDef {
+        &self.fields[id.0 as usize]
+    }
+
+    /// Iterates over `(FieldId, &FieldDef)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FieldId, &FieldDef)> {
+        self.fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FieldId(i as u16), f))
+    }
+
+    /// Field ids included in the short form.
+    pub fn short_form_fields(&self) -> Vec<FieldId> {
+        self.iter()
+            .filter(|(_, f)| f.in_short_form)
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+/// A document: a docid plus values for (a subset of) the schema's fields.
+/// A field may hold multiple values (e.g. several authors), mirroring the
+/// set-valued attributes (`author {varchar}`) in the paper's `create table
+/// mercury` example.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Document {
+    values: BTreeMap<FieldId, Vec<String>>,
+}
+
+impl Document {
+    /// Creates an empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a value to `field`.
+    pub fn push(&mut self, field: FieldId, value: impl Into<String>) -> &mut Self {
+        self.values.entry(field).or_default().push(value.into());
+        self
+    }
+
+    /// Builder-style [`push`](Self::push).
+    pub fn with(mut self, field: FieldId, value: impl Into<String>) -> Self {
+        self.push(field, value);
+        self
+    }
+
+    /// Values stored in `field` (empty slice if absent).
+    pub fn values(&self, field: FieldId) -> &[String] {
+        self.values.get(&field).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over `(FieldId, &[values])`.
+    pub fn iter(&self) -> impl Iterator<Item = (FieldId, &[String])> {
+        self.values.iter().map(|(k, v)| (*k, v.as_slice()))
+    }
+
+    /// Total number of field values across all fields.
+    pub fn value_count(&self) -> usize {
+        self.values.values().map(Vec::len).sum()
+    }
+
+    /// Projects this document onto the short-form fields of `schema`.
+    pub fn short_form(&self, id: DocId, schema: &TextSchema) -> ShortDoc {
+        let mut fields = BTreeMap::new();
+        for (fid, def) in schema.iter() {
+            if def.in_short_form {
+                if let Some(vs) = self.values.get(&fid) {
+                    fields.insert(fid, vs.clone());
+                }
+            }
+        }
+        ShortDoc { id, fields }
+    }
+}
+
+/// The abbreviated per-document record returned in a search result set:
+/// the docid plus the short-form fields. (Paper, Section 2.1.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShortDoc {
+    /// The document's id, always present.
+    pub id: DocId,
+    /// Short-form field values.
+    pub fields: BTreeMap<FieldId, Vec<String>>,
+}
+
+impl ShortDoc {
+    /// Values of `field` in this short record (empty if not short-form).
+    pub fn values(&self, field: FieldId) -> &[String] {
+        self.fields.get(&field).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TextSchema {
+        TextSchema::bibliographic()
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = schema();
+        assert_eq!(s.len(), 5);
+        let ti = s.field_by_name("title").unwrap();
+        assert_eq!(s.field_by_alias("ti"), Some(ti));
+        assert_eq!(s.field_by_alias("TI"), Some(ti));
+        assert_eq!(s.resolve("TITLE"), Some(ti));
+        assert_eq!(s.resolve("TI"), Some(ti));
+        assert_eq!(s.resolve("nope"), None);
+        assert_eq!(s.def(ti).name, "title");
+    }
+
+    #[test]
+    fn short_form_fields_marked() {
+        let s = schema();
+        let short = s.short_form_fields();
+        assert_eq!(short.len(), 3); // title, author, year
+        assert!(short.contains(&s.field_by_name("title").unwrap()));
+        assert!(!short.contains(&s.field_by_name("abstract").unwrap()));
+    }
+
+    #[test]
+    fn document_multivalued_fields() {
+        let s = schema();
+        let au = s.field_by_name("author").unwrap();
+        let ti = s.field_by_name("title").unwrap();
+        let d = Document::new()
+            .with(ti, "Belief Update in Practice")
+            .with(au, "Radhika")
+            .with(au, "Garcia");
+        assert_eq!(d.values(au), ["Radhika", "Garcia"]);
+        assert_eq!(d.values(ti).len(), 1);
+        assert_eq!(d.value_count(), 3);
+    }
+
+    #[test]
+    fn short_form_projection_drops_long_fields() {
+        let s = schema();
+        let ti = s.field_by_name("title").unwrap();
+        let ab = s.field_by_name("abstract").unwrap();
+        let d = Document::new()
+            .with(ti, "A Title")
+            .with(ab, "A very long abstract ...");
+        let sf = d.short_form(DocId(7), &s);
+        assert_eq!(sf.id, DocId(7));
+        assert_eq!(sf.values(ti), ["A Title"]);
+        assert!(sf.values(ab).is_empty());
+    }
+
+    #[test]
+    fn empty_document() {
+        let s = schema();
+        let d = Document::new();
+        assert_eq!(d.value_count(), 0);
+        let sf = d.short_form(DocId(0), &s);
+        assert!(sf.fields.is_empty());
+    }
+}

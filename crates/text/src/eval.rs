@@ -1,0 +1,416 @@
+//! Search evaluation against a [`Collection`].
+//!
+//! Processing follows the paper's model (Sections 2.1, 4.1): the inverted
+//! lists named by the search are retrieved, and sorted-merge set operations
+//! are performed on them. The evaluator therefore reports, alongside the
+//! matching docids, the **sum of the lengths of the inverted lists
+//! processed** — exactly the quantity the cost constant `c_p` multiplies.
+
+use crate::doc::FieldId;
+use crate::expr::{BasicTerm, SearchExpr, TermKind};
+use crate::index::Collection;
+use crate::postings::{positional_join, DocSet, PostingList};
+
+/// The outcome of evaluating a search expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalOutcome {
+    /// Matching documents.
+    pub docs: DocSet,
+    /// Sum of lengths of the inverted lists retrieved to answer the search.
+    pub postings_read: usize,
+}
+
+/// Evaluates `expr` against `coll`.
+pub fn evaluate(coll: &Collection, expr: &SearchExpr) -> EvalOutcome {
+    let mut postings_read = 0;
+    let docs = eval_expr(coll, expr, &mut postings_read);
+    EvalOutcome {
+        docs,
+        postings_read,
+    }
+}
+
+fn eval_expr(coll: &Collection, expr: &SearchExpr, postings_read: &mut usize) -> DocSet {
+    match expr {
+        SearchExpr::Term(t) => eval_term(coll, t, postings_read),
+        SearchExpr::Near { a, b, distance } => eval_near(coll, a, b, *distance, postings_read),
+        SearchExpr::And(cs) => {
+            let mut iter = cs.iter();
+            let Some(first) = iter.next() else {
+                // An empty conjunction matches everything; Boolean text
+                // systems reject such searches, and the server layer does
+                // too, but the evaluator is total.
+                return all_docs(coll);
+            };
+            let mut acc = eval_expr(coll, first, postings_read);
+            for c in iter {
+                if acc.is_empty() {
+                    // Short-circuit: remaining lists still *could* be read
+                    // by a real system, but sorted-merge intersection stops
+                    // as soon as one side is exhausted; we model the
+                    // favorable case consistently.
+                    break;
+                }
+                let rhs = eval_expr(coll, c, postings_read);
+                acc = acc.intersect(&rhs);
+            }
+            acc
+        }
+        SearchExpr::Or(cs) => {
+            let mut acc = DocSet::new();
+            for c in cs {
+                let rhs = eval_expr(coll, c, postings_read);
+                acc = acc.union(&rhs);
+            }
+            acc
+        }
+        SearchExpr::AndNot(a, b) => {
+            let lhs = eval_expr(coll, a, postings_read);
+            let rhs = eval_expr(coll, b, postings_read);
+            lhs.difference(&rhs)
+        }
+    }
+}
+
+fn all_docs(coll: &Collection) -> DocSet {
+    DocSet::from_sorted(
+        (0..coll.doc_count() as u32)
+            .map(crate::doc::DocId)
+            .collect(),
+    )
+}
+
+fn eval_term(coll: &Collection, term: &BasicTerm, postings_read: &mut usize) -> DocSet {
+    match &term.kind {
+        TermKind::Word(w) => {
+            if w.is_empty() {
+                return DocSet::new();
+            }
+            match coll.lookup(w) {
+                Some(list) => {
+                    *postings_read += list.len();
+                    restrict(list, term.field).docs()
+                }
+                None => DocSet::new(),
+            }
+        }
+        TermKind::Prefix(p) => {
+            if p.is_empty() {
+                return DocSet::new();
+            }
+            let mut acc = DocSet::new();
+            for (_, list) in coll.prefix_lookup(p) {
+                *postings_read += list.len();
+                acc = acc.union(&restrict(list, term.field).docs());
+            }
+            acc
+        }
+        TermKind::Phrase(words) => eval_phrase(coll, words, term.field, postings_read),
+    }
+}
+
+fn restrict(list: &PostingList, field: Option<FieldId>) -> PostingList {
+    match field {
+        Some(f) => list.in_field(f),
+        None => list.clone(),
+    }
+}
+
+/// Phrase evaluation: the words must appear consecutively within a single
+/// field value. Implemented as a chain of positional joins carrying the
+/// position of the *last* matched word forward.
+fn eval_phrase(
+    coll: &Collection,
+    words: &[String],
+    field: Option<FieldId>,
+    postings_read: &mut usize,
+) -> DocSet {
+    let mut lists = Vec::with_capacity(words.len());
+    for w in words {
+        match coll.lookup(w) {
+            Some(list) => {
+                *postings_read += list.len();
+                lists.push(restrict(list, field));
+            }
+            // A phrase containing an unindexed word matches nothing, but the
+            // lists read so far were still processed.
+            None => return DocSet::new(),
+        }
+    }
+    if lists.is_empty() {
+        return DocSet::new();
+    }
+    if lists.len() == 1 {
+        return lists[0].docs();
+    }
+    // Carrier: postings of word i that end a valid prefix of the phrase.
+    let mut carrier = lists[0].clone();
+    for next in &lists[1..] {
+        carrier = advance_phrase(&carrier, next);
+        if carrier.is_empty() {
+            return DocSet::new();
+        }
+    }
+    carrier.docs()
+}
+
+/// Returns the postings of `next` that directly follow (gap exactly 1, same
+/// doc/field/value) some posting in `carrier`.
+fn advance_phrase(carrier: &PostingList, next: &PostingList) -> PostingList {
+    let (pa, pb) = (carrier.postings(), next.postings());
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut j = 0;
+    while i < pa.len() && j < pb.len() {
+        let ka = (pa[i].doc, pa[i].field, pa[i].value_idx);
+        let kb = (pb[j].doc, pb[j].field, pb[j].value_idx);
+        match ka.cmp(&kb) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let i_end = i + pa[i..]
+                    .iter()
+                    .take_while(|p| (p.doc, p.field, p.value_idx) == ka)
+                    .count();
+                let j_end = j + pb[j..]
+                    .iter()
+                    .take_while(|p| (p.doc, p.field, p.value_idx) == kb)
+                    .count();
+                for y in &pb[j..j_end] {
+                    if pa[i..i_end].iter().any(|x| x.pos + 1 == y.pos) {
+                        out.push(*y);
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    PostingList::from_sorted(out)
+}
+
+fn eval_near(
+    coll: &Collection,
+    a: &BasicTerm,
+    b: &BasicTerm,
+    distance: u32,
+    postings_read: &mut usize,
+) -> DocSet {
+    let get = |t: &BasicTerm, postings_read: &mut usize| -> Option<PostingList> {
+        match &t.kind {
+            TermKind::Word(w) => coll.lookup(w).map(|l| {
+                *postings_read += l.len();
+                restrict(l, t.field)
+            }),
+            // Proximity over phrases/prefixes is not part of the paper's
+            // model; treat the first word only.
+            TermKind::Phrase(ws) => ws.first().and_then(|w| {
+                coll.lookup(w).map(|l| {
+                    *postings_read += l.len();
+                    restrict(l, t.field)
+                })
+            }),
+            TermKind::Prefix(p) => {
+                if p.is_empty() {
+                    return None;
+                }
+                let mut merged = Vec::new();
+                for (_, l) in coll.prefix_lookup(p) {
+                    *postings_read += l.len();
+                    merged.extend_from_slice(restrict(l, t.field).postings());
+                }
+                merged.sort_unstable();
+                Some(PostingList::from_sorted(merged))
+            }
+        }
+    };
+    let (Some(la), Some(lb)) = (get(a, postings_read), get(b, postings_read)) else {
+        return DocSet::new();
+    };
+    positional_join(&la, &lb, -i64::from(distance), i64::from(distance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::{DocId, Document, TextSchema};
+
+    fn fixture() -> (Collection, FieldId, FieldId) {
+        let schema = TextSchema::bibliographic();
+        let ti = schema.field_by_name("title").unwrap();
+        let au = schema.field_by_name("author").unwrap();
+        let mut c = Collection::new(schema);
+        // doc0
+        c.add_document(
+            Document::new()
+                .with(ti, "Belief Update and Revision")
+                .with(au, "Radhika"),
+        );
+        // doc1
+        c.add_document(
+            Document::new()
+                .with(ti, "Information Filtering Systems")
+                .with(au, "Gravano")
+                .with(au, "Garcia"),
+        );
+        // doc2
+        c.add_document(
+            Document::new()
+                .with(ti, "Update of Belief Networks")
+                .with(au, "Garcia"),
+        );
+        (c, ti, au)
+    }
+
+    fn ids(s: &DocSet) -> Vec<u32> {
+        s.ids().iter().map(|d| d.0).collect()
+    }
+
+    #[test]
+    fn word_term() {
+        let (c, ti, _) = fixture();
+        let out = evaluate(&c, &SearchExpr::term_in("update", ti));
+        assert_eq!(ids(&out.docs), [0, 2]);
+        assert_eq!(out.postings_read, c.lookup("update").unwrap().len());
+    }
+
+    #[test]
+    fn field_restriction() {
+        let (c, _, au) = fixture();
+        // "update" never occurs in the author field.
+        let out = evaluate(&c, &SearchExpr::term_in("update", au));
+        assert!(out.docs.is_empty());
+        // ... but the list was still read.
+        assert!(out.postings_read > 0);
+    }
+
+    #[test]
+    fn phrase_requires_adjacency() {
+        let (c, ti, _) = fixture();
+        // doc0 has "belief update" adjacent; doc2 has them separated.
+        let out = evaluate(&c, &SearchExpr::term_in("belief update", ti));
+        assert_eq!(ids(&out.docs), [0]);
+    }
+
+    #[test]
+    fn three_word_phrase() {
+        let (c, ti, _) = fixture();
+        let out = evaluate(&c, &SearchExpr::term_in("information filtering systems", ti));
+        assert_eq!(ids(&out.docs), [1]);
+        let out = evaluate(&c, &SearchExpr::term_in("filtering information systems", ti));
+        assert!(out.docs.is_empty());
+    }
+
+    #[test]
+    fn and_or_not() {
+        let (c, ti, au) = fixture();
+        let both = SearchExpr::and(vec![
+            SearchExpr::term_in("update", ti),
+            SearchExpr::term_in("garcia", au),
+        ]);
+        assert_eq!(ids(&evaluate(&c, &both).docs), [2]);
+
+        let either = SearchExpr::or(vec![
+            SearchExpr::term_in("radhika", au),
+            SearchExpr::term_in("garcia", au),
+        ]);
+        assert_eq!(ids(&evaluate(&c, &either).docs), [0, 1, 2]);
+
+        let diff = SearchExpr::AndNot(
+            Box::new(SearchExpr::term_in("update", ti)),
+            Box::new(SearchExpr::term_in("revision", ti)),
+        );
+        assert_eq!(ids(&evaluate(&c, &diff).docs), [2]);
+    }
+
+    #[test]
+    fn prefix_term() {
+        let (c, ti, _) = fixture();
+        // filter? matches "filtering"
+        let out = evaluate(&c, &SearchExpr::term_in("filter?", ti));
+        assert_eq!(ids(&out.docs), [1]);
+        // updat? matches "update"
+        let out = evaluate(&c, &SearchExpr::term_in("updat?", ti));
+        assert_eq!(ids(&out.docs), [0, 2]);
+    }
+
+    #[test]
+    fn near_search() {
+        let (c, ti, _) = fixture();
+        let near = |d| SearchExpr::Near {
+            a: BasicTerm::parse_text("belief", Some(ti)),
+            b: BasicTerm::parse_text("networks", Some(ti)),
+            distance: d,
+        };
+        // doc2: "Update of Belief Networks" — gap 1.
+        assert_eq!(ids(&evaluate(&c, &near(1)).docs), [2]);
+        // order-insensitive: (networks, belief) also matches.
+        let swapped = SearchExpr::Near {
+            a: BasicTerm::parse_text("networks", Some(ti)),
+            b: BasicTerm::parse_text("belief", Some(ti)),
+            distance: 1,
+        };
+        assert_eq!(ids(&evaluate(&c, &swapped).docs), [2]);
+    }
+
+    #[test]
+    fn near_with_empty_prefix_matches_nothing() {
+        let (c, ti, _) = fixture();
+        let e = SearchExpr::Near {
+            a: BasicTerm {
+                kind: TermKind::Prefix(String::new()),
+                field: Some(ti),
+            },
+            b: BasicTerm::parse_text("update", Some(ti)),
+            distance: 3,
+        };
+        let out = evaluate(&c, &e);
+        assert!(out.docs.is_empty(), "empty prefix must not merge the index");
+    }
+
+    #[test]
+    fn unknown_words_match_nothing() {
+        let (c, ti, _) = fixture();
+        assert!(evaluate(&c, &SearchExpr::term_in("xyzzy", ti)).docs.is_empty());
+        assert!(evaluate(&c, &SearchExpr::term_in("xyzzy update", ti))
+            .docs
+            .is_empty());
+    }
+
+    #[test]
+    fn postings_accounting_sums_all_lists() {
+        let (c, ti, au) = fixture();
+        let e = SearchExpr::and(vec![
+            SearchExpr::term_in("update", ti),
+            SearchExpr::term_in("garcia", au),
+        ]);
+        let expected = c.lookup("update").unwrap().len() + c.lookup("garcia").unwrap().len();
+        assert_eq!(evaluate(&c, &e).postings_read, expected);
+    }
+
+    #[test]
+    fn and_short_circuits_on_empty() {
+        let (c, ti, au) = fixture();
+        let e = SearchExpr::and(vec![
+            SearchExpr::term_in("xyzzy", ti),
+            SearchExpr::term_in("garcia", au),
+        ]);
+        let out = evaluate(&c, &e);
+        assert!(out.docs.is_empty());
+        assert_eq!(out.postings_read, 0, "second list not read after empty lhs");
+    }
+
+    #[test]
+    fn multivalue_phrase_does_not_cross_values() {
+        let schema = TextSchema::bibliographic();
+        let au = schema.field_by_name("author").unwrap();
+        let mut c = Collection::new(schema);
+        c.add_document(Document::new().with(au, "Luis").with(au, "Gravano"));
+        // "luis gravano" as a phrase must not match across the two values.
+        let out = evaluate(&c, &SearchExpr::term_in("luis gravano", au));
+        assert!(out.docs.is_empty());
+        let out = evaluate(&c, &SearchExpr::term_in("luis", au));
+        assert_eq!(ids(&out.docs), [0]);
+        let _ = DocId(0);
+    }
+}

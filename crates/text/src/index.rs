@@ -1,0 +1,200 @@
+//! The inverted index and document store.
+//!
+//! Mirrors the paper's inversion-based model (Section 2.1): each word maps —
+//! through a main-memory *directory* — to an inverted list of postings. We
+//! keep the directory as an ordered map so truncated searches (`filter?`)
+//! become range scans, and store documents alongside for long-form
+//! retrieval by docid.
+
+use std::collections::BTreeMap;
+
+use crate::doc::{DocId, Document, FieldId, TextSchema};
+use crate::postings::{Posting, PostingList};
+use crate::token::tokenize;
+
+/// A searchable document collection: schema + document store + inverted
+/// index. This is the passive storage layer; cost accounting lives in
+/// [`crate::server::TextServer`].
+#[derive(Debug, Clone)]
+pub struct Collection {
+    schema: TextSchema,
+    docs: Vec<Document>,
+    /// Directory: word → inverted list. Ordered for prefix range scans.
+    directory: BTreeMap<String, PostingList>,
+}
+
+impl Collection {
+    /// Creates an empty collection over `schema`.
+    pub fn new(schema: TextSchema) -> Self {
+        Self {
+            schema,
+            docs: Vec::new(),
+            directory: BTreeMap::new(),
+        }
+    }
+
+    /// The collection's schema.
+    pub fn schema(&self) -> &TextSchema {
+        &self.schema
+    }
+
+    /// Total number of documents — the paper's parameter `D`.
+    pub fn doc_count(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Number of distinct indexed words.
+    pub fn vocabulary_size(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Adds a document, indexing every word of every field value, and
+    /// returns its docid. Docids are assigned densely in insertion order,
+    /// which keeps every inverted list sorted on append.
+    pub fn add_document(&mut self, doc: Document) -> DocId {
+        let id = DocId(self.docs.len() as u32);
+        for (field, values) in doc.iter() {
+            for (value_idx, value) in values.iter().enumerate() {
+                for tok in tokenize(value) {
+                    self.directory.entry(tok.word).or_default().push(Posting {
+                        doc: id,
+                        field,
+                        value_idx: value_idx as u16,
+                        pos: tok.pos,
+                    });
+                }
+            }
+        }
+        self.docs.push(doc);
+        id
+    }
+
+    /// Long-form retrieval: the full document for `id`, or `None` if the
+    /// docid is unknown.
+    pub fn document(&self, id: DocId) -> Option<&Document> {
+        self.docs.get(id.0 as usize)
+    }
+
+    /// The inverted list for `word` (already normalized), or `None` if the
+    /// word is not in the vocabulary. The returned list spans all fields;
+    /// callers restrict by field as needed.
+    pub fn lookup(&self, word: &str) -> Option<&PostingList> {
+        self.directory.get(word)
+    }
+
+    /// Inverted lists for all words with the given prefix — the access path
+    /// behind truncated search terms like `filter?`.
+    pub fn prefix_lookup<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, &'a PostingList)> + 'a {
+        self.directory
+            .range(prefix.to_owned()..)
+            .take_while(move |(w, _)| w.starts_with(prefix))
+            .map(|(w, l)| (w.as_str(), l))
+    }
+
+    /// Document frequency of `word` within `field` — how many documents
+    /// contain the word in that field. This is the per-term *fanout* the
+    /// paper's statistics (Section 4.2) estimate by sampling.
+    pub fn doc_frequency(&self, word: &str, field: FieldId) -> usize {
+        self.lookup(word)
+            .map(|l| l.in_field(field).doc_count())
+            .unwrap_or(0)
+    }
+
+    /// Iterates over all `(word, list)` entries — used by the statistics
+    /// export extension (Section 8).
+    pub fn iter_terms(&self) -> impl Iterator<Item = (&str, &PostingList)> {
+        self.directory.iter().map(|(w, l)| (w.as_str(), l))
+    }
+
+    /// Sum of the lengths of all inverted lists (total postings).
+    pub fn total_postings(&self) -> usize {
+        self.directory.values().map(PostingList::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Collection, FieldId, FieldId) {
+        let schema = TextSchema::bibliographic();
+        let ti = schema.field_by_name("title").unwrap();
+        let au = schema.field_by_name("author").unwrap();
+        let mut c = Collection::new(schema);
+        c.add_document(
+            Document::new()
+                .with(ti, "Belief Update in AI")
+                .with(au, "Radhika"),
+        );
+        c.add_document(
+            Document::new()
+                .with(ti, "Information Filtering")
+                .with(au, "Gravano")
+                .with(au, "Garcia"),
+        );
+        c.add_document(
+            Document::new()
+                .with(ti, "Update Propagation")
+                .with(au, "Garcia"),
+        );
+        (c, ti, au)
+    }
+
+    #[test]
+    fn add_and_retrieve() {
+        let (c, ti, _) = sample();
+        assert_eq!(c.doc_count(), 3);
+        let d = c.document(DocId(1)).unwrap();
+        assert_eq!(d.values(ti), ["Information Filtering"]);
+        assert!(c.document(DocId(99)).is_none());
+    }
+
+    #[test]
+    fn lookup_is_case_normalized() {
+        let (c, _, _) = sample();
+        assert!(c.lookup("belief").is_some());
+        assert!(c.lookup("Belief").is_none(), "directory stores normalized words");
+    }
+
+    #[test]
+    fn doc_frequency_per_field() {
+        let (c, ti, au) = sample();
+        assert_eq!(c.doc_frequency("update", ti), 2);
+        assert_eq!(c.doc_frequency("garcia", au), 2);
+        assert_eq!(c.doc_frequency("garcia", ti), 0);
+        assert_eq!(c.doc_frequency("zzz", au), 0);
+    }
+
+    #[test]
+    fn prefix_lookup_range() {
+        let (c, _, _) = sample();
+        let words: Vec<&str> = c.prefix_lookup("gra").map(|(w, _)| w).collect();
+        assert_eq!(words, ["gravano"]);
+        let words: Vec<&str> = c.prefix_lookup("ga").map(|(w, _)| w).collect();
+        assert_eq!(words, ["garcia"]);
+        assert_eq!(c.prefix_lookup("zzz").count(), 0);
+    }
+
+    #[test]
+    fn posting_lists_sorted_across_docs() {
+        let (c, _, _) = sample();
+        let l = c.lookup("update").unwrap();
+        let docs: Vec<u32> = l.postings().iter().map(|p| p.doc.0).collect();
+        let mut sorted = docs.clone();
+        sorted.sort_unstable();
+        assert_eq!(docs, sorted);
+    }
+
+    #[test]
+    fn totals() {
+        let (c, _, _) = sample();
+        assert!(c.vocabulary_size() >= 8);
+        assert_eq!(
+            c.total_postings(),
+            c.iter_terms().map(|(_, l)| l.len()).sum::<usize>()
+        );
+    }
+}

@@ -1,0 +1,364 @@
+//! Sorted posting lists and linear-time set operations.
+//!
+//! In an inverted index (paper, Section 2.1), each word is associated with an
+//! inverted list of *postings* recording the docids of documents in which the
+//! word appears; a posting may also carry the field and the word position.
+//! Lists are kept sorted, so Boolean set operations (and positional phrase /
+//! proximity checks) run in time linear in the lengths of the input lists —
+//! the assumption under which the paper's processing cost is proportional to
+//! the *sum of the lengths of the inverted lists processed* (constant `c_p`).
+
+use crate::doc::{DocId, FieldId};
+
+/// One posting: a word occurrence in a specific field position of a document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Posting {
+    /// Document in which the word occurs.
+    pub doc: DocId,
+    /// Field in which the word occurs.
+    pub field: FieldId,
+    /// Index of the field value within the (multi-valued) field.
+    pub value_idx: u16,
+    /// Word position within that field value.
+    pub pos: u32,
+}
+
+/// A sorted inverted list. Postings are ordered by
+/// `(doc, field, value_idx, pos)`; the ordering invariant is maintained by
+/// construction (documents are indexed in docid order) and checked in debug
+/// builds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PostingList {
+    postings: Vec<Posting>,
+}
+
+impl PostingList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a list from pre-sorted postings.
+    ///
+    /// # Panics
+    /// Debug builds panic if `postings` is not sorted.
+    pub fn from_sorted(postings: Vec<Posting>) -> Self {
+        debug_assert!(postings.windows(2).all(|w| w[0] <= w[1]));
+        Self { postings }
+    }
+
+    /// Appends a posting, which must sort at or after the current tail.
+    pub fn push(&mut self, p: Posting) {
+        debug_assert!(self.postings.last().is_none_or(|last| *last <= p));
+        self.postings.push(p);
+    }
+
+    /// Number of postings (the list *length* the cost model charges for).
+    pub fn len(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    /// The raw postings, sorted.
+    pub fn postings(&self) -> &[Posting] {
+        &self.postings
+    }
+
+    /// Number of distinct documents in the list.
+    pub fn doc_count(&self) -> usize {
+        let mut n = 0;
+        let mut last: Option<DocId> = None;
+        for p in &self.postings {
+            if last != Some(p.doc) {
+                n += 1;
+                last = Some(p.doc);
+            }
+        }
+        n
+    }
+
+    /// The distinct, sorted docids in the list.
+    pub fn docs(&self) -> DocSet {
+        let mut ids = Vec::new();
+        for p in &self.postings {
+            if ids.last() != Some(&p.doc) {
+                ids.push(p.doc);
+            }
+        }
+        DocSet::from_sorted(ids)
+    }
+
+    /// Restricts the list to postings in `field`.
+    pub fn in_field(&self, field: FieldId) -> PostingList {
+        PostingList::from_sorted(
+            self.postings
+                .iter()
+                .filter(|p| p.field == field)
+                .copied()
+                .collect(),
+        )
+    }
+}
+
+/// A sorted, deduplicated set of docids — the docid-level view on which the
+/// Boolean connectives operate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DocSet {
+    ids: Vec<DocId>,
+}
+
+impl DocSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from sorted, deduplicated ids.
+    ///
+    /// # Panics
+    /// Debug builds panic if `ids` is not strictly increasing.
+    pub fn from_sorted(ids: Vec<DocId>) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        Self { ids }
+    }
+
+    /// Builds from arbitrary ids (sorts and dedups).
+    pub fn from_unsorted(mut ids: Vec<DocId>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        Self { ids }
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Sorted ids.
+    pub fn ids(&self) -> &[DocId] {
+        &self.ids
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, id: DocId) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Set intersection by linear merge.
+    pub fn intersect(&self, other: &DocSet) -> DocSet {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::with_capacity(self.len().min(other.len()));
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        DocSet::from_sorted(out)
+    }
+
+    /// Set union by linear merge.
+    pub fn union(&self, other: &DocSet) -> DocSet {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.ids[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.ids[i..]);
+        out.extend_from_slice(&other.ids[j..]);
+        DocSet::from_sorted(out)
+    }
+
+    /// Set difference `self \ other` by linear merge.
+    pub fn difference(&self, other: &DocSet) -> DocSet {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::with_capacity(self.len());
+        while i < self.ids.len() {
+            if j >= other.ids.len() {
+                out.extend_from_slice(&self.ids[i..]);
+                break;
+            }
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        DocSet::from_sorted(out)
+    }
+}
+
+/// Positional join used for phrase and proximity search.
+///
+/// Returns the docids in which some posting of `a` and some posting of `b`
+/// occur in the *same field value* of the same document with
+/// `pos(b) - pos(a)` in `[min_gap, max_gap]`. For a two-word phrase,
+/// `min_gap = max_gap = 1`; for `near10`, use `[-10, 10]` with
+/// `symmetric = true` handled by the caller passing a negative `min_gap`.
+pub fn positional_join(a: &PostingList, b: &PostingList, min_gap: i64, max_gap: i64) -> DocSet {
+    let mut out = Vec::new();
+    let (pa, pb) = (a.postings(), b.postings());
+    let mut i = 0;
+    let mut j = 0;
+    while i < pa.len() && j < pb.len() {
+        let ka = (pa[i].doc, pa[i].field, pa[i].value_idx);
+        let kb = (pb[j].doc, pb[j].field, pb[j].value_idx);
+        match ka.cmp(&kb) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Same (doc, field, value): scan the two position runs.
+                let i_end = pa[i..].iter().take_while(|p| (p.doc, p.field, p.value_idx) == ka).count() + i;
+                let j_end = pb[j..].iter().take_while(|p| (p.doc, p.field, p.value_idx) == kb).count() + j;
+                'outer: for x in &pa[i..i_end] {
+                    for y in &pb[j..j_end] {
+                        let gap = i64::from(y.pos) - i64::from(x.pos);
+                        if gap >= min_gap && gap <= max_gap {
+                            if out.last() != Some(&ka.0) {
+                                out.push(ka.0);
+                            }
+                            break 'outer;
+                        }
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    DocSet::from_unsorted(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(ids: &[u32]) -> DocSet {
+        DocSet::from_sorted(ids.iter().map(|&i| DocId(i)).collect())
+    }
+
+    #[test]
+    fn intersect_union_difference() {
+        let a = ds(&[1, 3, 5, 7]);
+        let b = ds(&[3, 4, 5, 8]);
+        assert_eq!(a.intersect(&b), ds(&[3, 5]));
+        assert_eq!(a.union(&b), ds(&[1, 3, 4, 5, 7, 8]));
+        assert_eq!(a.difference(&b), ds(&[1, 7]));
+        assert_eq!(b.difference(&a), ds(&[4, 8]));
+    }
+
+    #[test]
+    fn ops_with_empty() {
+        let a = ds(&[1, 2]);
+        let e = DocSet::new();
+        assert_eq!(a.intersect(&e), e);
+        assert_eq!(a.union(&e), a);
+        assert_eq!(a.difference(&e), a);
+        assert_eq!(e.difference(&a), e);
+    }
+
+    #[test]
+    fn from_unsorted_dedups() {
+        let s = DocSet::from_unsorted(vec![DocId(5), DocId(1), DocId(5), DocId(3)]);
+        assert_eq!(s, ds(&[1, 3, 5]));
+    }
+
+    #[test]
+    fn contains_binary_search() {
+        let a = ds(&[2, 4, 6]);
+        assert!(a.contains(DocId(4)));
+        assert!(!a.contains(DocId(5)));
+    }
+
+    fn pl(entries: &[(u32, u16, u16, u32)]) -> PostingList {
+        PostingList::from_sorted(
+            entries
+                .iter()
+                .map(|&(d, f, v, p)| Posting {
+                    doc: DocId(d),
+                    field: FieldId(f),
+                    value_idx: v,
+                    pos: p,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn posting_list_docs_dedup() {
+        let l = pl(&[(1, 0, 0, 0), (1, 0, 0, 4), (2, 1, 0, 1)]);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.doc_count(), 2);
+        assert_eq!(l.docs(), ds(&[1, 2]));
+    }
+
+    #[test]
+    fn in_field_filters() {
+        let l = pl(&[(1, 0, 0, 0), (1, 1, 0, 0), (2, 0, 0, 3)]);
+        let f0 = l.in_field(FieldId(0));
+        assert_eq!(f0.len(), 2);
+        assert_eq!(f0.docs(), ds(&[1, 2]));
+    }
+
+    #[test]
+    fn phrase_positional_join() {
+        // doc1: "belief update" in field0 value0; doc2 has the words apart.
+        let belief = pl(&[(1, 0, 0, 0), (2, 0, 0, 0)]);
+        let update = pl(&[(1, 0, 0, 1), (2, 0, 0, 5)]);
+        let adjacent = positional_join(&belief, &update, 1, 1);
+        assert_eq!(adjacent, ds(&[1]));
+        // near5 (either order): doc2's gap of 5 qualifies.
+        let near5 = positional_join(&belief, &update, -5, 5);
+        assert_eq!(near5, ds(&[1, 2]));
+    }
+
+    #[test]
+    fn positional_join_requires_same_value() {
+        // Words adjacent in positions but in *different* values of a
+        // multi-valued field must not match as a phrase.
+        let a = pl(&[(1, 0, 0, 0)]);
+        let b = pl(&[(1, 0, 1, 1)]);
+        assert!(positional_join(&a, &b, 1, 1).is_empty());
+    }
+
+    #[test]
+    fn positional_join_multiple_runs() {
+        let a = pl(&[(1, 0, 0, 0), (3, 0, 0, 2), (3, 0, 0, 9)]);
+        let b = pl(&[(1, 0, 0, 7), (3, 0, 0, 3)]);
+        assert_eq!(positional_join(&a, &b, 1, 1), ds(&[3]));
+    }
+}

@@ -1,0 +1,474 @@
+//! The cost-charging text server façade.
+//!
+//! This is the boundary the paper's *loose integration* assumes: the
+//! database system cannot see the text system's internal structures and may
+//! only issue `search` and `retrieve` operations (Section 2.3). The façade
+//! wraps a [`Collection`] and bills every operation with the paper's cost
+//! model (Section 4.1):
+//!
+//! ```text
+//! cost(search) = c_i  +  c_p × Σ |inverted lists processed|  +  c_s × |result set|
+//! cost(retrieve) = c_l        (per long-form document; includes its own
+//!                              connection overhead, which is why c_l ≫ c_s)
+//! ```
+//!
+//! The constants calibrated on the integrated OpenODB–Mercury system were
+//! `c_i = 3 s`, `c_p = 1e-5 s/posting`, `c_s = 0.015 s/doc`, `c_l = 4 s/doc`
+//! — available as [`CostConstants::mercury_calibrated`]. All "time" in this
+//! crate is simulated seconds charged from these constants; wall-clock time
+//! plays no role, which makes every experiment deterministic.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+
+use crate::doc::{DocId, Document, ShortDoc};
+use crate::eval::evaluate;
+use crate::expr::SearchExpr;
+use crate::index::Collection;
+use crate::parse::{parse_search, ParseError};
+
+/// The cost-model constants of Table 1 / Section 4.1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostConstants {
+    /// Invocation cost per search call (connection + query shipping), sec.
+    pub c_i: f64,
+    /// Processing cost per posting on the inverted lists read, sec/posting.
+    pub c_p: f64,
+    /// Short-form transmission cost, sec/document in the result set.
+    pub c_s: f64,
+    /// Long-form transmission cost, sec/document retrieved.
+    pub c_l: f64,
+}
+
+impl CostConstants {
+    /// The values calibrated against the OpenODB–Mercury integration
+    /// (paper, Section 4.1).
+    pub fn mercury_calibrated() -> Self {
+        Self {
+            c_i: 3.0,
+            c_p: 0.000_01,
+            c_s: 0.015,
+            c_l: 4.0,
+        }
+    }
+
+    /// A free server — useful for tests that assert on result contents only.
+    pub fn zero() -> Self {
+        Self {
+            c_i: 0.0,
+            c_p: 0.0,
+            c_s: 0.0,
+            c_l: 0.0,
+        }
+    }
+}
+
+impl Default for CostConstants {
+    fn default() -> Self {
+        Self::mercury_calibrated()
+    }
+}
+
+/// Running usage counters and the simulated cost accumulated so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Usage {
+    /// Number of search invocations (each charged `c_i`).
+    pub invocations: u64,
+    /// Number of searches rejected (term cap exceeded); not charged.
+    pub rejected: u64,
+    /// Postings processed across all searches (charged `c_p` each).
+    pub postings_processed: u64,
+    /// Documents transmitted in short form (charged `c_s` each).
+    pub docs_short: u64,
+    /// Documents transmitted in long form (charged `c_l` each).
+    pub docs_long: u64,
+    /// Simulated seconds spent on invocations.
+    pub time_invocation: f64,
+    /// Simulated seconds spent processing postings.
+    pub time_processing: f64,
+    /// Simulated seconds spent transmitting results (both forms).
+    pub time_transmission: f64,
+}
+
+impl Usage {
+    /// Total simulated cost in seconds.
+    pub fn total_cost(&self) -> f64 {
+        self.time_invocation + self.time_processing + self.time_transmission
+    }
+
+    /// The difference `self - earlier`, for measuring a sub-operation.
+    pub fn since(&self, earlier: &Usage) -> Usage {
+        Usage {
+            invocations: self.invocations - earlier.invocations,
+            rejected: self.rejected - earlier.rejected,
+            postings_processed: self.postings_processed - earlier.postings_processed,
+            docs_short: self.docs_short - earlier.docs_short,
+            docs_long: self.docs_long - earlier.docs_long,
+            time_invocation: self.time_invocation - earlier.time_invocation,
+            time_processing: self.time_processing - earlier.time_processing,
+            time_transmission: self.time_transmission - earlier.time_transmission,
+        }
+    }
+}
+
+impl fmt::Display for Usage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2}s (inv {} = {:.2}s, post {} = {:.2}s, xmit {}s/{}l = {:.2}s)",
+            self.total_cost(),
+            self.invocations,
+            self.time_invocation,
+            self.postings_processed,
+            self.time_processing,
+            self.docs_short,
+            self.docs_long,
+            self.time_transmission,
+        )
+    }
+}
+
+/// Errors surfaced by the text server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextError {
+    /// The search had more basic terms than the server's cap `M`.
+    TooManyTerms {
+        /// Terms in the rejected search.
+        count: usize,
+        /// The server's cap.
+        max: usize,
+    },
+    /// `retrieve` was called with an unknown docid.
+    UnknownDoc(DocId),
+    /// The query string failed to parse.
+    Parse(ParseError),
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextError::TooManyTerms { count, max } => {
+                write!(f, "search has {count} terms, server allows at most {max}")
+            }
+            TextError::UnknownDoc(id) => write!(f, "unknown document {id}"),
+            TextError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+impl From<ParseError> for TextError {
+    fn from(e: ParseError) -> Self {
+        TextError::Parse(e)
+    }
+}
+
+/// A search result set: the short forms of all matching documents, in docid
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchResult {
+    /// Matching documents, short form, sorted by docid.
+    pub docs: Vec<ShortDoc>,
+}
+
+impl SearchResult {
+    /// Matching docids in order.
+    pub fn ids(&self) -> Vec<DocId> {
+        self.docs.iter().map(|d| d.id).collect()
+    }
+
+    /// Number of matches.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether nothing matched.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+/// Default per-search basic-term cap — Mercury allowed 70 terms (Section 3.2).
+pub const DEFAULT_MAX_TERMS: usize = 70;
+
+/// The text server: a [`Collection`] behind a metered search/retrieve API.
+///
+/// Interior mutability keeps the API `&self` so that an optimizer, an
+/// executor, and a statistics sampler can share one server within a query.
+#[derive(Debug)]
+pub struct TextServer {
+    coll: Collection,
+    constants: CostConstants,
+    max_terms: usize,
+    usage: RefCell<Usage>,
+    trace: Cell<bool>,
+    log: RefCell<Vec<String>>,
+}
+
+impl TextServer {
+    /// Wraps `coll` with the default (Mercury-calibrated) constants and the
+    /// default term cap of 70.
+    pub fn new(coll: Collection) -> Self {
+        Self::with_constants(coll, CostConstants::default())
+    }
+
+    /// Wraps `coll` with explicit cost constants.
+    pub fn with_constants(coll: Collection, constants: CostConstants) -> Self {
+        Self {
+            coll,
+            constants,
+            max_terms: DEFAULT_MAX_TERMS,
+            usage: RefCell::new(Usage::default()),
+            trace: Cell::new(false),
+            log: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Sets the per-search basic-term cap `M`.
+    pub fn set_max_terms(&mut self, m: usize) {
+        self.max_terms = m;
+    }
+
+    /// The per-search basic-term cap `M`.
+    pub fn max_terms(&self) -> usize {
+        self.max_terms
+    }
+
+    /// The cost constants in force.
+    pub fn constants(&self) -> CostConstants {
+        self.constants
+    }
+
+    /// The wrapped collection. Exposed for corpus construction and for the
+    /// statistics-export extension; the paper's join methods never touch it
+    /// directly (they would defeat the loose-integration premise), and the
+    /// core crate's executor only goes through `search`/`retrieve`.
+    pub fn collection(&self) -> &Collection {
+        &self.coll
+    }
+
+    /// Total number of documents `D`. Boolean text services advertise their
+    /// collection size, and the paper's cost model needs it.
+    pub fn doc_count(&self) -> usize {
+        self.coll.doc_count()
+    }
+
+    /// Enables logging of every search string processed (for tests/demos).
+    pub fn set_trace(&self, on: bool) {
+        self.trace.set(on);
+    }
+
+    /// Drains the trace log.
+    pub fn take_log(&self) -> Vec<String> {
+        std::mem::take(&mut self.log.borrow_mut())
+    }
+
+    /// Snapshot of the usage counters.
+    pub fn usage(&self) -> Usage {
+        *self.usage.borrow()
+    }
+
+    /// Resets the usage counters.
+    pub fn reset_usage(&self) {
+        *self.usage.borrow_mut() = Usage::default();
+    }
+
+    /// Applies an adjustment to the usage counters. Crate-internal: used by
+    /// the batch extension to rebate per-call charges.
+    pub(crate) fn adjust_usage(&self, f: impl FnOnce(&mut Usage)) {
+        f(&mut self.usage.borrow_mut());
+    }
+
+    /// Executes a search, returning the short forms of all matches.
+    ///
+    /// Charges `c_i` for the invocation, `c_p` per posting on the lists
+    /// processed, and `c_s` per matching document transmitted. Fails with
+    /// [`TextError::TooManyTerms`] if the expression exceeds the cap `M`
+    /// (rejected searches are not charged — the connection is refused before
+    /// evaluation).
+    pub fn search(&self, expr: &SearchExpr) -> Result<SearchResult, TextError> {
+        let count = expr.term_count();
+        if count > self.max_terms {
+            self.usage.borrow_mut().rejected += 1;
+            return Err(TextError::TooManyTerms {
+                count,
+                max: self.max_terms,
+            });
+        }
+        if self.trace.get() {
+            self.log
+                .borrow_mut()
+                .push(expr.display(self.coll.schema()).to_string());
+        }
+        let out = evaluate(&self.coll, expr);
+        let docs: Vec<ShortDoc> = out
+            .docs
+            .ids()
+            .iter()
+            .map(|&id| {
+                self.coll
+                    .document(id)
+                    .expect("evaluator returns only valid docids")
+                    .short_form(id, self.coll.schema())
+            })
+            .collect();
+        {
+            let c = &self.constants;
+            let mut u = self.usage.borrow_mut();
+            u.invocations += 1;
+            u.postings_processed += out.postings_read as u64;
+            u.docs_short += docs.len() as u64;
+            u.time_invocation += c.c_i;
+            u.time_processing += c.c_p * out.postings_read as f64;
+            u.time_transmission += c.c_s * docs.len() as f64;
+        }
+        Ok(SearchResult { docs })
+    }
+
+    /// Parses and executes a Mercury-syntax search string.
+    pub fn search_str(&self, query: &str) -> Result<SearchResult, TextError> {
+        let expr = parse_search(query, self.coll.schema())?;
+        self.search(&expr)
+    }
+
+    /// A *probe* (paper, Section 3.3): a search whose caller only needs the
+    /// result set's docids (short-form response). Costs exactly like
+    /// [`search`](Self::search); the convenience is the return type.
+    pub fn probe(&self, expr: &SearchExpr) -> Result<Vec<DocId>, TextError> {
+        Ok(self.search(expr)?.ids())
+    }
+
+    /// Long-form retrieval of one document by docid. Charges `c_l`, which
+    /// subsumes the per-retrieval connection overhead (Section 4.1 notes
+    /// each retrieval needs a separate connection).
+    pub fn retrieve(&self, id: DocId) -> Result<Document, TextError> {
+        let doc = self
+            .coll
+            .document(id)
+            .cloned()
+            .ok_or(TextError::UnknownDoc(id))?;
+        let mut u = self.usage.borrow_mut();
+        u.docs_long += 1;
+        u.time_transmission += self.constants.c_l;
+        Ok(doc)
+    }
+
+    /// Retrieves many documents, in order.
+    pub fn retrieve_all(&self, ids: &[DocId]) -> Result<Vec<Document>, TextError> {
+        ids.iter().map(|&id| self.retrieve(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::{Document, TextSchema};
+
+    fn server() -> TextServer {
+        let schema = TextSchema::bibliographic();
+        let ti = schema.field_by_name("title").unwrap();
+        let au = schema.field_by_name("author").unwrap();
+        let mut c = Collection::new(schema);
+        c.add_document(
+            Document::new()
+                .with(ti, "Belief Update in AI")
+                .with(au, "Radhika"),
+        );
+        c.add_document(
+            Document::new()
+                .with(ti, "Text Retrieval")
+                .with(au, "Gravano"),
+        );
+        TextServer::new(c)
+    }
+
+    #[test]
+    fn search_charges_all_components() {
+        let s = server();
+        let r = s.search_str("TI='belief update'").unwrap();
+        assert_eq!(r.len(), 1);
+        let u = s.usage();
+        assert_eq!(u.invocations, 1);
+        assert!(u.postings_processed > 0);
+        assert_eq!(u.docs_short, 1);
+        let c = s.constants();
+        let expected =
+            c.c_i + c.c_p * u.postings_processed as f64 + c.c_s * u.docs_short as f64;
+        assert!((u.total_cost() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retrieve_charges_long_form() {
+        let s = server();
+        let ids = s.search_str("AU='gravano'").unwrap().ids();
+        let before = s.usage();
+        let doc = s.retrieve(ids[0]).unwrap();
+        assert!(!doc.values(s.collection().schema().field_by_name("title").unwrap()).is_empty());
+        let delta = s.usage().since(&before);
+        assert_eq!(delta.docs_long, 1);
+        assert!((delta.time_transmission - s.constants().c_l).abs() < 1e-9);
+        assert_eq!(delta.invocations, 0, "retrieval is not a search invocation");
+    }
+
+    #[test]
+    fn term_cap_rejects_without_charging() {
+        let mut s = server();
+        s.set_max_terms(2);
+        let q = "AU='a' or AU='b' or AU='c'";
+        let err = s.search_str(q).unwrap_err();
+        assert!(matches!(err, TextError::TooManyTerms { count: 3, max: 2 }));
+        let u = s.usage();
+        assert_eq!(u.invocations, 0);
+        assert_eq!(u.rejected, 1);
+        assert_eq!(u.total_cost(), 0.0);
+    }
+
+    #[test]
+    fn unknown_doc_retrieve() {
+        let s = server();
+        assert!(matches!(
+            s.retrieve(DocId(999)),
+            Err(TextError::UnknownDoc(DocId(999)))
+        ));
+    }
+
+    #[test]
+    fn usage_since_diffs() {
+        let s = server();
+        s.search_str("AU='radhika'").unwrap();
+        let mid = s.usage();
+        s.search_str("AU='gravano'").unwrap();
+        let delta = s.usage().since(&mid);
+        assert_eq!(delta.invocations, 1);
+    }
+
+    #[test]
+    fn probe_returns_ids_and_costs_like_search() {
+        let s = server();
+        let ids = s.probe(&crate::parse::parse_search("TI='text'", s.collection().schema()).unwrap()).unwrap();
+        assert_eq!(ids.len(), 1);
+        let u = s.usage();
+        assert_eq!(u.invocations, 1);
+        assert_eq!(u.docs_short, 1);
+    }
+
+    #[test]
+    fn trace_log_records_queries() {
+        let s = server();
+        s.set_trace(true);
+        s.search_str("TI='text' and AU='gravano'").unwrap();
+        let log = s.take_log();
+        assert_eq!(log, vec!["TI='text' and AU='gravano'".to_string()]);
+        assert!(s.take_log().is_empty());
+    }
+
+    #[test]
+    fn reset_usage() {
+        let s = server();
+        s.search_str("TI='text'").unwrap();
+        assert!(s.usage().total_cost() > 0.0);
+        s.reset_usage();
+        assert_eq!(s.usage(), Usage::default());
+    }
+}

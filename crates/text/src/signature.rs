@@ -1,0 +1,248 @@
+//! Signature files — the other classic text access method (Section 2.1).
+//!
+//! The paper surveys two access methods for Boolean text systems: inverted
+//! indexes and signature files, and "concentrates on inversion-based
+//! systems" because inversion wins at scale [Fal92]. This module implements
+//! the signature-file alternative so that claim is testable in this
+//! codebase: each document gets a fixed-width bit signature — the
+//! superimposed hash codes of its words — and a conjunctive word query is
+//! answered by scanning all signatures for a superset of the query's bits,
+//! then eliminating false positives against the stored documents.
+//!
+//! The bench suite compares the two backends; the equivalence tests pin
+//! that they answer conjunctive word searches identically.
+
+use crate::doc::{DocId, Document, FieldId, TextSchema};
+use crate::token::{normalize_word, tokenize};
+
+/// Bits set per word (the classic `k` parameter of superimposed coding).
+const BITS_PER_WORD: usize = 3;
+
+/// A per-field, per-document signature store.
+#[derive(Debug, Clone)]
+pub struct SignatureIndex {
+    schema: TextSchema,
+    /// Signature width in 64-bit blocks.
+    blocks: usize,
+    /// `sigs[doc][field]` → signature blocks.
+    sigs: Vec<Vec<Vec<u64>>>,
+    docs: Vec<Document>,
+}
+
+fn hash_word(word: &str, salt: u64) -> u64 {
+    // FNV-1a with a salt — deterministic across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for b in word.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl SignatureIndex {
+    /// Creates an empty signature index with the given signature width
+    /// (rounded up to a multiple of 64 bits).
+    pub fn new(schema: TextSchema, signature_bits: usize) -> Self {
+        Self {
+            schema,
+            blocks: signature_bits.div_ceil(64).max(1),
+            sigs: Vec::new(),
+            docs: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &TextSchema {
+        &self.schema
+    }
+
+    /// Number of documents.
+    pub fn doc_count(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Signature width in bits.
+    pub fn signature_bits(&self) -> usize {
+        self.blocks * 64
+    }
+
+    fn word_bits(&self, word: &str) -> Vec<(usize, u64)> {
+        let nbits = self.signature_bits() as u64;
+        (0..BITS_PER_WORD)
+            .map(|k| {
+                let bit = hash_word(word, k as u64) % nbits;
+                ((bit / 64) as usize, 1u64 << (bit % 64))
+            })
+            .collect()
+    }
+
+    /// Adds a document, building one signature per field.
+    pub fn add_document(&mut self, doc: Document) -> DocId {
+        let id = DocId(self.docs.len() as u32);
+        let mut per_field = vec![vec![0u64; self.blocks]; self.schema.len()];
+        for (field, values) in doc.iter() {
+            for value in values {
+                for tok in tokenize(value) {
+                    for (block, mask) in self.word_bits(&tok.word) {
+                        per_field[field.0 as usize][block] |= mask;
+                    }
+                }
+            }
+        }
+        self.sigs.push(per_field);
+        self.docs.push(doc);
+        id
+    }
+
+    /// The stored document.
+    pub fn document(&self, id: DocId) -> Option<&Document> {
+        self.docs.get(id.0 as usize)
+    }
+
+    /// Candidate documents for a conjunctive word query: every signature
+    /// containing all the query bits. Contains **false positives**; no
+    /// false negatives.
+    pub fn candidates(&self, terms: &[(String, FieldId)]) -> Vec<DocId> {
+        // Build the query signature per field.
+        let mut query = vec![vec![0u64; self.blocks]; self.schema.len()];
+        for (word, field) in terms {
+            let w = normalize_word(word);
+            for (block, mask) in self.word_bits(&w) {
+                query[field.0 as usize][block] |= mask;
+            }
+        }
+        let mut out = Vec::new();
+        'docs: for (i, sig) in self.sigs.iter().enumerate() {
+            for f in 0..self.schema.len() {
+                for b in 0..self.blocks {
+                    if sig[f][b] & query[f][b] != query[f][b] {
+                        continue 'docs;
+                    }
+                }
+            }
+            out.push(DocId(i as u32));
+        }
+        out
+    }
+
+    /// Exact conjunctive word search: candidates filtered by verifying each
+    /// word against the stored document (false-positive elimination).
+    /// Returns `(matches, candidates_scanned)` so callers can measure the
+    /// false-positive rate.
+    pub fn search_conjunctive(&self, terms: &[(String, FieldId)]) -> (Vec<DocId>, usize) {
+        let cands = self.candidates(terms);
+        let scanned = cands.len();
+        let matches = cands
+            .into_iter()
+            .filter(|&id| {
+                let doc = self.document(id).expect("candidate ids are valid");
+                terms.iter().all(|(word, field)| {
+                    let w = normalize_word(word);
+                    doc.values(*field)
+                        .iter()
+                        .any(|v| tokenize(v).iter().any(|t| t.word == w))
+                })
+            })
+            .collect();
+        (matches, scanned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::SearchExpr;
+    use crate::index::Collection;
+
+    fn fixture() -> (SignatureIndex, Collection, FieldId, FieldId) {
+        let schema = TextSchema::bibliographic();
+        let ti = schema.field_by_name("title").unwrap();
+        let au = schema.field_by_name("author").unwrap();
+        let mut sig = SignatureIndex::new(schema.clone(), 256);
+        let mut inv = Collection::new(schema);
+        let docs = [
+            ("belief update semantics", "Radhika"),
+            ("text retrieval systems", "Gravano"),
+            ("text indexing", "Kao"),
+            ("query optimization", "Garcia"),
+        ];
+        for (t, a) in docs {
+            let d = Document::new().with(ti, t).with(au, a);
+            sig.add_document(d.clone());
+            inv.add_document(d);
+        }
+        (sig, inv, ti, au)
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let (sig, _, ti, _) = fixture();
+        let cands = sig.candidates(&[("text".into(), ti)]);
+        // doc1 and doc2 must be among candidates (maybe more).
+        assert!(cands.contains(&DocId(1)));
+        assert!(cands.contains(&DocId(2)));
+    }
+
+    #[test]
+    fn verification_eliminates_false_positives() {
+        let (sig, _, ti, au) = fixture();
+        let (matches, scanned) =
+            sig.search_conjunctive(&[("text".into(), ti), ("gravano".into(), au)]);
+        assert_eq!(matches, vec![DocId(1)]);
+        assert!(scanned >= matches.len());
+    }
+
+    #[test]
+    fn agrees_with_inverted_index_on_conjunctions() {
+        let (sig, inv, ti, au) = fixture();
+        let queries: Vec<Vec<(String, FieldId)>> = vec![
+            vec![("belief".into(), ti)],
+            vec![("text".into(), ti)],
+            vec![("text".into(), ti), ("kao".into(), au)],
+            vec![("missing".into(), ti)],
+            vec![("update".into(), ti), ("radhika".into(), au)],
+        ];
+        for q in queries {
+            let (sig_ids, _) = sig.search_conjunctive(&q);
+            let expr = SearchExpr::and(
+                q.iter()
+                    .map(|(w, f)| SearchExpr::term_in(w, *f))
+                    .collect(),
+            );
+            let inv_ids = crate::eval::evaluate(&inv, &expr).docs.ids().to_vec();
+            assert_eq!(sig_ids, inv_ids, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn field_separation() {
+        let (sig, _, ti, au) = fixture();
+        // 'gravano' is an author, not a title word.
+        let (m, _) = sig.search_conjunctive(&[("gravano".into(), ti)]);
+        assert!(m.is_empty());
+        let (m, _) = sig.search_conjunctive(&[("gravano".into(), au)]);
+        assert_eq!(m, vec![DocId(1)]);
+    }
+
+    #[test]
+    fn narrow_signatures_fill_up() {
+        // A deliberately tiny signature saturates, yielding candidates for
+        // everything but still zero false negatives after verification.
+        let schema = TextSchema::bibliographic();
+        let ti = schema.field_by_name("title").unwrap();
+        let mut sig = SignatureIndex::new(schema, 8); // rounds up to 64
+        for i in 0..20 {
+            sig.add_document(Document::new().with(ti, format!("word{i} common filler text")));
+        }
+        let (m, scanned) = sig.search_conjunctive(&[("word7".into(), ti)]);
+        assert_eq!(m, vec![DocId(7)]);
+        assert!(scanned >= 1);
+    }
+
+    #[test]
+    fn empty_query_matches_everything() {
+        let (sig, _, _, _) = fixture();
+        let (m, _) = sig.search_conjunctive(&[]);
+        assert_eq!(m.len(), 4);
+    }
+}

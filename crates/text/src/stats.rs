@@ -1,0 +1,185 @@
+//! Vocabulary statistics export — the Section 8 statistics extension.
+//!
+//! The paper's discussion: *"the text system can help the optimizer by
+//! making available statistics such as distribution of fanout of the words
+//! in the vocabulary. Such information will eliminate the need for sending
+//! all single-column probes to the text system."*
+//!
+//! [`VocabularyStats`] is that export: per-field document frequencies and a
+//! fanout histogram, computed once server-side and handed to the client
+//! optimizer for free (no `c_i`/`c_p` charges — the point of the extension).
+
+use std::collections::HashMap;
+
+use crate::doc::FieldId;
+use crate::index::Collection;
+use crate::server::TextServer;
+
+/// Per-field statistics for one field of the collection.
+#[derive(Debug, Clone, Default)]
+pub struct FieldStats {
+    /// Number of distinct words occurring in the field.
+    pub vocabulary: usize,
+    /// Total document-frequency mass: Σ over words of df(word, field).
+    pub total_df: u64,
+    /// Histogram of document frequencies: `histogram[b]` counts words whose
+    /// df falls in bucket `b` (power-of-two buckets: df ∈ [2^b, 2^(b+1))).
+    pub histogram: Vec<u64>,
+    /// Exact per-word document frequencies.
+    df: HashMap<String, u32>,
+}
+
+impl FieldStats {
+    /// Mean fanout over the field's vocabulary (average documents per word).
+    pub fn mean_fanout(&self) -> f64 {
+        if self.vocabulary == 0 {
+            0.0
+        } else {
+            self.total_df as f64 / self.vocabulary as f64
+        }
+    }
+
+    /// Document frequency of `word` in this field, 0 if absent.
+    pub fn fanout(&self, word: &str) -> u32 {
+        self.df.get(word).copied().unwrap_or(0)
+    }
+
+    /// Whether `word` occurs in this field at all — answers a single-column
+    /// probe without contacting the server.
+    pub fn occurs(&self, word: &str) -> bool {
+        self.fanout(word) > 0
+    }
+}
+
+/// The exported statistics bundle.
+#[derive(Debug, Clone)]
+pub struct VocabularyStats {
+    /// Total number of documents `D`.
+    pub doc_count: usize,
+    per_field: HashMap<FieldId, FieldStats>,
+}
+
+impl VocabularyStats {
+    /// Computes the export from a collection. In a deployment this runs on
+    /// the server; clients receive the result without paying query costs.
+    pub fn compute(coll: &Collection) -> Self {
+        let mut per_field: HashMap<FieldId, FieldStats> = HashMap::new();
+        for (fid, _) in coll.schema().iter() {
+            per_field.insert(fid, FieldStats::default());
+        }
+        for (word, list) in coll.iter_terms() {
+            // Partition the word's postings by field and count distinct docs.
+            let mut seen: HashMap<FieldId, (u32, Option<crate::doc::DocId>)> = HashMap::new();
+            for p in list.postings() {
+                let e = seen.entry(p.field).or_insert((0, None));
+                if e.1 != Some(p.doc) {
+                    e.0 += 1;
+                    e.1 = Some(p.doc);
+                }
+            }
+            for (fid, (df, _)) in seen {
+                let fs = per_field.entry(fid).or_default();
+                fs.vocabulary += 1;
+                fs.total_df += u64::from(df);
+                let bucket = (32 - df.leading_zeros()).saturating_sub(1) as usize;
+                if fs.histogram.len() <= bucket {
+                    fs.histogram.resize(bucket + 1, 0);
+                }
+                fs.histogram[bucket] += 1;
+                fs.df.insert(word.to_owned(), df);
+            }
+        }
+        Self {
+            doc_count: coll.doc_count(),
+            per_field,
+        }
+    }
+
+    /// Statistics for `field`.
+    pub fn field(&self, field: FieldId) -> Option<&FieldStats> {
+        self.per_field.get(&field)
+    }
+
+    /// Exact fanout of `word` in `field` (0 if unknown).
+    pub fn fanout(&self, word: &str, field: FieldId) -> u32 {
+        self.field(field).map(|f| f.fanout(word)).unwrap_or(0)
+    }
+
+    /// Whether `word` occurs in `field` — a free single-column probe.
+    pub fn occurs(&self, word: &str, field: FieldId) -> bool {
+        self.fanout(word, field) > 0
+    }
+}
+
+impl TextServer {
+    /// Exports vocabulary statistics (Section 8 extension). Free of query
+    /// charges by design.
+    pub fn export_stats(&self) -> VocabularyStats {
+        VocabularyStats::compute(self.collection())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::{Document, TextSchema};
+
+    fn coll() -> (Collection, FieldId, FieldId) {
+        let schema = TextSchema::bibliographic();
+        let ti = schema.field_by_name("title").unwrap();
+        let au = schema.field_by_name("author").unwrap();
+        let mut c = Collection::new(schema);
+        c.add_document(Document::new().with(ti, "text retrieval text").with(au, "Gravano"));
+        c.add_document(Document::new().with(ti, "text indexing").with(au, "Kao"));
+        c.add_document(Document::new().with(ti, "query processing").with(au, "Gravano"));
+        (c, ti, au)
+    }
+
+    #[test]
+    fn fanout_counts_documents_not_occurrences() {
+        let (c, ti, _) = coll();
+        let stats = VocabularyStats::compute(&c);
+        // "text" appears twice in doc0 but df counts documents.
+        assert_eq!(stats.fanout("text", ti), 2);
+        assert_eq!(stats.fanout("query", ti), 1);
+        assert_eq!(stats.fanout("gravano", ti), 0);
+    }
+
+    #[test]
+    fn occurs_is_free_probe() {
+        let (c, ti, au) = coll();
+        let stats = VocabularyStats::compute(&c);
+        assert!(stats.occurs("gravano", au));
+        assert!(!stats.occurs("gravano", ti));
+        assert!(!stats.occurs("zzz", au));
+    }
+
+    #[test]
+    fn per_field_aggregates() {
+        let (c, _, au) = coll();
+        let stats = VocabularyStats::compute(&c);
+        let fs = stats.field(au).unwrap();
+        assert_eq!(fs.vocabulary, 2); // gravano, kao
+        assert_eq!(fs.total_df, 3); // gravano ×2, kao ×1
+        assert!((fs.mean_fanout() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let (c, _, au) = coll();
+        let stats = VocabularyStats::compute(&c);
+        let fs = stats.field(au).unwrap();
+        // kao df=1 → bucket 0; gravano df=2 → bucket 1.
+        assert_eq!(fs.histogram, vec![1, 1]);
+    }
+
+    #[test]
+    fn export_via_server_charges_nothing() {
+        let (c, _, au) = coll();
+        let server = TextServer::new(c);
+        let stats = server.export_stats();
+        assert!(stats.occurs("kao", au));
+        assert_eq!(server.usage().total_cost(), 0.0);
+        assert_eq!(stats.doc_count, 3);
+    }
+}

@@ -1,0 +1,189 @@
+//! Property test: the indexed evaluator agrees with a naive per-document
+//! matcher on randomly generated collections and search expressions.
+
+use proptest::prelude::*;
+use textjoin_text::doc::{DocId, Document, TextSchema};
+use textjoin_text::expr::{BasicTerm, SearchExpr, TermKind};
+use textjoin_text::index::Collection;
+use textjoin_text::token::{normalize_phrase, tokenize};
+
+const VOCAB: &[&str] = &["red", "green", "blue", "redgreen", "cyan", "magenta"];
+
+fn word() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(VOCAB)
+}
+
+#[derive(Debug, Clone)]
+struct Spec {
+    docs: Vec<(Vec<&'static str>, Vec<&'static str>)>, // (title words, authors)
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(word(), 0..5),
+            prop::collection::vec(word(), 0..3),
+        ),
+        1..10,
+    )
+    .prop_map(|docs| Spec { docs })
+}
+
+/// Random expression trees over title/author terms.
+fn expr(depth: u32) -> BoxedStrategy<SearchExpr> {
+    let leaf = (word(), prop::bool::ANY, 0u8..4).prop_map(|(w, title, kind)| {
+        let schema = TextSchema::bibliographic();
+        let field = if title {
+            schema.field_by_name("title").unwrap()
+        } else {
+            schema.field_by_name("author").unwrap()
+        };
+        match kind {
+            0 => SearchExpr::term_in(w, field),
+            1 => SearchExpr::Term(BasicTerm {
+                kind: TermKind::Prefix(w[..2.min(w.len())].to_owned()),
+                field: Some(field),
+            }),
+            2 => SearchExpr::term_in(&format!("{w} {w}"), field), // phrase
+            _ => SearchExpr::Near {
+                a: BasicTerm::parse_text(w, Some(field)),
+                b: BasicTerm::parse_text("blue", Some(field)),
+                distance: 2,
+            },
+        }
+    });
+    leaf.prop_recursive(depth, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(SearchExpr::and),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(SearchExpr::or),
+            (inner.clone(), inner).prop_map(|(a, b)| SearchExpr::AndNot(
+                Box::new(a),
+                Box::new(b)
+            )),
+        ]
+    })
+    .boxed()
+}
+
+fn build(spec: &Spec) -> Collection {
+    let schema = TextSchema::bibliographic();
+    let ti = schema.field_by_name("title").unwrap();
+    let au = schema.field_by_name("author").unwrap();
+    let mut coll = Collection::new(schema);
+    for (title, authors) in &spec.docs {
+        let mut d = Document::new();
+        if !title.is_empty() {
+            d.push(ti, title.join(" "));
+        }
+        for a in authors {
+            d.push(au, *a);
+        }
+        coll.add_document(d);
+    }
+    coll
+}
+
+/// Naive matcher: no index, no set ops — per-document recursion.
+fn naive_match(doc: &Document, e: &SearchExpr) -> bool {
+    match e {
+        SearchExpr::Term(t) => naive_term(doc, t),
+        SearchExpr::Near { a, b, distance } => {
+            // Word-only proximity within a single field value.
+            let (Some(wa), Some(wb)) = (term_word(a), term_word(b)) else {
+                return false;
+            };
+            let fields: Vec<_> = match (a.field, b.field) {
+                (Some(f), Some(g)) if f == g => vec![f],
+                _ => return false,
+            };
+            for f in fields {
+                for v in doc.values(f) {
+                    let toks = tokenize(v);
+                    for x in toks.iter().filter(|t| t.word == wa) {
+                        for y in toks.iter().filter(|t| t.word == wb) {
+                            let gap = i64::from(y.pos) - i64::from(x.pos);
+                            if gap.abs() <= i64::from(*distance) {
+                                return true;
+                            }
+                        }
+                    }
+                }
+            }
+            false
+        }
+        SearchExpr::And(cs) => cs.iter().all(|c| naive_match(doc, c)),
+        SearchExpr::Or(cs) => cs.iter().any(|c| naive_match(doc, c)),
+        SearchExpr::AndNot(a, b) => naive_match(doc, a) && !naive_match(doc, b),
+    }
+}
+
+fn term_word(t: &BasicTerm) -> Option<String> {
+    match &t.kind {
+        TermKind::Word(w) => Some(w.clone()),
+        TermKind::Phrase(ws) => ws.first().cloned(),
+        TermKind::Prefix(_) => None,
+    }
+}
+
+fn naive_term(doc: &Document, t: &BasicTerm) -> bool {
+    let schema = TextSchema::bibliographic();
+    let fields: Vec<_> = match t.field {
+        Some(f) => vec![f],
+        None => schema.iter().map(|(id, _)| id).collect(),
+    };
+    for f in fields {
+        for v in doc.values(f) {
+            let toks = tokenize(v);
+            let ok = match &t.kind {
+                TermKind::Word(w) => toks.iter().any(|tk| &tk.word == w),
+                TermKind::Prefix(p) => toks.iter().any(|tk| tk.word.starts_with(p.as_str())),
+                TermKind::Phrase(ws) => {
+                    let words: Vec<&str> = toks.iter().map(|tk| tk.word.as_str()).collect();
+                    let ned: Vec<&str> = ws.iter().map(String::as_str).collect();
+                    !ned.is_empty()
+                        && words.len() >= ned.len()
+                        && words.windows(ned.len()).any(|w| w == ned.as_slice())
+                }
+            };
+            if ok {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn evaluator_matches_naive_oracle(s in spec(), e in expr(3)) {
+        let coll = build(&s);
+        let out = textjoin_text::eval::evaluate(&coll, &e);
+        let got: std::collections::BTreeSet<u32> =
+            out.docs.ids().iter().map(|d| d.0).collect();
+        let mut expected = std::collections::BTreeSet::new();
+        for i in 0..coll.doc_count() {
+            let doc = coll.document(DocId(i as u32)).unwrap();
+            if naive_match(doc, &e) {
+                expected.insert(i as u32);
+            }
+        }
+        prop_assert_eq!(got, expected, "expr: {:?}", e);
+    }
+
+    #[test]
+    fn phrase_normalization_consistent(s in spec(), a in word(), b in word()) {
+        // Searching "A B" equals searching the normalized phrase.
+        let coll = build(&s);
+        let schema = coll.schema().clone();
+        let ti = schema.field_by_name("title").unwrap();
+        let raw = format!("{} {}", a.to_uppercase(), b);
+        let e1 = SearchExpr::term_in(&raw, ti);
+        let normalized = normalize_phrase(&raw).join(" ");
+        let e2 = SearchExpr::term_in(&normalized, ti);
+        let r1 = textjoin_text::eval::evaluate(&coll, &e1);
+        let r2 = textjoin_text::eval::evaluate(&coll, &e2);
+        prop_assert_eq!(r1.docs, r2.docs);
+    }
+}

@@ -1,0 +1,99 @@
+//! Base parameter points for the paper's figure sweeps (Section 7.1/7.2).
+//!
+//! Figures 1(A), 1(B) and 2 are *cost-model* sweeps: the paper starts from
+//! the calibrated parameter setting of a query and varies `s_1`, `N_1/N`
+//! (and, for Figure 2, both) "using the cost formulas to compute the costs
+//! of the methods". These functions pin the base points so every bench and
+//! test sweeps from the same place.
+
+use textjoin_core::cost::params::{CostParams, JoinStatistics, PredStats};
+
+/// The calibrated environment: `D` documents, Mercury constants, fully
+/// correlated (g = 1) joint model — the model the paper's experiments use.
+pub fn mercury_params(d: f64) -> CostParams {
+    CostParams::mercury(d)
+}
+
+/// Q3's base statistics (Example 3.4 / Figure 1(A)): `N = 100` project
+/// membership rows, two predicates — `name in title` with the paper's
+/// `s_1 = 0.16`, and `member in author`.
+pub fn q3_base(d: f64) -> JoinStatistics {
+    JoinStatistics {
+        n: 100.0,
+        n_k: 100.0,
+        preds: vec![
+            // project.name in title: selective, few distinct names.
+            PredStats::simple(0.16, 2.0, 40.0),
+            // project.member in author: moderately selective.
+            PredStats::simple(0.5, 1.5, 90.0),
+        ],
+        sel_fanout: d,
+        sel_postings: 0.0,
+        sel_terms: 0,
+        needs_long: true,
+        short_form_sufficient: false,
+    }
+}
+
+/// Q4's base statistics (Example 3.6 / Figure 1(B)): students in one area,
+/// predicate 0 = `advisor in author` (few distinct advisors, every advisor
+/// occurs: `s_1 = 1`), predicate 1 = `name in author`.
+pub fn q4_base(d: f64) -> JoinStatistics {
+    JoinStatistics {
+        n: 50.0,
+        n_k: 50.0,
+        preds: vec![
+            // advisor in author: all advisors occur; N_1 ≪ N.
+            PredStats::simple(1.0, 4.0, 6.0),
+            // name in author.
+            PredStats::simple(0.3, 0.6, 50.0),
+        ],
+        sel_fanout: d,
+        sel_postings: 0.0,
+        sel_terms: 0,
+        needs_long: true,
+        short_form_sufficient: false,
+    }
+}
+
+/// Applies a Figure 1(A)-style sweep point: sets `s_1` on predicate 0.
+pub fn with_s1(mut stats: JoinStatistics, s1: f64) -> JoinStatistics {
+    stats.preds[0].selectivity = s1;
+    stats
+}
+
+/// Applies a Figure 1(B)/Figure 2-style sweep point: sets
+/// `N_1 = frac × N` on predicate 0.
+pub fn with_n1_frac(mut stats: JoinStatistics, frac: f64) -> JoinStatistics {
+    stats.preds[0].distinct = (frac * stats.n).max(1.0);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_points_match_paper_values() {
+        let q3 = q3_base(10_000.0);
+        assert!((q3.preds[0].selectivity - 0.16).abs() < 1e-12);
+        assert_eq!(q3.n, 100.0);
+        let q4 = q4_base(10_000.0);
+        assert!((q4.preds[0].selectivity - 1.0).abs() < 1e-12);
+        assert!(q4.preds[0].distinct < q4.n);
+    }
+
+    #[test]
+    fn sweep_helpers() {
+        let q3 = q3_base(10_000.0);
+        assert_eq!(with_s1(q3.clone(), 0.7).preds[0].selectivity, 0.7);
+        assert_eq!(with_n1_frac(q3, 0.5).preds[0].distinct, 50.0);
+    }
+
+    #[test]
+    fn params_are_calibrated() {
+        let p = mercury_params(5000.0);
+        assert_eq!(p.g, 1, "the paper verifies with the fully correlated model");
+        assert_eq!(p.d, 5000.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # textjoin-workload — synthetic experimental worlds
+//!
+//! Seeded generators standing in for the paper's testbed: a university
+//! relational database (`student`, `faculty`, `project`) and a CSTR-like
+//! document collection à la Project Mercury. The knobs in
+//! [`world::WorldSpec`] pin exactly the statistics the paper's experiments
+//! sweep (`N`, `N_i`, `s_i`, `f_i`), and [`paper`] provides the paper's
+//! example queries Q1–Q5 against a generated world.
+//!
+//! ```
+//! use textjoin_workload::{world::{World, WorldSpec}, paper};
+//!
+//! let w = World::generate(WorldSpec { students: 50, background_docs: 100,
+//!                                     ..WorldSpec::default() });
+//! let q1 = paper::q1(&w);
+//! assert_eq!(q1.relation, "student");
+//! ```
+
+pub mod corpus;
+pub mod knobs;
+pub mod names;
+pub mod paper;
+pub mod world;
+
+pub use world::{World, WorldSpec};

@@ -1,0 +1,210 @@
+//! Integration: end-to-end cost-accounting invariants across the server,
+//! the join methods, and the executors.
+
+use textjoin::core::cost::params::CostParams;
+use textjoin::core::exec::{canonical_rows, plan_and_execute};
+use textjoin::core::methods::probe::ProbeSchedule;
+use textjoin::core::methods::ExecContext;
+use textjoin::core::optimizer::multi::ExecutionSpace;
+use textjoin::core::optimizer::single::enumerate_methods;
+use textjoin::core::query::prepare;
+use textjoin::workload::paper;
+use textjoin::workload::world::{World, WorldSpec};
+
+fn world() -> World {
+    World::generate(WorldSpec {
+        background_docs: 200,
+        students: 50,
+        projects: 15,
+        ..WorldSpec::default()
+    })
+}
+
+#[test]
+fn method_cost_decomposes_into_server_charges() {
+    let w = world();
+    let schema = w.server.collection().schema();
+    let p = prepare(&paper::q3(&w), &w.catalog, schema).expect("q3 prepares");
+    let export = w.server.export_stats();
+    let stats = p.statistics_from_export(&export, schema);
+    let params = CostParams::mercury(w.server.doc_count() as f64);
+    for cand in enumerate_methods(&params, &stats, paper::q3(&w).projection, false) {
+        w.server.reset_usage();
+        let ctx = ExecContext::new(&w.server);
+        let out = textjoin::core::exec::execute_single(&ctx, &p, &cand, ProbeSchedule::ProbeFirst)
+            .expect("runs");
+        let u = w.server.usage();
+        let k = w.server.constants();
+        let expected_text = k.c_i * u.invocations as f64
+            + k.c_p * u.postings_processed as f64
+            + k.c_s * u.docs_short as f64
+            + k.c_l * u.docs_long as f64;
+        assert!(
+            (out.report.text.total_cost() - expected_text).abs() < 1e-6,
+            "{}: reported text cost must equal server charges",
+            cand.label
+        );
+        assert!(
+            (out.report.total_cost()
+                - (expected_text + ctx.c_a * out.report.rtp_comparisons as f64))
+                .abs()
+                < 1e-6,
+            "{}: total = text + c_a × comparisons",
+            cand.label
+        );
+    }
+}
+
+#[test]
+fn sampling_cost_is_separate_from_execution() {
+    let w = world();
+    let schema = w.server.collection().schema();
+    let p = prepare(&paper::q1(&w), &w.catalog, schema).expect("q1 prepares");
+    w.server.reset_usage();
+    let stats = p
+        .statistics_by_sampling(&w.server, 5)
+        .expect("sampling works");
+    let sampling_cost = w.server.usage().total_cost();
+    assert!(sampling_cost > 0.0, "sampling is charged");
+    assert!(stats.preds[0].selectivity >= 0.0);
+
+    // Execution measured from a clean slate is unaffected by sampling.
+    w.server.reset_usage();
+    let ctx = ExecContext::new(&w.server);
+    let out = textjoin::core::methods::ts::tuple_substitution(&ctx, &p.foreign_join(), true)
+        .expect("TS runs");
+    assert!((out.report.text.total_cost() - w.server.usage().total_cost()).abs() < 1e-9);
+}
+
+#[test]
+fn multi_join_outcome_cost_matches_components() {
+    let w = world();
+    let params = CostParams::mercury(w.server.doc_count() as f64);
+    let q5 = paper::q5(&w);
+    for space in [
+        ExecutionSpace::LeftDeep,
+        ExecutionSpace::Prl,
+        ExecutionSpace::PrlResiduals,
+    ] {
+        w.server.reset_usage();
+        let (_, outcome) =
+            plan_and_execute(&q5, &w.catalog, &w.server, params, space).expect("q5 runs");
+        assert!(outcome.total_cost >= outcome.text.total_cost());
+        assert!(outcome.total_cost.is_finite());
+    }
+}
+
+#[test]
+fn execution_spaces_agree_on_q5_answer() {
+    let w = world();
+    let params = CostParams::mercury(w.server.doc_count() as f64);
+    let q5 = paper::q5(&w);
+    let mut canon: Option<Vec<String>> = None;
+    for space in [
+        ExecutionSpace::LeftDeep,
+        ExecutionSpace::Prl,
+        ExecutionSpace::PrlResiduals,
+    ] {
+        let (_, outcome) =
+            plan_and_execute(&q5, &w.catalog, &w.server, params, space).expect("q5 runs");
+        let rows = canonical_rows(&outcome.table);
+        match &canon {
+            None => canon = Some(rows),
+            Some(expected) => assert_eq!(&rows, expected, "space {space:?} differs"),
+        }
+    }
+}
+
+#[test]
+fn term_cap_forces_sj_chunking_without_changing_answers() {
+    let w = world();
+    let schema = w.server.collection().schema();
+    let p = prepare(&paper::q2(&w), &w.catalog, schema).expect("q2 prepares");
+    let ctx = ExecContext::new(&w.server);
+    let unchunked = textjoin::core::methods::sj::semi_join(&ctx, &p.foreign_join())
+        .expect("SJ runs");
+
+    // Same collection under a tiny term cap.
+    let mut small = textjoin::text::server::TextServer::new(w.server.collection().clone());
+    small.set_max_terms(3);
+    let ctx2 = ExecContext::new(&small);
+    let chunked =
+        textjoin::core::methods::sj::semi_join(&ctx2, &p.foreign_join()).expect("SJ runs");
+    assert!(chunked.report.text.invocations > unchunked.report.text.invocations);
+    assert_eq!(
+        canonical_rows(&chunked.table),
+        canonical_rows(&unchunked.table)
+    );
+}
+
+#[test]
+fn batch_extension_reduces_invocation_cost() {
+    let w = world();
+    let schema = w.server.collection().schema();
+    let au = schema.field_by_name("author").expect("author field");
+    let student = w.catalog.table("student").expect("student");
+    let names: Vec<String> = student
+        .iter()
+        .take(10)
+        .map(|r| {
+            r.get(student.col("name"))
+                .as_str()
+                .expect("names are strings")
+                .to_owned()
+        })
+        .collect();
+    let exprs: Vec<textjoin::text::expr::SearchExpr> = names
+        .iter()
+        .map(|n| textjoin::text::expr::SearchExpr::term_in(n, au))
+        .collect();
+
+    w.server.reset_usage();
+    let batch = w.server.search_batch(&exprs).expect("batch runs");
+    let batched_cost = w.server.usage().total_cost();
+    assert_eq!(batch.results.len(), 10);
+
+    w.server.reset_usage();
+    for e in &exprs {
+        w.server.search(e).expect("search runs");
+    }
+    let separate_cost = w.server.usage().total_cost();
+    assert!(
+        batched_cost < separate_cost,
+        "batching must amortize invocations: {batched_cost} vs {separate_cost}"
+    );
+    // Exactly 9 invocation charges rebated.
+    assert!(
+        (separate_cost - batched_cost - 9.0 * w.server.constants().c_i).abs() < 1.0,
+        "rebate ≈ 9 × c_i"
+    );
+}
+
+#[test]
+fn stats_export_eliminates_probe_invocations() {
+    // Section 8: with exported vocabulary statistics, single-column probe
+    // questions are answered for free.
+    let w = world();
+    let export = w.server.export_stats();
+    let au = w
+        .server
+        .collection()
+        .schema()
+        .field_by_name("author")
+        .expect("author");
+    w.server.reset_usage();
+    let student = w.catalog.table("student").expect("student");
+    let mut occurs = 0;
+    for r in student.iter() {
+        let name = r.get(student.col("name")).as_str().expect("string");
+        let word = textjoin::text::token::normalize_word(name);
+        if export.occurs(&word, au) {
+            occurs += 1;
+        }
+    }
+    assert!(occurs > 0, "some students publish");
+    assert_eq!(
+        w.server.usage().invocations,
+        0,
+        "no probes were sent to answer occurrence questions"
+    );
+}

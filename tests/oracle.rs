@@ -1,0 +1,282 @@
+//! Integration: every join method agrees with a brute-force oracle.
+//!
+//! The oracle evaluates the foreign join by scanning every (tuple,
+//! document) pair directly against the collection — no inverted index, no
+//! search API — using the same normalized term-containment semantics. Any
+//! divergence between a method and the oracle is a correctness bug in the
+//! index, the evaluator, the method, or the string matcher.
+
+use textjoin::core::methods::probe::ProbeSchedule;
+use textjoin::core::methods::{ExecContext, ForeignJoin, Projection, TextSelection};
+use textjoin::rel::strmatch::contains_term;
+use textjoin::rel::table::Table;
+use textjoin::text::doc::DocId;
+use textjoin::text::server::TextServer;
+use textjoin::workload::paper;
+use textjoin::workload::world::{World, WorldSpec};
+
+/// All (tuple index, docid) pairs the join should produce, by direct scan.
+fn oracle_pairs(fj: &ForeignJoin<'_>, server: &TextServer) -> Vec<(usize, DocId)> {
+    let coll = server.collection();
+    let mut out = Vec::new();
+    for (ti, tuple) in fj.rel.iter().enumerate() {
+        'docs: for d in 0..coll.doc_count() {
+            let id = DocId(d as u32);
+            let doc = coll.document(id).expect("dense docids");
+            for sel in &fj.selections {
+                if !doc
+                    .values(sel.field)
+                    .iter()
+                    .any(|v| contains_term(v, &sel.term))
+                {
+                    continue 'docs;
+                }
+            }
+            for (col, field) in fj.join_cols.iter().zip(&fj.join_fields) {
+                let Some(needle) = tuple.get(*col).as_str() else {
+                    continue 'docs;
+                };
+                if needle.trim().is_empty()
+                    || !doc.values(*field).iter().any(|v| contains_term(v, needle))
+                {
+                    continue 'docs;
+                }
+            }
+            out.push((ti, id));
+        }
+    }
+    out
+}
+
+/// Projects oracle pairs the way the method output is shaped, as sorted
+/// strings.
+fn oracle_shape(fj: &ForeignJoin<'_>, pairs: &[(usize, DocId)]) -> Vec<String> {
+    let mut rows: Vec<String> = match fj.projection {
+        Projection::RelOnly => {
+            let mut tuples: Vec<usize> = pairs.iter().map(|&(t, _)| t).collect();
+            tuples.dedup();
+            tuples.sort_unstable();
+            tuples.dedup();
+            tuples
+                .into_iter()
+                .map(|t| fj.rel.rows()[t].to_string())
+                .collect()
+        }
+        Projection::DocIds => {
+            let mut ids: Vec<DocId> = pairs.iter().map(|&(_, d)| d).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.iter().map(|d| format!("[{d}]")).collect()
+        }
+        Projection::Full => pairs
+            .iter()
+            .map(|&(t, d)| format!("{}+{d}", fj.rel.rows()[t]))
+            .collect(),
+    };
+    rows.sort();
+    rows
+}
+
+/// Shapes a method output table the same way.
+fn method_shape(fj: &ForeignJoin<'_>, table: &Table) -> Vec<String> {
+    let mut rows: Vec<String> = match fj.projection {
+        Projection::RelOnly => table.iter().map(|r| r.to_string()).collect(),
+        Projection::DocIds => table
+            .iter()
+            .map(|r| {
+                format!(
+                    "[{}]",
+                    r.get(textjoin::rel::schema::ColId(0))
+                        .as_str()
+                        .expect("docid column")
+                )
+            })
+            .collect(),
+        Projection::Full => {
+            let rel_arity = fj.rel.schema().len();
+            let docid_col = textjoin::rel::schema::ColId(rel_arity);
+            table
+                .iter()
+                .map(|r| {
+                    let rel_part = r.project(
+                        &(0..rel_arity)
+                            .map(textjoin::rel::schema::ColId)
+                            .collect::<Vec<_>>(),
+                    );
+                    format!(
+                        "{rel_part}+{}",
+                        r.get(docid_col).as_str().expect("docid column")
+                    )
+                })
+                .collect()
+        }
+    };
+    rows.sort();
+    rows
+}
+
+fn check_all_methods(fj: &ForeignJoin<'_>, server: &TextServer) {
+    let expected = oracle_shape(fj, &oracle_pairs(fj, server));
+    let ctx = ExecContext::new(server);
+
+    let mut results: Vec<(String, Vec<String>)> = Vec::new();
+    results.push((
+        "TS".into(),
+        method_shape(
+            fj,
+            &textjoin::core::methods::ts::tuple_substitution(&ctx, fj, true)
+                .expect("TS runs")
+                .table,
+        ),
+    ));
+    results.push((
+        "TS-naive".into(),
+        method_shape(
+            fj,
+            &textjoin::core::methods::ts::tuple_substitution(&ctx, fj, false)
+                .expect("TS naive runs")
+                .table,
+        ),
+    ));
+    if !fj.selections.is_empty() {
+        results.push((
+            "RTP".into(),
+            method_shape(
+                fj,
+                &textjoin::core::methods::rtp::relational_text_processing(&ctx, fj)
+                    .expect("RTP runs")
+                    .table,
+            ),
+        ));
+    }
+    results.push((
+        "SJ".into(),
+        method_shape(
+            fj,
+            &textjoin::core::methods::sj::semi_join(&ctx, fj).expect("SJ runs").table,
+        ),
+    ));
+    for probe in [vec![0], (0..fj.k()).collect::<Vec<_>>()] {
+        for schedule in [ProbeSchedule::ProbeFirst, ProbeSchedule::Lazy] {
+            results.push((
+                format!("P{probe:?}+TS/{schedule:?}"),
+                method_shape(
+                    fj,
+                    &textjoin::core::methods::probe::probe_tuple_substitution(
+                        &ctx, fj, &probe, schedule,
+                    )
+                    .expect("P+TS runs")
+                    .table,
+                ),
+            ));
+        }
+        results.push((
+            format!("P{probe:?}+RTP"),
+            method_shape(
+                fj,
+                &textjoin::core::methods::probe::probe_rtp(&ctx, fj, &probe)
+                    .expect("P+RTP runs")
+                    .table,
+            ),
+        ));
+    }
+    for (label, got) in results {
+        assert_eq!(
+            got, expected,
+            "{label} disagrees with the brute-force oracle"
+        );
+    }
+}
+
+fn worlds() -> Vec<World> {
+    [7u64, 11, 23]
+        .into_iter()
+        .map(|seed| {
+            World::generate(WorldSpec {
+                seed,
+                background_docs: 150,
+                students: 40,
+                projects: 12,
+                ..WorldSpec::default()
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn q3_all_methods_match_oracle_full() {
+    for w in worlds() {
+        let p = textjoin::core::query::prepare(
+            &paper::q3(&w),
+            &w.catalog,
+            w.server.collection().schema(),
+        )
+        .expect("q3 prepares");
+        check_all_methods(&p.foreign_join(), &w.server);
+    }
+}
+
+#[test]
+fn q4_all_methods_match_oracle_all_projections() {
+    for w in worlds() {
+        for projection in [Projection::RelOnly, Projection::DocIds, Projection::Full] {
+            let mut q = paper::q4(&w);
+            q.projection = projection;
+            let p =
+                textjoin::core::query::prepare(&q, &w.catalog, w.server.collection().schema())
+                    .expect("q4 prepares");
+            check_all_methods(&p.foreign_join(), &w.server);
+        }
+    }
+}
+
+#[test]
+fn q1_with_selection_matches_oracle() {
+    for w in worlds() {
+        let p = textjoin::core::query::prepare(
+            &paper::q1(&w),
+            &w.catalog,
+            w.server.collection().schema(),
+        )
+        .expect("q1 prepares");
+        let fj = p.foreign_join();
+        // q1 has one join predicate; only single-predicate probes apply.
+        let expected = oracle_shape(&fj, &oracle_pairs(&fj, &w.server));
+        let ctx = ExecContext::new(&w.server);
+        let ts = method_shape(
+            &fj,
+            &textjoin::core::methods::ts::tuple_substitution(&ctx, &fj, true)
+                .expect("TS runs")
+                .table,
+        );
+        let rtp = method_shape(
+            &fj,
+            &textjoin::core::methods::rtp::relational_text_processing(&ctx, &fj)
+                .expect("RTP runs")
+                .table,
+        );
+        assert_eq!(ts, expected);
+        assert_eq!(rtp, expected);
+    }
+}
+
+#[test]
+fn selections_only_probe_consistency() {
+    // A selection-only query (no join predicates is invalid for methods,
+    // but a probe on one predicate with a selection must honor both).
+    let w = &worlds()[0];
+    let schema = w.server.collection().schema();
+    let q = textjoin::core::query::SingleJoinQuery {
+        relation: "student".into(),
+        local_pred: textjoin::rel::expr::Pred::True,
+        selections: vec![("1993".into(), "year".into())],
+        join: vec![("name".into(), "author".into())],
+        projection: Projection::RelOnly,
+    };
+    let p = textjoin::core::query::prepare(&q, &w.catalog, schema).expect("prepares");
+    check_all_methods(&p.foreign_join(), &w.server);
+    let _ = TextSelection {
+        term: "1993".into(),
+        field: schema.field_by_name("year").expect("year field"),
+    };
+}

@@ -1,0 +1,193 @@
+//! Property-based tests (proptest) on cross-crate invariants:
+//! Boolean-algebra laws of the search engine, consistency between the
+//! relational string matcher and the text index, cost-model bounds, and
+//! the Theorem 5.3 probe-search guarantee.
+
+use proptest::prelude::*;
+
+use textjoin::core::cost::correlate::{distinct_docs, joint_fanout, joint_selectivity, total_docs};
+use textjoin::core::cost::formulas::{cost_p_ts, cost_ts, cost_ts_naive};
+use textjoin::core::cost::params::{CostParams, JoinStatistics, PredStats};
+use textjoin::core::optimizer::single::{optimal_probe_bounded, optimal_probe_exhaustive};
+use textjoin::rel::strmatch::contains_term;
+use textjoin::text::doc::{DocId, Document, TextSchema};
+use textjoin::text::expr::SearchExpr;
+use textjoin::text::index::Collection;
+use textjoin::text::server::TextServer;
+
+const VOCAB: &[&str] = &[
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+];
+
+fn word() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(VOCAB)
+}
+
+/// A small random collection: each document is 1–6 words in the title and
+/// 0–2 author words.
+fn collection() -> impl Strategy<Value = Collection> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(word(), 1..6),
+            prop::collection::vec(word(), 0..3),
+        ),
+        1..12,
+    )
+    .prop_map(|docs| {
+        let schema = TextSchema::bibliographic();
+        let ti = schema.field_by_name("title").expect("title");
+        let au = schema.field_by_name("author").expect("author");
+        let mut coll = Collection::new(schema);
+        for (title, authors) in docs {
+            let mut d = Document::new().with(ti, title.join(" "));
+            for a in authors {
+                d.push(au, a);
+            }
+            coll.add_document(d);
+        }
+        coll
+    })
+}
+
+proptest! {
+    /// Search results agree with the relational string matcher document by
+    /// document — the "consistent semantics" requirement RTP rests on.
+    #[test]
+    fn search_matches_contains_term(coll in collection(), w in word()) {
+        let schema = coll.schema().clone();
+        let ti = schema.field_by_name("title").expect("title");
+        let server = TextServer::new(coll);
+        let hits: std::collections::HashSet<DocId> =
+            server.search(&SearchExpr::term_in(w, ti)).expect("search").ids().into_iter().collect();
+        for d in 0..server.doc_count() {
+            let id = DocId(d as u32);
+            let doc = server.collection().document(id).expect("dense ids");
+            let expected = doc.values(ti).iter().any(|v| contains_term(v, w));
+            prop_assert_eq!(hits.contains(&id), expected, "doc {} word {}", d, w);
+        }
+    }
+
+    /// Boolean algebra: AND is intersection, OR is union, NOT is difference
+    /// of the single-term result sets.
+    #[test]
+    fn boolean_connectives_are_set_ops(coll in collection(), a in word(), b in word()) {
+        let schema = coll.schema().clone();
+        let ti = schema.field_by_name("title").expect("title");
+        let server = TextServer::new(coll);
+        let sa: std::collections::BTreeSet<DocId> =
+            server.search(&SearchExpr::term_in(a, ti)).expect("a").ids().into_iter().collect();
+        let sb: std::collections::BTreeSet<DocId> =
+            server.search(&SearchExpr::term_in(b, ti)).expect("b").ids().into_iter().collect();
+
+        let and = server.search(&SearchExpr::and(vec![
+            SearchExpr::term_in(a, ti), SearchExpr::term_in(b, ti)])).expect("and");
+        prop_assert_eq!(
+            and.ids(), sa.intersection(&sb).copied().collect::<Vec<_>>());
+
+        let or = server.search(&SearchExpr::or(vec![
+            SearchExpr::term_in(a, ti), SearchExpr::term_in(b, ti)])).expect("or");
+        prop_assert_eq!(
+            or.ids(), sa.union(&sb).copied().collect::<Vec<_>>());
+
+        let not = server.search(&SearchExpr::AndNot(
+            Box::new(SearchExpr::term_in(a, ti)),
+            Box::new(SearchExpr::term_in(b, ti)))).expect("not");
+        prop_assert_eq!(
+            not.ids(), sa.difference(&sb).copied().collect::<Vec<_>>());
+    }
+
+    /// A phrase is at most as frequent as each of its words, and any doc
+    /// matching the phrase matches both words.
+    #[test]
+    fn phrase_subset_of_words(coll in collection(), a in word(), b in word()) {
+        let schema = coll.schema().clone();
+        let ti = schema.field_by_name("title").expect("title");
+        let server = TextServer::new(coll);
+        let phrase = format!("{a} {b}");
+        let ph = server.search(&SearchExpr::term_in(&phrase, ti)).expect("phrase");
+        let both = server.search(&SearchExpr::and(vec![
+            SearchExpr::term_in(a, ti), SearchExpr::term_in(b, ti)])).expect("and");
+        let both_set: std::collections::HashSet<DocId> = both.ids().into_iter().collect();
+        for id in ph.ids() {
+            prop_assert!(both_set.contains(&id));
+        }
+    }
+
+    /// Cost-model bounds: U ≤ V, U ≤ D, both non-negative.
+    #[test]
+    fn distinct_docs_bounded(n in 0.0f64..10_000.0, f in 0.0f64..50.0, d in 1.0f64..100_000.0) {
+        let u = distinct_docs(n, f, d);
+        let v = total_docs(n, f);
+        prop_assert!(u >= -1e-9);
+        prop_assert!(u <= v + 1e-9);
+        prop_assert!(u <= d + 1e-9);
+    }
+
+    /// Joint statistics shrink (or hold) as g grows.
+    #[test]
+    fn correlation_monotone_in_g(
+        sels in prop::collection::vec(0.0f64..1.0, 1..6),
+        fans in prop::collection::vec(0.0f64..20.0, 1..6),
+        d in 100.0f64..10_000.0,
+    ) {
+        for g in 1..sels.len() {
+            prop_assert!(joint_selectivity(&sels, g + 1) <= joint_selectivity(&sels, g) + 1e-12);
+        }
+        for g in 1..fans.len() {
+            // Fanouts < D make the normalized product shrink as well.
+            if fans.iter().all(|&f| f <= d) {
+                prop_assert!(joint_fanout(&fans, d, g + 1) <= joint_fanout(&fans, d, g) + 1e-9);
+            }
+        }
+    }
+
+    /// The distinct-tuple TS variant never costs more than naive TS.
+    #[test]
+    fn distinct_ts_never_worse(
+        n in 1.0f64..5_000.0,
+        dup in 1.0f64..10.0,
+        s in 0.01f64..1.0,
+        f in 0.0f64..10.0,
+    ) {
+        let p = CostParams::mercury(10_000.0);
+        let stats = JoinStatistics {
+            n,
+            n_k: (n / dup).max(1.0),
+            preds: vec![PredStats::simple(s, f, (n / dup).max(1.0))],
+            sel_fanout: 10_000.0,
+            sel_postings: 0.0,
+            sel_terms: 0,
+            needs_long: false,
+            short_form_sufficient: true,
+        };
+        prop_assert!(cost_ts(&p, &stats).total() <= cost_ts_naive(&p, &stats).total() + 1e-9);
+    }
+
+    /// Theorem 5.3: under the fully-correlated model (g = 1) the bounded
+    /// probe search (subsets of ≤ 2 columns) finds the exhaustive optimum.
+    #[test]
+    fn theorem_5_3_random_instances(
+        pred_params in prop::collection::vec(
+            (0.01f64..1.0, 0.0f64..20.0, 1.0f64..2_000.0), 1..6),
+        n in 10.0f64..10_000.0,
+    ) {
+        let p = CostParams::mercury(50_000.0); // g = 1
+        let stats = JoinStatistics {
+            n,
+            n_k: n,
+            preds: pred_params
+                .iter()
+                .map(|&(s, f, d)| PredStats::simple(s, f, d.min(n)))
+                .collect(),
+            sel_fanout: 50_000.0,
+            sel_postings: 0.0,
+            sel_terms: 0,
+            needs_long: false,
+            short_form_sufficient: true,
+        };
+        let (_, e) = optimal_probe_exhaustive(&p, &stats, cost_p_ts).expect("k ≥ 1");
+        let (cols, b) = optimal_probe_bounded(&p, &stats, cost_p_ts).expect("k ≥ 1");
+        prop_assert!((e.total() - b.total()).abs() < 1e-6,
+            "bounded {} ({:?}) vs exhaustive {}", b.total(), cols, e.total());
+    }
+}
