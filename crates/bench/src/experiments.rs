@@ -72,7 +72,18 @@ pub fn run_method(
     kind: MethodKind,
     probe_cols: &[usize],
 ) -> Result<(f64, usize), MethodError> {
-    let ctx = ExecContext::new(&w.server);
+    run_method_on(&w.server, prepared, kind, probe_cols)
+}
+
+/// Like [`run_method`] but against an explicit server — the chaos bench
+/// hands in fresh servers carrying fault plans.
+pub fn run_method_on(
+    server: &textjoin_text::server::TextServer,
+    prepared: &PreparedQuery,
+    kind: MethodKind,
+    probe_cols: &[usize],
+) -> Result<(f64, usize), MethodError> {
+    let ctx = ExecContext::new(server);
     let cand = MethodCandidate {
         kind,
         label: String::new(),
@@ -765,4 +776,149 @@ pub fn ablations(w: &World) -> Vec<Ablation> {
     }
 
     out
+}
+
+// ---------------------------------------------------------------------
+// Chaos: cost overhead under injected transient faults
+// ---------------------------------------------------------------------
+
+/// Chaos experiment result: per method × fault rate, the total simulated
+/// cost over the paper queries the method applies to, and its overhead
+/// relative to the fault-free column.
+#[derive(Debug, Clone)]
+pub struct ChaosTable {
+    /// Per-operation fault probabilities, first entry 0.0 (the baseline).
+    pub rates: Vec<f64>,
+    /// Method labels in row order.
+    pub methods: Vec<&'static str>,
+    /// `cells[m][r]` = `(total_secs, overhead_pct)`; `None` when the
+    /// method applies to no query.
+    pub cells: Vec<Vec<Option<(f64, f64)>>>,
+}
+
+/// Runs every method over Q1–Q4 under seeded transient fault plans of
+/// increasing rate. Each cell gets a fresh server (same collection, same
+/// constants) so fault state never leaks between cells. Plans are bounded
+/// to 2 consecutive faults — under the standard 4-attempt retry policy
+/// every operation eventually succeeds, so the injected faults cost money
+/// (retries, backoff, partial processing) but never change an answer;
+/// this is asserted per cell against the fault-free run.
+pub fn chaos_table(w: &World) -> ChaosTable {
+    use textjoin_text::faults::FaultPlan;
+    use textjoin_text::server::TextServer;
+
+    let rates = vec![0.0, 0.05, 0.1, 0.2];
+    let methods: Vec<&'static str> = vec!["TS", "RTP", "SJ/SJ+RTP", "P+TS", "P+RTP"];
+    let queries: Vec<SingleJoinQuery> =
+        vec![paper::q1(w), paper::q2(w), paper::q3(w), paper::q4(w)];
+    let ts_schema = w.server.collection().schema();
+    let params = world_params(w);
+
+    // Prepare each query once; probe columns are chosen from fault-free
+    // statistics (export_stats is free and never faulted).
+    struct Prep {
+        prepared: PreparedQuery,
+        pts: Vec<usize>,
+        prtp: Vec<usize>,
+        k: usize,
+    }
+    let preps: Vec<Prep> = queries
+        .iter()
+        .map(|q| {
+            let prepared = prepare(q, &w.catalog, ts_schema).expect("paper query prepares");
+            let export = w.server.export_stats();
+            let stats = prepared.statistics_from_export(&export, ts_schema);
+            let k = stats.k();
+            let (pts, prtp) = if k >= 2 {
+                (
+                    probe_cols_for(&params, &stats, cost_p_ts),
+                    probe_cols_for(&params, &stats, cost_p_rtp),
+                )
+            } else {
+                (Vec::new(), Vec::new())
+            };
+            Prep { prepared, pts, prtp, k }
+        })
+        .collect();
+
+    let mut cells: Vec<Vec<Option<(f64, f64)>>> = vec![Vec::new(); methods.len()];
+    for mi in 0..methods.len() {
+        let mut baseline: Option<f64> = None;
+        let mut baseline_rows: Vec<Option<usize>> = Vec::new();
+        for (ri, &rate) in rates.iter().enumerate() {
+            let mut total = 0.0;
+            let mut any = false;
+            let mut rows_at_rate: Vec<Option<usize>> = Vec::new();
+            for (qi, p) in preps.iter().enumerate() {
+                let run = |kind: MethodKind, cols: &[usize]| {
+                    let seed =
+                        0xC0FFEE ^ ((qi as u64) << 16) ^ ((mi as u64) << 8) ^ ri as u64;
+                    let mut server = TextServer::new(w.server.collection().clone());
+                    server.set_fault_plan(FaultPlan::transient(seed, rate, 2));
+                    run_method_on(&server, &p.prepared, kind, cols).ok()
+                };
+                let r = match mi {
+                    0 => run(MethodKind::Ts, &[]),
+                    1 => run(MethodKind::Rtp, &[]),
+                    2 => run(MethodKind::Sj, &[]),
+                    3 if p.k >= 2 => run(MethodKind::PTs, &p.pts),
+                    4 if p.k >= 2 => run(MethodKind::PRtp, &p.prtp),
+                    _ => None,
+                };
+                rows_at_rate.push(r.map(|(_, n)| n));
+                if let Some((secs, _)) = r {
+                    total += secs;
+                    any = true;
+                }
+            }
+            if ri == 0 {
+                baseline = any.then_some(total);
+                baseline_rows = rows_at_rate.clone();
+            }
+            assert_eq!(
+                rows_at_rate, baseline_rows,
+                "fault injection changed {} answers at rate {rate}",
+                methods[mi]
+            );
+            let cell = match (any, baseline) {
+                (true, Some(base)) if base > 0.0 => {
+                    Some((total, (total / base - 1.0) * 100.0))
+                }
+                (true, _) => Some((total, 0.0)),
+                _ => None,
+            };
+            cells[mi].push(cell);
+        }
+    }
+    ChaosTable { rates, methods, cells }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+
+    #[test]
+    fn chaos_table_is_deterministic_and_monotone_at_zero() {
+        let w = default_world();
+        let a = chaos_table(&w);
+        let b = chaos_table(&w);
+        for (ra, rb) in a.cells.iter().zip(&b.cells) {
+            for (ca, cb) in ra.iter().zip(rb) {
+                match (ca, cb) {
+                    (Some((sa, oa)), Some((sb, ob))) => {
+                        assert_eq!(sa.to_bits(), sb.to_bits());
+                        assert_eq!(oa.to_bits(), ob.to_bits());
+                    }
+                    (None, None) => {}
+                    _ => panic!("applicability differs between runs"),
+                }
+            }
+        }
+        // Rate 0 must be exactly the fault-free cost: zero overhead.
+        for row in &a.cells {
+            if let Some((_, overhead)) = row[0] {
+                assert_eq!(overhead, 0.0);
+            }
+        }
+    }
 }

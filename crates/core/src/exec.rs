@@ -26,6 +26,8 @@ use textjoin_text::doc::{DocId, TextSchema};
 use textjoin_text::expr::SearchExpr;
 use textjoin_text::server::{TextServer, Usage};
 
+use crate::retry::RetryPolicy;
+
 use crate::methods::{
     probe::{probe_rtp, probe_tuple_substitution, ProbeSchedule},
     rtp::relational_text_processing,
@@ -76,6 +78,7 @@ pub struct MultiExecutor<'a> {
     input: &'a PlannerInput,
     server: &'a TextServer,
     c_a: f64,
+    retry: RetryPolicy,
     rel_model: RelCostModel,
     /// Locally filtered base tables with qualified column names
     /// (`relation.column`), built once.
@@ -110,9 +113,24 @@ impl<'a> MultiExecutor<'a> {
             input,
             server,
             c_a: 1e-5,
+            retry: RetryPolicy::standard(),
             rel_model: input.rel_model,
             base_tables,
         })
+    }
+
+    /// Overrides the retry policy applied to every text-server operation.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The method-level execution context this executor hands out.
+    fn ctx(&self) -> ExecContext<'a> {
+        ExecContext {
+            server: self.server,
+            c_a: self.c_a,
+            retry: self.retry,
+        }
     }
 
     fn query(&self) -> &MultiJoinQuery {
@@ -252,10 +270,15 @@ impl<'a> MultiExecutor<'a> {
                     .map(|(v, &f)| SearchExpr::term_in(v, f)),
             );
             let expr = SearchExpr::and(conj);
-            let ids = self.server.probe(&expr)?;
-            if !ids.is_empty() {
-                for r in rows {
-                    keep[r] = true;
+            // Probing prunes; it never decides membership. When the server
+            // stays down past the retry budget the outcome is unknown, so
+            // the group is kept and the downstream text join settles it.
+            match self.ctx().try_probe(&expr) {
+                Some(ids) if ids.is_empty() => {}
+                _ => {
+                    for r in rows {
+                        keep[r] = true;
+                    }
                 }
             }
         }
@@ -358,10 +381,7 @@ impl<'a> MultiExecutor<'a> {
             selections: self.selections(),
             projection: self.text_join_projection(preds.len()),
         };
-        let ctx = ExecContext {
-            server: self.server,
-            c_a: self.c_a,
-        };
+        let ctx = self.ctx();
         let outcome = match method {
             MethodKind::Ts => tuple_substitution(&ctx, &fj, true)?,
             MethodKind::Rtp => relational_text_processing(&ctx, &fj)?,
@@ -391,15 +411,16 @@ impl<'a> MultiExecutor<'a> {
                 .map(|s| SearchExpr::term_in(&s.term, s.field))
                 .collect(),
         );
-        let result = self.server.search(&expr)?;
-        doc_table(self.server, &result.ids(), self.text_schema())
+        let ctx = self.ctx();
+        let result = ctx.search(&expr)?;
+        doc_table(&ctx, &result.ids(), self.text_schema())
     }
 }
 
 /// Materializes documents as a relation `(docid, field…)`, retrieving the
-/// long forms (charged).
+/// long forms (charged, with the context's retry policy).
 pub fn doc_table(
-    server: &TextServer,
+    ctx: &ExecContext<'_>,
     ids: &[DocId],
     text_schema: &TextSchema,
 ) -> Result<Table, MethodError> {
@@ -410,7 +431,7 @@ pub fn doc_table(
     }
     let mut out = Table::new("mercury", schema);
     for &id in ids {
-        let doc = server.retrieve(id)?;
+        let doc = ctx.retrieve(id)?;
         let mut vals = vec![Value::str(id.to_string())];
         for (fid, _) in text_schema.iter() {
             let vs = doc.values(fid);
@@ -659,7 +680,8 @@ mod tests {
     #[test]
     fn doc_table_materializes_fields() {
         let (_, server) = fixture();
-        let t = doc_table(&server, &[DocId(0), DocId(2)], server.collection().schema()).unwrap();
+        let ctx = ExecContext::new(&server);
+        let t = doc_table(&ctx, &[DocId(0), DocId(2)], server.collection().schema()).unwrap();
         assert_eq!(t.len(), 2);
         let au = t.schema().column_by_name("author").unwrap();
         assert_eq!(t.rows()[0].get(au).as_str(), Some("Gravano; Garcia"));

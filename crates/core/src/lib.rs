@@ -26,5 +26,6 @@ pub mod exec;
 pub mod methods;
 pub mod optimizer;
 pub mod query;
+pub mod retry;
 pub mod runtime;
 pub mod stats;

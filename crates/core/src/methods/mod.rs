@@ -27,9 +27,12 @@ use textjoin_rel::schema::{ColId, RelSchema};
 use textjoin_rel::table::Table;
 use textjoin_rel::tuple::Tuple;
 use textjoin_rel::value::{Value, ValueType};
+use textjoin_text::batch::BatchResult;
 use textjoin_text::doc::{DocId, Document, FieldId, ShortDoc, TextSchema};
 use textjoin_text::expr::SearchExpr;
-use textjoin_text::server::{TextError, TextServer, Usage};
+use textjoin_text::server::{SearchResult, TextError, TextServer, Usage};
+
+use crate::retry::RetryPolicy;
 
 /// What the query projects — determines how much document data a method
 /// must ship.
@@ -107,24 +110,73 @@ impl From<TextError> for MethodError {
     }
 }
 
-/// Execution context shared by the methods: the metered text server plus
-/// the relational text-processing cost constant `c_a` (sec per
-/// document–tuple comparison), which the relational side charges.
+/// Execution context shared by the methods: the metered text server, the
+/// relational text-processing cost constant `c_a` (sec per document–tuple
+/// comparison), and the retry policy applied to every server operation.
+///
+/// Methods reach the server through the retrying wrappers below
+/// ([`search`](Self::search), [`probe`](Self::probe), …) instead of calling
+/// `ctx.server.*` directly, so transient faults are absorbed uniformly and
+/// their simulated backoff is charged into the same [`Usage`] ledger the
+/// cost decomposition audits.
 #[derive(Clone, Copy)]
 pub struct ExecContext<'a> {
     /// The text server.
     pub server: &'a TextServer,
     /// Relational text-processing cost per document–tuple comparison.
     pub c_a: f64,
+    /// Retry schedule for transient text-server faults.
+    pub retry: RetryPolicy,
 }
 
 impl<'a> ExecContext<'a> {
-    /// Context with the default `c_a` of 1e-5 sec/comparison.
+    /// Context with the default `c_a` of 1e-5 sec/comparison and the
+    /// standard retry policy.
     pub fn new(server: &'a TextServer) -> Self {
         Self {
             server,
             c_a: 1e-5,
+            retry: RetryPolicy::standard(),
         }
+    }
+
+    /// Context with an explicit retry policy.
+    pub fn with_retry(server: &'a TextServer, retry: RetryPolicy) -> Self {
+        Self {
+            server,
+            c_a: 1e-5,
+            retry,
+        }
+    }
+
+    /// Retrying [`TextServer::search`].
+    pub fn search(&self, expr: &SearchExpr) -> Result<SearchResult, TextError> {
+        self.retry.run(self.server, || self.server.search(expr))
+    }
+
+    /// Retrying [`TextServer::probe`].
+    pub fn probe(&self, expr: &SearchExpr) -> Result<Vec<DocId>, TextError> {
+        self.retry.run(self.server, || self.server.probe(expr))
+    }
+
+    /// Degrading probe: probing is an optimization, never a correctness
+    /// requirement, so when the server stays down past the retry budget
+    /// this returns `None` ("outcome unknown — don't prune") instead of
+    /// failing the whole method.
+    pub fn try_probe(&self, expr: &SearchExpr) -> Option<Vec<DocId>> {
+        self.probe(expr).ok()
+    }
+
+    /// Retrying [`TextServer::retrieve`].
+    pub fn retrieve(&self, id: DocId) -> Result<Document, TextError> {
+        self.retry.run(self.server, || self.server.retrieve(id))
+    }
+
+    /// Retrying [`TextServer::search_batch`]. The batch façade validates
+    /// caps before charging, so a transient fault fails (and retries) the
+    /// whole batch.
+    pub fn search_batch(&self, exprs: &[SearchExpr]) -> Result<BatchResult, TextError> {
+        self.retry.run(self.server, || self.server.search_batch(exprs))
     }
 }
 

@@ -107,15 +107,19 @@ fn probe_first_ts(
         let expr = fj
             .instantiated_search(t, probe_cols)
             .expect("key_values succeeded");
-        let ids = ctx.server.probe(&expr)?;
-        cache.record(
-            key,
-            if ids.is_empty() {
-                ProbeOutcome::Fail
-            } else {
-                ProbeOutcome::Success
-            },
-        );
+        // A probe is an optimization, not a correctness requirement: if the
+        // server stays down past the retry budget, leave the key
+        // unrecorded — outcome unknown, so phase 2 will not prune on it.
+        if let Some(ids) = ctx.try_probe(&expr) {
+            cache.record(
+                key,
+                if ids.is_empty() {
+                    ProbeOutcome::Fail
+                } else {
+                    ProbeOutcome::Success
+                },
+            );
+        }
     }
 
     // Phase 2: tuple substitution for tuples whose probe succeeded. If the
@@ -128,7 +132,8 @@ fn probe_first_ts(
         let Some(probe_key) = fj.key_values(t, probe_cols) else {
             continue;
         };
-        if cache.lookup(&probe_key) != Some(ProbeOutcome::Success) {
+        // Only a *proven* fail prunes; an unknown outcome substitutes.
+        if cache.lookup(&probe_key) == Some(ProbeOutcome::Fail) {
             continue;
         }
         let Some(expr) = fj.instantiated_search(t, &all) else {
@@ -137,7 +142,7 @@ fn probe_first_ts(
         // When the probe was total, its success already implies a match,
         // but we still need the result set; one search either way.
         let _ = full_query_needed;
-        let result = ctx.server.search(&expr)?;
+        let result = ctx.search(&expr)?;
         if result.is_empty() {
             continue;
         }
@@ -182,7 +187,7 @@ fn lazy_ts(
         let Some(expr) = fj.instantiated_search(t, &all) else {
             continue;
         };
-        let result = ctx.server.search(&expr)?;
+        let result = ctx.search(&expr)?;
         if !result.is_empty() {
             // Query success implies probe success: record without sending.
             cache.record(probe_key, ProbeOutcome::Success);
@@ -200,15 +205,18 @@ fn lazy_ts(
         let probe_expr = fj
             .instantiated_search(t, probe_cols)
             .expect("key_values succeeded");
-        let ids = ctx.server.probe(&probe_expr)?;
-        cache.record(
-            probe_key,
-            if ids.is_empty() {
-                ProbeOutcome::Fail
-            } else {
-                ProbeOutcome::Success
-            },
-        );
+        // Unknown probe outcome stays uncached: the next tuple with this
+        // key substitutes (and may retry the probe) instead of pruning.
+        if let Some(ids) = ctx.try_probe(&probe_expr) {
+            cache.record(
+                probe_key,
+                if ids.is_empty() {
+                    ProbeOutcome::Fail
+                } else {
+                    ProbeOutcome::Success
+                },
+            );
+        }
     }
 
     let rows = out.len();
@@ -262,7 +270,7 @@ fn ordered_ts(
                 i += 1;
                 continue;
             };
-            let result = ctx.server.search(&expr)?;
+            let result = ctx.search(&expr)?;
             if !result.is_empty() {
                 probe_known_ok = true;
                 let docs = fetch_for_projection(ctx, fj, &result.docs)?;
@@ -275,11 +283,15 @@ fn ordered_ts(
                 let probe_expr = fj
                     .instantiated_search(t, probe_cols)
                     .expect("key_values succeeded");
-                let ids = ctx.server.probe(&probe_expr)?;
-                if ids.is_empty() {
-                    break; // the whole probe group is fail-queries
+                match ctx.try_probe(&probe_expr) {
+                    Some(ids) if ids.is_empty() => {
+                        break; // the whole probe group is fail-queries
+                    }
+                    // Success — or unknown: without a proven fail the rest
+                    // of the group must substitute, and re-probing could
+                    // save nothing, so stop probing this group either way.
+                    _ => probe_known_ok = true,
                 }
-                probe_known_ok = true;
             }
             i += 1;
         }
@@ -320,16 +332,19 @@ pub fn probe_rtp(
         let expr = fj
             .instantiated_search(t, probe_cols)
             .expect("key_values succeeded");
-        let ids = ctx.server.probe(&expr)?;
-        cache.record(
-            key,
-            if ids.is_empty() {
-                ProbeOutcome::Fail
-            } else {
-                ProbeOutcome::Success
-            },
-        );
-        matched.extend(ids);
+        // A key whose probe stays unknown is left unrecorded; phase 3
+        // degrades it to per-key tuple substitution instead of pruning.
+        if let Some(ids) = ctx.try_probe(&expr) {
+            cache.record(
+                key,
+                if ids.is_empty() {
+                    ProbeOutcome::Fail
+                } else {
+                    ProbeOutcome::Success
+                },
+            );
+            matched.extend(ids);
+        }
     }
 
     // Phase 2: fetch candidate documents. The probes shipped only docids
@@ -343,7 +358,7 @@ pub fn probe_rtp(
     let mut long_docs: HashMap<DocId, Document> = HashMap::new();
     if need_long {
         for &id in &matched {
-            long_docs.insert(id, ctx.server.retrieve(id)?);
+            long_docs.insert(id, ctx.retrieve(id)?);
         }
     } else {
         // The short forms were already transmitted as probe result sets;
@@ -361,26 +376,51 @@ pub fn probe_rtp(
     }
 
     // Phase 3: relational matching of candidates against surviving tuples.
+    // A key whose probe outcome stayed unknown degrades to tuple
+    // substitution for just that key: the full query is sent (once per
+    // distinct join key) and its results emitted directly.
+    let all = fj.all_preds();
+    let mut ts_fallback: HashMap<Vec<String>, Vec<(DocId, Document)>> = HashMap::new();
     let mut comparisons = 0u64;
     for t in fj.rel.iter() {
         let Some(probe_key) = fj.key_values(t, probe_cols) else {
             continue;
         };
-        if cache.lookup(&probe_key) != Some(ProbeOutcome::Success) {
-            continue;
-        }
-        let mut hits: Vec<(DocId, Document)> = Vec::new();
-        for &id in &matched {
-            let is_match = if need_long {
-                fj.rel_match_long(t, &long_docs[&id], &mut comparisons)
-            } else {
-                fj.rel_match_short(t, &short_docs[&id], &mut comparisons)
-            };
-            if is_match {
-                hits.push((id, long_docs.get(&id).cloned().unwrap_or_default()));
+        match cache.lookup(&probe_key) {
+            Some(ProbeOutcome::Fail) => continue,
+            Some(ProbeOutcome::Success) => {
+                let mut hits: Vec<(DocId, Document)> = Vec::new();
+                for &id in &matched {
+                    let is_match = if need_long {
+                        fj.rel_match_long(t, &long_docs[&id], &mut comparisons)
+                    } else {
+                        fj.rel_match_short(t, &short_docs[&id], &mut comparisons)
+                    };
+                    if is_match {
+                        hits.push((id, long_docs.get(&id).cloned().unwrap_or_default()));
+                    }
+                }
+                fj.emit(&mut out, text_schema, t, &hits);
+            }
+            None => {
+                let Some(full_key) = fj.key_values(t, &all) else {
+                    continue;
+                };
+                let docs = match ts_fallback.get(&full_key) {
+                    Some(docs) => docs.clone(),
+                    None => {
+                        let expr = fj
+                            .instantiated_search(t, &all)
+                            .expect("key_values succeeded");
+                        let result = ctx.search(&expr)?;
+                        let docs = fetch_for_projection(ctx, fj, &result.docs)?;
+                        ts_fallback.insert(full_key, docs.clone());
+                        docs
+                    }
+                };
+                fj.emit(&mut out, text_schema, t, &docs);
             }
         }
-        fj.emit(&mut out, text_schema, t, &hits);
     }
 
     let rows = out.len();
@@ -405,7 +445,7 @@ fn fetch_for_projection(
     match fj.projection {
         Projection::Full => docs
             .iter()
-            .map(|d| Ok((d.id, ctx.server.retrieve(d.id)?)))
+            .map(|d| Ok((d.id, ctx.retrieve(d.id)?)))
             .collect(),
         _ => Ok(docs.iter().map(|d| (d.id, Document::new())).collect()),
     }

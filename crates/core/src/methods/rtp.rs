@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use textjoin_text::doc::{DocId, Document};
+use textjoin_text::server::{SearchResult, Usage};
 
 use super::{report, ExecContext, ForeignJoin, MethodError, MethodOutcome, Projection};
 
@@ -25,12 +26,35 @@ pub fn relational_text_processing(
         ));
     }
     let before = ctx.server.usage();
-    let text_schema = ctx.server.collection().schema();
-    let mut out = fj.output_table(text_schema, "RTP");
 
     // One search carrying only the text selections.
     let sel = fj.selections_expr().expect("selections checked non-empty");
-    let result = ctx.server.search(&sel)?;
+    let result = ctx.search(&sel)?;
+    complete(ctx, fj, result, &before)
+}
+
+/// RTP completion from a selection search that was *already transmitted*
+/// (and charged). The guarded executor counts the candidate set before
+/// committing to the fetch; threading its result through here means the
+/// selection search is billed exactly once.
+pub fn rtp_with_candidates(
+    ctx: &ExecContext<'_>,
+    fj: &ForeignJoin<'_>,
+    result: SearchResult,
+) -> Result<MethodOutcome, MethodError> {
+    fj.validate()?;
+    let before = ctx.server.usage();
+    complete(ctx, fj, result, &before)
+}
+
+fn complete(
+    ctx: &ExecContext<'_>,
+    fj: &ForeignJoin<'_>,
+    result: SearchResult,
+    before: &Usage,
+) -> Result<MethodOutcome, MethodError> {
+    let text_schema = ctx.server.collection().schema();
+    let mut out = fj.output_table(text_schema, "RTP");
 
     // Decide whether short forms suffice for the relational matching.
     let need_long =
@@ -39,7 +63,7 @@ pub fn relational_text_processing(
         result
             .ids()
             .into_iter()
-            .map(|id| Ok((id, ctx.server.retrieve(id)?)))
+            .map(|id| Ok((id, ctx.retrieve(id)?)))
             .collect::<Result<_, MethodError>>()?
     } else {
         HashMap::new()
@@ -64,7 +88,7 @@ pub fn relational_text_processing(
     let rows = out.len();
     Ok(MethodOutcome {
         table: out,
-        report: report("RTP", ctx, &before, comparisons, rows),
+        report: report("RTP", ctx, before, comparisons, rows),
     })
 }
 

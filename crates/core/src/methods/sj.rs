@@ -13,11 +13,12 @@
 //! semi-join). For other projections the matched documents are fetched and
 //! matched back to tuples relationally — SJ+RTP.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use textjoin_rel::ops::group_by;
 use textjoin_text::doc::{DocId, Document, ShortDoc};
 use textjoin_text::expr::SearchExpr;
+use textjoin_text::server::TextError;
 
 use super::{report, ExecContext, ForeignJoin, MethodError, MethodOutcome, Projection};
 
@@ -70,10 +71,32 @@ pub fn semi_join(
         })
         .collect();
 
-    // Send the packed disjunctions.
+    // Send the packed disjunctions through a work queue rather than fixed
+    // chunks: the server may renegotiate its term cap mid-join
+    // (`CapReduced`), so capacity is recomputed from the live cap before
+    // every send, oversized packages are split proactively, and a package
+    // the server still refuses (`TooManyTerms` / `CapReduced`) is halved
+    // and requeued. Degradation bottoms out at single conjuncts — if one
+    // conjunct cannot fit, no packaging can, and the error surfaces.
     let mut matched: BTreeSet<DocId> = BTreeSet::new();
     let mut short_docs: HashMap<DocId, ShortDoc> = HashMap::new();
-    for chunk in groups.chunks(per.max(1)) {
+    let mut queue: VecDeque<Vec<(Vec<String>, Vec<usize>)>> = VecDeque::new();
+    if !groups.is_empty() {
+        queue.push_back(groups);
+    }
+    while let Some(mut chunk) = queue.pop_front() {
+        let m_now = ctx.server.max_terms();
+        let per_now = conjuncts_per_search(m_now, k, sel_terms);
+        if per_now == 0 {
+            return Err(MethodError::NotApplicable(format!(
+                "term cap {m_now} cannot fit a conjunct of {k} join terms \
+                 plus {sel_terms} selections"
+            )));
+        }
+        if chunk.len() > per_now {
+            let rest = chunk.split_off(per_now);
+            queue.push_front(rest);
+        }
         let disjuncts: Vec<SearchExpr> = chunk
             .iter()
             .map(|(key, _)| fj.instantiated_conjunct(&all, key))
@@ -83,10 +106,21 @@ pub fn semi_join(
             Some(sel) => SearchExpr::and(vec![sel, body]),
             None => body,
         };
-        let result = ctx.server.search(&expr)?;
-        for d in result.docs {
-            matched.insert(d.id);
-            short_docs.entry(d.id).or_insert(d);
+        match ctx.search(&expr) {
+            Ok(result) => {
+                for d in result.docs {
+                    matched.insert(d.id);
+                    short_docs.entry(d.id).or_insert(d);
+                }
+            }
+            Err(TextError::TooManyTerms { .. } | TextError::CapReduced { .. })
+                if chunk.len() > 1 =>
+            {
+                let back = chunk.split_off(chunk.len() / 2);
+                queue.push_front(back);
+                queue.push_front(chunk);
+            }
+            Err(e) => return Err(e.into()),
         }
     }
 
@@ -114,7 +148,7 @@ pub fn semi_join(
     let long_docs: HashMap<DocId, Document> = if need_long {
         matched
             .iter()
-            .map(|&id| Ok((id, ctx.server.retrieve(id)?)))
+            .map(|&id| Ok((id, ctx.retrieve(id)?)))
             .collect::<Result<_, MethodError>>()?
     } else {
         HashMap::new()

@@ -47,7 +47,7 @@ pub fn tuple_substitution(
         let Some(expr) = fj.instantiated_search(first, &all) else {
             continue; // NULL/empty join value: cannot match, no search sent
         };
-        let result = ctx.server.search(&expr)?;
+        let result = ctx.search(&expr)?;
         if result.is_empty() {
             continue;
         }
@@ -57,7 +57,7 @@ pub fn tuple_substitution(
             Projection::Full => result
                 .ids()
                 .into_iter()
-                .map(|id| Ok((id, ctx.server.retrieve(id)?)))
+                .map(|id| Ok((id, ctx.retrieve(id)?)))
                 .collect::<Result<_, MethodError>>()?,
             _ => result
                 .ids()
@@ -119,7 +119,7 @@ pub fn tuple_substitution_batched(
 
     for chunk in units.chunks(batch_size) {
         let exprs: Vec<SearchExpr> = chunk.iter().map(|(e, _)| e.clone()).collect();
-        let batch = ctx.server.search_batch(&exprs)?;
+        let batch = ctx.search_batch(&exprs)?;
         for ((_, rows), result) in chunk.iter().zip(&batch.results) {
             if result.is_empty() {
                 continue;
@@ -128,7 +128,7 @@ pub fn tuple_substitution_batched(
                 Projection::Full => result
                     .ids()
                     .into_iter()
-                    .map(|id| Ok((id, ctx.server.retrieve(id)?)))
+                    .map(|id| Ok((id, ctx.retrieve(id)?)))
                     .collect::<Result<_, MethodError>>()?,
                 _ => result
                     .ids()

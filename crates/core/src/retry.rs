@@ -1,0 +1,186 @@
+//! Deterministic retry with simulated exponential backoff.
+//!
+//! The loose-integration boundary is a WAN (paper, Sections 2.3 and 7):
+//! connection refusals and timeouts are part of the service contract, not
+//! exceptional conditions. This module gives every join method a uniform,
+//! *deterministic* response to them — bounded retries with exponential
+//! backoff whose waiting time is **simulated seconds charged into the
+//! server's [`Usage`] ledger** (`retries` / `time_backoff`), never
+//! wall-clock sleeps. Experiments stay byte-reproducible; the chaos bench
+//! can report fault overhead as exact numbers.
+//!
+//! Only errors whose [`TextError::is_transient`] is true are retried.
+//! Everything else (term-cap violations, cap renegotiation, unknown ids,
+//! parse errors) is deterministic — retrying verbatim cannot help, so the
+//! error surfaces immediately and the caller decides whether to *degrade*
+//! (split the package, fall back to TS, skip the probe) instead.
+
+use textjoin_text::server::{TextError, TextServer};
+
+/// Bounded-attempt retry schedule with exponential simulated backoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = never retry).
+    pub max_attempts: u32,
+    /// Simulated seconds waited after the first failed attempt.
+    pub base_backoff: f64,
+    /// Multiplier applied per further failure (2.0 = classic doubling).
+    pub multiplier: f64,
+    /// Ceiling on any single wait.
+    pub max_backoff: f64,
+}
+
+impl RetryPolicy {
+    /// Up to 4 attempts, waiting 1s, 2s, 4s (capped at 30s). Paired with
+    /// fault plans whose `max_consecutive < 4`, every operation succeeds.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: 1.0,
+            multiplier: 2.0,
+            max_backoff: 30.0,
+        }
+    }
+
+    /// One attempt, no retries, no backoff charges — pre-fault behavior.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: 0.0,
+            multiplier: 1.0,
+            max_backoff: 0.0,
+        }
+    }
+
+    /// Simulated wait after `failed_attempts` consecutive failures (≥ 1).
+    pub fn backoff_after(&self, failed_attempts: u32) -> f64 {
+        let exp = self.multiplier.powi(failed_attempts.saturating_sub(1) as i32);
+        (self.base_backoff * exp).min(self.max_backoff)
+    }
+
+    /// Runs `op`, retrying transient failures up to `max_attempts` total
+    /// tries. Each wait is charged to `server`'s ledger via
+    /// [`TextServer::charge_backoff`]. Non-transient errors and the final
+    /// transient error pass through unchanged.
+    pub fn run<T>(
+        &self,
+        server: &TextServer,
+        mut op: impl FnMut() -> Result<T, TextError>,
+    ) -> Result<T, TextError> {
+        let attempts = self.max_attempts.max(1);
+        let mut failed = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && failed + 1 < attempts => {
+                    failed += 1;
+                    server.charge_backoff(self.backoff_after(failed));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use textjoin_text::doc::{Document, TextSchema};
+    use textjoin_text::faults::{Fault, FaultPlan};
+    use textjoin_text::index::Collection;
+    use textjoin_text::parse::parse_search;
+
+    fn server_with(plan: FaultPlan) -> TextServer {
+        let schema = TextSchema::bibliographic();
+        let ti = schema.field_by_name("title").unwrap();
+        let mut c = Collection::new(schema);
+        c.add_document(Document::new().with(ti, "Query Processing"));
+        let mut s = TextServer::new(c);
+        s.set_fault_plan(plan);
+        s
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_and_capped() {
+        let p = RetryPolicy::standard();
+        assert_eq!(p.backoff_after(1), 1.0);
+        assert_eq!(p.backoff_after(2), 2.0);
+        assert_eq!(p.backoff_after(3), 4.0);
+        assert_eq!(p.backoff_after(10), 30.0, "capped at max_backoff");
+    }
+
+    #[test]
+    fn retries_through_transient_faults_and_charges_backoff() {
+        // Ops 0 and 1 fault; op 2 (third attempt) succeeds.
+        let s = server_with(FaultPlan::scripted(vec![
+            (0, Fault::Unavailable),
+            (1, Fault::Timeout { after_postings: 7 }),
+        ]));
+        let expr = parse_search("TI='query'", s.collection().schema()).unwrap();
+        let policy = RetryPolicy::standard();
+        let r = policy.run(&s, || s.search(&expr)).expect("third try wins");
+        assert_eq!(r.len(), 1);
+        let u = s.usage();
+        assert_eq!(u.faults, 2);
+        assert_eq!(u.retries, 2);
+        assert_eq!(u.invocations, 3, "two failed attempts + one success");
+        assert!((u.time_backoff - (1.0 + 2.0)).abs() < 1e-9);
+        // Decomposition stays exact: 3 c_i + postings + short + backoff.
+        let c = s.constants();
+        let expected = c.c_i * 3.0
+            + c.c_p * u.postings_processed as f64
+            + c.c_s * u.docs_short as f64
+            + u.time_backoff;
+        assert!((u.total_cost() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_last_transient_error() {
+        let s = server_with(FaultPlan::scripted(vec![
+            (0, Fault::Unavailable),
+            (1, Fault::Unavailable),
+            (2, Fault::Unavailable),
+            (3, Fault::Unavailable),
+        ]));
+        let expr = parse_search("TI='query'", s.collection().schema()).unwrap();
+        let err = RetryPolicy::standard()
+            .run(&s, || s.search(&expr))
+            .unwrap_err();
+        assert!(matches!(err, TextError::Unavailable));
+        let u = s.usage();
+        assert_eq!(u.invocations, 4, "all four attempts charged");
+        assert_eq!(u.retries, 3, "three waits between four attempts");
+    }
+
+    #[test]
+    fn non_transient_errors_pass_through_without_retry() {
+        let s = server_with(FaultPlan::scripted(vec![(
+            0,
+            Fault::CapReduced { new_m: 4 },
+        )]));
+        let expr = parse_search("TI='query'", s.collection().schema()).unwrap();
+        let err = RetryPolicy::standard()
+            .run(&s, || s.search(&expr))
+            .unwrap_err();
+        assert!(matches!(err, TextError::CapReduced { new_m: 4 }));
+        let u = s.usage();
+        assert_eq!(u.invocations, 1, "no second attempt");
+        assert_eq!(u.retries, 0);
+    }
+
+    #[test]
+    fn policy_none_never_retries() {
+        let s = server_with(FaultPlan::scripted(vec![(0, Fault::Unavailable)]));
+        let expr = parse_search("TI='query'", s.collection().schema()).unwrap();
+        let err = RetryPolicy::none().run(&s, || s.search(&expr)).unwrap_err();
+        assert!(matches!(err, TextError::Unavailable));
+        assert_eq!(s.usage().retries, 0);
+        assert_eq!(s.usage().time_backoff, 0.0);
+    }
+}

@@ -18,6 +18,7 @@ use std::collections::BTreeSet;
 use textjoin_rel::table::Table;
 use textjoin_text::doc::DocId;
 use textjoin_text::expr::SearchExpr;
+use textjoin_text::server::TextError;
 
 use crate::methods::cache::{ProbeCache, ProbeOutcome};
 use crate::methods::ts::tuple_substitution;
@@ -60,15 +61,31 @@ pub fn guarded_rtp(
     }
     let before = ctx.server.usage();
     let sel = fj.selections_expr().expect("selections checked non-empty");
-    let result = ctx.server.search(&sel)?;
+    let result = match ctx.search(&sel) {
+        Ok(r) => r,
+        // The guard's selection search could not be completed — the server
+        // stayed down past the retry budget, or renegotiated its term cap
+        // below the selection. Degrade to tuple substitution instead of
+        // failing the query; the failed attempts stay on the meter.
+        Err(e) if e.is_transient() || matches!(e, TextError::CapReduced { .. }) => {
+            let mut out = tuple_substitution(ctx, fj, true)?;
+            out.report.text = ctx.server.usage().since(&before);
+            out.report.method = "RTP→TS".into();
+            return Ok(GuardedOutcome {
+                outcome: out,
+                verdict: GuardVerdict::FellBackToTs,
+                candidates_seen: 0,
+            });
+        }
+        Err(e) => return Err(e.into()),
+    };
     let candidates = result.len();
 
     if candidates <= doc_budget {
-        // Within budget: complete RTP. The candidate search is re-used by
-        // the method-internal logic at the price of one repeated search —
-        // kept simple and charged honestly; the guard's overhead is the
-        // point of measuring it.
-        let mut out = crate::methods::rtp::relational_text_processing(ctx, fj)?;
+        // Within budget: complete RTP from the candidate set the guard
+        // already has in hand — the selection search is billed exactly
+        // once (`rtp_with_candidates`).
+        let mut out = crate::methods::rtp::rtp_with_candidates(ctx, fj, result)?;
         out.report.text = ctx.server.usage().since(&before);
         out.report.method = "RTP(guarded)".into();
         return Ok(GuardedOutcome {
@@ -119,16 +136,23 @@ pub fn guarded_probe_rtp(
         let expr: SearchExpr = fj
             .instantiated_search(t, probe_cols)
             .expect("key_values succeeded");
-        let ids = ctx.server.probe(&expr)?;
-        cache.record(
-            key,
-            if ids.is_empty() {
-                ProbeOutcome::Fail
-            } else {
-                ProbeOutcome::Success
-            },
-        );
-        matched.extend(ids);
+        match ctx.try_probe(&expr) {
+            Some(ids) => {
+                cache.record(
+                    key,
+                    if ids.is_empty() {
+                        ProbeOutcome::Fail
+                    } else {
+                        ProbeOutcome::Success
+                    },
+                );
+                matched.extend(ids);
+            }
+            // Probe outcome unknown: never prune without a proven fail, so
+            // the key is kept. Its candidate documents stay uncounted; the
+            // primary path re-probes with its own degradation if chosen.
+            None => cache.record(key, ProbeOutcome::Success),
+        }
     }
     let candidates = matched.len();
 
@@ -203,6 +227,35 @@ mod tests {
         assert_eq!(g.verdict, GuardVerdict::PrimaryCompleted);
         assert_eq!(g.candidates_seen, 2); // two 'text'-titled docs
         assert_eq!(g.outcome.table.len(), 2);
+        // The guard threads its candidate search through the completion:
+        // one search total, not a repeated one.
+        assert_eq!(g.outcome.report.text.invocations, 1);
+    }
+
+    #[test]
+    fn guarded_rtp_degrades_to_ts_when_selection_search_stays_down() {
+        use textjoin_text::faults::{Fault, FaultPlan};
+        use textjoin_text::server::TextServer;
+
+        let rel = student();
+        let base = corpus();
+        let mut server = TextServer::new(base.collection().clone());
+        // The first 4 search ops (= the guard's selection search and all
+        // its retries) fail; everything after succeeds, so the TS fallback
+        // runs cleanly.
+        server.set_fault_plan(FaultPlan::scripted(vec![
+            (0, Fault::Unavailable),
+            (1, Fault::Unavailable),
+            (2, Fault::Unavailable),
+            (3, Fault::Unavailable),
+        ]));
+        let ctx = ExecContext::new(&server);
+        let fj = selection_join(&rel, &server);
+        let g = guarded_rtp(&ctx, &fj, 100).unwrap();
+        assert_eq!(g.verdict, GuardVerdict::FellBackToTs);
+        assert_eq!(g.outcome.report.method, "RTP→TS");
+        assert_eq!(g.outcome.table.len(), 2, "same answer as clean RTP");
+        assert_eq!(g.outcome.report.text.faults, 4);
     }
 
     #[test]

@@ -1,0 +1,395 @@
+//! Deterministic fault injection for the text server.
+//!
+//! The paper's loose integration reaches Mercury over a WAN (Sections 2.3
+//! and 7); a remote Boolean service refuses connections, times out
+//! mid-scan, and renegotiates its term cap `M` under load. A [`FaultPlan`]
+//! scripts those misbehaviors *deterministically*: the same seed produces
+//! the same fault sequence on every run, so chaos experiments stay
+//! byte-reproducible (the repo-wide determinism invariant).
+//!
+//! Faults only ever make an operation *fail* — they never corrupt a result
+//! set. That is what makes the chaos oracle provable: any completed search
+//! is a correct search, so a retrying client either converges on the exact
+//! brute-force answer or surfaces a clean error.
+//!
+//! Charging semantics live in [`crate::server::TextServer`]; the plan only
+//! decides *whether* and *how* the next operation fails.
+
+use std::cell::RefCell;
+use std::fmt;
+
+/// One injected misbehavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Connection refused / service busy. Transient: the identical call can
+    /// succeed a moment later.
+    Unavailable,
+    /// The server started processing, read `after_postings` postings, then
+    /// gave up. Transient, but the partial work is still charged.
+    Timeout {
+        /// Postings processed (and charged) before the deadline hit.
+        after_postings: u64,
+    },
+    /// The server renegotiated its basic-term cap down to `new_m`
+    /// mid-flight (real Boolean services did this under load). Permanent
+    /// for the current cap: retrying the same search verbatim cannot help,
+    /// the client must re-package.
+    CapReduced {
+        /// The new, lower cap `M`.
+        new_m: usize,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Unavailable => write!(f, "unavailable"),
+            Fault::Timeout { after_postings } => {
+                write!(f, "timeout after {after_postings} postings")
+            }
+            Fault::CapReduced { new_m } => write!(f, "cap reduced to {new_m}"),
+        }
+    }
+}
+
+/// Which fault kinds a random plan may draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultKinds {
+    pub unavailable: bool,
+    pub timeout: bool,
+    pub cap_reduced: bool,
+}
+
+impl FaultKinds {
+    /// Only faults a bounded retry loop provably recovers from.
+    pub fn transient_only() -> Self {
+        FaultKinds {
+            unavailable: true,
+            timeout: true,
+            cap_reduced: false,
+        }
+    }
+
+    /// Everything, including cap renegotiation.
+    pub fn all() -> Self {
+        FaultKinds {
+            unavailable: true,
+            timeout: true,
+            cap_reduced: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PlanState {
+    rng: u64,
+    /// Consecutive faults injected without an intervening success.
+    consecutive: u32,
+    injected: u64,
+}
+
+/// A seeded, deterministic schedule of server misbehavior.
+///
+/// Two modes:
+/// * **random** ([`FaultPlan::transient`], [`FaultPlan::chaos`]): each
+///   operation faults with probability `rate`, drawn from a splitmix64
+///   stream. `max_consecutive` bounds runs of back-to-back faults; any
+///   retry policy allowing more attempts than that bound is guaranteed to
+///   get through.
+/// * **scripted** ([`FaultPlan::scripted`]): exact faults at exact search
+///   ordinals, for surgically reproducing a scenario in tests.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rate: f64,
+    kinds: FaultKinds,
+    /// 0 = unbounded.
+    max_consecutive: u32,
+    /// `(search ordinal, fault)` pairs, sorted; consulted instead of the
+    /// random stream when non-empty.
+    script: Vec<(u64, Fault)>,
+    /// Search ordinal counter for scripted mode (counts every attempt).
+    search_ops: RefCell<u64>,
+    state: RefCell<PlanState>,
+}
+
+impl FaultPlan {
+    /// The no-fault plan: the server behaves exactly as before this module
+    /// existed.
+    pub fn none() -> Self {
+        FaultPlan {
+            rate: 0.0,
+            kinds: FaultKinds::transient_only(),
+            max_consecutive: 0,
+            script: Vec::new(),
+            search_ops: RefCell::new(0),
+            state: RefCell::new(PlanState {
+                rng: 0,
+                consecutive: 0,
+                injected: 0,
+            }),
+        }
+    }
+
+    /// Random transient faults (`Unavailable`/`Timeout` only) at the given
+    /// per-operation `rate`, with at most `max_consecutive` back-to-back
+    /// faults (0 = unbounded). With `max_consecutive < RetryPolicy::
+    /// max_attempts`, every operation eventually succeeds.
+    pub fn transient(seed: u64, rate: f64, max_consecutive: u32) -> Self {
+        Self::random(seed, rate, FaultKinds::transient_only(), max_consecutive)
+    }
+
+    /// Random faults of every kind, including cap renegotiation.
+    pub fn chaos(seed: u64, rate: f64, max_consecutive: u32) -> Self {
+        Self::random(seed, rate, FaultKinds::all(), max_consecutive)
+    }
+
+    /// Random plan with explicit kind selection.
+    pub fn random(seed: u64, rate: f64, kinds: FaultKinds, max_consecutive: u32) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "fault rate out of [0,1]");
+        FaultPlan {
+            rate,
+            kinds,
+            max_consecutive,
+            script: Vec::new(),
+            search_ops: RefCell::new(0),
+            state: RefCell::new(PlanState {
+                rng: seed ^ 0x6a09_e667_f3bc_c908, // offset so seed 0 still mixes
+                consecutive: 0,
+                injected: 0,
+            }),
+        }
+    }
+
+    /// Exact faults at exact search ordinals (0-based, counting every
+    /// search *attempt*, including ones that fault). Retrieve operations
+    /// are never faulted by a scripted plan.
+    pub fn scripted(mut faults: Vec<(u64, Fault)>) -> Self {
+        faults.sort_by_key(|&(op, _)| op);
+        FaultPlan {
+            rate: 0.0,
+            kinds: FaultKinds::all(),
+            max_consecutive: 0,
+            script: faults,
+            search_ops: RefCell::new(0),
+            state: RefCell::new(PlanState {
+                rng: 0,
+                consecutive: 0,
+                injected: 0,
+            }),
+        }
+    }
+
+    /// True when this plan can never inject anything.
+    pub fn is_none(&self) -> bool {
+        self.rate == 0.0 && self.script.is_empty()
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.state.borrow().injected
+    }
+
+    fn next_u64(state: &mut PlanState) -> u64 {
+        state.rng = state.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(state: &mut PlanState) -> f64 {
+        (Self::next_u64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Decides the fate of the next search attempt. `current_m` is the
+    /// server's cap, used to derive a meaningful `CapReduced` target.
+    pub fn next_search_fault(&self, current_m: usize) -> Option<Fault> {
+        if !self.script.is_empty() {
+            let op = {
+                let mut ops = self.search_ops.borrow_mut();
+                let op = *ops;
+                *ops += 1;
+                op
+            };
+            let fault = self
+                .script
+                .iter()
+                .find(|&&(at, _)| at == op)
+                .map(|&(_, f)| f);
+            if fault.is_some() {
+                self.state.borrow_mut().injected += 1;
+            }
+            return fault;
+        }
+        self.draw(|state| {
+            // Uniform choice over the enabled kinds.
+            let mut menu: Vec<u8> = Vec::with_capacity(3);
+            if self.kinds.unavailable {
+                menu.push(0);
+            }
+            if self.kinds.timeout {
+                menu.push(1);
+            }
+            // A cap below 4 would make even single-conjunct packages
+            // unsendable; stop renegotiating at that floor.
+            if self.kinds.cap_reduced && current_m > 4 {
+                menu.push(2);
+            }
+            if menu.is_empty() {
+                return None;
+            }
+            let pick = menu[(Self::next_u64(state) % menu.len() as u64) as usize];
+            Some(match pick {
+                0 => Fault::Unavailable,
+                1 => Fault::Timeout {
+                    after_postings: Self::next_u64(state) % 4096,
+                },
+                _ => Fault::CapReduced {
+                    new_m: (current_m * 2 / 3).max(4),
+                },
+            })
+        })
+    }
+
+    /// Decides the fate of the next retrieve attempt. Retrievals have no
+    /// term cap and their processing is subsumed in `c_l`, so only
+    /// `Unavailable` applies.
+    pub fn next_retrieve_fault(&self) -> Option<Fault> {
+        if !self.script.is_empty() {
+            return None;
+        }
+        if !self.kinds.unavailable {
+            return None;
+        }
+        self.draw(|_| Some(Fault::Unavailable))
+    }
+
+    /// Shared random-mode bookkeeping: rate check, consecutive bound, and
+    /// the success/fault counter updates.
+    fn draw(&self, pick: impl FnOnce(&mut PlanState) -> Option<Fault>) -> Option<Fault> {
+        if self.rate == 0.0 {
+            return None;
+        }
+        let mut state = self.state.borrow_mut();
+        let capped = self.max_consecutive > 0 && state.consecutive >= self.max_consecutive;
+        if capped || Self::unit_f64(&mut state) >= self.rate {
+            state.consecutive = 0;
+            return None;
+        }
+        match pick(&mut state) {
+            Some(fault) => {
+                state.consecutive += 1;
+                state.injected += 1;
+                Some(fault)
+            }
+            None => {
+                state.consecutive = 0;
+                None
+            }
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_faults() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        for _ in 0..1000 {
+            assert_eq!(p.next_search_fault(70), None);
+            assert_eq!(p.next_retrieve_fault(), None);
+        }
+        assert_eq!(p.injected(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let a = FaultPlan::chaos(17, 0.5, 0);
+        let b = FaultPlan::chaos(17, 0.5, 0);
+        for _ in 0..500 {
+            assert_eq!(a.next_search_fault(70), b.next_search_fault(70));
+            assert_eq!(a.next_retrieve_fault(), b.next_retrieve_fault());
+        }
+        assert!(a.injected() > 0, "rate 0.5 over 1000 draws must fault");
+    }
+
+    #[test]
+    fn consecutive_bound_is_respected() {
+        let p = FaultPlan::transient(3, 1.0, 2);
+        let mut run = 0u32;
+        let mut saw_success = false;
+        for _ in 0..300 {
+            match p.next_search_fault(70) {
+                Some(_) => {
+                    run += 1;
+                    assert!(run <= 2, "more than max_consecutive faults in a row");
+                }
+                None => {
+                    run = 0;
+                    saw_success = true;
+                }
+            }
+        }
+        assert!(saw_success, "bound must force successes through");
+    }
+
+    #[test]
+    fn transient_plans_never_touch_the_cap() {
+        let p = FaultPlan::transient(11, 1.0, 0);
+        for _ in 0..500 {
+            if let Some(f) = p.next_search_fault(70) {
+                assert!(
+                    matches!(f, Fault::Unavailable | Fault::Timeout { .. }),
+                    "transient plan drew {f:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cap_reduction_respects_floor() {
+        let p = FaultPlan::random(5, 1.0, FaultKinds::all(), 0);
+        let mut m = 70usize;
+        for _ in 0..200 {
+            if let Some(Fault::CapReduced { new_m }) = p.next_search_fault(m) {
+                assert!(new_m < m, "cap must actually shrink ({new_m} !< {m})");
+                assert!(new_m >= 4);
+                m = new_m;
+            }
+        }
+        // With the floor at 4 the plan stops offering reductions.
+        let at_floor = FaultPlan::random(6, 1.0, FaultKinds::all(), 0);
+        for _ in 0..200 {
+            if let Some(f) = at_floor.next_search_fault(4) {
+                assert!(!matches!(f, Fault::CapReduced { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn scripted_hits_exact_ordinals() {
+        let p = FaultPlan::scripted(vec![
+            (1, Fault::Unavailable),
+            (3, Fault::CapReduced { new_m: 5 }),
+        ]);
+        assert_eq!(p.next_search_fault(70), None); // op 0
+        assert_eq!(p.next_search_fault(70), Some(Fault::Unavailable)); // op 1
+        assert_eq!(p.next_search_fault(70), None); // op 2
+        assert_eq!(
+            p.next_search_fault(70),
+            Some(Fault::CapReduced { new_m: 5 })
+        ); // op 3
+        assert_eq!(p.next_search_fault(70), None); // op 4
+        assert_eq!(p.injected(), 2);
+        assert_eq!(p.next_retrieve_fault(), None);
+    }
+}

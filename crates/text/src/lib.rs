@@ -45,6 +45,7 @@ pub mod batch;
 pub mod doc;
 pub mod eval;
 pub mod expr;
+pub mod faults;
 pub mod index;
 pub mod parse;
 pub mod postings;
@@ -55,5 +56,8 @@ pub mod token;
 
 pub use doc::{DocId, Document, FieldId, TextSchema};
 pub use expr::SearchExpr;
+pub use faults::{Fault, FaultKinds, FaultPlan};
 pub use index::Collection;
-pub use server::{CostConstants, SearchResult, TextError, TextServer, Usage};
+pub use server::{
+    CostConstants, PartialRetrieveError, SearchResult, TextError, TextServer, Usage,
+};

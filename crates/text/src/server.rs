@@ -24,6 +24,7 @@ use std::fmt;
 use crate::doc::{DocId, Document, ShortDoc};
 use crate::eval::evaluate;
 use crate::expr::SearchExpr;
+use crate::faults::{Fault, FaultPlan};
 use crate::index::Collection;
 use crate::parse::{parse_search, ParseError};
 
@@ -88,12 +89,18 @@ pub struct Usage {
     pub time_processing: f64,
     /// Simulated seconds spent transmitting results (both forms).
     pub time_transmission: f64,
+    /// Injected faults observed (each failed attempt also charged above).
+    pub faults: u64,
+    /// Client retries performed after transient faults.
+    pub retries: u64,
+    /// Simulated seconds the client spent backing off between retries.
+    pub time_backoff: f64,
 }
 
 impl Usage {
     /// Total simulated cost in seconds.
     pub fn total_cost(&self) -> f64 {
-        self.time_invocation + self.time_processing + self.time_transmission
+        self.time_invocation + self.time_processing + self.time_transmission + self.time_backoff
     }
 
     /// The difference `self - earlier`, for measuring a sub-operation.
@@ -107,6 +114,9 @@ impl Usage {
             time_invocation: self.time_invocation - earlier.time_invocation,
             time_processing: self.time_processing - earlier.time_processing,
             time_transmission: self.time_transmission - earlier.time_transmission,
+            faults: self.faults - earlier.faults,
+            retries: self.retries - earlier.retries,
+            time_backoff: self.time_backoff - earlier.time_backoff,
         }
     }
 }
@@ -115,7 +125,7 @@ impl fmt::Display for Usage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:.2}s (inv {} = {:.2}s, post {} = {:.2}s, xmit {}s/{}l = {:.2}s)",
+            "{:.2}s (inv {} = {:.2}s, post {} = {:.2}s, xmit {}s/{}l = {:.2}s",
             self.total_cost(),
             self.invocations,
             self.time_invocation,
@@ -124,7 +134,17 @@ impl fmt::Display for Usage {
             self.docs_short,
             self.docs_long,
             self.time_transmission,
-        )
+        )?;
+        // Only rendered when fault injection was active, so fault-free runs
+        // print byte-identically to the pre-fault-model format.
+        if self.faults > 0 || self.retries > 0 || self.time_backoff != 0.0 {
+            write!(
+                f,
+                ", faults {} / retries {} = {:.2}s backoff",
+                self.faults, self.retries, self.time_backoff,
+            )?;
+        }
+        write!(f, ")")
     }
 }
 
@@ -142,6 +162,34 @@ pub enum TextError {
     UnknownDoc(DocId),
     /// The query string failed to parse.
     Parse(ParseError),
+    /// The server refused the connection (injected fault). Transient: the
+    /// connection attempt was still charged `c_i`.
+    Unavailable,
+    /// The server gave up mid-scan after processing (and charging for)
+    /// `postings` postings (injected fault). Transient.
+    Timeout {
+        /// Postings processed — and charged — before the deadline.
+        postings: u64,
+    },
+    /// The server renegotiated its term cap down to `new_m` mid-flight
+    /// (injected fault). Not transient: an identical retry cannot succeed;
+    /// the client must re-package its search under the new cap.
+    CapReduced {
+        /// The cap now in force.
+        new_m: usize,
+    },
+}
+
+impl TextError {
+    /// Whether an *identical* retry of the failed operation can succeed.
+    ///
+    /// `Unavailable` and `Timeout` model momentary server conditions, so a
+    /// bounded retry loop is the right response. Everything else is
+    /// deterministic (cap violations, unknown ids, syntax) — retrying
+    /// verbatim would fail forever, the caller must change the request.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, TextError::Unavailable | TextError::Timeout { .. })
+    }
 }
 
 impl fmt::Display for TextError {
@@ -152,11 +200,50 @@ impl fmt::Display for TextError {
             }
             TextError::UnknownDoc(id) => write!(f, "unknown document {id}"),
             TextError::Parse(e) => write!(f, "{e}"),
+            TextError::Unavailable => write!(f, "text server unavailable (connection refused)"),
+            TextError::Timeout { postings } => {
+                write!(f, "text server timed out after processing {postings} postings")
+            }
+            TextError::CapReduced { new_m } => {
+                write!(f, "text server reduced its term cap to {new_m} mid-query")
+            }
         }
     }
 }
 
 impl std::error::Error for TextError {}
+
+/// Error from [`TextServer::retrieve_all`]: the retrievals completed before
+/// the failure were charged `c_l` each, so their documents are returned
+/// rather than silently dropped (the meter and the result set stay
+/// consistent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialRetrieveError {
+    /// Documents retrieved — and charged — before the failure, in order.
+    pub docs: Vec<Document>,
+    /// The docid whose retrieval failed.
+    pub failed: DocId,
+    /// The underlying failure.
+    pub error: TextError,
+}
+
+impl fmt::Display for PartialRetrieveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retrieve_all failed at document {} after {} retrievals: {}",
+            self.failed,
+            self.docs.len(),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for PartialRetrieveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
 
 impl From<ParseError> for TextError {
     fn from(e: ParseError) -> Self {
@@ -200,10 +287,13 @@ pub const DEFAULT_MAX_TERMS: usize = 70;
 pub struct TextServer {
     coll: Collection,
     constants: CostConstants,
-    max_terms: usize,
+    /// `Cell` because an injected [`Fault::CapReduced`] renegotiates the cap
+    /// through the shared `&self` API.
+    max_terms: Cell<usize>,
     usage: RefCell<Usage>,
     trace: Cell<bool>,
     log: RefCell<Vec<String>>,
+    fault_plan: FaultPlan,
 }
 
 impl TextServer {
@@ -218,21 +308,33 @@ impl TextServer {
         Self {
             coll,
             constants,
-            max_terms: DEFAULT_MAX_TERMS,
+            max_terms: Cell::new(DEFAULT_MAX_TERMS),
             usage: RefCell::new(Usage::default()),
             trace: Cell::new(false),
             log: RefCell::new(Vec::new()),
+            fault_plan: FaultPlan::none(),
         }
     }
 
     /// Sets the per-search basic-term cap `M`.
     pub fn set_max_terms(&mut self, m: usize) {
-        self.max_terms = m;
+        self.max_terms.set(m);
     }
 
-    /// The per-search basic-term cap `M`.
+    /// The per-search basic-term cap `M`. May drop mid-query under a fault
+    /// plan that injects [`Fault::CapReduced`].
     pub fn max_terms(&self) -> usize {
-        self.max_terms
+        self.max_terms.get()
+    }
+
+    /// Installs a fault plan (replaces the default no-fault plan).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// The fault plan in force.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
     }
 
     /// The cost constants in force.
@@ -289,12 +391,15 @@ impl TextServer {
     /// evaluation).
     pub fn search(&self, expr: &SearchExpr) -> Result<SearchResult, TextError> {
         let count = expr.term_count();
-        if count > self.max_terms {
+        if count > self.max_terms.get() {
             self.usage.borrow_mut().rejected += 1;
             return Err(TextError::TooManyTerms {
                 count,
-                max: self.max_terms,
+                max: self.max_terms.get(),
             });
+        }
+        if let Some(fault) = self.fault_plan.next_search_fault(self.max_terms.get()) {
+            return Err(self.charge_search_fault(fault));
         }
         if self.trace.get() {
             self.log
@@ -343,6 +448,17 @@ impl TextServer {
     /// subsumes the per-retrieval connection overhead (Section 4.1 notes
     /// each retrieval needs a separate connection).
     pub fn retrieve(&self, id: DocId) -> Result<Document, TextError> {
+        if self.fault_plan.next_retrieve_fault().is_some() {
+            // A refused retrieval still burned a connection attempt: charge
+            // `c_i` (counted as an invocation so the cost decomposition
+            // stays exact), never the `c_l` of a document that was not
+            // shipped.
+            let mut u = self.usage.borrow_mut();
+            u.faults += 1;
+            u.invocations += 1;
+            u.time_invocation += self.constants.c_i;
+            return Err(TextError::Unavailable);
+        }
         let doc = self
             .coll
             .document(id)
@@ -354,9 +470,61 @@ impl TextServer {
         Ok(doc)
     }
 
-    /// Retrieves many documents, in order.
-    pub fn retrieve_all(&self, ids: &[DocId]) -> Result<Vec<Document>, TextError> {
-        ids.iter().map(|&id| self.retrieve(id)).collect()
+    /// Retrieves many documents, in order. On failure the documents fetched
+    /// (and charged) before the failing id are returned inside the error —
+    /// see [`PartialRetrieveError`] — so no paid-for result is dropped.
+    pub fn retrieve_all(&self, ids: &[DocId]) -> Result<Vec<Document>, Box<PartialRetrieveError>> {
+        let mut docs = Vec::with_capacity(ids.len());
+        for &id in ids {
+            match self.retrieve(id) {
+                Ok(doc) => docs.push(doc),
+                Err(error) => {
+                    return Err(Box::new(PartialRetrieveError {
+                        docs,
+                        failed: id,
+                        error,
+                    }))
+                }
+            }
+        }
+        Ok(docs)
+    }
+
+    /// Books a fault against the meter and maps it to its error. Every
+    /// failed search attempt burned a connection (`c_i`, counted as an
+    /// invocation); a timeout also charges the postings scanned before the
+    /// deadline; a cap renegotiation takes effect immediately.
+    fn charge_search_fault(&self, fault: Fault) -> TextError {
+        let c = &self.constants;
+        let mut u = self.usage.borrow_mut();
+        u.faults += 1;
+        u.invocations += 1;
+        u.time_invocation += c.c_i;
+        match fault {
+            Fault::Unavailable => TextError::Unavailable,
+            Fault::Timeout { after_postings } => {
+                u.postings_processed += after_postings;
+                u.time_processing += c.c_p * after_postings as f64;
+                TextError::Timeout {
+                    postings: after_postings,
+                }
+            }
+            Fault::CapReduced { new_m } => {
+                self.max_terms.set(new_m);
+                TextError::CapReduced { new_m }
+            }
+        }
+    }
+
+    /// Charges simulated backoff time a client spent waiting before a
+    /// retry. The ledger for *all* simulated time lives in the server's
+    /// [`Usage`], so the core crate's retry layer calls this instead of
+    /// keeping a second meter (and `Usage::total_cost` keeps decomposing
+    /// exactly).
+    pub fn charge_backoff(&self, seconds: f64) {
+        let mut u = self.usage.borrow_mut();
+        u.retries += 1;
+        u.time_backoff += seconds;
     }
 }
 
@@ -470,5 +638,102 @@ mod tests {
         assert!(s.usage().total_cost() > 0.0);
         s.reset_usage();
         assert_eq!(s.usage(), Usage::default());
+    }
+
+    #[test]
+    fn unavailable_fault_charges_connection_attempt() {
+        let mut s = server();
+        s.set_fault_plan(crate::faults::FaultPlan::scripted(vec![(
+            0,
+            crate::faults::Fault::Unavailable,
+        )]));
+        let err = s.search_str("TI='text'").unwrap_err();
+        assert!(matches!(err, TextError::Unavailable));
+        assert!(err.is_transient());
+        let u = s.usage();
+        assert_eq!((u.faults, u.invocations, u.docs_short), (1, 1, 0));
+        assert!((u.total_cost() - s.constants().c_i).abs() < 1e-9);
+        // The next attempt (op 1) goes through and returns the real result.
+        let r = s.search_str("TI='text'").unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn timeout_fault_charges_partial_processing() {
+        let mut s = server();
+        s.set_fault_plan(crate::faults::FaultPlan::scripted(vec![(
+            0,
+            crate::faults::Fault::Timeout {
+                after_postings: 250,
+            },
+        )]));
+        let err = s.search_str("TI='text'").unwrap_err();
+        assert!(matches!(err, TextError::Timeout { postings: 250 }));
+        let u = s.usage();
+        let c = s.constants();
+        assert_eq!(u.postings_processed, 250);
+        assert!((u.total_cost() - (c.c_i + c.c_p * 250.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cap_reduction_takes_effect_immediately() {
+        let mut s = server();
+        s.set_fault_plan(crate::faults::FaultPlan::scripted(vec![(
+            0,
+            crate::faults::Fault::CapReduced { new_m: 2 },
+        )]));
+        let err = s.search_str("TI='text'").unwrap_err();
+        assert!(matches!(err, TextError::CapReduced { new_m: 2 }));
+        assert!(!err.is_transient());
+        assert_eq!(s.max_terms(), 2);
+        // An OR-package legal under the old cap is now rejected (uncharged).
+        let before = s.usage();
+        let err = s.search_str("AU='a' or AU='b' or AU='c'").unwrap_err();
+        assert!(matches!(err, TextError::TooManyTerms { count: 3, max: 2 }));
+        let delta = s.usage().since(&before);
+        assert_eq!(delta.rejected, 1);
+        assert_eq!(delta.total_cost(), 0.0);
+    }
+
+    #[test]
+    fn retrieve_all_returns_partial_results_with_error() {
+        let s = server();
+        let ids = [DocId(0), DocId(1), DocId(999), DocId(0)];
+        let before = s.usage();
+        let err = s.retrieve_all(&ids).unwrap_err();
+        // The two paid-for documents come back; the failure is identified.
+        assert_eq!(err.docs.len(), 2);
+        assert_eq!(err.failed, DocId(999));
+        assert_eq!(err.error, TextError::UnknownDoc(DocId(999)));
+        let delta = s.usage().since(&before);
+        assert_eq!(delta.docs_long, 2, "exactly the returned docs are charged");
+        assert!((delta.time_transmission - 2.0 * s.constants().c_l).abs() < 1e-9);
+        // Success path is unchanged.
+        let docs = s.retrieve_all(&[DocId(1), DocId(0)]).unwrap();
+        assert_eq!(docs.len(), 2);
+    }
+
+    #[test]
+    fn fault_free_usage_display_has_no_fault_segment() {
+        let s = server();
+        s.search_str("TI='text'").unwrap();
+        let shown = s.usage().to_string();
+        assert!(!shown.contains("backoff"), "no-fault display changed: {shown}");
+        s.charge_backoff(2.5);
+        let shown = s.usage().to_string();
+        assert!(shown.contains("retries 1"), "missing backoff segment: {shown}");
+        assert!(shown.contains("2.50s backoff"), "missing backoff time: {shown}");
+    }
+
+    #[test]
+    fn charge_backoff_flows_into_total_cost() {
+        let s = server();
+        let before = s.usage();
+        s.charge_backoff(1.0);
+        s.charge_backoff(2.0);
+        let delta = s.usage().since(&before);
+        assert_eq!(delta.retries, 2);
+        assert!((delta.time_backoff - 3.0).abs() < 1e-9);
+        assert!((delta.total_cost() - 3.0).abs() < 1e-9);
     }
 }

@@ -38,7 +38,8 @@ fn method_cost_decomposes_into_server_charges() {
         let expected_text = k.c_i * u.invocations as f64
             + k.c_p * u.postings_processed as f64
             + k.c_s * u.docs_short as f64
-            + k.c_l * u.docs_long as f64;
+            + k.c_l * u.docs_long as f64
+            + u.time_backoff;
         assert!(
             (out.report.text.total_cost() - expected_text).abs() < 1e-6,
             "{}: reported text cost must equal server charges",

@@ -1,0 +1,284 @@
+//! Chaos oracle: under any *seeded, bounded* transient fault plan, every
+//! join method must return exactly the brute-force answer — the injected
+//! faults may only cost money (retries, simulated backoff, partially
+//! charged timeouts), never change a result. And when retries are
+//! exhausted (unbounded consecutive faults), methods must fail with a
+//! clean error, never a wrong answer.
+
+use textjoin::core::methods::probe::ProbeSchedule;
+use textjoin::core::methods::{ExecContext, ForeignJoin, MethodReport, Projection};
+use textjoin::core::runtime::{guarded_probe_rtp, guarded_rtp};
+use textjoin::rel::strmatch::contains_term;
+use textjoin::rel::table::Table;
+use textjoin::text::doc::DocId;
+use textjoin::text::faults::{FaultKinds, FaultPlan};
+use textjoin::text::server::TextServer;
+use textjoin::workload::paper;
+use textjoin::workload::world::{World, WorldSpec};
+
+fn compact_world(seed: u64) -> World {
+    World::generate(WorldSpec {
+        seed,
+        background_docs: 120,
+        students: 30,
+        projects: 10,
+        ..WorldSpec::default()
+    })
+}
+
+/// All (tuple index, docid) pairs the join should produce, by direct scan
+/// of the collection — no search API, no index.
+fn oracle_pairs(fj: &ForeignJoin<'_>, server: &TextServer) -> Vec<(usize, DocId)> {
+    let coll = server.collection();
+    let mut out = Vec::new();
+    for (ti, tuple) in fj.rel.iter().enumerate() {
+        'docs: for d in 0..coll.doc_count() {
+            let id = DocId(d as u32);
+            let doc = coll.document(id).expect("dense docids");
+            for sel in &fj.selections {
+                if !doc
+                    .values(sel.field)
+                    .iter()
+                    .any(|v| contains_term(v, &sel.term))
+                {
+                    continue 'docs;
+                }
+            }
+            for (col, field) in fj.join_cols.iter().zip(&fj.join_fields) {
+                let Some(needle) = tuple.get(*col).as_str() else {
+                    continue 'docs;
+                };
+                if needle.trim().is_empty()
+                    || !doc.values(*field).iter().any(|v| contains_term(v, needle))
+                {
+                    continue 'docs;
+                }
+            }
+            out.push((ti, id));
+        }
+    }
+    out
+}
+
+/// Projects oracle pairs the way the method output is shaped.
+fn oracle_shape(fj: &ForeignJoin<'_>, pairs: &[(usize, DocId)]) -> Vec<String> {
+    let mut rows: Vec<String> = match fj.projection {
+        Projection::RelOnly => {
+            let mut tuples: Vec<usize> = pairs.iter().map(|&(t, _)| t).collect();
+            tuples.sort_unstable();
+            tuples.dedup();
+            tuples
+                .into_iter()
+                .map(|t| fj.rel.rows()[t].to_string())
+                .collect()
+        }
+        Projection::DocIds => {
+            let mut ids: Vec<DocId> = pairs.iter().map(|&(_, d)| d).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.iter().map(|d| format!("[{d}]")).collect()
+        }
+        Projection::Full => pairs
+            .iter()
+            .map(|&(t, d)| format!("{}+{d}", fj.rel.rows()[t]))
+            .collect(),
+    };
+    rows.sort();
+    rows
+}
+
+/// Shapes a method output table the same way.
+fn method_shape(fj: &ForeignJoin<'_>, table: &Table) -> Vec<String> {
+    let mut rows: Vec<String> = match fj.projection {
+        Projection::RelOnly => table.iter().map(|r| r.to_string()).collect(),
+        Projection::DocIds => table
+            .iter()
+            .map(|r| {
+                format!(
+                    "[{}]",
+                    r.get(textjoin::rel::schema::ColId(0))
+                        .as_str()
+                        .expect("docid column")
+                )
+            })
+            .collect(),
+        Projection::Full => {
+            let rel_arity = fj.rel.schema().len();
+            let docid_col = textjoin::rel::schema::ColId(rel_arity);
+            table
+                .iter()
+                .map(|r| {
+                    let rel_part = r.project(
+                        &(0..rel_arity)
+                            .map(textjoin::rel::schema::ColId)
+                            .collect::<Vec<_>>(),
+                    );
+                    format!(
+                        "{rel_part}+{}",
+                        r.get(docid_col).as_str().expect("docid column")
+                    )
+                })
+                .collect()
+        }
+    };
+    rows.sort();
+    rows
+}
+
+fn faulted_server(w: &World, seed: u64, rate: f64) -> TextServer {
+    let mut s = TextServer::new(w.server.collection().clone());
+    // ≤ 2 consecutive faults per operation — strictly below the standard
+    // 4-attempt retry budget, so every operation eventually succeeds.
+    s.set_fault_plan(FaultPlan::transient(seed, rate, 2));
+    s
+}
+
+/// The exact cost decomposition must hold on the fault-injected ledger:
+/// server charges + simulated backoff + `c_a` × comparisons.
+fn assert_decomposition(label: &str, report: &MethodReport, server: &TextServer, c_a: f64) {
+    let u = &report.text;
+    let k = server.constants();
+    let expected_text = k.c_i * u.invocations as f64
+        + k.c_p * u.postings_processed as f64
+        + k.c_s * u.docs_short as f64
+        + k.c_l * u.docs_long as f64
+        + u.time_backoff;
+    assert!(
+        (u.total_cost() - expected_text).abs() < 1e-6,
+        "{label}: text cost must decompose into server charges + backoff"
+    );
+    assert!(
+        (report.total_cost() - (expected_text + c_a * report.rtp_comparisons as f64)).abs()
+            < 1e-6,
+        "{label}: total = text + backoff + c_a × comparisons"
+    );
+}
+
+#[test]
+fn all_methods_survive_transient_faults_with_exact_answers() {
+    let mut total_faults_seen = 0u64;
+    for world_seed in [7u64, 23] {
+        let w = compact_world(world_seed);
+        let schema = w.server.collection().schema();
+        for (qname, q) in [("q3", paper::q3(&w)), ("q4", paper::q4(&w))] {
+            let p = textjoin::core::query::prepare(&q, &w.catalog, schema)
+                .expect("paper query prepares");
+            let fj = p.foreign_join();
+            let expected = oracle_shape(&fj, &oracle_pairs(&fj, &w.server));
+            for fault_seed in [1u64, 2] {
+                for rate in [0.1, 0.3] {
+                    let check = |label: String, server: &TextServer, report: &MethodReport, table: &Table| {
+                        assert_eq!(
+                            method_shape(&fj, table),
+                            expected,
+                            "{qname}/{label} (world {world_seed}, fault seed \
+                             {fault_seed}, rate {rate}) diverged from the oracle"
+                        );
+                        assert_decomposition(&label, report, server, 1e-5);
+                    };
+
+                    macro_rules! run {
+                        ($label:expr, $body:expr) => {{
+                            let s = faulted_server(&w, fault_seed, rate);
+                            let ctx = ExecContext::new(&s);
+                            #[allow(clippy::redundant_closure_call)]
+                            let out = ($body)(&ctx).expect("bounded faults never exhaust retries");
+                            check($label.to_string(), &s, &out.report, &out.table);
+                            total_faults_seen += s.usage().faults;
+                        }};
+                    }
+
+                    run!("TS", |ctx| textjoin::core::methods::ts::tuple_substitution(
+                        ctx, &fj, true
+                    ));
+                    run!("TS-naive", |ctx| {
+                        textjoin::core::methods::ts::tuple_substitution(ctx, &fj, false)
+                    });
+                    if !fj.selections.is_empty() {
+                        run!("RTP", |ctx| {
+                            textjoin::core::methods::rtp::relational_text_processing(ctx, &fj)
+                        });
+                    }
+                    run!("SJ", |ctx| textjoin::core::methods::sj::semi_join(ctx, &fj));
+                    for schedule in [ProbeSchedule::ProbeFirst, ProbeSchedule::Lazy] {
+                        run!(format!("P+TS/{schedule:?}"), |ctx| {
+                            textjoin::core::methods::probe::probe_tuple_substitution(
+                                ctx, &fj, &[0], schedule,
+                            )
+                        });
+                    }
+                    run!("P+RTP", |ctx| {
+                        textjoin::core::methods::probe::probe_rtp(ctx, &fj, &[0])
+                    });
+                    // Guarded variants, both sides of the budget.
+                    for budget in [0usize, 10_000] {
+                        let s = faulted_server(&w, fault_seed, rate);
+                        if !fj.selections.is_empty() {
+                            let ctx = ExecContext::new(&s);
+                            let g = guarded_rtp(&ctx, &fj, budget)
+                                .expect("bounded faults never exhaust retries");
+                            check(
+                                format!("guarded_rtp/{budget}"),
+                                &s,
+                                &g.outcome.report,
+                                &g.outcome.table,
+                            );
+                            total_faults_seen += s.usage().faults;
+                        }
+                        let s2 = faulted_server(&w, fault_seed.wrapping_add(99), rate);
+                        let ctx2 = ExecContext::new(&s2);
+                        let g2 = guarded_probe_rtp(&ctx2, &fj, &[0], budget)
+                            .expect("bounded faults never exhaust retries");
+                        check(
+                            format!("guarded_probe_rtp/{budget}"),
+                            &s2,
+                            &g2.outcome.report,
+                            &g2.outcome.table,
+                        );
+                        total_faults_seen += s2.usage().faults;
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        total_faults_seen > 100,
+        "the chaos plans must actually inject faults (saw {total_faults_seen})"
+    );
+}
+
+#[test]
+fn exhausted_retries_fail_cleanly_never_wrongly() {
+    let w = compact_world(7);
+    let schema = w.server.collection().schema();
+    let p = textjoin::core::query::prepare(&paper::q3(&w), &w.catalog, schema)
+        .expect("q3 prepares");
+    let fj = p.foreign_join();
+
+    // Rate 1.0, unbounded consecutive faults: every search/retrieve fails
+    // past any retry budget. Methods must error out, not fabricate rows.
+    let mut s = TextServer::new(w.server.collection().clone());
+    s.set_fault_plan(FaultPlan::random(77, 1.0, FaultKinds::transient_only(), 0));
+    let ctx = ExecContext::new(&s);
+
+    assert!(textjoin::core::methods::ts::tuple_substitution(&ctx, &fj, true).is_err());
+    assert!(textjoin::core::methods::rtp::relational_text_processing(&ctx, &fj).is_err());
+    assert!(textjoin::core::methods::sj::semi_join(&ctx, &fj).is_err());
+    assert!(textjoin::core::methods::probe::probe_tuple_substitution(
+        &ctx,
+        &fj,
+        &[0],
+        ProbeSchedule::ProbeFirst
+    )
+    .is_err());
+    assert!(textjoin::core::methods::probe::probe_rtp(&ctx, &fj, &[0]).is_err());
+    // The guards degrade to TS first, but TS cannot run either: still a
+    // clean error.
+    assert!(guarded_rtp(&ctx, &fj, 10).is_err());
+    assert!(guarded_probe_rtp(&ctx, &fj, &[0], 10).is_err());
+    // Nothing was emitted, but the failed attempts were charged.
+    let u = s.usage();
+    assert!(u.faults > 0);
+    assert!(u.retries > 0);
+    assert!(u.time_backoff > 0.0);
+}

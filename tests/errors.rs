@@ -1,0 +1,198 @@
+//! Integration: error surfaces across the loose-integration boundary.
+//!
+//! Every `TextError` / `MethodError` variant (including the fault-injected
+//! ones) must round-trip through `Display` and `std::error::Error`, the
+//! transient classification must match the retry layer's contract, and the
+//! degradation paths (SJ package splitting under a renegotiated cap,
+//! partial `retrieve_all`) must keep answers and charges consistent.
+
+use std::error::Error;
+
+use textjoin::core::methods::sj::semi_join;
+use textjoin::core::methods::{ExecContext, ForeignJoin, MethodError, Projection, TextSelection};
+use textjoin::rel::schema::RelSchema;
+use textjoin::rel::table::Table;
+use textjoin::rel::tuple;
+use textjoin::rel::value::ValueType;
+use textjoin::text::doc::{DocId, Document, TextSchema};
+use textjoin::text::faults::{Fault, FaultPlan};
+use textjoin::text::index::Collection;
+use textjoin::text::parse::parse_search;
+use textjoin::text::server::{PartialRetrieveError, TextError, TextServer};
+
+fn all_text_errors() -> Vec<TextError> {
+    let parse_err = parse_search("TI=", &TextSchema::bibliographic())
+        .expect_err("incomplete query must not parse");
+    vec![
+        TextError::TooManyTerms { count: 9, max: 4 },
+        TextError::UnknownDoc(DocId(7)),
+        TextError::Parse(parse_err),
+        TextError::Unavailable,
+        TextError::Timeout { postings: 123 },
+        TextError::CapReduced { new_m: 5 },
+    ]
+}
+
+#[test]
+fn every_text_error_displays_and_is_std_error() {
+    let errors = all_text_errors();
+    let mut rendered: Vec<String> = Vec::new();
+    for e in &errors {
+        let msg = e.to_string();
+        assert!(!msg.is_empty(), "{e:?} renders empty");
+        // Usable through the trait object, like any downstream caller.
+        let dyn_err: &dyn Error = e;
+        assert_eq!(dyn_err.to_string(), msg);
+        rendered.push(msg);
+    }
+    rendered.sort();
+    rendered.dedup();
+    assert_eq!(
+        rendered.len(),
+        errors.len(),
+        "each variant needs a distinguishable message"
+    );
+}
+
+#[test]
+fn transient_classification_matches_retry_contract() {
+    for e in all_text_errors() {
+        let expected = matches!(e, TextError::Unavailable | TextError::Timeout { .. });
+        assert_eq!(
+            e.is_transient(),
+            expected,
+            "{e}: only momentary server conditions are retryable verbatim"
+        );
+    }
+}
+
+#[test]
+fn every_method_error_displays_and_converts() {
+    let variants: Vec<MethodError> = vec![
+        MethodError::NotApplicable("RTP needs selections".into()),
+        MethodError::Text(TextError::Unavailable),
+        MethodError::BadProbeColumns("index 9 out of range".into()),
+    ];
+    for e in &variants {
+        let msg = e.to_string();
+        assert!(!msg.is_empty());
+        let dyn_err: &dyn Error = e;
+        assert_eq!(dyn_err.to_string(), msg);
+    }
+    // From<TextError> wraps into the Text variant.
+    let converted: MethodError = TextError::Timeout { postings: 5 }.into();
+    assert!(matches!(
+        converted,
+        MethodError::Text(TextError::Timeout { postings: 5 })
+    ));
+}
+
+#[test]
+fn partial_retrieve_error_chains_to_its_cause() {
+    let e = PartialRetrieveError {
+        docs: vec![Document::new(), Document::new()],
+        failed: DocId(3),
+        error: TextError::Unavailable,
+    };
+    let msg = e.to_string();
+    assert!(msg.contains("2 retrievals"), "message carries progress: {msg}");
+    assert!(msg.contains('3'), "message names the failed docid: {msg}");
+    let source = e.source().expect("source chains to the TextError");
+    assert_eq!(source.to_string(), TextError::Unavailable.to_string());
+}
+
+/// Eight join keys, term cap 5: SJ packs 4 conjuncts + 1 selection per
+/// search. A scripted `CapReduced { new_m: 3 }` hits the second package;
+/// SJ must halve it, recompute capacity from the live cap, and finish with
+/// the same answer — the renegotiation costs one extra (charged) attempt.
+#[test]
+fn sj_recovers_by_package_splitting_when_cap_is_lowered_between_batches() {
+    let build = |plan: FaultPlan| {
+        let schema = TextSchema::bibliographic();
+        let ti = schema.field_by_name("title").unwrap();
+        let au = schema.field_by_name("author").unwrap();
+        let mut coll = Collection::new(schema);
+        for i in 0..8 {
+            coll.add_document(
+                Document::new()
+                    .with(ti, "common subject")
+                    .with(au, format!("author{i}")),
+            );
+        }
+        let mut server = TextServer::new(coll);
+        server.set_max_terms(5);
+        server.set_fault_plan(plan);
+        server
+    };
+    let rel_schema = RelSchema::from_columns(vec![("name", ValueType::Str)]);
+    let mut rel = Table::new("people", rel_schema);
+    for i in 0..8 {
+        rel.push(tuple![format!("author{i}")]);
+    }
+    let fj = |server: &TextServer| ForeignJoin {
+        rel: &rel,
+        join_cols: vec![rel.col("name")],
+        join_fields: vec![server.collection().schema().field_by_name("author").unwrap()],
+        selections: vec![TextSelection {
+            term: "common".into(),
+            field: server.collection().schema().field_by_name("title").unwrap(),
+        }],
+        projection: Projection::DocIds,
+    };
+
+    // Fault-free baseline: 8 keys / 4 per package = 2 searches.
+    let clean = build(FaultPlan::none());
+    let clean_out = semi_join(&ExecContext::new(&clean), &fj(&clean)).expect("SJ runs");
+    assert_eq!(clean_out.table.len(), 8);
+    assert_eq!(clean_out.report.text.invocations, 2);
+
+    // The second package (search ordinal 1) gets the cap renegotiation.
+    let faulted = build(FaultPlan::scripted(vec![(
+        1,
+        Fault::CapReduced { new_m: 3 },
+    )]));
+    let out = semi_join(&ExecContext::new(&faulted), &fj(&faulted)).expect("SJ degrades, not fails");
+    assert_eq!(out.table.len(), 8, "same answer under the lowered cap");
+    assert_eq!(faulted.max_terms(), 3, "the renegotiated cap is in force");
+    // ok(4) + faulted attempt + ok(2) + ok(2): all four attempts charged.
+    assert_eq!(out.report.text.invocations, 4);
+    assert_eq!(out.report.text.faults, 1);
+    assert_eq!(
+        out.report.text.retries, 0,
+        "CapReduced is not transient — no blind retry, only re-packaging"
+    );
+}
+
+/// A cap too small for even a single conjunct cannot be packaged around:
+/// the method reports inapplicability instead of looping.
+#[test]
+fn sj_surfaces_unpackageable_cap_cleanly() {
+    let schema = TextSchema::bibliographic();
+    let au = schema.field_by_name("author").unwrap();
+    let mut coll = Collection::new(schema);
+    coll.add_document(Document::new().with(au, "solo"));
+    let mut server = TextServer::new(coll);
+    server.set_max_terms(5);
+    // The very first package triggers renegotiation down to 1 term — with
+    // a 1-term selection, zero conjuncts fit.
+    server.set_fault_plan(FaultPlan::scripted(vec![(
+        0,
+        Fault::CapReduced { new_m: 1 },
+    )]));
+    let rel_schema = RelSchema::from_columns(vec![("name", ValueType::Str)]);
+    let mut rel = Table::new("people", rel_schema);
+    rel.push(tuple!["solo"]);
+    rel.push(tuple!["other"]);
+    let fj = ForeignJoin {
+        rel: &rel,
+        join_cols: vec![rel.col("name")],
+        join_fields: vec![server.collection().schema().field_by_name("author").unwrap()],
+        selections: vec![TextSelection {
+            term: "anything".into(),
+            field: server.collection().schema().field_by_name("title").unwrap(),
+        }],
+        projection: Projection::DocIds,
+    };
+    let err = semi_join(&ExecContext::new(&server), &fj).expect_err("cannot fit one conjunct");
+    assert!(matches!(err, MethodError::NotApplicable(_)), "got {err:?}");
+}
