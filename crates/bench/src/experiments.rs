@@ -65,6 +65,18 @@ fn probe_cols_for(
         .unwrap_or_else(|| vec![0])
 }
 
+/// One measured method run: the simulated cost, the rows emitted, and the
+/// usage ledger delta (carrying fault/retry counts for the chaos tables).
+#[derive(Debug, Clone, Copy)]
+pub struct RunMeasure {
+    /// Total simulated seconds (text charges + `c_a` × comparisons).
+    pub secs: f64,
+    /// Rows emitted.
+    pub rows: usize,
+    /// Text-service usage delta, including `faults` / `retries`.
+    pub text: textjoin_text::server::Usage,
+}
+
 /// Runs one method on a prepared query, returning its simulated cost.
 pub fn run_method(
     w: &World,
@@ -72,26 +84,41 @@ pub fn run_method(
     kind: MethodKind,
     probe_cols: &[usize],
 ) -> Result<(f64, usize), MethodError> {
-    run_method_on(&w.server, prepared, kind, probe_cols)
+    run_method_ctx(&ExecContext::new(&w.server), prepared, kind, probe_cols)
+        .map(|m| (m.secs, m.rows))
 }
 
-/// Like [`run_method`] but against an explicit server — the chaos bench
-/// hands in fresh servers carrying fault plans.
+/// Like [`run_method`] but against an explicit service — the chaos benches
+/// hand in fresh (possibly sharded) servers carrying fault plans.
 pub fn run_method_on(
-    server: &textjoin_text::server::TextServer,
+    server: &dyn textjoin_text::service::TextService,
     prepared: &PreparedQuery,
     kind: MethodKind,
     probe_cols: &[usize],
-) -> Result<(f64, usize), MethodError> {
-    let ctx = ExecContext::new(server);
+) -> Result<RunMeasure, MethodError> {
+    run_method_ctx(&ExecContext::new(server), prepared, kind, probe_cols)
+}
+
+/// Core runner: executes `kind` through an explicit [`ExecContext`] (the
+/// sharded chaos bench attaches an adaptive retry budget to it).
+pub fn run_method_ctx(
+    ctx: &ExecContext<'_>,
+    prepared: &PreparedQuery,
+    kind: MethodKind,
+    probe_cols: &[usize],
+) -> Result<RunMeasure, MethodError> {
     let cand = MethodCandidate {
         kind,
         label: String::new(),
         probe_cols: probe_cols.to_vec(),
         cost: Default::default(),
     };
-    let out = execute_single(&ctx, prepared, &cand, ProbeSchedule::ProbeFirst)?;
-    Ok((out.report.total_cost(), out.report.output_rows))
+    let out = execute_single(ctx, prepared, &cand, ProbeSchedule::ProbeFirst)?;
+    Ok(RunMeasure {
+        secs: out.report.total_cost(),
+        rows: out.report.output_rows,
+        text: out.report.text,
+    })
 }
 
 /// Reproduces Table 2: executes every applicable method on Q1–Q4 in the
@@ -794,6 +821,9 @@ pub struct ChaosTable {
     /// `cells[m][r]` = `(total_secs, overhead_pct)`; `None` when the
     /// method applies to no query.
     pub cells: Vec<Vec<Option<(f64, f64)>>>,
+    /// `fault_cells[m][r]` = `(faults, retries)` summed over the same
+    /// queries — the `Usage::faults` counter surfaced alongside the costs.
+    pub fault_cells: Vec<Vec<Option<(u64, u64)>>>,
 }
 
 /// Runs every method over Q1–Q4 under seeded transient fault plans of
@@ -842,11 +872,14 @@ pub fn chaos_table(w: &World) -> ChaosTable {
         .collect();
 
     let mut cells: Vec<Vec<Option<(f64, f64)>>> = vec![Vec::new(); methods.len()];
+    let mut fault_cells: Vec<Vec<Option<(u64, u64)>>> = vec![Vec::new(); methods.len()];
     for mi in 0..methods.len() {
         let mut baseline: Option<f64> = None;
         let mut baseline_rows: Vec<Option<usize>> = Vec::new();
         for (ri, &rate) in rates.iter().enumerate() {
             let mut total = 0.0;
+            let mut faults = 0u64;
+            let mut retries = 0u64;
             let mut any = false;
             let mut rows_at_rate: Vec<Option<usize>> = Vec::new();
             for (qi, p) in preps.iter().enumerate() {
@@ -865,9 +898,11 @@ pub fn chaos_table(w: &World) -> ChaosTable {
                     4 if p.k >= 2 => run(MethodKind::PRtp, &p.prtp),
                     _ => None,
                 };
-                rows_at_rate.push(r.map(|(_, n)| n));
-                if let Some((secs, _)) = r {
-                    total += secs;
+                rows_at_rate.push(r.map(|m| m.rows));
+                if let Some(m) = r {
+                    total += m.secs;
+                    faults += m.text.faults;
+                    retries += m.text.retries;
                     any = true;
                 }
             }
@@ -887,10 +922,156 @@ pub fn chaos_table(w: &World) -> ChaosTable {
                 (true, _) => Some((total, 0.0)),
                 _ => None,
             };
+            fault_cells[mi].push(cell.is_some().then_some((faults, retries)));
             cells[mi].push(cell);
         }
     }
-    ChaosTable { rates, methods, cells }
+    ChaosTable { rates, methods, cells, fault_cells }
+}
+
+// ---------------------------------------------------------------------
+// Sharded chaos: scatter/gather joins with per-shard fault plans
+// ---------------------------------------------------------------------
+
+/// Sharded chaos experiment result: like [`ChaosTable`] but every cell
+/// runs over a 4-shard [`ShardedTextServer`] whose shards carry
+/// *independent* seeded fault plans, with the adaptive [`RetryBudget`]
+/// steering per-shard attempts.
+///
+/// [`ShardedTextServer`]: textjoin_text::shard::ShardedTextServer
+/// [`RetryBudget`]: textjoin_core::retry::RetryBudget
+#[derive(Debug, Clone)]
+pub struct ShardedChaosTable {
+    /// Per-operation fault probabilities, first entry 0.0 (the baseline).
+    pub rates: Vec<f64>,
+    /// Method labels in row order.
+    pub methods: Vec<&'static str>,
+    /// `cells[m][r]` = `(total_secs, overhead_pct)`.
+    pub cells: Vec<Vec<Option<(f64, f64)>>>,
+    /// `fault_cells[m][r]` = `(faults, retries)` summed over the queries.
+    pub fault_cells: Vec<Vec<Option<(u64, u64)>>>,
+    /// Number of shards in every cell's server.
+    pub n_shards: usize,
+}
+
+/// Runs every method over Q1–Q4 against a 4-shard server whose shards
+/// fault independently (per-shard seeded transient plans, bounded to 2
+/// consecutive — below every adaptive attempt budget, so all cells return
+/// the fault-free answer; asserted against the rate-0 column). Each cell
+/// gets a fresh sharded server and a fresh [`RetryBudget`] so adaptive
+/// state never leaks between cells.
+///
+/// [`RetryBudget`]: textjoin_core::retry::RetryBudget
+pub fn sharded_chaos_table(w: &World) -> ShardedChaosTable {
+    use textjoin_core::retry::{RetryBudget, RetryPolicy};
+    use textjoin_text::faults::FaultPlan;
+    use textjoin_text::shard::ShardedTextServer;
+
+    const N_SHARDS: usize = 4;
+    const PARTITION_SEED: u64 = 0x5AD;
+
+    let rates = vec![0.0, 0.05, 0.1, 0.2];
+    let methods: Vec<&'static str> = vec!["TS", "RTP", "SJ/SJ+RTP", "P+TS", "P+RTP"];
+    let queries: Vec<SingleJoinQuery> =
+        vec![paper::q1(w), paper::q2(w), paper::q3(w), paper::q4(w)];
+    let ts_schema = w.server.collection().schema();
+    let params = world_params(w);
+
+    struct Prep {
+        prepared: PreparedQuery,
+        pts: Vec<usize>,
+        prtp: Vec<usize>,
+        k: usize,
+    }
+    let preps: Vec<Prep> = queries
+        .iter()
+        .map(|q| {
+            let prepared = prepare(q, &w.catalog, ts_schema).expect("paper query prepares");
+            let export = w.server.export_stats();
+            let stats = prepared.statistics_from_export(&export, ts_schema);
+            let k = stats.k();
+            let (pts, prtp) = if k >= 2 {
+                (
+                    probe_cols_for(&params, &stats, cost_p_ts),
+                    probe_cols_for(&params, &stats, cost_p_rtp),
+                )
+            } else {
+                (Vec::new(), Vec::new())
+            };
+            Prep { prepared, pts, prtp, k }
+        })
+        .collect();
+
+    let mut cells: Vec<Vec<Option<(f64, f64)>>> = vec![Vec::new(); methods.len()];
+    let mut fault_cells: Vec<Vec<Option<(u64, u64)>>> = vec![Vec::new(); methods.len()];
+    for mi in 0..methods.len() {
+        let mut baseline: Option<f64> = None;
+        let mut baseline_rows: Vec<Option<usize>> = Vec::new();
+        for (ri, &rate) in rates.iter().enumerate() {
+            let mut total = 0.0;
+            let mut faults = 0u64;
+            let mut retries = 0u64;
+            let mut any = false;
+            let mut rows_at_rate: Vec<Option<usize>> = Vec::new();
+            for (qi, p) in preps.iter().enumerate() {
+                let run = |kind: MethodKind, cols: &[usize]| {
+                    let cell_seed =
+                        0x5EED ^ ((qi as u64) << 16) ^ ((mi as u64) << 8) ^ ri as u64;
+                    let mut sharded = ShardedTextServer::new(
+                        w.server.collection(),
+                        N_SHARDS,
+                        PARTITION_SEED,
+                    );
+                    for i in 0..N_SHARDS {
+                        // Independent per-shard plans: same rate, distinct
+                        // seeded streams.
+                        sharded.shard_mut(i).set_fault_plan(FaultPlan::transient(
+                            cell_seed ^ ((i as u64) << 24),
+                            rate,
+                            2,
+                        ));
+                    }
+                    let budget = RetryBudget::new(RetryPolicy::standard());
+                    let ctx = ExecContext::with_budget(&sharded, &budget);
+                    run_method_ctx(&ctx, &p.prepared, kind, cols).ok()
+                };
+                let r = match mi {
+                    0 => run(MethodKind::Ts, &[]),
+                    1 => run(MethodKind::Rtp, &[]),
+                    2 => run(MethodKind::Sj, &[]),
+                    3 if p.k >= 2 => run(MethodKind::PTs, &p.pts),
+                    4 if p.k >= 2 => run(MethodKind::PRtp, &p.prtp),
+                    _ => None,
+                };
+                rows_at_rate.push(r.map(|m| m.rows));
+                if let Some(m) = r {
+                    total += m.secs;
+                    faults += m.text.faults;
+                    retries += m.text.retries;
+                    any = true;
+                }
+            }
+            if ri == 0 {
+                baseline = any.then_some(total);
+                baseline_rows = rows_at_rate.clone();
+            }
+            assert_eq!(
+                rows_at_rate, baseline_rows,
+                "sharded fault injection changed {} answers at rate {rate}",
+                methods[mi]
+            );
+            let cell = match (any, baseline) {
+                (true, Some(base)) if base > 0.0 => {
+                    Some((total, (total / base - 1.0) * 100.0))
+                }
+                (true, _) => Some((total, 0.0)),
+                _ => None,
+            };
+            fault_cells[mi].push(cell.is_some().then_some((faults, retries)));
+            cells[mi].push(cell);
+        }
+    }
+    ShardedChaosTable { rates, methods, cells, fault_cells, n_shards: N_SHARDS }
 }
 
 #[cfg(test)]
@@ -918,6 +1099,46 @@ mod chaos_tests {
         for row in &a.cells {
             if let Some((_, overhead)) = row[0] {
                 assert_eq!(overhead, 0.0);
+            }
+        }
+        // Rate 0 must also be fault-free in the surfaced counters.
+        for row in &a.fault_cells {
+            if let Some((faults, retries)) = row[0] {
+                assert_eq!((faults, retries), (0, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_chaos_table_is_deterministic_with_exact_counters() {
+        let w = default_world();
+        let a = sharded_chaos_table(&w);
+        let b = sharded_chaos_table(&w);
+        assert_eq!(a.n_shards, 4);
+        for (ra, rb) in a.cells.iter().zip(&b.cells) {
+            for (ca, cb) in ra.iter().zip(rb) {
+                match (ca, cb) {
+                    (Some((sa, oa)), Some((sb, ob))) => {
+                        assert_eq!(sa.to_bits(), sb.to_bits());
+                        assert_eq!(oa.to_bits(), ob.to_bits());
+                    }
+                    (None, None) => {}
+                    _ => panic!("applicability differs between runs"),
+                }
+            }
+        }
+        assert_eq!(a.fault_cells, b.fault_cells);
+        // Faulted columns actually exercised the retry machinery somewhere.
+        let injected: u64 = a
+            .fault_cells
+            .iter()
+            .flat_map(|row| row.iter().skip(1).flatten())
+            .map(|&(f, _)| f)
+            .sum();
+        assert!(injected > 0, "no faults surfaced in the sharded table");
+        for row in &a.fault_cells {
+            if let Some((faults, retries)) = row[0] {
+                assert_eq!((faults, retries), (0, 0), "rate 0 must be fault-free");
             }
         }
     }

@@ -105,7 +105,7 @@ fn ts_phase(p: &CostParams, s: &JoinStatistics, n: f64, subset: &[usize]) -> Cos
     let f = result_fanout(p, s, subset);
     let v = total_docs(n, f);
     CostBreakdown {
-        invocation: p.constants.c_i * n,
+        invocation: p.effective_c_i() * n,
         processing: p.constants.c_p * n * postings_per_search(s, subset),
         transmission: xmit(p, s, v),
         rtp: 0.0,
@@ -131,7 +131,7 @@ pub fn cost_probe_phase(p: &CostParams, s: &JoinStatistics, subset: &[usize]) ->
     let n_j = s.n_j(subset);
     let f = result_fanout(p, s, subset);
     CostBreakdown {
-        invocation: p.constants.c_i * n_j,
+        invocation: p.effective_c_i() * n_j,
         processing: p.constants.c_p * n_j * postings_per_search(s, subset),
         transmission: p.constants.c_s * total_docs(n_j, f),
         rtp: 0.0,
@@ -153,7 +153,7 @@ pub fn cost_p_ts(p: &CostParams, s: &JoinStatistics, subset: &[usize]) -> CostBr
     let r = s.n_k * probe_selectivity(p, s, subset);
     let v = total_docs(s.n_k, result_fanout(p, s, &k));
     probe.plus(CostBreakdown {
-        invocation: p.constants.c_i * r,
+        invocation: p.effective_c_i() * r,
         processing: p.constants.c_p * r * postings_per_search(s, &k),
         transmission: xmit(p, s, v),
         rtp: 0.0,
@@ -175,7 +175,7 @@ pub fn cost_rtp(p: &CostParams, s: &JoinStatistics) -> Option<CostBreakdown> {
         transmission += p.constants.c_l * f_sel;
     }
     Some(CostBreakdown {
-        invocation: p.constants.c_i,
+        invocation: p.effective_c_i(),
         processing: p.constants.c_p * s.sel_postings,
         transmission,
         rtp: p.c_a * f_sel * s.n * s.k() as f64,
@@ -202,7 +202,7 @@ pub fn cost_sj(
     let u = distinct_docs(s.n_k, f_per_conjunct, p.d);
     let join_postings: f64 = all(s).iter().map(|&i| s.preds[i].list_len).sum();
     let mut c = CostBreakdown {
-        invocation: p.constants.c_i * n_searches,
+        invocation: p.effective_c_i() * n_searches,
         processing: p.constants.c_p * (s.n_k * join_postings + n_searches * s.sel_postings),
         transmission: p.constants.c_s * u,
         rtp: 0.0,
@@ -413,5 +413,47 @@ mod tests {
         assert!(
             (c.total() - (c.invocation + c.processing + c.transmission + c.rtp)).abs() < 1e-9
         );
+    }
+
+    /// The fault model charges `rate × mean_backoff` per invocation, so a
+    /// flaky link penalizes invocation-heavy methods proportionally to
+    /// their search count — enough to flip a close TS-vs-SJ ordering.
+    #[test]
+    fn fault_model_flips_ordering_toward_invocation_light_methods() {
+        let (mut p, mut s) = stats();
+        s.needs_long = false;
+        // Make TS and SJ nearly tied on a healthy link by discounting SJ's
+        // transmission advantage: compare invocation-dominated costs only.
+        p.constants.c_p = 0.0;
+        p.constants.c_s = 0.0;
+        p.constants.c_l = 0.0;
+        let ts_clean = cost_ts(&p, &s).total();
+        let sj_clean = cost_sj(&p, &s, false).unwrap().total();
+        // 100 searches vs 3: SJ already wins, but note the *margin*.
+        let margin_clean = ts_clean - sj_clean;
+        // A 30% fault rate with the standard schedule (mean 7/3 s/retry).
+        let flaky = p.with_fault_model(
+            &textjoin_text::server::Usage {
+                invocations: 10,
+                faults: 3,
+                ..Default::default()
+            },
+            &crate::retry::RetryPolicy::standard(),
+        );
+        assert!((flaky.fault_rate - 0.3).abs() < 1e-12);
+        assert!((flaky.effective_c_i() - (3.0 + 0.3 * 7.0 / 3.0)).abs() < 1e-12);
+        let ts_flaky = cost_ts(&flaky, &s).total();
+        let sj_flaky = cost_sj(&flaky, &s, false).unwrap().total();
+        let margin_flaky = ts_flaky - sj_flaky;
+        assert!(
+            margin_flaky > margin_clean,
+            "flaky link widens the gap: {margin_flaky:.1} vs {margin_clean:.1}"
+        );
+        // The widening is exactly (searches_TS − searches_SJ) × rate × mean.
+        let expected = (100.0 - 3.0) * 0.3 * (7.0 / 3.0);
+        assert!(((margin_flaky - margin_clean) - expected).abs() < 1e-9);
+        // A fault-free ledger leaves every estimate untouched.
+        let clean = p.with_fault_model(&Default::default(), &crate::retry::RetryPolicy::standard());
+        assert_eq!(cost_ts(&clean, &s).total(), ts_clean);
     }
 }

@@ -15,7 +15,9 @@
 //! | `s_i` | [`PredStats::selectivity`] | predicate selectivity |
 //! | `f_i` | [`PredStats::fanout`] | predicate fanout |
 
-use textjoin_text::server::CostConstants;
+use textjoin_text::server::{CostConstants, Usage};
+
+use crate::retry::RetryPolicy;
 
 /// Environment-level parameters: the text database size, the term cap, and
 /// the cost constants.
@@ -33,11 +35,20 @@ pub struct CostParams {
     /// `g` — the correlation parameter of the joint selectivity/fanout
     /// model (Section 4.2): 1 = fully correlated, k = fully independent.
     pub g: usize,
+    /// Observed fraction of invocations that fault (0 on a healthy link).
+    /// The formulas charge an expected-retry term `fault_rate ×
+    /// mean_backoff` per invocation, so invocation-heavy methods (TS,
+    /// P+TS) lose ground to SJ/RTP when the link is flaky.
+    pub fault_rate: f64,
+    /// Mean simulated backoff charged per retry (from the session's
+    /// [`RetryPolicy`]).
+    pub mean_backoff: f64,
 }
 
 impl CostParams {
     /// Parameters matching the calibrated OpenODB–Mercury system with the
-    /// fully-correlated (g = 1) model the paper's experiments use.
+    /// fully-correlated (g = 1) model the paper's experiments use, on a
+    /// fault-free link.
     pub fn mercury(d: f64) -> Self {
         Self {
             d,
@@ -45,6 +56,8 @@ impl CostParams {
             constants: CostConstants::mercury_calibrated(),
             c_a: 1e-5,
             g: 1,
+            fault_rate: 0.0,
+            mean_backoff: 0.0,
         }
     }
 
@@ -52,6 +65,26 @@ impl CostParams {
     pub fn with_g(mut self, g: usize) -> Self {
         self.g = g.max(1);
         self
+    }
+
+    /// Folds the session's observed fault behavior into the model: the
+    /// rate is `faults / invocations` from the ledger so far, the mean
+    /// backoff comes from the retry schedule in force. A fault-free ledger
+    /// (or an empty one) leaves the model untouched.
+    pub fn with_fault_model(mut self, usage: &Usage, policy: &RetryPolicy) -> Self {
+        self.fault_rate = if usage.invocations == 0 {
+            0.0
+        } else {
+            usage.faults as f64 / usage.invocations as f64
+        };
+        self.mean_backoff = policy.mean_backoff();
+        self
+    }
+
+    /// Effective invocation cost under the fault model: `c_i` plus the
+    /// expected retry backoff per invocation.
+    pub fn effective_c_i(&self) -> f64 {
+        self.constants.c_i + self.fault_rate * self.mean_backoff
     }
 }
 

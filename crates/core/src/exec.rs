@@ -24,7 +24,8 @@ use textjoin_rel::tuple::Tuple;
 use textjoin_rel::value::{Value, ValueType};
 use textjoin_text::doc::{DocId, TextSchema};
 use textjoin_text::expr::SearchExpr;
-use textjoin_text::server::{TextServer, Usage};
+use textjoin_text::server::Usage;
+use textjoin_text::service::TextService;
 
 use crate::retry::RetryPolicy;
 
@@ -76,7 +77,7 @@ pub struct MultiOutcome {
 /// Executes multi-join PrL plans.
 pub struct MultiExecutor<'a> {
     input: &'a PlannerInput,
-    server: &'a TextServer,
+    server: &'a dyn TextService,
     c_a: f64,
     retry: RetryPolicy,
     rel_model: RelCostModel,
@@ -91,7 +92,7 @@ impl<'a> MultiExecutor<'a> {
     pub fn new(
         input: &'a PlannerInput,
         catalog: &Catalog,
-        server: &'a TextServer,
+        server: &'a dyn TextService,
     ) -> Result<Self, MethodError> {
         let mut base_tables = Vec::with_capacity(input.query.relations.len());
         for spec in &input.query.relations {
@@ -130,6 +131,7 @@ impl<'a> MultiExecutor<'a> {
             server: self.server,
             c_a: self.c_a,
             retry: self.retry,
+            budget: None,
         }
     }
 
@@ -138,7 +140,7 @@ impl<'a> MultiExecutor<'a> {
     }
 
     fn text_schema(&self) -> &TextSchema {
-        self.server.collection().schema()
+        self.server.schema()
     }
 
     /// Resolved text selections.
@@ -450,12 +452,16 @@ pub fn doc_table(
 pub fn plan_and_execute(
     query: &MultiJoinQuery,
     catalog: &Catalog,
-    server: &TextServer,
+    server: &dyn TextService,
     params: crate::cost::params::CostParams,
     space: crate::optimizer::multi::ExecutionSpace,
 ) -> Result<(crate::optimizer::multi::PlannedQuery, MultiOutcome), MethodError> {
     let export = server.export_stats();
-    let input = PlannerInput::gather(query, catalog, &export, server.collection().schema(), params)
+    // Fold the session's observed fault rate into the planner's cost model
+    // (expected-retry charge per invocation); fault-free sessions fold a
+    // rate of zero and plan exactly as before.
+    let params = params.with_fault_model(&server.usage(), &RetryPolicy::standard());
+    let input = PlannerInput::gather(query, catalog, &export, server.schema(), params)
         .map_err(|e| MethodError::NotApplicable(e.to_string()))?;
     let planned = crate::optimizer::multi::plan_query(&input, space)
         .ok_or_else(|| MethodError::NotApplicable("no plan found".into()))?;
@@ -499,6 +505,7 @@ type _Unused = HashMap<(), ()>;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use textjoin_text::server::TextServer;
     use crate::cost::params::CostParams;
     use crate::methods::Projection;
     use crate::optimizer::multi::ExecutionSpace;

@@ -30,9 +30,11 @@ use textjoin_rel::value::{Value, ValueType};
 use textjoin_text::batch::BatchResult;
 use textjoin_text::doc::{DocId, Document, FieldId, ShortDoc, TextSchema};
 use textjoin_text::expr::SearchExpr;
-use textjoin_text::server::{SearchResult, TextError, TextServer, Usage};
+use textjoin_text::server::{SearchResult, TextError, Usage};
+use textjoin_text::service::TextService;
+use textjoin_text::shard::{PartialShardError, ShardedTextServer};
 
-use crate::retry::RetryPolicy;
+use crate::retry::{RetryBudget, RetryPolicy};
 
 /// What the query projects — determines how much document data a method
 /// must ship.
@@ -102,7 +104,14 @@ impl fmt::Display for MethodError {
     }
 }
 
-impl std::error::Error for MethodError {}
+impl std::error::Error for MethodError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MethodError::Text(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<TextError> for MethodError {
     fn from(e: TextError) -> Self {
@@ -110,53 +119,167 @@ impl From<TextError> for MethodError {
     }
 }
 
-/// Execution context shared by the methods: the metered text server, the
+/// Execution context shared by the methods: the metered text service, the
 /// relational text-processing cost constant `c_a` (sec per document–tuple
 /// comparison), and the retry policy applied to every server operation.
 ///
-/// Methods reach the server through the retrying wrappers below
+/// Methods reach the service through the retrying wrappers below
 /// ([`search`](Self::search), [`probe`](Self::probe), …) instead of calling
 /// `ctx.server.*` directly, so transient faults are absorbed uniformly and
 /// their simulated backoff is charged into the same [`Usage`] ledger the
 /// cost decomposition audits.
+///
+/// Against a [`ShardedTextServer`] the wrappers switch to *per-shard*
+/// scatter/gather: each shard gets its own retry loop (so one flaky shard
+/// does not burn the budget of its healthy peers), backoff is charged to
+/// the shard that caused the wait, and a shard that exhausts its attempts
+/// yields a typed [`PartialShardError`] carrying the per-shard results
+/// gathered so far — methods then either re-route around the hole (probes
+/// degrade to "unknown", P+RTP's per-key TS fallback recovers) or fail
+/// cleanly, never with a wrong multiset. When a [`RetryBudget`] is
+/// attached, each shard's attempt count adapts to its observed fault rate.
 #[derive(Clone, Copy)]
 pub struct ExecContext<'a> {
-    /// The text server.
-    pub server: &'a TextServer,
+    /// The text service (a single server or a sharded one).
+    pub server: &'a dyn TextService,
     /// Relational text-processing cost per document–tuple comparison.
     pub c_a: f64,
     /// Retry schedule for transient text-server faults.
     pub retry: RetryPolicy,
+    /// Optional adaptive per-shard retry budget (sharded services only).
+    pub budget: Option<&'a RetryBudget>,
 }
 
 impl<'a> ExecContext<'a> {
     /// Context with the default `c_a` of 1e-5 sec/comparison and the
     /// standard retry policy.
-    pub fn new(server: &'a TextServer) -> Self {
+    pub fn new(server: &'a dyn TextService) -> Self {
         Self {
             server,
             c_a: 1e-5,
             retry: RetryPolicy::standard(),
+            budget: None,
         }
     }
 
     /// Context with an explicit retry policy.
-    pub fn with_retry(server: &'a TextServer, retry: RetryPolicy) -> Self {
+    pub fn with_retry(server: &'a dyn TextService, retry: RetryPolicy) -> Self {
         Self {
             server,
             c_a: 1e-5,
             retry,
+            budget: None,
         }
     }
 
-    /// Retrying [`TextServer::search`].
-    pub fn search(&self, expr: &SearchExpr) -> Result<SearchResult, TextError> {
-        self.retry.run(self.server, || self.server.search(expr))
+    /// Context with an adaptive per-shard retry budget. The budget's base
+    /// policy also serves as `retry` for unsharded operations.
+    pub fn with_budget(server: &'a dyn TextService, budget: &'a RetryBudget) -> Self {
+        Self {
+            server,
+            c_a: 1e-5,
+            retry: RetryPolicy::standard(),
+            budget: Some(budget),
+        }
     }
 
-    /// Retrying [`TextServer::probe`].
+    /// The retry policy in force for `shard`: the adaptive budget's scaled
+    /// policy when one is attached, the flat context policy otherwise.
+    fn shard_policy(&self, shard: usize) -> RetryPolicy {
+        match self.budget {
+            Some(b) => b.policy_for(shard),
+            None => self.retry,
+        }
+    }
+
+    /// Per-shard retry loop: like [`RetryPolicy::run`] but the backoff is
+    /// charged against the failing shard's ledger and every attempt's
+    /// outcome feeds the adaptive budget.
+    fn shard_attempts<T>(
+        &self,
+        sh: &ShardedTextServer,
+        shard: usize,
+        mut op: impl FnMut() -> Result<T, TextError>,
+    ) -> Result<T, TextError> {
+        let policy = self.shard_policy(shard);
+        let attempts = policy.max_attempts.max(1);
+        let mut failed = 0u32;
+        loop {
+            match op() {
+                Ok(v) => {
+                    if let Some(b) = self.budget {
+                        b.observe(shard, false);
+                    }
+                    return Ok(v);
+                }
+                Err(e) if e.is_transient() && failed + 1 < attempts => {
+                    if let Some(b) = self.budget {
+                        b.observe(shard, true);
+                    }
+                    failed += 1;
+                    sh.charge_shard_backoff(shard, policy.backoff_after(failed));
+                }
+                Err(e) => {
+                    if let Some(b) = self.budget {
+                        b.observe(shard, e.is_transient());
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Scatter/gather search over every shard with per-shard retries.
+    /// Transient exhaustion at shard `i` wraps the results gathered so far
+    /// in a typed [`PartialShardError`]; non-transient errors (cap
+    /// renegotiations, syntax) propagate raw so the callers' re-packaging
+    /// degradation paths keep working unchanged.
+    fn sharded_gather(
+        &self,
+        sh: &ShardedTextServer,
+        expr: &SearchExpr,
+    ) -> Result<SearchResult, TextError> {
+        if expr.term_count() > self.server.max_terms() {
+            // Route through the service so the rejection is ledgered once.
+            return self.server.search(expr);
+        }
+        let n = sh.shard_count();
+        let mut done: Vec<Option<SearchResult>> = vec![None; n];
+        for i in 0..n {
+            match self.shard_attempts(sh, i, || sh.search_shard(i, expr)) {
+                Ok(r) => done[i] = Some(r),
+                Err(e) if e.is_transient() => {
+                    return Err(TextError::Shard(Box::new(PartialShardError {
+                        partial: done,
+                        failed_shard: i,
+                        error: e,
+                    })))
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(ShardedTextServer::merge(
+            done.into_iter().map(|r| r.expect("all gathered")).collect(),
+        ))
+    }
+
+    /// Retrying [`TextService::search`]; per-shard retries when sharded.
+    pub fn search(&self, expr: &SearchExpr) -> Result<SearchResult, TextError> {
+        match self.server.as_sharded() {
+            Some(sh) => self.sharded_gather(sh, expr),
+            None => self.retry.run(self.server, || self.server.search(expr)),
+        }
+    }
+
+    /// Retrying [`TextService::probe`]. Sharded probing is all-shards-or-
+    /// error: a probe's ids feed candidate sets, so a partial id list would
+    /// silently drop matches — the typed error forces the caller through
+    /// its degradation path instead.
     pub fn probe(&self, expr: &SearchExpr) -> Result<Vec<DocId>, TextError> {
-        self.retry.run(self.server, || self.server.probe(expr))
+        match self.server.as_sharded() {
+            Some(sh) => Ok(self.sharded_gather(sh, expr)?.ids()),
+            None => self.retry.run(self.server, || self.server.probe(expr)),
+        }
     }
 
     /// Degrading probe: probing is an optimization, never a correctness
@@ -167,16 +290,59 @@ impl<'a> ExecContext<'a> {
         self.probe(expr).ok()
     }
 
-    /// Retrying [`TextServer::retrieve`].
+    /// Retrying [`TextService::retrieve`]; routed to (and retried against)
+    /// the owning shard when sharded.
     pub fn retrieve(&self, id: DocId) -> Result<Document, TextError> {
-        self.retry.run(self.server, || self.server.retrieve(id))
+        match self.server.as_sharded() {
+            Some(sh) => {
+                let shard = sh
+                    .owner_of(id)
+                    .ok_or(TextError::UnknownDoc(id))?;
+                self.shard_attempts(sh, shard, || self.server.retrieve(id))
+            }
+            None => self.retry.run(self.server, || self.server.retrieve(id)),
+        }
     }
 
-    /// Retrying [`TextServer::search_batch`]. The batch façade validates
+    /// Retrying [`TextService::search_batch`]. The batch façade validates
     /// caps before charging, so a transient fault fails (and retries) the
-    /// whole batch.
+    /// whole batch. Sharded batches scatter per shard with per-shard
+    /// retries; a shard exhausting its budget yields the typed shard error
+    /// (no per-member partial sets — the batch is all-or-error).
     pub fn search_batch(&self, exprs: &[SearchExpr]) -> Result<BatchResult, TextError> {
-        self.retry.run(self.server, || self.server.search_batch(exprs))
+        match self.server.as_sharded() {
+            Some(sh) => {
+                for e in exprs {
+                    if e.term_count() > self.server.max_terms() {
+                        return self.server.search_batch(exprs);
+                    }
+                }
+                let n = sh.shard_count();
+                let mut per_shard = Vec::with_capacity(n);
+                for i in 0..n {
+                    match self.shard_attempts(sh, i, || sh.batch_shard(i, exprs)) {
+                        Ok(b) => per_shard.push(b),
+                        Err(e) if e.is_transient() => {
+                            return Err(TextError::Shard(Box::new(PartialShardError {
+                                partial: Vec::new(),
+                                failed_shard: i,
+                                error: e,
+                            })))
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                let results = (0..exprs.len())
+                    .map(|j| {
+                        ShardedTextServer::merge(
+                            per_shard.iter().map(|b| b.results[j].clone()).collect(),
+                        )
+                    })
+                    .collect();
+                Ok(BatchResult { results })
+            }
+            None => self.retry.run(self.server, || self.server.search_batch(exprs)),
+        }
     }
 }
 
@@ -528,6 +694,7 @@ pub(crate) mod testkit {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use textjoin_text::server::TextServer;
     use testkit::{corpus, student};
 
     fn fj<'a>(rel: &'a Table, server: &TextServer, projection: Projection) -> ForeignJoin<'a> {

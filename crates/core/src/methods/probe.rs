@@ -91,7 +91,7 @@ fn probe_first_ts(
     probe_cols: &[usize],
 ) -> Result<MethodOutcome, MethodError> {
     let before = ctx.server.usage();
-    let text_schema = ctx.server.collection().schema();
+    let text_schema = ctx.server.schema();
     let label = method_label("P", probe_cols, "TS");
     let mut out = fj.output_table(text_schema, &label);
     let all = fj.all_preds();
@@ -165,7 +165,7 @@ fn lazy_ts(
     probe_cols: &[usize],
 ) -> Result<MethodOutcome, MethodError> {
     let before = ctx.server.usage();
-    let text_schema = ctx.server.collection().schema();
+    let text_schema = ctx.server.schema();
     let label = format!("{}-lazy", method_label("P", probe_cols, "TS"));
     let mut out = fj.output_table(text_schema, &label);
     let all = fj.all_preds();
@@ -238,7 +238,7 @@ fn ordered_ts(
     probe_cols: &[usize],
 ) -> Result<MethodOutcome, MethodError> {
     let before = ctx.server.usage();
-    let text_schema = ctx.server.collection().schema();
+    let text_schema = ctx.server.schema();
     let label = format!("{}-ord", method_label("P", probe_cols, "TS"));
     let mut out = fj.output_table(text_schema, &label);
     let all = fj.all_preds();
@@ -316,7 +316,7 @@ pub fn probe_rtp(
     fj.validate()?;
     validate_probe_cols(fj, probe_cols)?;
     let before = ctx.server.usage();
-    let text_schema = ctx.server.collection().schema();
+    let text_schema = ctx.server.schema();
     let label = method_label("P", probe_cols, "RTP");
     let mut out = fj.output_table(text_schema, &label);
 
@@ -364,14 +364,10 @@ pub fn probe_rtp(
         // The short forms were already transmitted as probe result sets;
         // reconstruct them locally at no extra charge.
         for &id in &matched {
-            let doc = ctx
-                .server
-                .collection()
-                .document(id)
-                .ok_or(MethodError::Text(
-                    textjoin_text::server::TextError::UnknownDoc(id),
-                ))?;
-            short_docs.insert(id, doc.short_form(id, text_schema));
+            let sf = ctx.server.reconstruct_short(id).ok_or(MethodError::Text(
+                textjoin_text::server::TextError::UnknownDoc(id),
+            ))?;
+            short_docs.insert(id, sf);
         }
     }
 

@@ -53,7 +53,7 @@ fn complete(
     result: SearchResult,
     before: &Usage,
 ) -> Result<MethodOutcome, MethodError> {
-    let text_schema = ctx.server.collection().schema();
+    let text_schema = ctx.server.schema();
     let mut out = fj.output_table(text_schema, "RTP");
 
     // Decide whether short forms suffice for the relational matching.

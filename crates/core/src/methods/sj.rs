@@ -53,7 +53,7 @@ pub fn semi_join(
     }
 
     let before = ctx.server.usage();
-    let text_schema = ctx.server.collection().schema();
+    let text_schema = ctx.server.schema();
     let label = if fj.projection == Projection::DocIds {
         "SJ"
     } else {

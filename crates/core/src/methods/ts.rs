@@ -28,7 +28,7 @@ pub fn tuple_substitution(
         ));
     }
     let before = ctx.server.usage();
-    let text_schema = ctx.server.collection().schema();
+    let text_schema = ctx.server.schema();
     let mut out = fj.output_table(text_schema, "TS");
     let all = fj.all_preds();
 
@@ -104,7 +104,7 @@ pub fn tuple_substitution_batched(
         ));
     }
     let before = ctx.server.usage();
-    let text_schema = ctx.server.collection().schema();
+    let text_schema = ctx.server.schema();
     let mut out = fj.output_table(text_schema, "TS-batch");
     let all = fj.all_preds();
 

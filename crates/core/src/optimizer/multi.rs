@@ -165,6 +165,14 @@ impl PlannerInput {
 
     /// Builds [`JoinStatistics`] for the foreign predicates `preds`
     /// evaluated against an intermediate relation with `rows` tuples.
+    ///
+    /// The statistics are consumed by the formulas with `self.params` as
+    /// environment — including its fault model (`fault_rate`,
+    /// `mean_backoff`), which every invocation-count term is multiplied
+    /// against via `CostParams::effective_c_i`. Keep that in sync with the
+    /// executor: `plan_and_execute` folds the session's observed fault
+    /// rate into `params` before gathering, so the planner prices retries
+    /// with the same schedule `ExecContext` actually charges.
     fn stats_for(&self, rows: f64, preds: &[usize], projection: Projection) -> JoinStatistics {
         let pred_stats: Vec<PredStats> = preds
             .iter()

@@ -25,7 +25,7 @@ use textjoin_rel::ops::{distinct_count_multi, filter};
 use textjoin_rel::schema::ColId;
 use textjoin_rel::table::Table;
 use textjoin_text::doc::{FieldId, TextSchema};
-use textjoin_text::server::TextServer;
+use textjoin_text::service::TextService;
 use textjoin_text::stats::VocabularyStats;
 
 use crate::cost::params::JoinStatistics;
@@ -170,10 +170,10 @@ impl PreparedQuery {
     /// — measure them separately from query execution.
     pub fn statistics_by_sampling(
         &self,
-        server: &TextServer,
+        server: &dyn TextService,
         sample_size: usize,
     ) -> Result<JoinStatistics, textjoin_text::server::TextError> {
-        let text_schema = server.collection().schema();
+        let text_schema = server.schema();
         let mut preds = Vec::with_capacity(self.join_cols.len());
         for (&c, &f) in self.join_cols.iter().zip(&self.join_fields) {
             preds.push(sample_predicate(server, &self.filtered, c, f, sample_size)?);

@@ -15,7 +15,10 @@
 //! error surfaces immediately and the caller decides whether to *degrade*
 //! (split the package, fall back to TS, skip the probe) instead.
 
-use textjoin_text::server::{TextError, TextServer};
+use std::cell::RefCell;
+
+use textjoin_text::server::TextError;
+use textjoin_text::service::TextService;
 
 /// Bounded-attempt retry schedule with exponential simulated backoff.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,13 +61,24 @@ impl RetryPolicy {
         (self.base_backoff * exp).min(self.max_backoff)
     }
 
+    /// Mean simulated wait per retry under this schedule: the average of
+    /// the waits charged between attempts (0 for a never-retry policy).
+    /// The planner's expected-retry cost term is `rate × mean_backoff`.
+    pub fn mean_backoff(&self) -> f64 {
+        if self.max_attempts <= 1 {
+            return 0.0;
+        }
+        let waits = self.max_attempts - 1;
+        (1..=waits).map(|f| self.backoff_after(f)).sum::<f64>() / f64::from(waits)
+    }
+
     /// Runs `op`, retrying transient failures up to `max_attempts` total
     /// tries. Each wait is charged to `server`'s ledger via
-    /// [`TextServer::charge_backoff`]. Non-transient errors and the final
+    /// [`TextService::charge_backoff`]. Non-transient errors and the final
     /// transient error pass through unchanged.
     pub fn run<T>(
         &self,
-        server: &TextServer,
+        server: &dyn TextService,
         mut op: impl FnMut() -> Result<T, TextError>,
     ) -> Result<T, TextError> {
         let attempts = self.max_attempts.max(1);
@@ -88,9 +102,85 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Adaptive per-shard retry budget: tracks each shard's observed fault
+/// rate with a deterministic integer EWMA and scales the attempt count of
+/// a base [`RetryPolicy`] accordingly — fewer attempts against shards that
+/// are persistently dead (retrying a black hole only buys backoff), more
+/// against shards that have been healthy (a rare blip there is worth
+/// riding out).
+///
+/// The rate is fixed-point in parts-per-1024. Each observed attempt
+/// updates `r ← r − r/8 + (faulted ? 128 : 0)`: all-faults converges to
+/// the fixpoint 1024, all-successes decays toward 0 (integer division
+/// stalls at ≤ 7, comfortably inside the "healthy" band). Integer
+/// arithmetic only — byte-reproducible across runs and platforms.
+#[derive(Debug)]
+pub struct RetryBudget {
+    base: RetryPolicy,
+    /// Per-shard EWMA fault rates, parts-per-1024; grows on demand.
+    rates: RefCell<Vec<u32>>,
+}
+
+/// EWMA weight of one observation, parts-per-1024 (1/8 of full scale).
+const EWMA_STEP: u32 = 128;
+/// Above this rate (3/4 of observations faulting) a shard counts as
+/// persistently dead.
+const DEAD_THRESHOLD: u32 = 768;
+/// Below this rate (1/4) a shard counts as healthy.
+const HEALTHY_THRESHOLD: u32 = 256;
+
+impl RetryBudget {
+    /// A budget that scales `base` per shard; all shards start neutral
+    /// (rate 0 = healthy).
+    pub fn new(base: RetryPolicy) -> Self {
+        RetryBudget {
+            base,
+            rates: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Records the outcome of one attempt against `shard`.
+    pub fn observe(&self, shard: usize, faulted: bool) {
+        let mut rates = self.rates.borrow_mut();
+        if rates.len() <= shard {
+            rates.resize(shard + 1, 0);
+        }
+        let r = rates[shard];
+        rates[shard] = r - r / 8 + if faulted { EWMA_STEP } else { 0 };
+    }
+
+    /// The shard's current EWMA fault rate in parts-per-1024.
+    pub fn rate_of(&self, shard: usize) -> u32 {
+        self.rates.borrow().get(shard).copied().unwrap_or(0)
+    }
+
+    /// Attempts granted against `shard` right now: tightened to
+    /// `max(2, base − 2)` when the shard looks persistently dead, the base
+    /// count in the uncertain middle band, loosened to `base + 2` when the
+    /// shard has been healthy.
+    pub fn attempts_for(&self, shard: usize) -> u32 {
+        let base = self.base.max_attempts.max(1);
+        match self.rate_of(shard) {
+            r if r >= DEAD_THRESHOLD => base.saturating_sub(2).max(2),
+            r if r >= HEALTHY_THRESHOLD => base,
+            _ => base + 2,
+        }
+    }
+
+    /// The base policy with `max_attempts` swapped for the shard's current
+    /// budget; backoff schedule unchanged.
+    pub fn policy_for(&self, shard: usize) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: self.attempts_for(shard),
+            ..self.base
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use textjoin_text::server::TextServer;
     use textjoin_text::doc::{Document, TextSchema};
     use textjoin_text::faults::{Fault, FaultPlan};
     use textjoin_text::index::Collection;
@@ -172,6 +262,55 @@ mod tests {
         let u = s.usage();
         assert_eq!(u.invocations, 1, "no second attempt");
         assert_eq!(u.retries, 0);
+    }
+
+    #[test]
+    fn mean_backoff_averages_the_wait_schedule() {
+        // standard(): waits 1s, 2s, 4s between 4 attempts → mean 7/3.
+        let p = RetryPolicy::standard();
+        assert!((p.mean_backoff() - 7.0 / 3.0).abs() < 1e-12);
+        assert_eq!(RetryPolicy::none().mean_backoff(), 0.0);
+    }
+
+    #[test]
+    fn budget_tightens_on_dead_shards_and_loosens_on_healthy_ones() {
+        let b = RetryBudget::new(RetryPolicy::standard());
+        // Unobserved shards are healthy: base + 2 attempts.
+        assert_eq!(b.attempts_for(0), 6);
+        // A persistently dead shard converges above the dead threshold.
+        for _ in 0..20 {
+            b.observe(1, true);
+        }
+        assert!(b.rate_of(1) >= 768, "rate {}", b.rate_of(1));
+        assert_eq!(b.attempts_for(1), 2, "max(2, 4 - 2)");
+        // Recovery: successes decay the rate back through the bands.
+        for _ in 0..3 {
+            b.observe(1, false);
+        }
+        assert_eq!(b.attempts_for(1), 4, "middle band = base attempts");
+        for _ in 0..10 {
+            b.observe(1, false);
+        }
+        assert_eq!(b.attempts_for(1), 6, "healthy again");
+        // Shard 0 was never touched by shard 1's history.
+        assert_eq!(b.rate_of(0), 0);
+        let p = b.policy_for(1);
+        assert_eq!(p.max_attempts, 6);
+        assert_eq!(p.base_backoff, RetryPolicy::standard().base_backoff);
+    }
+
+    #[test]
+    fn budget_is_deterministic_integer_arithmetic() {
+        let run = || {
+            let b = RetryBudget::new(RetryPolicy::standard());
+            let mut trace = Vec::new();
+            for i in 0..50u32 {
+                b.observe(0, i % 3 == 0);
+                trace.push(b.rate_of(0));
+            }
+            trace
+        };
+        assert_eq!(run(), run(), "identical observation stream, identical rates");
     }
 
     #[test]

@@ -22,7 +22,8 @@ use textjoin_rel::schema::ColId;
 use textjoin_rel::table::Table;
 use textjoin_text::doc::FieldId;
 use textjoin_text::expr::SearchExpr;
-use textjoin_text::server::{TextError, TextServer};
+use textjoin_text::server::TextError;
+use textjoin_text::service::TextService;
 use textjoin_text::stats::VocabularyStats;
 use textjoin_text::token::normalize_phrase;
 
@@ -51,7 +52,7 @@ fn stride_sample(n: usize, k: usize) -> Vec<usize> {
 /// included, matching the `V = n × F` derivation); `list_len` the mean
 /// postings processed per search.
 pub fn sample_predicate(
-    server: &TextServer,
+    server: &dyn TextService,
     rel: &Table,
     col: ColId,
     field: FieldId,

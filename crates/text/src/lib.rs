@@ -50,6 +50,8 @@ pub mod index;
 pub mod parse;
 pub mod postings;
 pub mod server;
+pub mod service;
+pub mod shard;
 pub mod signature;
 pub mod stats;
 pub mod token;
@@ -61,3 +63,5 @@ pub use index::Collection;
 pub use server::{
     CostConstants, PartialRetrieveError, SearchResult, TextError, TextServer, Usage,
 };
+pub use service::TextService;
+pub use shard::{PartialShardError, ShardedTextServer};

@@ -103,6 +103,22 @@ impl Usage {
         self.time_invocation + self.time_processing + self.time_transmission + self.time_backoff
     }
 
+    /// Adds another ledger into this one, counter by counter. Used to sum
+    /// per-shard ledgers into a sharded server's aggregate `Usage`.
+    pub fn accumulate(&mut self, other: &Usage) {
+        self.invocations += other.invocations;
+        self.rejected += other.rejected;
+        self.postings_processed += other.postings_processed;
+        self.docs_short += other.docs_short;
+        self.docs_long += other.docs_long;
+        self.time_invocation += other.time_invocation;
+        self.time_processing += other.time_processing;
+        self.time_transmission += other.time_transmission;
+        self.faults += other.faults;
+        self.retries += other.retries;
+        self.time_backoff += other.time_backoff;
+    }
+
     /// The difference `self - earlier`, for measuring a sub-operation.
     pub fn since(&self, earlier: &Usage) -> Usage {
         Usage {
@@ -178,6 +194,11 @@ pub enum TextError {
         /// The cap now in force.
         new_m: usize,
     },
+    /// A shard of a [`ShardedTextServer`](crate::shard::ShardedTextServer)
+    /// exhausted its retries mid-gather. Carries the per-shard results
+    /// already gathered. Not transient at this level: the per-shard retry
+    /// loop already ran; callers re-route or fail cleanly.
+    Shard(Box<crate::shard::PartialShardError>),
 }
 
 impl TextError {
@@ -207,11 +228,19 @@ impl fmt::Display for TextError {
             TextError::CapReduced { new_m } => {
                 write!(f, "text server reduced its term cap to {new_m} mid-query")
             }
+            TextError::Shard(pse) => write!(f, "{pse}"),
         }
     }
 }
 
-impl std::error::Error for TextError {}
+impl std::error::Error for TextError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TextError::Shard(pse) => Some(&**pse),
+            _ => None,
+        }
+    }
+}
 
 /// Error from [`TextServer::retrieve_all`]: the retrievals completed before
 /// the failure were charged `c_l` each, so their documents are returned

@@ -1,0 +1,558 @@
+//! Sharded text collections: one logical service over many physical servers.
+//!
+//! A production-scale Mercury-style deployment spreads its collection across
+//! many search endpoints. [`ShardedTextServer`] models that: a [`Collection`]
+//! is partitioned deterministically (seeded hash of the docid) across N
+//! inner [`TextServer`]s, each with its own fault plan, term cap, and
+//! [`Usage`] ledger. Every service operation is a scatter/gather:
+//!
+//! * `search`/`probe` scatter the expression to **all** shards (each shard
+//!   charges its own `c_i` — the per-shard invocation charge) and
+//!   union-merge the postings in global docid order;
+//! * `retrieve` routes to the single shard owning the docid;
+//! * the aggregate [`Usage`] is the exact sum of the shard ledgers plus the
+//!   aggregate-level counters (cap rejections, client backoff charged to
+//!   the service as a whole), so the cost decomposition
+//!   `c_i·I + c_p·P + c_s·S + c_l·L + backoff` keeps holding.
+//!
+//! Partial failure is typed: when a caller's per-shard retry loop gives up
+//! on one shard mid-gather, it wraps the per-shard results gathered so far
+//! into a [`PartialShardError`] (carried by `TextError::Shard`), so no
+//! paid-for shard response is silently dropped and callers can either
+//! re-route the missing sub-query or fail cleanly — never return a wrong
+//! multiset.
+
+use std::cell::RefCell;
+use std::fmt;
+
+use crate::batch::BatchResult;
+use crate::doc::{DocId, Document, ShortDoc, TextSchema};
+use crate::expr::SearchExpr;
+use crate::index::Collection;
+use crate::parse::parse_search;
+use crate::server::{
+    CostConstants, PartialRetrieveError, SearchResult, TextError, TextServer, Usage,
+};
+use crate::service::TextService;
+use crate::stats::VocabularyStats;
+
+/// A shard that exhausted its retries mid-gather. Carries the per-shard
+/// results already gathered (and charged) before the failure, so callers
+/// can account for — or re-route around — exactly what is missing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialShardError {
+    /// Per-shard results gathered before the failure, index-parallel to the
+    /// shards: `Some` for shards that answered, `None` for the failed shard
+    /// and any shard not yet reached. Empty when the gather carried no
+    /// per-shard result sets (probe and batch gathers).
+    pub partial: Vec<Option<SearchResult>>,
+    /// Index of the shard that failed.
+    pub failed_shard: usize,
+    /// The underlying (transient, retry-exhausted) failure.
+    pub error: TextError,
+}
+
+impl PartialShardError {
+    /// Number of shards that had already answered when the gather failed.
+    pub fn gathered(&self) -> usize {
+        self.partial.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+impl fmt::Display for PartialShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {} failed mid-gather after {} shard responses: {}",
+            self.failed_shard,
+            self.gathered(),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for PartialShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// `splitmix64` — the same deterministic mixer the fault plans use, applied
+/// to docids so the partition is a seeded hash, not a modulo striping.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic partition of one [`Collection`] across N metered
+/// [`TextServer`] shards, presenting the same [`TextService`] surface.
+#[derive(Debug)]
+pub struct ShardedTextServer {
+    shards: Vec<TextServer>,
+    /// Global docid → (owning shard, local docid).
+    route: Vec<(usize, DocId)>,
+    /// Per shard: local docid → global docid (increasing by construction).
+    to_global: Vec<Vec<DocId>>,
+    /// Aggregate-level counters: cap rejections and client backoff charged
+    /// to the service as a whole rather than to one shard.
+    extra: RefCell<Usage>,
+    partition_seed: u64,
+}
+
+impl ShardedTextServer {
+    /// Partitions `coll` across `n_shards` servers with the default
+    /// (Mercury-calibrated) constants. The partition is the seeded hash
+    /// `splitmix64(seed ⊕ docid) mod n_shards`, so the same `(collection,
+    /// seed, n_shards)` always yields the same placement.
+    pub fn new(coll: &Collection, n_shards: usize, seed: u64) -> Self {
+        Self::with_constants(coll, n_shards, seed, CostConstants::default())
+    }
+
+    /// Same, with explicit cost constants (shared by every shard so the
+    /// aggregate decomposition uses a single constant set).
+    pub fn with_constants(
+        coll: &Collection,
+        n_shards: usize,
+        seed: u64,
+        constants: CostConstants,
+    ) -> Self {
+        assert!(n_shards > 0, "a sharded server needs at least one shard");
+        let mut colls: Vec<Collection> =
+            (0..n_shards).map(|_| Collection::new(coll.schema().clone())).collect();
+        let mut route = Vec::with_capacity(coll.doc_count());
+        let mut to_global: Vec<Vec<DocId>> = vec![Vec::new(); n_shards];
+        for g in 0..coll.doc_count() {
+            let global = DocId(g as u32);
+            let doc = coll.document(global).expect("dense docids").clone();
+            let shard = (splitmix64(seed ^ u64::from(global.0)) % n_shards as u64) as usize;
+            let local = colls[shard].add_document(doc);
+            route.push((shard, local));
+            to_global[shard].push(global);
+        }
+        Self {
+            shards: colls
+                .into_iter()
+                .map(|c| TextServer::with_constants(c, constants))
+                .collect(),
+            route,
+            to_global,
+            extra: RefCell::new(Usage::default()),
+            partition_seed: seed,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The partition seed in force.
+    pub fn partition_seed(&self) -> u64 {
+        self.partition_seed
+    }
+
+    /// Shared read access to shard `i` (its ledger, cap, fault plan).
+    pub fn shard(&self, i: usize) -> &TextServer {
+        &self.shards[i]
+    }
+
+    /// Mutable access to shard `i`, for installing per-shard fault plans
+    /// and term caps.
+    pub fn shard_mut(&mut self, i: usize) -> &mut TextServer {
+        &mut self.shards[i]
+    }
+
+    /// The shard owning global docid `id`, or `None` for unknown ids.
+    pub fn owner_of(&self, id: DocId) -> Option<usize> {
+        self.route.get(id.0 as usize).map(|&(s, _)| s)
+    }
+
+    /// Snapshot of shard `i`'s ledger.
+    pub fn shard_usage(&self, i: usize) -> Usage {
+        self.shards[i].usage()
+    }
+
+    /// Searches shard `i` only, remapping result docids to global ids.
+    /// Charges (and faults) exactly like a search on that shard.
+    pub fn search_shard(&self, i: usize, expr: &SearchExpr) -> Result<SearchResult, TextError> {
+        let mut r = self.shards[i].search(expr)?;
+        for d in &mut r.docs {
+            d.id = self.to_global[i][d.id.0 as usize];
+        }
+        Ok(r)
+    }
+
+    /// Probes shard `i` only, returning global docids.
+    pub fn probe_shard(&self, i: usize, expr: &SearchExpr) -> Result<Vec<DocId>, TextError> {
+        Ok(self.search_shard(i, expr)?.ids())
+    }
+
+    /// Runs a batch on shard `i` only, remapping every member result's
+    /// docids to global ids (the shard applies its own invocation rebates).
+    pub fn batch_shard(&self, i: usize, exprs: &[SearchExpr]) -> Result<BatchResult, TextError> {
+        let mut b = self.shards[i].search_batch(exprs)?;
+        for r in &mut b.results {
+            for d in &mut r.docs {
+                d.id = self.to_global[i][d.id.0 as usize];
+            }
+        }
+        Ok(b)
+    }
+
+    /// Charges simulated retry backoff against shard `i`'s ledger (the
+    /// shard that caused the wait pays for it).
+    pub fn charge_shard_backoff(&self, i: usize, seconds: f64) {
+        self.shards[i].charge_backoff(seconds);
+    }
+
+    /// Union-merges per-shard results into one result set in global docid
+    /// order. Shard result sets are disjoint (the partition) and each is
+    /// already sorted, so this is a pure merge.
+    pub fn merge(parts: Vec<SearchResult>) -> SearchResult {
+        let mut docs: Vec<ShortDoc> = parts.into_iter().flat_map(|r| r.docs).collect();
+        docs.sort_by_key(|d| d.id);
+        SearchResult { docs }
+    }
+
+    /// Rejects expressions over the aggregate cap before any shard is
+    /// contacted (mirrors the single server: rejected searches are free).
+    fn validate_cap(&self, expr: &SearchExpr) -> Result<(), TextError> {
+        let cap = TextService::max_terms(self);
+        let count = expr.term_count();
+        if count > cap {
+            self.extra.borrow_mut().rejected += 1;
+            return Err(TextError::TooManyTerms { count, max: cap });
+        }
+        Ok(())
+    }
+
+    /// Single-attempt scatter/gather over all shards, in shard order. A
+    /// transient shard failure wraps the results gathered so far into a
+    /// [`PartialShardError`]; non-transient errors (cap renegotiations,
+    /// syntax) propagate raw so the callers' re-packaging lattices keep
+    /// working unchanged. Callers wanting per-shard retries orchestrate
+    /// [`search_shard`](Self::search_shard) themselves.
+    fn scatter_search(&self, expr: &SearchExpr) -> Result<Vec<SearchResult>, TextError> {
+        let mut done: Vec<Option<SearchResult>> = vec![None; self.shards.len()];
+        for i in 0..self.shards.len() {
+            match self.search_shard(i, expr) {
+                Ok(r) => done[i] = Some(r),
+                Err(e) if e.is_transient() => {
+                    return Err(TextError::Shard(Box::new(PartialShardError {
+                        partial: done,
+                        failed_shard: i,
+                        error: e,
+                    })))
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(done.into_iter().map(|r| r.expect("all gathered")).collect())
+    }
+}
+
+impl TextService for ShardedTextServer {
+    fn schema(&self) -> &TextSchema {
+        self.shards[0].collection().schema()
+    }
+
+    fn doc_count(&self) -> usize {
+        self.route.len()
+    }
+
+    /// The minimum cap over the shards: a package legal under the aggregate
+    /// cap is legal on every shard it is scattered to.
+    fn max_terms(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.max_terms())
+            .min()
+            .expect("at least one shard")
+    }
+
+    fn constants(&self) -> CostConstants {
+        self.shards[0].constants()
+    }
+
+    /// Exact sum of the per-shard ledgers plus the aggregate-level counters.
+    fn usage(&self) -> Usage {
+        let mut total = *self.extra.borrow();
+        for s in &self.shards {
+            total.accumulate(&s.usage());
+        }
+        total
+    }
+
+    fn reset_usage(&self) {
+        *self.extra.borrow_mut() = Usage::default();
+        for s in &self.shards {
+            s.reset_usage();
+        }
+    }
+
+    /// Backoff charged against the service as a whole (when the caller does
+    /// not attribute the wait to one shard — per-shard retry loops use
+    /// [`charge_shard_backoff`](Self::charge_shard_backoff) instead).
+    fn charge_backoff(&self, seconds: f64) {
+        let mut u = self.extra.borrow_mut();
+        u.retries += 1;
+        u.time_backoff += seconds;
+    }
+
+    fn search(&self, expr: &SearchExpr) -> Result<SearchResult, TextError> {
+        self.validate_cap(expr)?;
+        Ok(Self::merge(self.scatter_search(expr)?))
+    }
+
+    fn search_str(&self, query: &str) -> Result<SearchResult, TextError> {
+        let expr = parse_search(query, TextService::schema(self))?;
+        TextService::search(self, &expr)
+    }
+
+    fn probe(&self, expr: &SearchExpr) -> Result<Vec<DocId>, TextError> {
+        Ok(TextService::search(self, expr)?.ids())
+    }
+
+    fn retrieve(&self, id: DocId) -> Result<Document, TextError> {
+        match self.route.get(id.0 as usize) {
+            Some(&(shard, local)) => self.shards[shard].retrieve(local),
+            None => Err(TextError::UnknownDoc(id)),
+        }
+    }
+
+    fn retrieve_all(&self, ids: &[DocId]) -> Result<Vec<Document>, Box<PartialRetrieveError>> {
+        let mut docs = Vec::with_capacity(ids.len());
+        for &id in ids {
+            match TextService::retrieve(self, id) {
+                Ok(doc) => docs.push(doc),
+                Err(error) => {
+                    return Err(Box::new(PartialRetrieveError {
+                        docs,
+                        failed: id,
+                        error,
+                    }))
+                }
+            }
+        }
+        Ok(docs)
+    }
+
+    /// Scatters the whole batch to every shard (each applies its own
+    /// invocation rebate) and union-merges member-wise. Caps are validated
+    /// against the aggregate cap up front, so a rejected batch is free.
+    fn search_batch(&self, exprs: &[SearchExpr]) -> Result<BatchResult, TextError> {
+        for e in exprs {
+            self.validate_cap(e)?;
+        }
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        for i in 0..self.shards.len() {
+            match self.batch_shard(i, exprs) {
+                Ok(b) => per_shard.push(b),
+                Err(e) if e.is_transient() => {
+                    return Err(TextError::Shard(Box::new(PartialShardError {
+                        partial: Vec::new(),
+                        failed_shard: i,
+                        error: e,
+                    })))
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let results = (0..exprs.len())
+            .map(|j| Self::merge(per_shard.iter().map(|b| b.results[j].clone()).collect()))
+            .collect();
+        Ok(BatchResult { results })
+    }
+
+    fn export_stats(&self) -> VocabularyStats {
+        VocabularyStats::merged(self.shards.iter().map(|s| s.export_stats()))
+    }
+
+    fn reconstruct_short(&self, id: DocId) -> Option<ShortDoc> {
+        let &(shard, local) = self.route.get(id.0 as usize)?;
+        let coll = self.shards[shard].collection();
+        coll.document(local)
+            .map(|d| d.short_form(id, coll.schema()))
+    }
+
+    fn as_sharded(&self) -> Option<&ShardedTextServer> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::{Document, TextSchema};
+    use crate::faults::{Fault, FaultPlan};
+
+    fn corpus(n: usize) -> Collection {
+        let schema = TextSchema::bibliographic();
+        let ti = schema.field_by_name("title").unwrap();
+        let au = schema.field_by_name("author").unwrap();
+        let mut c = Collection::new(schema);
+        for i in 0..n {
+            c.add_document(
+                Document::new()
+                    .with(ti, format!("shared subject {i}"))
+                    .with(au, format!("author{i}")),
+            );
+        }
+        c
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_total() {
+        let coll = corpus(40);
+        let a = ShardedTextServer::new(&coll, 4, 7);
+        let b = ShardedTextServer::new(&coll, 4, 7);
+        assert_eq!(a.doc_count(), 40);
+        let sizes: Vec<usize> = (0..4).map(|i| a.shard(i).doc_count()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 40);
+        assert!(sizes.iter().all(|&s| s > 0), "seeded hash spreads docs: {sizes:?}");
+        for g in 0..40 {
+            assert_eq!(a.owner_of(DocId(g)), b.owner_of(DocId(g)));
+        }
+        // A different seed re-deals the placement.
+        let c = ShardedTextServer::new(&coll, 4, 8);
+        assert!((0..40).any(|g| a.owner_of(DocId(g)) != c.owner_of(DocId(g))));
+    }
+
+    #[test]
+    fn scatter_search_matches_single_server_in_global_id_order() {
+        let coll = corpus(40);
+        let single = TextServer::new(coll.clone());
+        let sharded = ShardedTextServer::new(&coll, 4, 7);
+        let want = single.search_str("TI='shared'").unwrap();
+        let got = TextService::search_str(&sharded, "TI='shared'").unwrap();
+        assert_eq!(got.ids(), want.ids(), "same docids, global order");
+        assert_eq!(got.docs, want.docs, "same short forms");
+    }
+
+    #[test]
+    fn scatter_charges_each_shard_an_invocation() {
+        let coll = corpus(40);
+        let sharded = ShardedTextServer::new(&coll, 4, 7);
+        TextService::search_str(&sharded, "TI='shared'").unwrap();
+        for i in 0..4 {
+            assert_eq!(sharded.shard_usage(i).invocations, 1, "shard {i}");
+        }
+        let u = TextService::usage(&sharded);
+        assert_eq!(u.invocations, 4, "per-shard invocation charges aggregate");
+        let mut summed = Usage::default();
+        for i in 0..4 {
+            summed.accumulate(&sharded.shard_usage(i));
+        }
+        assert_eq!(u, summed, "aggregate ledger is the exact shard sum");
+    }
+
+    #[test]
+    fn retrieve_routes_to_the_owning_shard_only() {
+        let coll = corpus(40);
+        let single = TextServer::new(coll.clone());
+        let sharded = ShardedTextServer::new(&coll, 4, 7);
+        let want = single.retrieve(DocId(11)).unwrap();
+        let got = TextService::retrieve(&sharded, DocId(11)).unwrap();
+        assert_eq!(got, want);
+        let owner = sharded.owner_of(DocId(11)).unwrap();
+        for i in 0..4 {
+            let u = sharded.shard_usage(i);
+            if i == owner {
+                assert_eq!(u.docs_long, 1);
+            } else {
+                assert_eq!(u, Usage::default(), "shard {i} untouched");
+            }
+        }
+        assert!(matches!(
+            TextService::retrieve(&sharded, DocId(999)),
+            Err(TextError::UnknownDoc(DocId(999)))
+        ));
+    }
+
+    #[test]
+    fn aggregate_cap_is_min_over_shards_and_rejects_free() {
+        let coll = corpus(40);
+        let mut sharded = ShardedTextServer::new(&coll, 4, 7);
+        sharded.shard_mut(2).set_max_terms(2);
+        assert_eq!(TextService::max_terms(&sharded), 2);
+        let err =
+            TextService::search_str(&sharded, "AU='a' or AU='b' or AU='c'").unwrap_err();
+        assert!(matches!(err, TextError::TooManyTerms { count: 3, max: 2 }));
+        let u = TextService::usage(&sharded);
+        assert_eq!((u.invocations, u.rejected), (0, 1), "rejected uncharged");
+    }
+
+    #[test]
+    fn transient_shard_failure_carries_partial_gather() {
+        let coll = corpus(40);
+        let mut sharded = ShardedTextServer::new(&coll, 4, 7);
+        sharded
+            .shard_mut(2)
+            .set_fault_plan(FaultPlan::scripted(vec![(0, Fault::Unavailable)]));
+        let err = TextService::search_str(&sharded, "TI='shared'").unwrap_err();
+        let TextError::Shard(pse) = err else {
+            panic!("expected a shard error, got {err}");
+        };
+        assert_eq!(pse.failed_shard, 2);
+        assert_eq!(pse.gathered(), 2, "shards 0 and 1 had answered");
+        assert!(pse.partial[0].is_some() && pse.partial[1].is_some());
+        assert!(pse.partial[2].is_none() && pse.partial[3].is_none());
+        // The failed attempt was still charged on shard 2's ledger.
+        assert_eq!(sharded.shard_usage(2).faults, 1);
+        assert_eq!(sharded.shard_usage(2).invocations, 1);
+    }
+
+    #[test]
+    fn merged_stats_equal_single_server_stats() {
+        let coll = corpus(40);
+        let single = TextServer::new(coll.clone());
+        let sharded = ShardedTextServer::new(&coll, 4, 7);
+        let a = single.export_stats();
+        let b = TextService::export_stats(&sharded);
+        assert_eq!(b.doc_count, 40);
+        let au = TextService::schema(&sharded).field_by_name("author").unwrap();
+        let ti = TextService::schema(&sharded).field_by_name("title").unwrap();
+        for field in [au, ti] {
+            let fa = a.field(field).unwrap();
+            let fb = b.field(field).unwrap();
+            assert_eq!(fa.vocabulary, fb.vocabulary);
+            assert_eq!(fa.total_df, fb.total_df);
+            assert_eq!(fa.histogram, fb.histogram);
+        }
+        assert_eq!(a.fanout("shared", ti), b.fanout("shared", ti));
+        assert_eq!(TextService::usage(&sharded).total_cost(), 0.0, "export is free");
+    }
+
+    #[test]
+    fn reconstruct_short_stamps_global_ids() {
+        let coll = corpus(10);
+        let sharded = ShardedTextServer::new(&coll, 3, 7);
+        let sf = TextService::reconstruct_short(&sharded, DocId(6)).unwrap();
+        assert_eq!(sf.id, DocId(6));
+        let single = TextServer::new(coll);
+        assert_eq!(
+            sf,
+            TextService::reconstruct_short(&single, DocId(6)).unwrap()
+        );
+    }
+
+    #[test]
+    fn batch_scatters_with_per_shard_rebates() {
+        let coll = corpus(20);
+        let sharded = ShardedTextServer::new(&coll, 4, 7);
+        let au = TextService::schema(&sharded).field_by_name("author").unwrap();
+        let exprs: Vec<SearchExpr> = (0..5)
+            .map(|i| SearchExpr::term_in(&format!("author{i}"), au))
+            .collect();
+        let batch = TextService::search_batch(&sharded, &exprs).unwrap();
+        assert_eq!(batch.results.len(), 5);
+        for (i, r) in batch.results.iter().enumerate() {
+            assert_eq!(r.ids(), vec![DocId(i as u32)], "member {i} finds its doc");
+        }
+        // Each shard charged one net invocation for the whole batch.
+        let u = TextService::usage(&sharded);
+        assert_eq!(u.invocations, 4, "batch rebate applied per shard");
+    }
+}

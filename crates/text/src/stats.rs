@@ -95,6 +95,47 @@ impl VocabularyStats {
         }
     }
 
+    /// Merges per-shard exports into collection-wide statistics. Because
+    /// the shards partition the collection, per-word document frequencies
+    /// sum exactly; vocabulary, total df, and the fanout histogram are
+    /// rebuilt from the summed frequencies.
+    pub fn merged(parts: impl IntoIterator<Item = VocabularyStats>) -> Self {
+        let mut doc_count = 0;
+        let mut df: HashMap<FieldId, HashMap<String, u32>> = HashMap::new();
+        for part in parts {
+            doc_count += part.doc_count;
+            for (fid, fs) in part.per_field {
+                let merged = df.entry(fid).or_default();
+                for (word, d) in fs.df {
+                    *merged.entry(word).or_insert(0) += d;
+                }
+            }
+        }
+        let per_field = df
+            .into_iter()
+            .map(|(fid, df)| {
+                let mut fs = FieldStats {
+                    vocabulary: df.len(),
+                    total_df: df.values().map(|&d| u64::from(d)).sum(),
+                    histogram: Vec::new(),
+                    df,
+                };
+                for &d in fs.df.values() {
+                    let bucket = (32 - d.leading_zeros()).saturating_sub(1) as usize;
+                    if fs.histogram.len() <= bucket {
+                        fs.histogram.resize(bucket + 1, 0);
+                    }
+                    fs.histogram[bucket] += 1;
+                }
+                (fid, fs)
+            })
+            .collect();
+        Self {
+            doc_count,
+            per_field,
+        }
+    }
+
     /// Statistics for `field`.
     pub fn field(&self, field: FieldId) -> Option<&FieldStats> {
         self.per_field.get(&field)

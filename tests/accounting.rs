@@ -209,3 +209,97 @@ fn stats_export_eliminates_probe_invocations() {
         "no probes were sent to answer occurrence questions"
     );
 }
+
+// ---------------------------------------------------------------------
+// Sharded scatter/gather accounting
+// ---------------------------------------------------------------------
+
+#[test]
+fn sharded_answers_match_single_server_with_per_shard_invoice() {
+    use textjoin::text::shard::ShardedTextServer;
+    use textjoin::text::TextService;
+
+    let w = world();
+    let schema = w.server.collection().schema();
+    let p = prepare(&paper::q3(&w), &w.catalog, schema).expect("q3 prepares");
+    let fj = p.foreign_join();
+
+    // Plain server baseline.
+    w.server.reset_usage();
+    let ctx = ExecContext::new(&w.server);
+    let plain = textjoin::core::methods::ts::tuple_substitution(&ctx, &fj, true)
+        .expect("TS runs");
+
+    // Same join over 4 shards: identical multiset, n_shards × the
+    // invocation count (every logical search scatters to every shard).
+    const N_SHARDS: u64 = 4;
+    let sharded = ShardedTextServer::new(w.server.collection(), N_SHARDS as usize, 0x5AD);
+    let sctx = ExecContext::new(&sharded);
+    let out = textjoin::core::methods::ts::tuple_substitution(&sctx, &fj, true)
+        .expect("sharded TS runs");
+    assert_eq!(
+        canonical_rows(&out.table),
+        canonical_rows(&plain.table),
+        "sharding must not change the join answer"
+    );
+    let agg = sharded.usage();
+    assert_eq!(
+        agg.invocations,
+        N_SHARDS * plain.report.text.invocations,
+        "each logical search is invoiced once per shard"
+    );
+    // Transmissions are partitioned, not duplicated: the same documents
+    // come back, each from exactly one shard.
+    assert_eq!(agg.docs_short, plain.report.text.docs_short);
+    assert_eq!(agg.docs_long, plain.report.text.docs_long);
+    // Postings are partitioned too, and may come in *under* the single
+    // server: a shard whose sublist for the first conjunct is empty
+    // short-circuits its AND before reading the remaining lists.
+    assert!(agg.postings_processed <= plain.report.text.postings_processed);
+}
+
+#[test]
+fn sharded_aggregate_ledger_is_exactly_the_sum_of_shard_ledgers() {
+    use textjoin::text::shard::ShardedTextServer;
+    use textjoin::text::TextService;
+
+    let w = world();
+    let schema = w.server.collection().schema();
+    let p = prepare(&paper::q4(&w), &w.catalog, schema).expect("q4 prepares");
+    let fj = p.foreign_join();
+
+    let sharded = ShardedTextServer::new(w.server.collection(), 4, 0x5AD);
+    let ctx = ExecContext::new(&sharded);
+    let out = textjoin::core::methods::probe::probe_rtp(&ctx, &fj, &[0])
+        .expect("sharded P+RTP runs");
+
+    // Fault-free run: the aggregate ledger decomposes exactly into the
+    // sum of the per-shard ledgers — no hidden charges, nothing dropped.
+    let agg = sharded.usage();
+    let mut sum_inv = 0u64;
+    let mut sum_cost = 0.0;
+    for i in 0..sharded.shard_count() {
+        let su = sharded.shard_usage(i);
+        assert!(su.invocations > 0, "shard {i} took part in the scatter");
+        sum_inv += su.invocations;
+        sum_cost += su.total_cost();
+    }
+    assert_eq!(agg.invocations, sum_inv);
+    assert!((agg.total_cost() - sum_cost).abs() < 1e-9);
+
+    // And the method report's exact decomposition still holds on the
+    // aggregate: shard charges + backoff + c_a × comparisons.
+    let k = sharded.constants();
+    let u = &out.report.text;
+    let expected_text = k.c_i * u.invocations as f64
+        + k.c_p * u.postings_processed as f64
+        + k.c_s * u.docs_short as f64
+        + k.c_l * u.docs_long as f64
+        + u.time_backoff;
+    assert!((u.total_cost() - expected_text).abs() < 1e-6);
+    assert!(
+        (out.report.total_cost() - (expected_text + ctx.c_a * out.report.rtp_comparisons as f64))
+            .abs()
+            < 1e-6
+    );
+}

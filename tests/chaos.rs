@@ -282,3 +282,217 @@ fn exhausted_retries_fail_cleanly_never_wrongly() {
     assert!(u.retries > 0);
     assert!(u.time_backoff > 0.0);
 }
+
+// ---------------------------------------------------------------------
+// Sharded chaos: scatter/gather under per-shard fault plans
+// ---------------------------------------------------------------------
+
+use textjoin::core::methods::MethodError;
+use textjoin::core::retry::{RetryBudget, RetryPolicy};
+use textjoin::text::shard::{PartialShardError, ShardedTextServer};
+use textjoin::text::TextService;
+
+fn sharded_faulted(w: &World, seed: u64, rate: f64, n_shards: usize) -> ShardedTextServer {
+    let mut s = ShardedTextServer::new(w.server.collection(), n_shards, 0x5AD);
+    for i in 0..n_shards {
+        // Independent seeded streams per shard, each bounded to ≤2
+        // consecutive faults.
+        s.shard_mut(i)
+            .set_fault_plan(FaultPlan::transient(seed ^ ((i as u64) << 24), rate, 2));
+    }
+    s
+}
+
+/// The aggregate ledger of a sharded server must satisfy the same exact
+/// decomposition as a single server's: shard charges + backoff + `c_a` ×
+/// comparisons.
+fn assert_sharded_decomposition(
+    label: &str,
+    report: &MethodReport,
+    server: &ShardedTextServer,
+    c_a: f64,
+) {
+    let u = &report.text;
+    let k = server.constants();
+    let expected_text = k.c_i * u.invocations as f64
+        + k.c_p * u.postings_processed as f64
+        + k.c_s * u.docs_short as f64
+        + k.c_l * u.docs_long as f64
+        + u.time_backoff;
+    assert!(
+        (u.total_cost() - expected_text).abs() < 1e-6,
+        "{label}: sharded text cost must decompose into shard charges + backoff"
+    );
+    assert!(
+        (report.total_cost() - (expected_text + c_a * report.rtp_comparisons as f64)).abs()
+            < 1e-6,
+        "{label}: total = shard charges + backoff + c_a × comparisons"
+    );
+}
+
+/// Walks the `std::error::Error::source` chain from a method error and
+/// returns the [`PartialShardError`] it carries, if any.
+fn find_partial_shard(err: &MethodError) -> Option<&PartialShardError> {
+    let mut cur: Option<&(dyn std::error::Error + 'static)> =
+        Some(err as &(dyn std::error::Error + 'static));
+    while let Some(e) = cur {
+        if let Some(pse) = e.downcast_ref::<PartialShardError>() {
+            return Some(pse);
+        }
+        cur = e.source();
+    }
+    None
+}
+
+#[test]
+fn sharded_methods_return_exact_answers_or_typed_partial_failures() {
+    let mut total_faults_seen = 0u64;
+    let mut ok_runs = 0u32;
+    for world_seed in [7u64, 23] {
+        let w = compact_world(world_seed);
+        let schema = w.server.collection().schema();
+        for (qname, q) in [("q3", paper::q3(&w)), ("q4", paper::q4(&w))] {
+            let p = textjoin::core::query::prepare(&q, &w.catalog, schema)
+                .expect("paper query prepares");
+            let fj = p.foreign_join();
+            let expected = oracle_shape(&fj, &oracle_pairs(&fj, &w.server));
+            for fault_seed in [1u64, 2] {
+                for rate in [0.1, 0.3] {
+                    macro_rules! run {
+                        ($label:expr, $body:expr) => {{
+                            let s = sharded_faulted(&w, fault_seed, rate, 4);
+                            let budget = RetryBudget::new(RetryPolicy::standard());
+                            let ctx = ExecContext::with_budget(&s, &budget);
+                            #[allow(clippy::redundant_closure_call)]
+                            match ($body)(&ctx) {
+                                Ok(out) => {
+                                    assert_eq!(
+                                        method_shape(&fj, &out.table),
+                                        expected,
+                                        "{qname}/{} (world {world_seed}, fault seed \
+                                         {fault_seed}, rate {rate}) diverged from the \
+                                         oracle",
+                                        $label
+                                    );
+                                    assert_sharded_decomposition(
+                                        $label,
+                                        &out.report,
+                                        &s,
+                                        1e-5,
+                                    );
+                                    ok_runs += 1;
+                                }
+                                Err(e) => {
+                                    // A failed run must be a *typed* partial
+                                    // failure (or plain transient exhaustion)
+                                    // — never a silently wrong answer.
+                                    if let Some(pse) = find_partial_shard(&e) {
+                                        assert!(pse.failed_shard < 4);
+                                        assert!(pse.error.is_transient());
+                                    } else {
+                                        match e {
+                                            MethodError::Text(te) => {
+                                                assert!(te.is_transient())
+                                            }
+                                            other => panic!(
+                                                "{qname}/{}: unexpected failure \
+                                                 shape: {other}",
+                                                $label
+                                            ),
+                                        }
+                                    }
+                                }
+                            }
+                            total_faults_seen += s.usage().faults;
+                        }};
+                    }
+
+                    run!("TS", |ctx| textjoin::core::methods::ts::tuple_substitution(
+                        ctx, &fj, true
+                    ));
+                    if !fj.selections.is_empty() {
+                        run!("RTP", |ctx| {
+                            textjoin::core::methods::rtp::relational_text_processing(ctx, &fj)
+                        });
+                    }
+                    run!("SJ", |ctx| textjoin::core::methods::sj::semi_join(ctx, &fj));
+                    run!("P+TS", |ctx| {
+                        textjoin::core::methods::probe::probe_tuple_substitution(
+                            ctx,
+                            &fj,
+                            &[0],
+                            ProbeSchedule::ProbeFirst,
+                        )
+                    });
+                    run!("P+RTP", |ctx| {
+                        textjoin::core::methods::probe::probe_rtp(ctx, &fj, &[0])
+                    });
+                }
+            }
+        }
+    }
+    assert!(
+        total_faults_seen > 100,
+        "the sharded chaos plans must actually inject faults (saw {total_faults_seen})"
+    );
+    assert!(
+        ok_runs > 50,
+        "most bounded-fault runs must complete (saw {ok_runs} successes)"
+    );
+}
+
+#[test]
+fn dead_shard_yields_partial_shard_error_with_the_failed_shard() {
+    let w = compact_world(7);
+    let schema = w.server.collection().schema();
+    let p = textjoin::core::query::prepare(&paper::q3(&w), &w.catalog, schema)
+        .expect("q3 prepares");
+    let fj = p.foreign_join();
+
+    // Shard 2 faults on every operation, unbounded — past any retry
+    // budget. The other shards are healthy, so every gather collects
+    // shards 0 and 1 before dying at shard 2.
+    let mut s = ShardedTextServer::new(w.server.collection(), 4, 0x5AD);
+    s.shard_mut(2)
+        .set_fault_plan(FaultPlan::random(77, 1.0, FaultKinds::transient_only(), 0));
+    let budget = RetryBudget::new(RetryPolicy::standard());
+    let ctx = ExecContext::with_budget(&s, &budget);
+
+    let mut errs: Vec<MethodError> = vec![
+        textjoin::core::methods::ts::tuple_substitution(&ctx, &fj, true).unwrap_err(),
+        textjoin::core::methods::sj::semi_join(&ctx, &fj).unwrap_err(),
+        textjoin::core::methods::probe::probe_tuple_substitution(
+            &ctx,
+            &fj,
+            &[0],
+            ProbeSchedule::ProbeFirst,
+        )
+        .unwrap_err(),
+        textjoin::core::methods::probe::probe_rtp(&ctx, &fj, &[0]).unwrap_err(),
+    ];
+    if !fj.selections.is_empty() {
+        errs.push(
+            textjoin::core::methods::rtp::relational_text_processing(&ctx, &fj).unwrap_err(),
+        );
+    }
+    for err in &errs {
+        let pse = find_partial_shard(err)
+            .unwrap_or_else(|| panic!("expected a PartialShardError in: {err}"));
+        assert_eq!(pse.failed_shard, 2, "the dead shard must be named");
+        assert!(pse.error.is_transient(), "the underlying fault is transient");
+        // Results gathered before the failure ride along in the error.
+        for (i, part) in pse.partial.iter().enumerate() {
+            if i < pse.failed_shard && !pse.partial.is_empty() {
+                assert!(part.is_some(), "shard {i} answered before the failure");
+            }
+        }
+    }
+    // The dead shard's ledger carries the exhausted attempts; the healthy
+    // shards were still charged for their successful scatter legs.
+    assert!(s.shard_usage(2).faults > 0);
+    assert!(s.shard_usage(2).retries > 0);
+    assert!(s.usage().time_backoff > 0.0);
+    assert!(s.shard_usage(0).invocations > 0);
+    // The adaptive budget has marked shard 2 as dead and tightened it.
+    assert!(budget.rate_of(2) > budget.rate_of(0));
+}

@@ -19,6 +19,15 @@ use textjoin::text::faults::{Fault, FaultPlan};
 use textjoin::text::index::Collection;
 use textjoin::text::parse::parse_search;
 use textjoin::text::server::{PartialRetrieveError, TextError, TextServer};
+use textjoin::text::shard::PartialShardError;
+
+fn sample_shard_error() -> PartialShardError {
+    PartialShardError {
+        partial: vec![None, None],
+        failed_shard: 1,
+        error: TextError::Unavailable,
+    }
+}
 
 fn all_text_errors() -> Vec<TextError> {
     let parse_err = parse_search("TI=", &TextSchema::bibliographic())
@@ -30,6 +39,7 @@ fn all_text_errors() -> Vec<TextError> {
         TextError::Unavailable,
         TextError::Timeout { postings: 123 },
         TextError::CapReduced { new_m: 5 },
+        TextError::Shard(Box::new(sample_shard_error())),
     ]
 }
 
@@ -99,6 +109,64 @@ fn partial_retrieve_error_chains_to_its_cause() {
     assert!(msg.contains('3'), "message names the failed docid: {msg}");
     let source = e.source().expect("source chains to the TextError");
     assert_eq!(source.to_string(), TextError::Unavailable.to_string());
+}
+
+/// The two partial-failure carriers compose: a retrieval that dies because
+/// a *shard* died mid-gather chains `PartialRetrieveError` →
+/// `TextError::Shard` → `PartialShardError` → the root `TextError`, and
+/// every link is reachable through `std::error::Error::source`.
+#[test]
+fn partial_failures_compose_through_the_source_chain() {
+    let shard_err = PartialShardError {
+        partial: vec![None, None, None],
+        failed_shard: 2,
+        error: TextError::Timeout { postings: 41 },
+    };
+    let e = PartialRetrieveError {
+        docs: vec![Document::new()],
+        failed: DocId(9),
+        error: TextError::Shard(Box::new(shard_err)),
+    };
+
+    // Link 1: the retrieve error's source is the shard-carrying TextError.
+    let link1 = e.source().expect("retrieve error chains to its cause");
+    assert!(link1.to_string().contains("shard 2"), "got: {link1}");
+
+    // Link 2: that TextError's source is the PartialShardError itself,
+    // downcastable with its gathered state intact.
+    let link2 = link1.source().expect("Shard chains to the partial error");
+    let pse = link2
+        .downcast_ref::<PartialShardError>()
+        .expect("the partial shard state survives the chain");
+    assert_eq!(pse.failed_shard, 2);
+    assert_eq!(pse.gathered(), 0, "no shard had answered yet");
+
+    // Link 3: the partial error's source is the root fault; non-Shard
+    // TextErrors terminate the chain.
+    let root = link2.source().expect("partial error chains to the fault");
+    assert_eq!(root.to_string(), TextError::Timeout { postings: 41 }.to_string());
+    assert!(root.source().is_none(), "the root fault ends the chain");
+
+    // And the same walk works from a MethodError wrapper, as join-method
+    // callers see it.
+    let m: MethodError = TextError::Shard(Box::new(PartialShardError {
+        partial: vec![None],
+        failed_shard: 0,
+        error: TextError::Unavailable,
+    }))
+    .into();
+    let mut hops = 0;
+    let mut cur: Option<&dyn Error> = Some(&m);
+    let mut found = false;
+    while let Some(err) = cur {
+        if err.downcast_ref::<PartialShardError>().is_some() {
+            found = true;
+        }
+        cur = err.source();
+        hops += 1;
+        assert!(hops < 10, "the chain must terminate");
+    }
+    assert!(found, "MethodError → TextError::Shard → PartialShardError");
 }
 
 /// Eight join keys, term cap 5: SJ packs 4 conjuncts + 1 selection per
