@@ -11,83 +11,7 @@
 //! retry budget steering per-shard attempts.
 
 use textjoin_bench::experiments::{chaos_table, default_world, sharded_chaos_table};
-use textjoin_bench::format::table;
-
-fn cost_rows(
-    methods: &[&'static str],
-    rates: &[f64],
-    cells: &[Vec<Option<(f64, f64)>>],
-) -> (Vec<String>, Vec<Vec<String>>) {
-    let mut headers: Vec<String> = vec!["Join Method".into()];
-    for &r in rates {
-        headers.push(format!("p={r:.2}"));
-    }
-    for &r in &rates[1..] {
-        headers.push(format!("Δ%@{r:.2}"));
-    }
-    let rows: Vec<Vec<String>> = methods
-        .iter()
-        .enumerate()
-        .map(|(mi, m)| {
-            let mut row = vec![m.to_string()];
-            for cell in &cells[mi] {
-                row.push(match cell {
-                    Some((secs, _)) => format!("{secs:.1}"),
-                    None => "-".into(),
-                });
-            }
-            for cell in &cells[mi][1..] {
-                row.push(match cell {
-                    Some((_, pct)) => format!("+{pct:.1}"),
-                    None => "-".into(),
-                });
-            }
-            row
-        })
-        .collect();
-    (headers, rows)
-}
-
-fn fault_rows(
-    methods: &[&'static str],
-    rates: &[f64],
-    fault_cells: &[Vec<Option<(u64, u64)>>],
-) -> (Vec<String>, Vec<Vec<String>>) {
-    let mut headers: Vec<String> = vec!["Join Method".into()];
-    for &r in rates {
-        headers.push(format!("flt/rty p={r:.2}"));
-    }
-    let rows: Vec<Vec<String>> = methods
-        .iter()
-        .enumerate()
-        .map(|(mi, m)| {
-            let mut row = vec![m.to_string()];
-            for cell in &fault_cells[mi] {
-                row.push(match cell {
-                    Some((faults, retries)) => format!("{faults}/{retries}"),
-                    None => "-".into(),
-                });
-            }
-            row
-        })
-        .collect();
-    (headers, rows)
-}
-
-fn print_tables(
-    methods: &[&'static str],
-    rates: &[f64],
-    cells: &[Vec<Option<(f64, f64)>>],
-    fault_cells: &[Vec<Option<(u64, u64)>>],
-) {
-    let (headers, rows) = cost_rows(methods, rates, cells);
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    println!("{}", table(&header_refs, &rows));
-    println!("Injected faults / retries absorbed (summed over Q1–Q4):\n");
-    let (fheaders, frows) = fault_rows(methods, rates, fault_cells);
-    let fheader_refs: Vec<&str> = fheaders.iter().map(String::as_str).collect();
-    println!("{}", table(&fheader_refs, &frows));
-}
+use textjoin_bench::format::chaos_report;
 
 fn main() {
     let sharded = std::env::args().any(|a| a == "--sharded");
@@ -103,7 +27,7 @@ fn main() {
             w.server.doc_count(),
             w.spec.seed
         );
-        print_tables(&t.methods, &t.rates, &t.cells, &t.fault_cells);
+        print!("{}", chaos_report(&t.methods, &t.rates, &t.cells, &t.fault_cells));
         println!("Every cell returns the fault-free answer (asserted). Scatter");
         println!("charges one invocation per shard, so sharded baselines sit");
         println!("above the single-server table; the adaptive budget widens");
@@ -117,7 +41,7 @@ fn main() {
             w.server.doc_count(),
             w.spec.seed
         );
-        print_tables(&t.methods, &t.rates, &t.cells, &t.fault_cells);
+        print!("{}", chaos_report(&t.methods, &t.rates, &t.cells, &t.fault_cells));
         println!("Every cell returns the fault-free answer (asserted); the");
         println!("overhead is retries, simulated backoff, and partially-charged");
         println!("timeouts — never a changed result.");

@@ -1,0 +1,21 @@
+//! Flight-recorder replay: runs P+RTP on a composite-join paper query
+//! under seeded transient faults with the recorder attached, then renders
+//! the trace as an indented span tree with per-phase cost rollups.
+//!
+//! Everything is seeded — two invocations print byte-identical trees. The
+//! EXPERIMENTS.md observability appendix is regenerated from this binary.
+
+use textjoin_bench::experiments::{default_world, explain_run};
+use textjoin_obs::render;
+
+fn main() {
+    let w = default_world();
+    println!(
+        "Trace replay — P+RTP under transient faults (rate 0.20, ≤2 consecutive)\n\
+         (D = {} documents, seed = {}; clocks are simulated seconds)\n",
+        w.server.doc_count(),
+        w.spec.seed
+    );
+    let events = explain_run(&w);
+    print!("{}", render(&events));
+}

@@ -1,13 +1,14 @@
 //! Section 7 validation: does the cost model predict the measured winner?
 
 use textjoin_bench::experiments::{default_world, validate};
-use textjoin_bench::format::table;
+use textjoin_bench::format::{table, usage_line};
 
 fn main() {
     let w = default_world();
     println!("Model-predicted vs measured optimal method, Q1–Q4\n");
     for v in validate(&w) {
         println!("{}: predicted {} | measured {}", v.query, v.predicted, v.measured);
+        println!("    text usage: {}", usage_line(&v.usage.metrics_snapshot()));
         let rows: Vec<Vec<String>> = v
             .detail
             .iter()

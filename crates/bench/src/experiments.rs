@@ -329,6 +329,10 @@ pub struct Validation {
     pub measured: String,
     /// Per-method `(label, predicted, measured)`.
     pub detail: Vec<(String, f64, f64)>,
+    /// Text-service usage summed over the measured runs. Carries the
+    /// robustness fields (faults, retries, backoff) so the summary printed
+    /// by the `validate` binary cannot silently drop them.
+    pub usage: textjoin_text::server::Usage,
 }
 
 /// For Q1–Q4: rank methods by the cost model and by measured simulated
@@ -349,9 +353,12 @@ pub fn validate(w: &World) -> Vec<Validation> {
         let stats = prepared.statistics_from_export(&export, ts_schema);
         let cands = enumerate_methods(&params, &stats, q.projection, false);
         let mut detail = Vec::new();
+        let mut usage = textjoin_text::server::Usage::default();
         for c in &cands {
-            if let Ok((secs, _)) = run_method(w, &prepared, c.kind, &c.probe_cols) {
-                detail.push((c.label.clone(), c.cost.total(), secs));
+            let ctx = ExecContext::new(&w.server);
+            if let Ok(m) = run_method_ctx(&ctx, &prepared, c.kind, &c.probe_cols) {
+                detail.push((c.label.clone(), c.cost.total(), m.secs));
+                usage.accumulate(&m.text);
             }
         }
         let predicted = detail
@@ -369,6 +376,7 @@ pub fn validate(w: &World) -> Vec<Validation> {
             predicted,
             measured,
             detail,
+            usage,
         });
     }
     out
@@ -826,33 +834,22 @@ pub struct ChaosTable {
     pub fault_cells: Vec<Vec<Option<(u64, u64)>>>,
 }
 
-/// Runs every method over Q1–Q4 under seeded transient fault plans of
-/// increasing rate. Each cell gets a fresh server (same collection, same
-/// constants) so fault state never leaks between cells. Plans are bounded
-/// to 2 consecutive faults — under the standard 4-attempt retry policy
-/// every operation eventually succeeds, so the injected faults cost money
-/// (retries, backoff, partial processing) but never change an answer;
-/// this is asserted per cell against the fault-free run.
-pub fn chaos_table(w: &World) -> ChaosTable {
-    use textjoin_text::faults::FaultPlan;
-    use textjoin_text::server::TextServer;
+/// Per-query preparation shared by the chaos grids: the prepared query and
+/// its probe-column choices, taken from fault-free statistics
+/// (`export_stats` is free and never faulted).
+struct ChaosPrep {
+    prepared: PreparedQuery,
+    pts: Vec<usize>,
+    prtp: Vec<usize>,
+    k: usize,
+}
 
-    let rates = vec![0.0, 0.05, 0.1, 0.2];
-    let methods: Vec<&'static str> = vec!["TS", "RTP", "SJ/SJ+RTP", "P+TS", "P+RTP"];
+fn chaos_preps(w: &World) -> Vec<ChaosPrep> {
     let queries: Vec<SingleJoinQuery> =
         vec![paper::q1(w), paper::q2(w), paper::q3(w), paper::q4(w)];
     let ts_schema = w.server.collection().schema();
     let params = world_params(w);
-
-    // Prepare each query once; probe columns are chosen from fault-free
-    // statistics (export_stats is free and never faulted).
-    struct Prep {
-        prepared: PreparedQuery,
-        pts: Vec<usize>,
-        prtp: Vec<usize>,
-        k: usize,
-    }
-    let preps: Vec<Prep> = queries
+    queries
         .iter()
         .map(|q| {
             let prepared = prepare(q, &w.catalog, ts_schema).expect("paper query prepares");
@@ -867,10 +864,28 @@ pub fn chaos_table(w: &World) -> ChaosTable {
             } else {
                 (Vec::new(), Vec::new())
             };
-            Prep { prepared, pts, prtp, k }
+            ChaosPrep { prepared, pts, prtp, k }
         })
-        .collect();
+        .collect()
+}
 
+/// The method × rate × query grid both chaos tables share; the per-cell
+/// server construction is supplied by the caller (fresh single server vs
+/// fresh sharded server with an adaptive budget). Every rate column is
+/// asserted to return the rate-0 answers, and the surfaced fault/retry
+/// counters are read back through the [`Usage::metrics_snapshot`] bridge so
+/// the printed tables are fed from the same snapshot keys the
+/// observability layer exports.
+///
+/// [`Usage::metrics_snapshot`]: textjoin_text::server::Usage::metrics_snapshot
+#[allow(clippy::type_complexity)]
+fn chaos_grid(
+    preps: &[ChaosPrep],
+    rates: &[f64],
+    methods: &[&'static str],
+    what: &str,
+    mut run: impl FnMut(usize, usize, usize, f64, MethodKind, &[usize]) -> Option<RunMeasure>,
+) -> (Vec<Vec<Option<(f64, f64)>>>, Vec<Vec<Option<(u64, u64)>>>) {
     let mut cells: Vec<Vec<Option<(f64, f64)>>> = vec![Vec::new(); methods.len()];
     let mut fault_cells: Vec<Vec<Option<(u64, u64)>>> = vec![Vec::new(); methods.len()];
     for mi in 0..methods.len() {
@@ -883,26 +898,20 @@ pub fn chaos_table(w: &World) -> ChaosTable {
             let mut any = false;
             let mut rows_at_rate: Vec<Option<usize>> = Vec::new();
             for (qi, p) in preps.iter().enumerate() {
-                let run = |kind: MethodKind, cols: &[usize]| {
-                    let seed =
-                        0xC0FFEE ^ ((qi as u64) << 16) ^ ((mi as u64) << 8) ^ ri as u64;
-                    let mut server = TextServer::new(w.server.collection().clone());
-                    server.set_fault_plan(FaultPlan::transient(seed, rate, 2));
-                    run_method_on(&server, &p.prepared, kind, cols).ok()
-                };
                 let r = match mi {
-                    0 => run(MethodKind::Ts, &[]),
-                    1 => run(MethodKind::Rtp, &[]),
-                    2 => run(MethodKind::Sj, &[]),
-                    3 if p.k >= 2 => run(MethodKind::PTs, &p.pts),
-                    4 if p.k >= 2 => run(MethodKind::PRtp, &p.prtp),
+                    0 => run(qi, mi, ri, rate, MethodKind::Ts, &[]),
+                    1 => run(qi, mi, ri, rate, MethodKind::Rtp, &[]),
+                    2 => run(qi, mi, ri, rate, MethodKind::Sj, &[]),
+                    3 if p.k >= 2 => run(qi, mi, ri, rate, MethodKind::PTs, &p.pts),
+                    4 if p.k >= 2 => run(qi, mi, ri, rate, MethodKind::PRtp, &p.prtp),
                     _ => None,
                 };
                 rows_at_rate.push(r.map(|m| m.rows));
                 if let Some(m) = r {
+                    let snap = m.text.metrics_snapshot();
                     total += m.secs;
-                    faults += m.text.faults;
-                    retries += m.text.retries;
+                    faults += snap.counter("usage.faults");
+                    retries += snap.counter("usage.retries");
                     any = true;
                 }
             }
@@ -912,7 +921,7 @@ pub fn chaos_table(w: &World) -> ChaosTable {
             }
             assert_eq!(
                 rows_at_rate, baseline_rows,
-                "fault injection changed {} answers at rate {rate}",
+                "{what} changed {} answers at rate {rate}",
                 methods[mi]
             );
             let cell = match (any, baseline) {
@@ -926,6 +935,35 @@ pub fn chaos_table(w: &World) -> ChaosTable {
             cells[mi].push(cell);
         }
     }
+    (cells, fault_cells)
+}
+
+/// Runs every method over Q1–Q4 under seeded transient fault plans of
+/// increasing rate. Each cell gets a fresh server (same collection, same
+/// constants) so fault state never leaks between cells. Plans are bounded
+/// to 2 consecutive faults — under the standard 4-attempt retry policy
+/// every operation eventually succeeds, so the injected faults cost money
+/// (retries, backoff, partial processing) but never change an answer;
+/// this is asserted per cell against the fault-free run.
+pub fn chaos_table(w: &World) -> ChaosTable {
+    use textjoin_text::faults::FaultPlan;
+    use textjoin_text::server::TextServer;
+
+    let rates = vec![0.0, 0.05, 0.1, 0.2];
+    let methods: Vec<&'static str> = vec!["TS", "RTP", "SJ/SJ+RTP", "P+TS", "P+RTP"];
+    let preps = chaos_preps(w);
+    let (cells, fault_cells) = chaos_grid(
+        &preps,
+        &rates,
+        &methods,
+        "fault injection",
+        |qi, mi, ri, rate, kind, cols| {
+            let seed = 0xC0FFEE ^ ((qi as u64) << 16) ^ ((mi as u64) << 8) ^ ri as u64;
+            let mut server = TextServer::new(w.server.collection().clone());
+            server.set_fault_plan(FaultPlan::transient(seed, rate, 2));
+            run_method_on(&server, &preps[qi].prepared, kind, cols).ok()
+        },
+    );
     ChaosTable { rates, methods, cells, fault_cells }
 }
 
@@ -972,106 +1010,56 @@ pub fn sharded_chaos_table(w: &World) -> ShardedChaosTable {
 
     let rates = vec![0.0, 0.05, 0.1, 0.2];
     let methods: Vec<&'static str> = vec!["TS", "RTP", "SJ/SJ+RTP", "P+TS", "P+RTP"];
-    let queries: Vec<SingleJoinQuery> =
-        vec![paper::q1(w), paper::q2(w), paper::q3(w), paper::q4(w)];
-    let ts_schema = w.server.collection().schema();
-    let params = world_params(w);
-
-    struct Prep {
-        prepared: PreparedQuery,
-        pts: Vec<usize>,
-        prtp: Vec<usize>,
-        k: usize,
-    }
-    let preps: Vec<Prep> = queries
-        .iter()
-        .map(|q| {
-            let prepared = prepare(q, &w.catalog, ts_schema).expect("paper query prepares");
-            let export = w.server.export_stats();
-            let stats = prepared.statistics_from_export(&export, ts_schema);
-            let k = stats.k();
-            let (pts, prtp) = if k >= 2 {
-                (
-                    probe_cols_for(&params, &stats, cost_p_ts),
-                    probe_cols_for(&params, &stats, cost_p_rtp),
-                )
-            } else {
-                (Vec::new(), Vec::new())
-            };
-            Prep { prepared, pts, prtp, k }
-        })
-        .collect();
-
-    let mut cells: Vec<Vec<Option<(f64, f64)>>> = vec![Vec::new(); methods.len()];
-    let mut fault_cells: Vec<Vec<Option<(u64, u64)>>> = vec![Vec::new(); methods.len()];
-    for mi in 0..methods.len() {
-        let mut baseline: Option<f64> = None;
-        let mut baseline_rows: Vec<Option<usize>> = Vec::new();
-        for (ri, &rate) in rates.iter().enumerate() {
-            let mut total = 0.0;
-            let mut faults = 0u64;
-            let mut retries = 0u64;
-            let mut any = false;
-            let mut rows_at_rate: Vec<Option<usize>> = Vec::new();
-            for (qi, p) in preps.iter().enumerate() {
-                let run = |kind: MethodKind, cols: &[usize]| {
-                    let cell_seed =
-                        0x5EED ^ ((qi as u64) << 16) ^ ((mi as u64) << 8) ^ ri as u64;
-                    let mut sharded = ShardedTextServer::new(
-                        w.server.collection(),
-                        N_SHARDS,
-                        PARTITION_SEED,
-                    );
-                    for i in 0..N_SHARDS {
-                        // Independent per-shard plans: same rate, distinct
-                        // seeded streams.
-                        sharded.shard_mut(i).set_fault_plan(FaultPlan::transient(
-                            cell_seed ^ ((i as u64) << 24),
-                            rate,
-                            2,
-                        ));
-                    }
-                    let budget = RetryBudget::new(RetryPolicy::standard());
-                    let ctx = ExecContext::with_budget(&sharded, &budget);
-                    run_method_ctx(&ctx, &p.prepared, kind, cols).ok()
-                };
-                let r = match mi {
-                    0 => run(MethodKind::Ts, &[]),
-                    1 => run(MethodKind::Rtp, &[]),
-                    2 => run(MethodKind::Sj, &[]),
-                    3 if p.k >= 2 => run(MethodKind::PTs, &p.pts),
-                    4 if p.k >= 2 => run(MethodKind::PRtp, &p.prtp),
-                    _ => None,
-                };
-                rows_at_rate.push(r.map(|m| m.rows));
-                if let Some(m) = r {
-                    total += m.secs;
-                    faults += m.text.faults;
-                    retries += m.text.retries;
-                    any = true;
-                }
+    let preps = chaos_preps(w);
+    let (cells, fault_cells) = chaos_grid(
+        &preps,
+        &rates,
+        &methods,
+        "sharded fault injection",
+        |qi, mi, ri, rate, kind, cols| {
+            let cell_seed = 0x5EED ^ ((qi as u64) << 16) ^ ((mi as u64) << 8) ^ ri as u64;
+            let mut sharded =
+                ShardedTextServer::new(w.server.collection(), N_SHARDS, PARTITION_SEED);
+            for i in 0..N_SHARDS {
+                // Independent per-shard plans: same rate, distinct seeded
+                // streams.
+                sharded.shard_mut(i).set_fault_plan(FaultPlan::transient(
+                    cell_seed ^ ((i as u64) << 24),
+                    rate,
+                    2,
+                ));
             }
-            if ri == 0 {
-                baseline = any.then_some(total);
-                baseline_rows = rows_at_rate.clone();
-            }
-            assert_eq!(
-                rows_at_rate, baseline_rows,
-                "sharded fault injection changed {} answers at rate {rate}",
-                methods[mi]
-            );
-            let cell = match (any, baseline) {
-                (true, Some(base)) if base > 0.0 => {
-                    Some((total, (total / base - 1.0) * 100.0))
-                }
-                (true, _) => Some((total, 0.0)),
-                _ => None,
-            };
-            fault_cells[mi].push(cell.is_some().then_some((faults, retries)));
-            cells[mi].push(cell);
-        }
-    }
+            let budget = RetryBudget::new(RetryPolicy::standard());
+            let ctx = ExecContext::with_budget(&sharded, &budget);
+            run_method_ctx(&ctx, &preps[qi].prepared, kind, cols).ok()
+        },
+    );
     ShardedChaosTable { rates, methods, cells, fault_cells, n_shards: N_SHARDS }
+}
+
+/// Records one P+RTP run under transient faults: the first paper query
+/// with a composite join (k ≥ 2) runs against a fresh faulted server with
+/// a ring-sink recorder attached, and the recorded trace comes back for
+/// the `explain` binary to replay into a span tree. Fully seeded, so the
+/// rendered tree is byte-identical across runs.
+pub fn explain_run(w: &World) -> Vec<textjoin_obs::Event> {
+    use std::rc::Rc;
+    use textjoin_obs::{Recorder, RingSink};
+    use textjoin_text::faults::FaultPlan;
+    use textjoin_text::server::TextServer;
+
+    let preps = chaos_preps(w);
+    let (qi, p) = preps
+        .iter()
+        .enumerate()
+        .find(|(_, p)| p.k >= 2)
+        .expect("a paper query with a composite join");
+    let mut server = TextServer::new(w.server.collection().clone());
+    server.set_fault_plan(FaultPlan::transient(0xE1A ^ ((qi as u64) << 16), 0.2, 2));
+    let sink = Rc::new(RingSink::unbounded());
+    server.set_recorder(Some(Recorder::new(sink.clone())));
+    run_method_on(&server, &p.prepared, MethodKind::PRtp, &p.prtp).expect("P+RTP runs");
+    sink.events()
 }
 
 #[cfg(test)]

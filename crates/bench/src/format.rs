@@ -1,5 +1,7 @@
 //! Plain-text table and series formatting for the experiment binaries.
 
+use textjoin_obs::MetricsSnapshot;
+
 /// Renders an aligned ASCII table. `headers.len()` must equal each row's
 /// length.
 pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -63,6 +65,107 @@ pub fn series(
     table(&headers, &rows)
 }
 
+fn cost_rows(
+    methods: &[&'static str],
+    rates: &[f64],
+    cells: &[Vec<Option<(f64, f64)>>],
+) -> (Vec<String>, Vec<Vec<String>>) {
+    let mut headers: Vec<String> = vec!["Join Method".into()];
+    for &r in rates {
+        headers.push(format!("p={r:.2}"));
+    }
+    for &r in &rates[1..] {
+        headers.push(format!("Δ%@{r:.2}"));
+    }
+    let rows: Vec<Vec<String>> = methods
+        .iter()
+        .enumerate()
+        .map(|(mi, m)| {
+            let mut row = vec![m.to_string()];
+            for cell in &cells[mi] {
+                row.push(match cell {
+                    Some((secs, _)) => format!("{secs:.1}"),
+                    None => "-".into(),
+                });
+            }
+            for cell in &cells[mi][1..] {
+                row.push(match cell {
+                    Some((_, pct)) => format!("+{pct:.1}"),
+                    None => "-".into(),
+                });
+            }
+            row
+        })
+        .collect();
+    (headers, rows)
+}
+
+fn fault_rows(
+    methods: &[&'static str],
+    rates: &[f64],
+    fault_cells: &[Vec<Option<(u64, u64)>>],
+) -> (Vec<String>, Vec<Vec<String>>) {
+    let mut headers: Vec<String> = vec!["Join Method".into()];
+    for &r in rates {
+        headers.push(format!("flt/rty p={r:.2}"));
+    }
+    let rows: Vec<Vec<String>> = methods
+        .iter()
+        .enumerate()
+        .map(|(mi, m)| {
+            let mut row = vec![m.to_string()];
+            for cell in &fault_cells[mi] {
+                row.push(match cell {
+                    Some((faults, retries)) => format!("{faults}/{retries}"),
+                    None => "-".into(),
+                });
+            }
+            row
+        })
+        .collect();
+    (headers, rows)
+}
+
+/// Renders the chaos report both chaos grids share: the method × rate cost
+/// table (with overhead percentages) followed by the fault/retry table.
+/// The fault counters come from the same [`MetricsSnapshot`] keys the
+/// observability layer exports, so the printed numbers and the trace-side
+/// metrics can never drift apart.
+pub fn chaos_report(
+    methods: &[&'static str],
+    rates: &[f64],
+    cells: &[Vec<Option<(f64, f64)>>],
+    fault_cells: &[Vec<Option<(u64, u64)>>],
+) -> String {
+    let (headers, rows) = cost_rows(methods, rates, cells);
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut out = table(&header_refs, &rows);
+    out.push('\n');
+    out.push_str("Injected faults / retries absorbed (summed over Q1–Q4):\n\n");
+    let (fheaders, frows) = fault_rows(methods, rates, fault_cells);
+    let fheader_refs: Vec<&str> = fheaders.iter().map(String::as_str).collect();
+    out.push_str(&table(&fheader_refs, &frows));
+    out.push('\n');
+    out
+}
+
+/// One-line usage summary fed from a metrics snapshot — the single place
+/// that decides which ledger fields a summary prints, so binaries cannot
+/// silently drop the robustness columns (faults, retries, backoff).
+pub fn usage_line(snap: &MetricsSnapshot) -> String {
+    format!(
+        "inv {}  post {}  short {}  long {}  faults {}  retries {}  backoff {:.1}s  total {:.1}s",
+        snap.counter("usage.invocations"),
+        snap.counter("usage.postings"),
+        snap.counter("usage.docs_short"),
+        snap.counter("usage.docs_long"),
+        snap.counter("usage.faults"),
+        snap.counter("usage.retries"),
+        snap.value("usage.time_backoff"),
+        snap.value("usage.total_cost"),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +197,39 @@ mod tests {
     fn cost_cells() {
         assert_eq!(cost_cell(Some(12.34)), "12.3");
         assert_eq!(cost_cell(None), "-");
+    }
+
+    #[test]
+    fn chaos_report_layout() {
+        let methods: Vec<&'static str> = vec!["TS", "P+TS"];
+        let rates = vec![0.0, 0.1];
+        let cells = vec![
+            vec![Some((10.0, 0.0)), Some((12.0, 20.0))],
+            vec![None, None],
+        ];
+        let fault_cells = vec![vec![Some((0, 0)), Some((3, 3))], vec![None, None]];
+        let r = chaos_report(&methods, &rates, &cells, &fault_cells);
+        assert!(r.contains("p=0.10"));
+        assert!(r.contains("+20.0"));
+        assert!(r.contains("Injected faults / retries absorbed"));
+        assert!(r.contains("3/3"));
+        // Inapplicable methods render as dashes in both tables.
+        assert!(r.lines().filter(|l| l.trim_start().starts_with("P+TS")).count() == 2);
+    }
+
+    #[test]
+    fn usage_line_shows_robustness_fields() {
+        let mut snap = MetricsSnapshot::default();
+        snap.incr("usage.invocations", 7);
+        snap.incr("usage.faults", 2);
+        snap.incr("usage.retries", 2);
+        snap.add_value("usage.time_backoff", 3.0);
+        snap.add_value("usage.total_cost", 41.25);
+        let line = usage_line(&snap);
+        assert_eq!(
+            line,
+            "inv 7  post 0  short 0  long 0  faults 2  retries 2  backoff 3.0s  total 41.2s"
+        );
     }
 
     #[test]

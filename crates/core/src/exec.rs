@@ -461,10 +461,13 @@ pub fn plan_and_execute(
     // (expected-retry charge per invocation); fault-free sessions fold a
     // rate of zero and plan exactly as before.
     let params = params.with_fault_model(&server.usage(), &RetryPolicy::standard());
-    let input = PlannerInput::gather(query, catalog, &export, server.schema(), params)
+    let mut input = PlannerInput::gather(query, catalog, &export, server.schema(), params)
         .map_err(|e| MethodError::NotApplicable(e.to_string()))?;
+    input.obs = server.recorder();
+    let plan_span = server.recorder().map(|r| r.span("plan"));
     let planned = crate::optimizer::multi::plan_query(&input, space)
         .ok_or_else(|| MethodError::NotApplicable("no plan found".into()))?;
+    drop(plan_span);
     let exec = MultiExecutor::new(&input, catalog, server)?;
     let outcome = exec.execute(&planned.plan)?;
     Ok((planned, outcome))

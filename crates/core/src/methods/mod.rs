@@ -22,7 +22,9 @@ pub mod sj;
 pub mod ts;
 
 use std::fmt;
+use std::rc::Rc;
 
+use textjoin_obs::{EventKind, Recorder, SpanGuard};
 use textjoin_rel::schema::{ColId, RelSchema};
 use textjoin_rel::table::Table;
 use textjoin_rel::tuple::Tuple;
@@ -183,6 +185,19 @@ impl<'a> ExecContext<'a> {
         }
     }
 
+    /// The flight recorder attached to the service, if any. Observation is
+    /// passive: recording never books a charge into the [`Usage`] ledger.
+    pub fn recorder(&self) -> Option<Rc<Recorder>> {
+        self.server.recorder()
+    }
+
+    /// Opens a method-phase span on the attached recorder (no-op when the
+    /// service is not being recorded). The guard closes the span on drop,
+    /// including on early error returns.
+    pub fn span(&self, label: &str) -> Option<SpanGuard> {
+        self.recorder().map(|r| r.span(label))
+    }
+
     /// The retry policy in force for `shard`: the adaptive budget's scaled
     /// policy when one is attached, the flat context policy otherwise.
     fn shard_policy(&self, shard: usize) -> RetryPolicy {
@@ -218,6 +233,12 @@ impl<'a> ExecContext<'a> {
                     }
                     failed += 1;
                     sh.charge_shard_backoff(shard, policy.backoff_after(failed));
+                    if let Some(rec) = self.recorder() {
+                        rec.emit(EventKind::Retry {
+                            shard: Some(shard),
+                            attempt: failed,
+                        });
+                    }
                 }
                 Err(e) => {
                     if let Some(b) = self.budget {
@@ -244,8 +265,10 @@ impl<'a> ExecContext<'a> {
             return self.server.search(expr);
         }
         let n = sh.shard_count();
+        let _gather = self.span("gather");
         let mut done: Vec<Option<SearchResult>> = vec![None; n];
         for i in 0..n {
+            let _shard_span = self.span(&format!("gather/shard{i}"));
             match self.shard_attempts(sh, i, || sh.search_shard(i, expr)) {
                 Ok(r) => done[i] = Some(r),
                 Err(e) if e.is_transient() => {
@@ -318,8 +341,10 @@ impl<'a> ExecContext<'a> {
                     }
                 }
                 let n = sh.shard_count();
+                let _gather = self.span("gather");
                 let mut per_shard = Vec::with_capacity(n);
                 for i in 0..n {
+                    let _shard_span = self.span(&format!("gather/shard{i}"));
                     match self.shard_attempts(sh, i, || sh.batch_shard(i, exprs)) {
                         Ok(b) => per_shard.push(b),
                         Err(e) if e.is_transient() => {

@@ -93,10 +93,12 @@ fn probe_first_ts(
     let before = ctx.server.usage();
     let text_schema = ctx.server.schema();
     let label = method_label("P", probe_cols, "TS");
+    let _method_span = ctx.span(&label);
     let mut out = fj.output_table(text_schema, &label);
     let all = fj.all_preds();
 
     // Phase 1: one probe per distinct key over the probe columns.
+    let probe_span = ctx.span("probe-phase");
     let probe_groups = group_by(fj.rel, &cols_of(fj, probe_cols));
     let mut cache = ProbeCache::new();
     for (_, rows) in &probe_groups {
@@ -122,9 +124,12 @@ fn probe_first_ts(
         }
     }
 
+    drop(probe_span);
+
     // Phase 2: tuple substitution for tuples whose probe succeeded. If the
     // probe covered every join predicate, the probe already *was* the full
     // query; re-sending it would be pure waste, so only retrieval remains.
+    let _subst_span = ctx.span("substitution");
     let full_query_needed = probe_cols.len() < fj.k();
     let groups = group_by(fj.rel, &fj.join_cols);
     for (_, rows) in groups {
@@ -167,6 +172,7 @@ fn lazy_ts(
     let before = ctx.server.usage();
     let text_schema = ctx.server.schema();
     let label = format!("{}-lazy", method_label("P", probe_cols, "TS"));
+    let _method_span = ctx.span(&label);
     let mut out = fj.output_table(text_schema, &label);
     let all = fj.all_preds();
 
@@ -240,6 +246,7 @@ fn ordered_ts(
     let before = ctx.server.usage();
     let text_schema = ctx.server.schema();
     let label = format!("{}-ord", method_label("P", probe_cols, "TS"));
+    let _method_span = ctx.span(&label);
     let mut out = fj.output_table(text_schema, &label);
     let all = fj.all_preds();
 
@@ -318,9 +325,11 @@ pub fn probe_rtp(
     let before = ctx.server.usage();
     let text_schema = ctx.server.schema();
     let label = method_label("P", probe_cols, "RTP");
+    let _method_span = ctx.span(&label);
     let mut out = fj.output_table(text_schema, &label);
 
     // Phase 1: probes; collect matched docids and per-key outcomes.
+    let probe_span = ctx.span("probe-phase");
     let probe_groups = group_by(fj.rel, &cols_of(fj, probe_cols));
     let mut cache = ProbeCache::new();
     let mut matched: BTreeSet<DocId> = BTreeSet::new();
@@ -346,6 +355,7 @@ pub fn probe_rtp(
             matched.extend(ids);
         }
     }
+    drop(probe_span);
 
     // Phase 2: fetch candidate documents. The probes shipped only docids
     // (via `probe`), so the matching data comes from retrievals: short form
@@ -357,6 +367,7 @@ pub fn probe_rtp(
     let mut short_docs: HashMap<DocId, ShortDoc> = HashMap::new();
     let mut long_docs: HashMap<DocId, Document> = HashMap::new();
     if need_long {
+        let _fetch_span = ctx.span("fetch");
         for &id in &matched {
             long_docs.insert(id, ctx.retrieve(id)?);
         }
@@ -376,6 +387,7 @@ pub fn probe_rtp(
     // substitution for just that key: the full query is sent (once per
     // distinct join key) and its results emitted directly.
     let all = fj.all_preds();
+    let _match_span = ctx.span("relational-match");
     let mut ts_fallback: HashMap<Vec<String>, Vec<(DocId, Document)>> = HashMap::new();
     let mut comparisons = 0u64;
     for t in fj.rel.iter() {

@@ -26,10 +26,13 @@ pub fn relational_text_processing(
         ));
     }
     let before = ctx.server.usage();
+    let _method_span = ctx.span("RTP");
 
     // One search carrying only the text selections.
     let sel = fj.selections_expr().expect("selections checked non-empty");
+    let search_span = ctx.span("selection-search");
     let result = ctx.search(&sel)?;
+    drop(search_span);
     complete(ctx, fj, result, &before)
 }
 
@@ -60,6 +63,7 @@ fn complete(
     let need_long =
         fj.projection == Projection::Full || !fj.short_form_sufficient(text_schema);
     let long_docs: HashMap<DocId, Document> = if need_long {
+        let _fetch_span = ctx.span("fetch-long");
         result
             .ids()
             .into_iter()
@@ -69,6 +73,7 @@ fn complete(
         HashMap::new()
     };
 
+    let _match_span = ctx.span("relational-match");
     let mut comparisons = 0u64;
     for t in fj.rel.iter() {
         let mut matched: Vec<(DocId, Document)> = Vec::new();

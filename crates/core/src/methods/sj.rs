@@ -59,6 +59,7 @@ pub fn semi_join(
     } else {
         "SJ+RTP"
     };
+    let _method_span = ctx.span(label);
     let mut out = fj.output_table(text_schema, label);
     let all = fj.all_preds();
 
@@ -84,6 +85,7 @@ pub fn semi_join(
     if !groups.is_empty() {
         queue.push_back(groups);
     }
+    let package_span = ctx.span("package");
     while let Some(mut chunk) = queue.pop_front() {
         let m_now = ctx.server.max_terms();
         let per_now = conjuncts_per_search(m_now, k, sel_terms);
@@ -123,6 +125,7 @@ pub fn semi_join(
             Err(e) => return Err(e.into()),
         }
     }
+    drop(package_span);
 
     // Pure semi-join of the text side: emit docids and stop.
     if fj.projection == Projection::DocIds {
@@ -146,6 +149,7 @@ pub fn semi_join(
     let need_long =
         fj.projection == Projection::Full || !fj.short_form_sufficient(text_schema);
     let long_docs: HashMap<DocId, Document> = if need_long {
+        let _fetch_span = ctx.span("fetch");
         matched
             .iter()
             .map(|&id| Ok((id, ctx.retrieve(id)?)))
@@ -154,6 +158,7 @@ pub fn semi_join(
         HashMap::new()
     };
 
+    let _match_span = ctx.span("residual-match");
     let mut comparisons = 0u64;
     for t in fj.rel.iter() {
         let mut hits: Vec<(DocId, Document)> = Vec::new();

@@ -28,6 +28,7 @@ pub fn tuple_substitution(
         ));
     }
     let before = ctx.server.usage();
+    let _method_span = ctx.span(if distinct { "TS" } else { "TS-naive" });
     let text_schema = ctx.server.schema();
     let mut out = fj.output_table(text_schema, "TS");
     let all = fj.all_preds();
@@ -42,6 +43,7 @@ pub fn tuple_substitution(
         (0..fj.rel.len()).map(|i| vec![i]).collect()
     };
 
+    let _phase_span = ctx.span("substitution");
     for rows in groups {
         let first = &fj.rel.rows()[rows[0]];
         let Some(expr) = fj.instantiated_search(first, &all) else {
@@ -104,11 +106,13 @@ pub fn tuple_substitution_batched(
         ));
     }
     let before = ctx.server.usage();
+    let _method_span = ctx.span("TS-batch");
     let text_schema = ctx.server.schema();
     let mut out = fj.output_table(text_schema, "TS-batch");
     let all = fj.all_preds();
 
     // One (expr, source rows) per distinct key, like distinct TS.
+    let package_span = ctx.span("package");
     let mut units: Vec<(SearchExpr, Vec<usize>)> = Vec::new();
     for (_, rows) in group_by(fj.rel, &fj.join_cols) {
         let first = &fj.rel.rows()[rows[0]];
@@ -116,7 +120,9 @@ pub fn tuple_substitution_batched(
             units.push((expr, rows));
         }
     }
+    drop(package_span);
 
+    let _phase_span = ctx.span("substitution");
     for chunk in units.chunks(batch_size) {
         let exprs: Vec<SearchExpr> = chunk.iter().map(|(e, _)| e.clone()).collect();
         let batch = ctx.search_batch(&exprs)?;

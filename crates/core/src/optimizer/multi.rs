@@ -21,8 +21,10 @@
 //! never worse than the best traditional left-deep plan (all left-deep
 //! trees remain in the space).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
 
+use textjoin_obs::{EventKind, PlannerChoice, Recorder};
 use textjoin_rel::catalog::Catalog;
 use textjoin_rel::ops::{distinct_count, filter};
 use textjoin_text::doc::{FieldId, TextSchema};
@@ -78,6 +80,13 @@ pub struct PlannerInput {
     pub sel_postings: f64,
     /// Number of selection terms.
     pub sel_terms: usize,
+    /// Flight recorder for planner decision events, if attached. Emits one
+    /// zero-charge [`EventKind::Planner`] event per costed method candidate
+    /// at each final-position text-join decision, so a trace shows *why*
+    /// the executed method was picked (estimated cost vector, probe-column
+    /// set, and the fault-adjusted `effective_c_i` the estimates priced
+    /// invocations with).
+    pub obs: Option<Rc<Recorder>>,
 }
 
 impl PlannerInput {
@@ -160,6 +169,7 @@ impl PlannerInput {
             sel_fanout,
             sel_postings,
             sel_terms,
+            obs: None,
         })
     }
 
@@ -276,7 +286,10 @@ pub fn plan_query(input: &PlannerInput, space: ExecutionSpace) -> Option<Planned
     let text_bit: u64 = 1 << n;
     let full: u64 = (1 << (n + 1)) - 1;
 
-    let mut best: HashMap<u64, Vec<Candidate>> = HashMap::new();
+    // BTreeMap, not HashMap: subset visit order feeds candidate-vector
+    // order (and with a recorder attached, planner event order), so it must
+    // not depend on hasher seeding.
+    let mut best: BTreeMap<u64, Vec<Candidate>> = BTreeMap::new();
 
     // Seed: single-relation scans.
     for r in 0..n {
@@ -530,6 +543,27 @@ fn extend_with_text(input: &PlannerInput, cand: &Candidate, s: u64) -> Option<Ca
     };
     let stats = input.stats_for(cand.rows, &preds, projection);
     let choices = enumerate_methods(&input.params, &stats, projection, false);
+    // Record the method menu for final-position text joins (every relation
+    // already in the plan): one event per candidate, cheapest flagged
+    // chosen. Earlier-position decisions are skipped to keep traces small.
+    let n = input.query.relations.len();
+    if let Some(rec) = input.obs.as_ref() {
+        if (0..n).all(|r| s & (1 << r) != 0) {
+            for (idx, c) in choices.iter().enumerate() {
+                rec.emit(EventKind::Planner(PlannerChoice {
+                    label: c.label.clone(),
+                    chosen: idx == 0,
+                    probe_cols: c.probe_cols.clone(),
+                    invocation: c.cost.invocation,
+                    processing: c.cost.processing,
+                    transmission: c.cost.transmission,
+                    rtp: c.cost.rtp,
+                    searches: c.cost.searches,
+                    effective_c_i: input.params.effective_c_i(),
+                }));
+            }
+        }
+    }
     let best = choices.first()?;
     let fanout = expected_result_fanout(&input.params, &stats);
     Some(Candidate {

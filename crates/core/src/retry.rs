@@ -89,6 +89,12 @@ impl RetryPolicy {
                 Err(e) if e.is_transient() && failed + 1 < attempts => {
                     failed += 1;
                     server.charge_backoff(self.backoff_after(failed));
+                    if let Some(rec) = server.recorder() {
+                        rec.emit(textjoin_obs::EventKind::Retry {
+                            shard: None,
+                            attempt: failed,
+                        });
+                    }
                 }
                 Err(e) => return Err(e),
             }

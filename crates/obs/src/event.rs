@@ -1,0 +1,352 @@
+//! The event model: charges, event kinds, and their JSONL encoding.
+
+use std::fmt::Write as _;
+
+/// The per-event charge delta, mirroring the `Usage` ledger field for
+/// field. Counters are signed so a batch *rebate* (the batch extension
+/// refunds per-call invocation and duplicate-transmission charges) can be
+/// expressed as a negative charge; summing all charges of a trace then
+/// reproduces the ledger delta exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Charge {
+    /// Search invocations (negative for batch rebates).
+    pub invocations: i64,
+    /// Searches rejected at the term cap (never charged time).
+    pub rejected: i64,
+    /// Postings processed.
+    pub postings: i64,
+    /// Documents transmitted in short form (negative for batch rebates).
+    pub docs_short: i64,
+    /// Documents transmitted in long form.
+    pub docs_long: i64,
+    /// Simulated seconds of invocation cost.
+    pub time_invocation: f64,
+    /// Simulated seconds of posting processing.
+    pub time_processing: f64,
+    /// Simulated seconds of result transmission (both forms).
+    pub time_transmission: f64,
+    /// Injected faults observed.
+    pub faults: i64,
+    /// Client retries performed.
+    pub retries: i64,
+    /// Simulated seconds of retry backoff.
+    pub time_backoff: f64,
+}
+
+impl Charge {
+    /// Total simulated seconds of this charge — the amount it advances the
+    /// simulated clock by.
+    pub fn total(&self) -> f64 {
+        self.time_invocation + self.time_processing + self.time_transmission + self.time_backoff
+    }
+
+    /// Whether every field is zero (the event is free).
+    pub fn is_zero(&self) -> bool {
+        *self == Charge::default()
+    }
+
+    /// Field-wise sum, for trace↔ledger reconciliation.
+    pub fn accumulate(&mut self, other: &Charge) {
+        self.invocations += other.invocations;
+        self.rejected += other.rejected;
+        self.postings += other.postings;
+        self.docs_short += other.docs_short;
+        self.docs_long += other.docs_long;
+        self.time_invocation += other.time_invocation;
+        self.time_processing += other.time_processing;
+        self.time_transmission += other.time_transmission;
+        self.faults += other.faults;
+        self.retries += other.retries;
+        self.time_backoff += other.time_backoff;
+    }
+}
+
+/// One planner candidate's estimated cost vector, recorded when the
+/// optimizer enumerates methods for a (sub)query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerChoice {
+    /// The candidate's display label (e.g. `P+RTP{name}`).
+    pub label: String,
+    /// Whether the planner picked this candidate (cheapest estimate).
+    pub chosen: bool,
+    /// The probe-column subset the candidate would probe on.
+    pub probe_cols: Vec<usize>,
+    /// Estimated invocation cost component (simulated seconds).
+    pub invocation: f64,
+    /// Estimated posting-processing component.
+    pub processing: f64,
+    /// Estimated transmission component.
+    pub transmission: f64,
+    /// Estimated relational text-processing component.
+    pub rtp: f64,
+    /// Estimated number of searches behind the invocation component.
+    pub searches: f64,
+    /// The fault-adjusted effective invocation constant the estimate used
+    /// (`c_i` plus expected backoff per invocation).
+    pub effective_c_i: f64,
+}
+
+/// What happened. Every chargeable kind carries the exact [`Charge`] the
+/// emitting ledger booked for it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A span opened (method, phase, or scatter/gather scope).
+    SpanBegin {
+        /// Trace-unique span id.
+        id: u64,
+        /// Enclosing span, if any.
+        parent: Option<u64>,
+        /// Span label, e.g. `P+RTP` or `sj/package`.
+        label: String,
+    },
+    /// A span closed. Emitted on drop, so error paths close their spans.
+    SpanEnd {
+        /// The span being closed.
+        id: u64,
+        /// The label it was opened with.
+        label: String,
+    },
+    /// One server call: `search`, `probe`, `batch`, or `retrieve`.
+    Call {
+        /// Operation name.
+        op: &'static str,
+        /// Shard that served the call (`None` on an unsharded server or
+        /// for charges on a sharded server's own ledger).
+        shard: Option<usize>,
+        /// Basic terms in the search expression (0 for retrieve).
+        terms: u64,
+        /// Failure description: injected fault, cap rejection, unknown
+        /// docid. `None` on success.
+        err: Option<String>,
+        /// What the ledger booked for this call.
+        charge: Charge,
+    },
+    /// The batch extension refunded per-call charges after a combined
+    /// search; the charge fields are negative.
+    Rebate {
+        /// Shard whose ledger was adjusted, if sharded.
+        shard: Option<usize>,
+        /// The (negative) adjustment.
+        charge: Charge,
+    },
+    /// The client backed off before a retry; simulated seconds charged to
+    /// the emitting ledger.
+    Backoff {
+        /// Shard whose ledger absorbed the backoff, if sharded.
+        shard: Option<usize>,
+        /// Simulated seconds waited.
+        seconds: f64,
+        /// The booked charge (`retries + time_backoff`).
+        charge: Charge,
+    },
+    /// The retry layer is about to re-issue an operation. Free.
+    Retry {
+        /// Shard being retried, if the retry loop is per-shard.
+        shard: Option<usize>,
+        /// 1-based count of failures absorbed so far.
+        attempt: u32,
+    },
+    /// The optimizer estimated one candidate method. Free.
+    Planner(PlannerChoice),
+}
+
+impl EventKind {
+    /// The charge this event booked, if it is a chargeable kind.
+    pub fn charge(&self) -> Option<&Charge> {
+        match self {
+            EventKind::Call { charge, .. }
+            | EventKind::Rebate { charge, .. }
+            | EventKind::Backoff { charge, .. } => Some(charge),
+            _ => None,
+        }
+    }
+}
+
+/// A recorded event: sequence number, simulated-clock stamp, payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Position in the trace (0-based, dense).
+    pub seq: u64,
+    /// Simulated clock at emission: cumulative simulated seconds of every
+    /// charge observed up to and including this event.
+    pub clock: f64,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+/// Minimal JSON string escaping (labels and fault messages are ASCII, but
+/// quotes and backslashes must not break the line format).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_charge(out: &mut String, c: &Charge) {
+    let _ = write!(
+        out,
+        "\"charge\":{{\"inv\":{},\"rej\":{},\"post\":{},\"short\":{},\"long\":{},\
+         \"t_inv\":{},\"t_proc\":{},\"t_xmit\":{},\"faults\":{},\"retries\":{},\"t_backoff\":{}}}",
+        c.invocations,
+        c.rejected,
+        c.postings,
+        c.docs_short,
+        c.docs_long,
+        c.time_invocation,
+        c.time_processing,
+        c.time_transmission,
+        c.faults,
+        c.retries,
+        c.time_backoff
+    );
+}
+
+fn push_shard(out: &mut String, shard: Option<usize>) {
+    match shard {
+        Some(i) => {
+            let _ = write!(out, "\"shard\":{i},");
+        }
+        None => out.push_str("\"shard\":null,"),
+    }
+}
+
+impl Event {
+    /// One JSONL line, fixed field order, no trailing newline. Floats use
+    /// Rust's shortest-roundtrip `Display`, which is deterministic, so two
+    /// identical runs serialize byte-identically.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(128);
+        let _ = write!(out, "{{\"seq\":{},\"clock\":{},", self.seq, self.clock);
+        match &self.kind {
+            EventKind::SpanBegin { id, parent, label } => {
+                let _ = write!(out, "\"type\":\"span_begin\",\"id\":{id},");
+                match parent {
+                    Some(p) => {
+                        let _ = write!(out, "\"parent\":{p},");
+                    }
+                    None => out.push_str("\"parent\":null,"),
+                }
+                let _ = write!(out, "\"label\":\"{}\"", esc(label));
+            }
+            EventKind::SpanEnd { id, label } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"span_end\",\"id\":{id},\"label\":\"{}\"",
+                    esc(label)
+                );
+            }
+            EventKind::Call {
+                op,
+                shard,
+                terms,
+                err,
+                charge,
+            } => {
+                let _ = write!(out, "\"type\":\"call\",\"op\":\"{op}\",");
+                push_shard(&mut out, *shard);
+                let _ = write!(out, "\"terms\":{terms},");
+                match err {
+                    Some(e) => {
+                        let _ = write!(out, "\"err\":\"{}\",", esc(e));
+                    }
+                    None => out.push_str("\"err\":null,"),
+                }
+                push_charge(&mut out, charge);
+            }
+            EventKind::Rebate { shard, charge } => {
+                out.push_str("\"type\":\"rebate\",");
+                push_shard(&mut out, *shard);
+                push_charge(&mut out, charge);
+            }
+            EventKind::Backoff {
+                shard,
+                seconds,
+                charge,
+            } => {
+                out.push_str("\"type\":\"backoff\",");
+                push_shard(&mut out, *shard);
+                let _ = write!(out, "\"seconds\":{seconds},");
+                push_charge(&mut out, charge);
+            }
+            EventKind::Retry { shard, attempt } => {
+                out.push_str("\"type\":\"retry\",");
+                push_shard(&mut out, *shard);
+                let _ = write!(out, "\"attempt\":{attempt}");
+            }
+            EventKind::Planner(p) => {
+                let cols: Vec<String> = p.probe_cols.iter().map(|c| c.to_string()).collect();
+                let _ = write!(
+                    out,
+                    "\"type\":\"planner\",\"label\":\"{}\",\"chosen\":{},\"probe_cols\":[{}],\
+                     \"est\":{{\"invocation\":{},\"processing\":{},\"transmission\":{},\
+                     \"rtp\":{},\"searches\":{}}},\"effective_c_i\":{}",
+                    esc(&p.label),
+                    p.chosen,
+                    cols.join(","),
+                    p.invocation,
+                    p.processing,
+                    p.transmission,
+                    p.rtp,
+                    p.searches,
+                    p.effective_c_i
+                );
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_total_and_accumulate() {
+        let mut a = Charge {
+            invocations: 1,
+            time_invocation: 3.0,
+            ..Charge::default()
+        };
+        let b = Charge {
+            docs_short: 2,
+            time_transmission: 0.03,
+            ..Charge::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.invocations, 1);
+        assert_eq!(a.docs_short, 2);
+        assert!((a.total() - 3.03).abs() < 1e-12);
+        assert!(!a.is_zero());
+        assert!(Charge::default().is_zero());
+    }
+
+    #[test]
+    fn jsonl_escapes_and_is_stable() {
+        let ev = Event {
+            seq: 7,
+            clock: 3.015,
+            kind: EventKind::Call {
+                op: "search",
+                shard: Some(2),
+                terms: 4,
+                err: Some("cap \"M\" hit".into()),
+                charge: Charge::default(),
+            },
+        };
+        let line = ev.to_jsonl();
+        assert!(line.starts_with("{\"seq\":7,\"clock\":3.015,"));
+        assert!(line.contains("\\\"M\\\""));
+        assert_eq!(line, ev.to_jsonl());
+    }
+}

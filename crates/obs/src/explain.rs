@@ -1,0 +1,250 @@
+//! Trace replay: renders a recorded event stream as an indented span tree
+//! with per-phase cost rollups. Backs the `explain` bench binary.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Charge, Event, EventKind};
+
+#[derive(Default)]
+struct Node {
+    label: String,
+    t0: f64,
+    t1: f64,
+    direct: Charge,
+    ok_calls: BTreeMap<&'static str, (u64, Charge)>,
+    items: Vec<Item>,
+}
+
+enum Item {
+    Child(Node),
+    Line(String),
+}
+
+fn shard_tag(shard: Option<usize>) -> String {
+    match shard {
+        Some(i) => format!("@shard{i}"),
+        None => String::new(),
+    }
+}
+
+/// Compact human summary of a charge: only the non-zero components.
+fn brief(c: &Charge) -> String {
+    let mut parts = Vec::new();
+    if c.invocations != 0 {
+        parts.push(format!("inv {}", c.invocations));
+    }
+    if c.rejected != 0 {
+        parts.push(format!("rej {}", c.rejected));
+    }
+    if c.postings != 0 {
+        parts.push(format!("post {}", c.postings));
+    }
+    if c.docs_short != 0 || c.docs_long != 0 {
+        parts.push(format!("xmit {}s/{}l", c.docs_short, c.docs_long));
+    }
+    if c.faults != 0 {
+        parts.push(format!("faults {}", c.faults));
+    }
+    if c.retries != 0 {
+        parts.push(format!("retries {}", c.retries));
+    }
+    if c.time_backoff != 0.0 {
+        parts.push(format!("backoff {:.2}s", c.time_backoff));
+    }
+    if parts.is_empty() {
+        "free".to_string()
+    } else {
+        parts.join(", ")
+    }
+}
+
+impl Node {
+    fn inclusive(&self) -> Charge {
+        let mut total = self.direct;
+        for item in &self.items {
+            if let Item::Child(ch) = item {
+                total.accumulate(&ch.inclusive());
+            }
+        }
+        total
+    }
+
+    fn absorb(&mut self, ev: &Event) {
+        if let Some(c) = ev.kind.charge() {
+            self.direct.accumulate(c);
+        }
+        match &ev.kind {
+            EventKind::Call {
+                op,
+                shard,
+                err: Some(e),
+                charge,
+                ..
+            } => self.items.push(Item::Line(format!(
+                "! {op}{} failed: {e} ({})",
+                shard_tag(*shard),
+                brief(charge)
+            ))),
+            EventKind::Call {
+                op,
+                err: None,
+                charge,
+                ..
+            } => {
+                let slot = self.ok_calls.entry(op).or_insert((0, Charge::default()));
+                slot.0 += 1;
+                slot.1.accumulate(charge);
+            }
+            EventKind::Backoff { shard, seconds, .. } => self.items.push(Item::Line(format!(
+                "~ backoff{} {seconds:.2}s",
+                shard_tag(*shard)
+            ))),
+            EventKind::Retry { shard, attempt } => self.items.push(Item::Line(format!(
+                "~ retry{} attempt {attempt}",
+                shard_tag(*shard)
+            ))),
+            EventKind::Rebate { shard, charge } => self.items.push(Item::Line(format!(
+                "- batch rebate{}: {}",
+                shard_tag(*shard),
+                brief(charge)
+            ))),
+            EventKind::Planner(p) => {
+                let total = p.invocation + p.processing + p.transmission + p.rtp;
+                self.items.push(Item::Line(format!(
+                    "? candidate {}{} est {total:.2}s (inv {:.2} proc {:.2} xmit {:.2} rtp {:.2}; eff c_i {:.2})",
+                    p.label,
+                    if p.chosen { " [chosen]" } else { "" },
+                    p.invocation,
+                    p.processing,
+                    p.transmission,
+                    p.rtp,
+                    p.effective_c_i
+                )));
+            }
+            _ => {}
+        }
+    }
+
+    fn render(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        let incl = self.inclusive();
+        out.push_str(&format!(
+            "{pad}{}  [{:.3}s → {:.3}s]  Σ {:.3}s ({})\n",
+            self.label,
+            self.t0,
+            self.t1,
+            incl.total(),
+            brief(&incl)
+        ));
+        for (op, (n, c)) in &self.ok_calls {
+            out.push_str(&format!(
+                "{pad}  • {n}× {op}: {} = {:.3}s\n",
+                brief(c),
+                c.total()
+            ));
+        }
+        for item in &self.items {
+            match item {
+                Item::Line(l) => out.push_str(&format!("{pad}  {l}\n")),
+                Item::Child(ch) => ch.render(depth + 1, out),
+            }
+        }
+    }
+}
+
+/// Replays `events` into an indented span tree. Events outside any span
+/// are attributed to a synthetic `(trace)` root; per-span rollups are
+/// inclusive of children.
+pub fn render(events: &[Event]) -> String {
+    let final_clock = events.last().map(|e| e.clock).unwrap_or(0.0);
+    let mut root = Node {
+        label: "(trace)".to_string(),
+        t0: 0.0,
+        t1: final_clock,
+        ..Node::default()
+    };
+    let mut stack: Vec<Node> = Vec::new();
+    for ev in events {
+        match &ev.kind {
+            EventKind::SpanBegin { label, .. } => stack.push(Node {
+                label: label.clone(),
+                t0: ev.clock,
+                t1: ev.clock,
+                ..Node::default()
+            }),
+            EventKind::SpanEnd { .. } => {
+                if let Some(mut done) = stack.pop() {
+                    done.t1 = ev.clock;
+                    match stack.last_mut() {
+                        Some(parent) => parent.items.push(Item::Child(done)),
+                        None => root.items.push(Item::Child(done)),
+                    }
+                }
+            }
+            _ => stack
+                .last_mut()
+                .unwrap_or(&mut root)
+                .absorb(ev),
+        }
+    }
+    // A truncated trace may leave spans open; attach them unclosed.
+    while let Some(mut done) = stack.pop() {
+        done.t1 = final_clock;
+        done.label.push_str(" (unclosed)");
+        match stack.last_mut() {
+            Some(parent) => parent.items.push(Item::Child(done)),
+            None => root.items.push(Item::Child(done)),
+        }
+    }
+    let mut out = format!("trace: {} events, clock 0s → {final_clock:.3}s\n", events.len());
+    root.render(0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::sink::RingSink;
+    use std::rc::Rc;
+
+    #[test]
+    fn renders_nested_spans_with_rollups() {
+        let ring = Rc::new(RingSink::unbounded());
+        let rec = Recorder::new(ring.clone());
+        {
+            let _m = rec.span("RTP");
+            {
+                let _p = rec.span("selection-search");
+                rec.emit(EventKind::Call {
+                    op: "search",
+                    shard: None,
+                    terms: 1,
+                    err: None,
+                    charge: Charge {
+                        invocations: 1,
+                        time_invocation: 3.0,
+                        ..Charge::default()
+                    },
+                });
+            }
+        }
+        let text = render(&ring.events());
+        assert!(text.contains("RTP"), "{text}");
+        assert!(text.contains("selection-search"), "{text}");
+        assert!(text.contains("1× search"), "{text}");
+        // The method span's inclusive rollup covers the nested call.
+        assert!(text.contains("Σ 3.000s"), "{text}");
+    }
+
+    #[test]
+    fn unclosed_span_is_flagged() {
+        let ring = Rc::new(RingSink::unbounded());
+        let rec = Recorder::new(ring.clone());
+        let guard = rec.span("gather");
+        let events = ring.events();
+        let text = render(&events);
+        assert!(text.contains("gather (unclosed)"), "{text}");
+        drop(guard);
+    }
+}

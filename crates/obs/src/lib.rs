@@ -1,0 +1,32 @@
+//! Deterministic flight recorder for the textjoin workspace.
+//!
+//! The cost model already accounts for every simulated charge in a single
+//! aggregate [`Usage`](https://docs.rs) ledger; this crate records *where*
+//! each charge happened. It defines a span/event model stamped with the
+//! **simulated clock** — the cumulative simulated seconds of all charges
+//! observed so far — never wall-clock time, so traces are byte-identical
+//! across runs (the workspace determinism invariant extends to the trace).
+//!
+//! Layering: this crate sits *below* `textjoin-text` (which emits
+//! server-call events) and is dependency-free. It therefore cannot name
+//! `Usage`; instead every chargeable event carries a [`Charge`] whose
+//! eleven fields mirror the ledger one-to-one. Summing the charges of a
+//! trace must reproduce `Usage::since` exactly — `tests/audit.rs` in the
+//! workspace root enforces that reconciliation per method, per backend.
+//!
+//! Recording is strictly passive: a [`Recorder`] observes charges that the
+//! ledgers have already booked and never books any itself, so attaching a
+//! recorder (any sink, including [`NoopSink`]) must leave every `Usage`
+//! field untouched.
+
+mod event;
+mod explain;
+mod metrics;
+mod recorder;
+mod sink;
+
+pub use event::{Charge, Event, EventKind, PlannerChoice};
+pub use explain::render;
+pub use metrics::{Histogram, MetricsSnapshot};
+pub use recorder::{Recorder, SpanGuard};
+pub use sink::{JsonlSink, NoopSink, RingSink, Sink};

@@ -1,0 +1,253 @@
+//! BTreeMap-backed metrics: counters, gauges, and fixed-bucket histograms.
+//!
+//! Keys are plain dotted strings; events served by shard `i` additionally
+//! bump a `shard{i}.`-prefixed copy of each key, so a snapshot can be
+//! narrowed to one shard with [`MetricsSnapshot::for_shard`]. BTreeMaps
+//! keep iteration (and therefore rendering) deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A histogram over fixed power-of-two buckets: bucket `k` counts values
+/// `v` with `v <= 2^k` (the last bucket is an unbounded overflow bucket).
+/// The bucket layout is fixed at construction, so merging and rendering
+/// never depend on the data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Inclusive upper bounds, ascending; one extra overflow bucket
+    /// follows the last bound.
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// `buckets` power-of-two bounds `1, 2, 4, …, 2^(buckets-1)` plus an
+    /// overflow bucket.
+    pub fn pow2(buckets: usize) -> Self {
+        let bounds: Vec<u64> = (0..buckets as u32).map(|k| 1u64 << k).collect();
+        let counts = vec![0; buckets + 1];
+        Self { bounds, counts }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(upper_bound, count)` pairs for the non-empty buckets; the
+    /// overflow bucket reports `u64::MAX` as its bound.
+    pub fn nonzero(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.bounds.get(i).copied().unwrap_or(u64::MAX), c))
+            .collect()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .nonzero()
+            .iter()
+            .map(|&(b, c)| {
+                if b == u64::MAX {
+                    format!("inf:{c}")
+                } else {
+                    format!("≤{b}:{c}")
+                }
+            })
+            .collect();
+        write!(f, "[{}]", parts.join(" "))
+    }
+}
+
+/// The registry and its snapshot are the same shape; a snapshot is just a
+/// clone taken at a point in time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Accumulated floating-point values (simulated seconds, ratios).
+    pub values: BTreeMap<String, f64>,
+    /// Fixed-bucket histograms.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to counter `key`.
+    pub fn incr(&mut self, key: &str, by: u64) {
+        if by > 0 {
+            *self.counters.entry(key.to_string()).or_insert(0) += by;
+        }
+    }
+
+    /// Adds `by` to value `key`.
+    pub fn add_value(&mut self, key: &str, by: f64) {
+        if by != 0.0 {
+            *self.values.entry(key.to_string()).or_insert(0.0) += by;
+        }
+    }
+
+    /// Sets value `key` (gauge semantics).
+    pub fn set_value(&mut self, key: &str, v: f64) {
+        self.values.insert(key.to_string(), v);
+    }
+
+    /// Sets counter `key` (gauge semantics for integer facts such as
+    /// per-shard document counts).
+    pub fn set_counter(&mut self, key: &str, v: u64) {
+        self.counters.insert(key.to_string(), v);
+    }
+
+    /// Records `v` into histogram `key`, creating it with `pow2(24)`
+    /// buckets on first use.
+    pub fn observe(&mut self, key: &str, v: u64) {
+        self.histograms
+            .entry(key.to_string())
+            .or_insert_with(|| Histogram::pow2(24))
+            .observe(v);
+    }
+
+    /// Counter value (0 when absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Value (0.0 when absent).
+    pub fn value(&self, key: &str) -> f64 {
+        self.values.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// The sub-snapshot of keys prefixed `shard{i}.`, with the prefix
+    /// stripped — the per-shard view the planner reads.
+    pub fn for_shard(&self, shard: usize) -> MetricsSnapshot {
+        let prefix = format!("shard{shard}.");
+        let strip = |m: &BTreeMap<String, u64>| {
+            m.iter()
+                .filter_map(|(k, &v)| k.strip_prefix(&prefix).map(|s| (s.to_string(), v)))
+                .collect()
+        };
+        MetricsSnapshot {
+            counters: strip(&self.counters),
+            values: self
+                .values
+                .iter()
+                .filter_map(|(k, &v)| k.strip_prefix(&prefix).map(|s| (s.to_string(), v)))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter_map(|(k, v)| k.strip_prefix(&prefix).map(|s| (s.to_string(), v.clone())))
+                .collect(),
+        }
+    }
+
+    /// Merges `other` into `self` (counters and values add, histograms
+    /// add bucket-wise when layouts match, otherwise `other` wins).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.values {
+            *self.values.entry(k.clone()).or_insert(0.0) += v;
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) if mine.bounds == h.bounds => {
+                    for (c, o) in mine.counts.iter_mut().zip(&h.counts) {
+                        *c += o;
+                    }
+                }
+                _ => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Deterministic multi-line rendering: one `key value` line per
+    /// counter, value, and histogram, in BTreeMap (lexicographic) order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("{k} {v}\n"));
+        }
+        for (k, v) in &self.values {
+            out.push_str(&format!("{k} {v:.6}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!("{k} {h}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::pow2(3); // bounds 1, 2, 4 + overflow
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        h.observe(100);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.nonzero(), vec![(1, 1), (2, 1), (4, 1), (u64::MAX, 1)]);
+        assert_eq!(h.to_string(), "[≤1:1 ≤2:1 ≤4:1 inf:1]");
+    }
+
+    #[test]
+    fn shard_filtering_strips_prefix() {
+        let mut m = MetricsSnapshot::new();
+        m.incr("calls.search", 3);
+        m.incr("shard0.calls.search", 2);
+        m.incr("shard1.calls.search", 1);
+        m.add_value("shard0.time_backoff", 1.5);
+        let s0 = m.for_shard(0);
+        assert_eq!(s0.counter("calls.search"), 2);
+        assert!((s0.value("time_backoff") - 1.5).abs() < 1e-12);
+        assert_eq!(s0.counters.len(), 1);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets() {
+        let mut a = MetricsSnapshot::new();
+        a.incr("x", 1);
+        a.observe("h", 2);
+        let mut b = MetricsSnapshot::new();
+        b.incr("x", 2);
+        b.observe("h", 2);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.histograms["h"].total(), 2);
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let mut m = MetricsSnapshot::new();
+        m.incr("b", 1);
+        m.incr("a", 1);
+        m.add_value("t", 2.5);
+        let r = m.render();
+        assert_eq!(r, "a 1\nb 1\nt 2.500000\n");
+    }
+}

@@ -1,0 +1,149 @@
+//! Where events go: nothing (default), an in-memory ring, or JSONL text.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+use crate::event::Event;
+
+/// Receives every event the recorder emits, in sequence order. Sinks are
+/// passive observers — they must never touch a ledger.
+pub trait Sink {
+    /// Accepts one event.
+    fn record(&self, ev: &Event);
+}
+
+/// Drops everything. The default when tracing is attached only for
+/// metrics, and the reference point for the "observation never perturbs
+/// the cost model" audit.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn record(&self, _ev: &Event) {}
+}
+
+/// Keeps the last `capacity` events in memory; tests hold their own
+/// `Rc<RingSink>` and inspect [`RingSink::events`] after the run.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    buf: RefCell<VecDeque<Event>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (oldest evicted first).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            buf: RefCell::new(VecDeque::new()),
+        }
+    }
+
+    /// An effectively unbounded ring for short test runs.
+    pub fn unbounded() -> Self {
+        Self::new(usize::MAX)
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf.borrow().iter().cloned().collect()
+    }
+
+    /// Drains and returns the retained events.
+    pub fn take(&self) -> Vec<Event> {
+        self.buf.borrow_mut().drain(..).collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.borrow().len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.borrow().is_empty()
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&self, ev: &Event) {
+        let mut buf = self.buf.borrow_mut();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(ev.clone());
+    }
+}
+
+/// Serializes each event as one JSON line into an in-memory buffer with a
+/// fixed field order; two identical runs produce byte-identical output
+/// (the trace-determinism golden test diffs exactly this).
+#[derive(Debug, Default)]
+pub struct JsonlSink {
+    buf: RefCell<String>,
+}
+
+impl JsonlSink {
+    /// An empty JSONL buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The JSONL text accumulated so far (one `\n`-terminated line per
+    /// event).
+    pub fn contents(&self) -> String {
+        self.buf.borrow().clone()
+    }
+
+    /// Drains and returns the accumulated text.
+    pub fn take(&self) -> String {
+        std::mem::take(&mut self.buf.borrow_mut())
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, ev: &Event) {
+        let mut buf = self.buf.borrow_mut();
+        buf.push_str(&ev.to_jsonl());
+        buf.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(seq: u64) -> Event {
+        Event {
+            seq,
+            clock: 0.0,
+            kind: EventKind::Retry {
+                shard: None,
+                attempt: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let ring = RingSink::new(2);
+        ring.record(&ev(0));
+        ring.record(&ev(1));
+        ring.record(&ev(2));
+        let kept: Vec<u64> = ring.events().iter().map(|e| e.seq).collect();
+        assert_eq!(kept, vec![1, 2]);
+    }
+
+    #[test]
+    fn jsonl_appends_lines() {
+        let sink = JsonlSink::new();
+        sink.record(&ev(0));
+        sink.record(&ev(1));
+        let text = sink.contents();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+        assert_eq!(sink.take(), text);
+        assert!(sink.contents().is_empty());
+    }
+}

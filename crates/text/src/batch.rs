@@ -13,6 +13,8 @@
 
 use std::collections::BTreeSet;
 
+use textjoin_obs::{Charge, EventKind};
+
 use crate::doc::DocId;
 use crate::expr::SearchExpr;
 use crate::server::{SearchResult, TextError, TextServer};
@@ -49,6 +51,21 @@ impl TextServer {
             let count = e.term_count();
             if count > self.max_terms() {
                 self.adjust_usage(|u| u.rejected += 1);
+                if let Some(rec) = self.recorder() {
+                    rec.emit(EventKind::Call {
+                        op: "batch",
+                        shard: self.shard_index(),
+                        terms: count as u64,
+                        err: Some(format!(
+                            "rejected: member has {count} terms > cap {}",
+                            self.max_terms()
+                        )),
+                        charge: Charge {
+                            rejected: 1,
+                            ..Charge::default()
+                        },
+                    });
+                }
                 return Err(TextError::TooManyTerms {
                     count,
                     max: self.max_terms(),
@@ -63,6 +80,7 @@ impl TextServer {
         // Run the member searches through the ordinary metered path, then
         // rebate the extra invocation charges and duplicate transmissions so
         // the batch is billed as one call.
+        let _span = self.recorder().map(|r| r.span("batch"));
         let before = self.usage();
         let mut results = Vec::with_capacity(exprs.len());
         let mut shipped: BTreeSet<DocId> = BTreeSet::new();
@@ -94,6 +112,21 @@ impl TextServer {
             u.docs_short -= duplicate_docs;
             u.time_transmission -= c.c_s * duplicate_docs as f64;
         });
+        if extra_invocations == 0 && duplicate_docs == 0 {
+            return;
+        }
+        if let Some(rec) = self.recorder() {
+            rec.emit(EventKind::Rebate {
+                shard: self.shard_index(),
+                charge: Charge {
+                    invocations: -(extra_invocations as i64),
+                    time_invocation: -(c.c_i * extra_invocations as f64),
+                    docs_short: -(duplicate_docs as i64),
+                    time_transmission: -(c.c_s * duplicate_docs as f64),
+                    ..Charge::default()
+                },
+            });
+        }
     }
 }
 

@@ -56,6 +56,8 @@ pub mod signature;
 pub mod stats;
 pub mod token;
 
+pub use textjoin_obs as obs;
+
 pub use doc::{DocId, Document, FieldId, TextSchema};
 pub use expr::SearchExpr;
 pub use faults::{Fault, FaultKinds, FaultPlan};

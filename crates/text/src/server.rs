@@ -20,6 +20,9 @@
 
 use std::cell::{Cell, RefCell};
 use std::fmt;
+use std::rc::Rc;
+
+use textjoin_obs::{Charge, EventKind, Recorder};
 
 use crate::doc::{DocId, Document, ShortDoc};
 use crate::eval::evaluate;
@@ -117,6 +120,26 @@ impl Usage {
         self.faults += other.faults;
         self.retries += other.retries;
         self.time_backoff += other.time_backoff;
+    }
+
+    /// The ledger as a metrics snapshot — the shape the shared bench
+    /// formatter and the planner-facing exports consume. Counter keys
+    /// mirror the field names; simulated seconds land in `values`.
+    pub fn metrics_snapshot(&self) -> textjoin_obs::MetricsSnapshot {
+        let mut m = textjoin_obs::MetricsSnapshot::new();
+        m.set_counter("usage.invocations", self.invocations);
+        m.set_counter("usage.rejected", self.rejected);
+        m.set_counter("usage.postings", self.postings_processed);
+        m.set_counter("usage.docs_short", self.docs_short);
+        m.set_counter("usage.docs_long", self.docs_long);
+        m.set_counter("usage.faults", self.faults);
+        m.set_counter("usage.retries", self.retries);
+        m.set_value("usage.time_invocation", self.time_invocation);
+        m.set_value("usage.time_processing", self.time_processing);
+        m.set_value("usage.time_transmission", self.time_transmission);
+        m.set_value("usage.time_backoff", self.time_backoff);
+        m.set_value("usage.total_cost", self.total_cost());
+        m
     }
 
     /// The difference `self - earlier`, for measuring a sub-operation.
@@ -323,6 +346,12 @@ pub struct TextServer {
     trace: Cell<bool>,
     log: RefCell<Vec<String>>,
     fault_plan: FaultPlan,
+    /// Flight recorder, if attached. Strictly passive: events describe
+    /// charges the ledger above has already booked.
+    recorder: RefCell<Option<Rc<Recorder>>>,
+    /// Position within a [`ShardedTextServer`](crate::shard::ShardedTextServer),
+    /// stamped at construction so emitted events carry their shard.
+    shard_index: Cell<Option<usize>>,
 }
 
 impl TextServer {
@@ -342,6 +371,8 @@ impl TextServer {
             trace: Cell::new(false),
             log: RefCell::new(Vec::new()),
             fault_plan: FaultPlan::none(),
+            recorder: RefCell::new(None),
+            shard_index: Cell::new(None),
         }
     }
 
@@ -395,6 +426,34 @@ impl TextServer {
         std::mem::take(&mut self.log.borrow_mut())
     }
 
+    /// Attaches (or with `None`, detaches) a flight recorder. Recording is
+    /// passive — it never changes a `Usage` field.
+    pub fn set_recorder(&self, rec: Option<Rc<Recorder>>) {
+        *self.recorder.borrow_mut() = rec;
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<Rc<Recorder>> {
+        self.recorder.borrow().clone()
+    }
+
+    /// This server's position inside a sharded server, if it is a shard.
+    pub fn shard_index(&self) -> Option<usize> {
+        self.shard_index.get()
+    }
+
+    /// Stamps the shard position; called by the sharded server at
+    /// construction time.
+    pub(crate) fn set_shard_index(&self, i: usize) {
+        self.shard_index.set(Some(i));
+    }
+
+    fn emit(&self, kind: EventKind) {
+        if let Some(rec) = &*self.recorder.borrow() {
+            rec.emit(kind);
+        }
+    }
+
     /// Snapshot of the usage counters.
     pub fn usage(&self) -> Usage {
         *self.usage.borrow()
@@ -419,16 +478,40 @@ impl TextServer {
     /// (rejected searches are not charged — the connection is refused before
     /// evaluation).
     pub fn search(&self, expr: &SearchExpr) -> Result<SearchResult, TextError> {
+        self.search_as(expr, "search")
+    }
+
+    /// [`search`](Self::search) with an explicit operation name for the
+    /// flight recorder (`probe` reuses the search path but traces as its
+    /// own operation).
+    pub(crate) fn search_as(
+        &self,
+        expr: &SearchExpr,
+        op: &'static str,
+    ) -> Result<SearchResult, TextError> {
         let count = expr.term_count();
         if count > self.max_terms.get() {
             self.usage.borrow_mut().rejected += 1;
+            self.emit(EventKind::Call {
+                op,
+                shard: self.shard_index.get(),
+                terms: count as u64,
+                err: Some(format!(
+                    "rejected: {count} terms > cap {}",
+                    self.max_terms.get()
+                )),
+                charge: Charge {
+                    rejected: 1,
+                    ..Charge::default()
+                },
+            });
             return Err(TextError::TooManyTerms {
                 count,
                 max: self.max_terms.get(),
             });
         }
         if let Some(fault) = self.fault_plan.next_search_fault(self.max_terms.get()) {
-            return Err(self.charge_search_fault(fault));
+            return Err(self.charge_search_fault(fault, op, count));
         }
         if self.trace.get() {
             self.log
@@ -447,7 +530,7 @@ impl TextServer {
                     .short_form(id, self.coll.schema())
             })
             .collect();
-        {
+        let charge = {
             let c = &self.constants;
             let mut u = self.usage.borrow_mut();
             u.invocations += 1;
@@ -456,7 +539,23 @@ impl TextServer {
             u.time_invocation += c.c_i;
             u.time_processing += c.c_p * out.postings_read as f64;
             u.time_transmission += c.c_s * docs.len() as f64;
-        }
+            Charge {
+                invocations: 1,
+                postings: out.postings_read as i64,
+                docs_short: docs.len() as i64,
+                time_invocation: c.c_i,
+                time_processing: c.c_p * out.postings_read as f64,
+                time_transmission: c.c_s * docs.len() as f64,
+                ..Charge::default()
+            }
+        };
+        self.emit(EventKind::Call {
+            op,
+            shard: self.shard_index.get(),
+            terms: count as u64,
+            err: None,
+            charge,
+        });
         Ok(SearchResult { docs })
     }
 
@@ -470,7 +569,7 @@ impl TextServer {
     /// result set's docids (short-form response). Costs exactly like
     /// [`search`](Self::search); the convenience is the return type.
     pub fn probe(&self, expr: &SearchExpr) -> Result<Vec<DocId>, TextError> {
-        Ok(self.search(expr)?.ids())
+        Ok(self.search_as(expr, "probe")?.ids())
     }
 
     /// Long-form retrieval of one document by docid. Charges `c_l`, which
@@ -482,20 +581,52 @@ impl TextServer {
             // `c_i` (counted as an invocation so the cost decomposition
             // stays exact), never the `c_l` of a document that was not
             // shipped.
-            let mut u = self.usage.borrow_mut();
-            u.faults += 1;
-            u.invocations += 1;
-            u.time_invocation += self.constants.c_i;
+            {
+                let mut u = self.usage.borrow_mut();
+                u.faults += 1;
+                u.invocations += 1;
+                u.time_invocation += self.constants.c_i;
+            }
+            self.emit(EventKind::Call {
+                op: "retrieve",
+                shard: self.shard_index.get(),
+                terms: 0,
+                err: Some("unavailable".to_string()),
+                charge: Charge {
+                    invocations: 1,
+                    faults: 1,
+                    time_invocation: self.constants.c_i,
+                    ..Charge::default()
+                },
+            });
             return Err(TextError::Unavailable);
         }
-        let doc = self
-            .coll
-            .document(id)
-            .cloned()
-            .ok_or(TextError::UnknownDoc(id))?;
-        let mut u = self.usage.borrow_mut();
-        u.docs_long += 1;
-        u.time_transmission += self.constants.c_l;
+        let Some(doc) = self.coll.document(id).cloned() else {
+            self.emit(EventKind::Call {
+                op: "retrieve",
+                shard: self.shard_index.get(),
+                terms: 0,
+                err: Some(format!("unknown document {id}")),
+                charge: Charge::default(),
+            });
+            return Err(TextError::UnknownDoc(id));
+        };
+        {
+            let mut u = self.usage.borrow_mut();
+            u.docs_long += 1;
+            u.time_transmission += self.constants.c_l;
+        }
+        self.emit(EventKind::Call {
+            op: "retrieve",
+            shard: self.shard_index.get(),
+            terms: 0,
+            err: None,
+            charge: Charge {
+                docs_long: 1,
+                time_transmission: self.constants.c_l,
+                ..Charge::default()
+            },
+        });
         Ok(doc)
     }
 
@@ -523,26 +654,44 @@ impl TextServer {
     /// failed search attempt burned a connection (`c_i`, counted as an
     /// invocation); a timeout also charges the postings scanned before the
     /// deadline; a cap renegotiation takes effect immediately.
-    fn charge_search_fault(&self, fault: Fault) -> TextError {
+    fn charge_search_fault(&self, fault: Fault, op: &'static str, terms: usize) -> TextError {
         let c = &self.constants;
-        let mut u = self.usage.borrow_mut();
-        u.faults += 1;
-        u.invocations += 1;
-        u.time_invocation += c.c_i;
-        match fault {
-            Fault::Unavailable => TextError::Unavailable,
-            Fault::Timeout { after_postings } => {
-                u.postings_processed += after_postings;
-                u.time_processing += c.c_p * after_postings as f64;
-                TextError::Timeout {
-                    postings: after_postings,
+        let mut charge = Charge {
+            invocations: 1,
+            faults: 1,
+            time_invocation: c.c_i,
+            ..Charge::default()
+        };
+        let err = {
+            let mut u = self.usage.borrow_mut();
+            u.faults += 1;
+            u.invocations += 1;
+            u.time_invocation += c.c_i;
+            match fault {
+                Fault::Unavailable => TextError::Unavailable,
+                Fault::Timeout { after_postings } => {
+                    u.postings_processed += after_postings;
+                    u.time_processing += c.c_p * after_postings as f64;
+                    charge.postings = after_postings as i64;
+                    charge.time_processing = c.c_p * after_postings as f64;
+                    TextError::Timeout {
+                        postings: after_postings,
+                    }
+                }
+                Fault::CapReduced { new_m } => {
+                    self.max_terms.set(new_m);
+                    TextError::CapReduced { new_m }
                 }
             }
-            Fault::CapReduced { new_m } => {
-                self.max_terms.set(new_m);
-                TextError::CapReduced { new_m }
-            }
-        }
+        };
+        self.emit(EventKind::Call {
+            op,
+            shard: self.shard_index.get(),
+            terms: terms as u64,
+            err: Some(err.to_string()),
+            charge,
+        });
+        err
     }
 
     /// Charges simulated backoff time a client spent waiting before a
@@ -551,9 +700,20 @@ impl TextServer {
     /// keeping a second meter (and `Usage::total_cost` keeps decomposing
     /// exactly).
     pub fn charge_backoff(&self, seconds: f64) {
-        let mut u = self.usage.borrow_mut();
-        u.retries += 1;
-        u.time_backoff += seconds;
+        {
+            let mut u = self.usage.borrow_mut();
+            u.retries += 1;
+            u.time_backoff += seconds;
+        }
+        self.emit(EventKind::Backoff {
+            shard: self.shard_index.get(),
+            seconds,
+            charge: Charge {
+                retries: 1,
+                time_backoff: seconds,
+                ..Charge::default()
+            },
+        });
     }
 }
 

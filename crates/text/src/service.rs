@@ -90,6 +90,13 @@ pub trait TextService {
     fn as_sharded(&self) -> Option<&ShardedTextServer> {
         None
     }
+
+    /// The attached flight recorder, if any. Default: not recording.
+    /// Observation is passive by contract — an implementation must charge
+    /// identically whether or not a recorder is attached.
+    fn recorder(&self) -> Option<std::rc::Rc<textjoin_obs::Recorder>> {
+        None
+    }
 }
 
 impl TextService for TextServer {
@@ -153,5 +160,9 @@ impl TextService for TextServer {
         self.collection()
             .document(id)
             .map(|d| d.short_form(id, self.collection().schema()))
+    }
+
+    fn recorder(&self) -> Option<std::rc::Rc<textjoin_obs::Recorder>> {
+        TextServer::recorder(self)
     }
 }

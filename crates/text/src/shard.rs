@@ -24,6 +24,9 @@
 
 use std::cell::RefCell;
 use std::fmt;
+use std::rc::Rc;
+
+use textjoin_obs::{Charge, EventKind, MetricsSnapshot, Recorder};
 
 use crate::batch::BatchResult;
 use crate::doc::{DocId, Document, ShortDoc, TextSchema};
@@ -99,6 +102,9 @@ pub struct ShardedTextServer {
     /// to the service as a whole rather than to one shard.
     extra: RefCell<Usage>,
     partition_seed: u64,
+    /// Flight recorder shared with every shard (shard events carry their
+    /// stamped shard index; aggregate-ledger events carry `shard: None`).
+    recorder: RefCell<Option<Rc<Recorder>>>,
 }
 
 impl ShardedTextServer {
@@ -131,16 +137,68 @@ impl ShardedTextServer {
             route.push((shard, local));
             to_global[shard].push(global);
         }
+        let shards: Vec<TextServer> = colls
+            .into_iter()
+            .map(|c| TextServer::with_constants(c, constants))
+            .collect();
+        for (i, s) in shards.iter().enumerate() {
+            s.set_shard_index(i);
+        }
         Self {
-            shards: colls
-                .into_iter()
-                .map(|c| TextServer::with_constants(c, constants))
-                .collect(),
+            shards,
             route,
             to_global,
             extra: RefCell::new(Usage::default()),
             partition_seed: seed,
+            recorder: RefCell::new(None),
         }
+    }
+
+    /// Attaches (or detaches) a flight recorder, shared with every shard
+    /// so all events land in one totally-ordered trace.
+    pub fn set_recorder(&self, rec: Option<Rc<Recorder>>) {
+        for s in &self.shards {
+            s.set_recorder(rec.clone());
+        }
+        *self.recorder.borrow_mut() = rec;
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<Rc<Recorder>> {
+        self.recorder.borrow().clone()
+    }
+
+    fn emit(&self, kind: EventKind) {
+        if let Some(rec) = &*self.recorder.borrow() {
+            rec.emit(kind);
+        }
+    }
+
+    /// Per-shard collection statistics as a metrics snapshot: document
+    /// counts and, per field, vocabulary size, total document frequency,
+    /// and mean fanout, under `shard{i}.stats.*` keys (plus the aggregate
+    /// under plain `stats.*`). Built from the free `export_stats` of each
+    /// shard, so reading it charges nothing — this is the shard-local
+    /// statistics export the planner reads for selectivity estimation.
+    pub fn stats_snapshot(&self) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        let schema = self.shards[0].collection().schema();
+        let fill = |prefix: &str, stats: &VocabularyStats, m: &mut MetricsSnapshot| {
+            m.set_counter(&format!("{prefix}stats.docs"), stats.doc_count as u64);
+            for (fid, def) in schema.iter() {
+                if let Some(fs) = stats.field(fid) {
+                    let base = format!("{prefix}stats.field.{}", def.name);
+                    m.set_counter(&format!("{base}.vocabulary"), fs.vocabulary as u64);
+                    m.set_counter(&format!("{base}.total_df"), fs.total_df);
+                    m.set_value(&format!("{base}.mean_fanout"), fs.mean_fanout());
+                }
+            }
+        };
+        for (i, s) in self.shards.iter().enumerate() {
+            fill(&format!("shard{i}."), &s.export_stats(), &mut m);
+        }
+        fill("", &TextService::export_stats(self), &mut m);
+        m
     }
 
     /// Number of shards.
@@ -223,6 +281,16 @@ impl ShardedTextServer {
         let count = expr.term_count();
         if count > cap {
             self.extra.borrow_mut().rejected += 1;
+            self.emit(EventKind::Call {
+                op: "search",
+                shard: None,
+                terms: count as u64,
+                err: Some(format!("rejected: {count} terms > aggregate cap {cap}")),
+                charge: Charge {
+                    rejected: 1,
+                    ..Charge::default()
+                },
+            });
             return Err(TextError::TooManyTerms { count, max: cap });
         }
         Ok(())
@@ -296,9 +364,20 @@ impl TextService for ShardedTextServer {
     /// not attribute the wait to one shard — per-shard retry loops use
     /// [`charge_shard_backoff`](Self::charge_shard_backoff) instead).
     fn charge_backoff(&self, seconds: f64) {
-        let mut u = self.extra.borrow_mut();
-        u.retries += 1;
-        u.time_backoff += seconds;
+        {
+            let mut u = self.extra.borrow_mut();
+            u.retries += 1;
+            u.time_backoff += seconds;
+        }
+        self.emit(EventKind::Backoff {
+            shard: None,
+            seconds,
+            charge: Charge {
+                retries: 1,
+                time_backoff: seconds,
+                ..Charge::default()
+            },
+        });
     }
 
     fn search(&self, expr: &SearchExpr) -> Result<SearchResult, TextError> {
@@ -379,6 +458,10 @@ impl TextService for ShardedTextServer {
 
     fn as_sharded(&self) -> Option<&ShardedTextServer> {
         Some(self)
+    }
+
+    fn recorder(&self) -> Option<Rc<Recorder>> {
+        ShardedTextServer::recorder(self)
     }
 }
 

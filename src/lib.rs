@@ -1,5 +1,6 @@
 //! Facade crate re-exporting the textjoin workspace.
 pub use textjoin_core as core;
+pub use textjoin_obs as obs;
 pub use textjoin_rel as rel;
 pub use textjoin_text as text;
 pub use textjoin_workload as workload;

@@ -1,0 +1,225 @@
+//! Trace↔ledger audit: the flight recorder must be a *faithful, passive*
+//! observer of the cost model.
+//!
+//! Faithful: summing the charge fields of every recorded event reproduces
+//! the server's `Usage` ledger exactly — integer counters field for field,
+//! simulated seconds to 1e-9 — for every join method, on both the single
+//! server and the sharded scatter/gather server, with and without injected
+//! faults. Nothing is charged off-trace and nothing is traced un-charged.
+//!
+//! Passive: attaching a recorder (even a discard-everything sink) must not
+//! add a single entry to any `Usage` field — observation never perturbs
+//! the costs the experiments report.
+
+use std::rc::Rc;
+
+use textjoin::core::methods::probe::ProbeSchedule;
+use textjoin::core::methods::{ExecContext, ForeignJoin, MethodError, MethodOutcome};
+use textjoin::core::retry::{RetryBudget, RetryPolicy};
+use textjoin::obs::{Charge, Event, NoopSink, Recorder, RingSink};
+use textjoin::text::faults::FaultPlan;
+use textjoin::text::server::{TextServer, Usage};
+use textjoin::text::shard::ShardedTextServer;
+use textjoin::text::TextService;
+use textjoin::workload::paper;
+use textjoin::workload::world::{World, WorldSpec};
+
+fn compact_world(seed: u64) -> World {
+    World::generate(WorldSpec {
+        seed,
+        background_docs: 120,
+        students: 30,
+        projects: 10,
+        ..WorldSpec::default()
+    })
+}
+
+/// Field-wise sum of every chargeable event in a trace.
+fn charge_sum(events: &[Event]) -> Charge {
+    let mut sum = Charge::default();
+    for ev in events {
+        if let Some(c) = ev.kind.charge() {
+            sum.accumulate(c);
+        }
+    }
+    sum
+}
+
+/// The audit proper: integer counters must match exactly; simulated-second
+/// fields to 1e-9 (a sharded aggregate sums shard ledgers in shard order
+/// while the trace accumulated them in temporal order, so the float sums
+/// may differ by rounding, never by a charge).
+fn assert_reconciles(label: &str, events: &[Event], ledger: &Usage) {
+    let sum = charge_sum(events);
+    assert_eq!(sum.invocations, ledger.invocations as i64, "{label}: invocations");
+    assert_eq!(sum.rejected, ledger.rejected as i64, "{label}: rejected");
+    assert_eq!(
+        sum.postings, ledger.postings_processed as i64,
+        "{label}: postings"
+    );
+    assert_eq!(sum.docs_short, ledger.docs_short as i64, "{label}: docs_short");
+    assert_eq!(sum.docs_long, ledger.docs_long as i64, "{label}: docs_long");
+    assert_eq!(sum.faults, ledger.faults as i64, "{label}: faults");
+    assert_eq!(sum.retries, ledger.retries as i64, "{label}: retries");
+    for (name, got, want) in [
+        ("time_invocation", sum.time_invocation, ledger.time_invocation),
+        ("time_processing", sum.time_processing, ledger.time_processing),
+        (
+            "time_transmission",
+            sum.time_transmission,
+            ledger.time_transmission,
+        ),
+        ("time_backoff", sum.time_backoff, ledger.time_backoff),
+    ] {
+        assert!(
+            (got - want).abs() < 1e-9,
+            "{label}: {name} drifted: trace {got} vs ledger {want}"
+        );
+    }
+}
+
+/// Runs one method through an explicit context, tolerating the typed
+/// failures bounded sharded chaos can legitimately produce — the audit
+/// must reconcile the trace against the ledger on *both* paths.
+fn run_one(
+    ctx: &ExecContext<'_>,
+    fj: &ForeignJoin<'_>,
+    method: &str,
+) -> Result<MethodOutcome, MethodError> {
+    match method {
+        "TS" => textjoin::core::methods::ts::tuple_substitution(ctx, fj, true),
+        "RTP" => textjoin::core::methods::rtp::relational_text_processing(ctx, fj),
+        "SJ" => textjoin::core::methods::sj::semi_join(ctx, fj),
+        "P+TS" => textjoin::core::methods::probe::probe_tuple_substitution(
+            ctx,
+            fj,
+            &[0],
+            ProbeSchedule::ProbeFirst,
+        ),
+        "P+RTP" => textjoin::core::methods::probe::probe_rtp(ctx, fj, &[0]),
+        other => panic!("unknown method {other}"),
+    }
+}
+
+fn methods_for(fj: &ForeignJoin<'_>) -> Vec<&'static str> {
+    let mut m = vec!["TS", "SJ", "P+TS", "P+RTP"];
+    if !fj.selections.is_empty() {
+        m.insert(1, "RTP");
+    }
+    m
+}
+
+#[test]
+fn trace_charges_reconcile_with_single_server_ledger() {
+    let w = compact_world(7);
+    let schema = w.server.collection().schema();
+    let mut audited = 0u32;
+    let mut faulted_traces = 0u32;
+    for (qname, q) in [("q3", paper::q3(&w)), ("q4", paper::q4(&w))] {
+        let p = textjoin::core::query::prepare(&q, &w.catalog, schema)
+            .expect("paper query prepares");
+        let fj = p.foreign_join();
+        for rate in [0.0, 0.3] {
+            for method in methods_for(&fj) {
+                let mut s = TextServer::new(w.server.collection().clone());
+                // ≤2 consecutive faults: below the 4-attempt policy, so
+                // every run completes and the trace covers the retries.
+                s.set_fault_plan(FaultPlan::transient(11, rate, 2));
+                let sink = Rc::new(RingSink::unbounded());
+                s.set_recorder(Some(Recorder::new(sink.clone())));
+                let ctx = ExecContext::new(&s);
+                run_one(&ctx, &fj, method).expect("bounded faults never exhaust retries");
+                let label = format!("{qname}/{method}@{rate}");
+                let events = sink.events();
+                assert_reconciles(&label, &events, &s.usage());
+                audited += 1;
+                if s.usage().faults > 0 {
+                    faulted_traces += 1;
+                }
+            }
+        }
+    }
+    assert!(audited >= 16, "audit matrix too small ({audited})");
+    assert!(
+        faulted_traces > 0,
+        "the faulted half of the matrix must actually fault"
+    );
+}
+
+#[test]
+fn trace_charges_reconcile_with_sharded_aggregate_ledger() {
+    let w = compact_world(7);
+    let schema = w.server.collection().schema();
+    let mut audited = 0u32;
+    let mut faulted_traces = 0u32;
+    for (qname, q) in [("q3", paper::q3(&w)), ("q4", paper::q4(&w))] {
+        let p = textjoin::core::query::prepare(&q, &w.catalog, schema)
+            .expect("paper query prepares");
+        let fj = p.foreign_join();
+        for rate in [0.0, 0.3] {
+            for method in methods_for(&fj) {
+                let mut s = ShardedTextServer::new(w.server.collection(), 4, 0x5AD);
+                for i in 0..4 {
+                    s.shard_mut(i).set_fault_plan(FaultPlan::transient(
+                        11 ^ ((i as u64) << 24),
+                        rate,
+                        2,
+                    ));
+                }
+                let sink = Rc::new(RingSink::unbounded());
+                s.set_recorder(Some(Recorder::new(sink.clone())));
+                let budget = RetryBudget::new(RetryPolicy::standard());
+                let ctx = ExecContext::with_budget(&s, &budget);
+                // Bounded sharded chaos may still surface a typed partial
+                // failure; the trace must reconcile either way.
+                let _ = run_one(&ctx, &fj, method);
+                let label = format!("sharded {qname}/{method}@{rate}");
+                let events = sink.events();
+                assert_reconciles(&label, &events, &s.usage());
+                audited += 1;
+                if s.usage().faults > 0 {
+                    faulted_traces += 1;
+                }
+            }
+        }
+    }
+    assert!(audited >= 16, "audit matrix too small ({audited})");
+    assert!(
+        faulted_traces > 0,
+        "the faulted half of the matrix must actually fault"
+    );
+}
+
+/// Attaching a recorder with the discard-everything sink must leave every
+/// `Usage` field byte-identical to an unrecorded run — observation is free
+/// by contract.
+#[test]
+fn noop_recorder_never_perturbs_the_ledger() {
+    let w = compact_world(7);
+    let schema = w.server.collection().schema();
+    for (qname, q) in [("q3", paper::q3(&w)), ("q4", paper::q4(&w))] {
+        let p = textjoin::core::query::prepare(&q, &w.catalog, schema)
+            .expect("paper query prepares");
+        let fj = p.foreign_join();
+        for rate in [0.0, 0.3] {
+            for method in methods_for(&fj) {
+                let run = |record: bool| -> Usage {
+                    let mut s = TextServer::new(w.server.collection().clone());
+                    s.set_fault_plan(FaultPlan::transient(11, rate, 2));
+                    if record {
+                        s.set_recorder(Some(Recorder::new(Rc::new(NoopSink))));
+                    }
+                    let ctx = ExecContext::new(&s);
+                    run_one(&ctx, &fj, method).expect("bounded faults complete");
+                    s.usage()
+                };
+                let bare = run(false);
+                let recorded = run(true);
+                assert_eq!(
+                    bare, recorded,
+                    "{qname}/{method}@{rate}: a no-op recorder changed the ledger"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Trace determinism and span hygiene.
+//!
+//! The flight recorder's JSONL serialization is the repo's determinism
+//! contract made inspectable: two identical runs — same world seed, same
+//! fault plan, same query — must serialize byte-identical traces. And the
+//! span stack must stay balanced on *every* exit path: a shard dying
+//! mid-gather unwinds through guard drops, never leaving an open span.
+
+use std::rc::Rc;
+
+use textjoin::core::cost::params::CostParams;
+use textjoin::core::exec::plan_and_execute;
+use textjoin::core::methods::ExecContext;
+use textjoin::core::optimizer::multi::ExecutionSpace;
+use textjoin::core::retry::{RetryBudget, RetryPolicy};
+use textjoin::obs::{EventKind, JsonlSink, Recorder, RingSink};
+use textjoin::text::faults::{FaultKinds, FaultPlan};
+use textjoin::text::server::TextServer;
+use textjoin::text::shard::ShardedTextServer;
+use textjoin::workload::paper;
+use textjoin::workload::world::{World, WorldSpec};
+
+fn compact_world(seed: u64) -> World {
+    World::generate(WorldSpec {
+        seed,
+        background_docs: 120,
+        students: 30,
+        projects: 10,
+        ..WorldSpec::default()
+    })
+}
+
+/// One fixed chaos run, traced: Q5 planned and executed against a fresh
+/// faulted server with a JSONL recorder attached. Returns the full trace.
+fn golden_chaos_trace(w: &World) -> String {
+    let params = CostParams::mercury(w.server.doc_count() as f64);
+    let mut server = TextServer::new(w.server.collection().clone());
+    server.set_fault_plan(FaultPlan::transient(0xC0FFEE, 0.2, 2));
+    let sink = Rc::new(JsonlSink::new());
+    server.set_recorder(Some(Recorder::new(sink.clone())));
+    let q5 = paper::q5(w);
+    plan_and_execute(&q5, &w.catalog, &server, params, ExecutionSpace::PrlResiduals)
+        .expect("bounded faults never exhaust retries");
+    sink.contents()
+}
+
+#[test]
+fn golden_chaos_trace_is_byte_identical_across_runs() {
+    let w = compact_world(7);
+    let a = golden_chaos_trace(&w);
+    let b = golden_chaos_trace(&w);
+    assert_eq!(a, b, "two identical runs must serialize identical traces");
+    // The golden trace must actually exercise the taxonomy: planner
+    // decisions, spans, server calls, and the retry/backoff machinery.
+    for needle in [
+        "\"type\":\"planner\"",
+        "\"type\":\"span_begin\"",
+        "\"type\":\"span_end\"",
+        "\"type\":\"call\"",
+        "\"type\":\"retry\"",
+        "\"type\":\"backoff\"",
+        "\"label\":\"plan\"",
+    ] {
+        assert!(a.contains(needle), "golden trace is missing {needle}");
+    }
+    // Dense sequence numbers: line i carries seq i.
+    for (i, line) in a.lines().enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"seq\":{i},")),
+            "line {i} out of sequence: {line}"
+        );
+    }
+}
+
+#[test]
+fn dead_shard_mid_gather_leaves_no_open_span() {
+    let w = compact_world(7);
+    let schema = w.server.collection().schema();
+    let p = textjoin::core::query::prepare(&paper::q3(&w), &w.catalog, schema)
+        .expect("q3 prepares");
+    let fj = p.foreign_join();
+
+    // Shard 2 faults on every operation, unbounded — the gather dies
+    // mid-scatter after shards 0 and 1 answered.
+    let mut s = ShardedTextServer::new(w.server.collection(), 4, 0x5AD);
+    s.shard_mut(2)
+        .set_fault_plan(FaultPlan::random(77, 1.0, FaultKinds::transient_only(), 0));
+    let sink = Rc::new(RingSink::unbounded());
+    let rec = Recorder::new(sink.clone());
+    s.set_recorder(Some(rec.clone()));
+    let budget = RetryBudget::new(RetryPolicy::standard());
+    let ctx = ExecContext::with_budget(&s, &budget);
+
+    for method in ["TS", "SJ", "P+RTP"] {
+        let err = match method {
+            "TS" => textjoin::core::methods::ts::tuple_substitution(&ctx, &fj, true).err(),
+            "SJ" => textjoin::core::methods::sj::semi_join(&ctx, &fj).err(),
+            _ => textjoin::core::methods::probe::probe_rtp(&ctx, &fj, &[0]).err(),
+        };
+        assert!(err.is_some(), "{method} must fail with shard 2 dead");
+        assert_eq!(
+            rec.open_spans(),
+            0,
+            "{method}: the error unwind left a span open"
+        );
+    }
+
+    // Begin/end balance holds event by event, not just at the end.
+    let mut begins = 0i64;
+    let mut ends = 0i64;
+    for ev in sink.events() {
+        match ev.kind {
+            EventKind::SpanBegin { .. } => begins += 1,
+            EventKind::SpanEnd { .. } => {
+                ends += 1;
+                assert!(ends <= begins, "span ended before it began");
+            }
+            _ => {}
+        }
+    }
+    assert!(begins > 0, "the failed gathers must still open spans");
+    assert_eq!(begins, ends, "every opened span must close");
+}
