@@ -1037,6 +1037,102 @@ pub fn sharded_chaos_table(w: &World) -> ShardedChaosTable {
     ShardedChaosTable { rates, methods, cells, fault_cells, n_shards: N_SHARDS }
 }
 
+// ---------------------------------------------------------------------
+// Replicated chaos: failover routing with a permanently dead primary
+// ---------------------------------------------------------------------
+
+/// Replicated chaos experiment result: like [`ShardedChaosTable`] but
+/// every cell runs over an `n_shards × n_replicas` replicated server in
+/// which one shard's *primary* replica is permanently dead
+/// ([`FaultPlan::dead`]) — every cell exercises failover routing and the
+/// per-shard circuit breaker, and still returns the fault-free answer.
+///
+/// [`FaultPlan::dead`]: textjoin_text::faults::FaultPlan::dead
+#[derive(Debug, Clone)]
+pub struct ReplicatedChaosTable {
+    /// Per-operation fault probabilities on the *surviving* replicas,
+    /// first entry 0.0 (the baseline — which still pays for discovering
+    /// the dead primary until the breaker opens).
+    pub rates: Vec<f64>,
+    /// Method labels in row order.
+    pub methods: Vec<&'static str>,
+    /// `cells[m][r]` = `(total_secs, overhead_pct)`.
+    pub cells: Vec<Vec<Option<(f64, f64)>>>,
+    /// `fault_cells[m][r]` = `(faults, retries)` summed over the queries.
+    pub fault_cells: Vec<Vec<Option<(u64, u64)>>>,
+    /// Number of logical shards in every cell's server.
+    pub n_shards: usize,
+    /// Replicas per shard.
+    pub n_replicas: usize,
+    /// The shard whose primary replica is permanently dead.
+    pub dead_shard: usize,
+}
+
+/// Runs every method over Q1–Q4 against a 4-shard × 2-replica server in
+/// which shard 2's primary faults on *every* operation and the surviving
+/// replicas carry independent bounded transient plans. The grid asserts
+/// each rate column returns the rate-0 answers, so every cell proves the
+/// failover path (primary exhaustion → circuit breaker → secondary leg)
+/// preserves the result multiset under persistent single-replica death.
+pub fn replicated_chaos_table(w: &World) -> ReplicatedChaosTable {
+    use textjoin_core::retry::{RetryBudget, RetryPolicy};
+    use textjoin_text::faults::FaultPlan;
+    use textjoin_text::shard::ShardedTextServer;
+
+    const N_SHARDS: usize = 4;
+    const N_REPLICAS: usize = 2;
+    const PARTITION_SEED: u64 = 0x5AD;
+    const DEAD_SHARD: usize = 2;
+
+    let rates = vec![0.0, 0.05, 0.1, 0.2];
+    let methods: Vec<&'static str> = vec!["TS", "RTP", "SJ/SJ+RTP", "P+TS", "P+RTP"];
+    let preps = chaos_preps(w);
+    let (cells, fault_cells) = chaos_grid(
+        &preps,
+        &rates,
+        &methods,
+        "replicated fault injection",
+        |qi, mi, ri, rate, kind, cols| {
+            let cell_seed = 0xD0A ^ ((qi as u64) << 16) ^ ((mi as u64) << 8) ^ ri as u64;
+            let mut sharded = ShardedTextServer::replicated(
+                w.server.collection(),
+                N_SHARDS,
+                N_REPLICAS,
+                PARTITION_SEED,
+            );
+            let dead_replica = sharded.primary_of(DEAD_SHARD);
+            for i in 0..N_SHARDS {
+                for r in 0..N_REPLICAS {
+                    let plan = if (i, r) == (DEAD_SHARD, dead_replica) {
+                        // Permanent death: the primary transiently faults
+                        // on every single operation.
+                        FaultPlan::dead(cell_seed)
+                    } else {
+                        FaultPlan::transient(
+                            cell_seed ^ ((i as u64) << 24) ^ ((r as u64) << 32),
+                            rate,
+                            2,
+                        )
+                    };
+                    sharded.replica_mut(i, r).set_fault_plan(plan);
+                }
+            }
+            let budget = RetryBudget::new(RetryPolicy::standard());
+            let ctx = ExecContext::with_budget(&sharded, &budget);
+            run_method_ctx(&ctx, &preps[qi].prepared, kind, cols).ok()
+        },
+    );
+    ReplicatedChaosTable {
+        rates,
+        methods,
+        cells,
+        fault_cells,
+        n_shards: N_SHARDS,
+        n_replicas: N_REPLICAS,
+        dead_shard: DEAD_SHARD,
+    }
+}
+
 /// Records one P+RTP run under transient faults: the first paper query
 /// with a composite join (k ≥ 2) runs against a fresh faulted server with
 /// a ring-sink recorder attached, and the recorded trace comes back for
@@ -1129,5 +1225,42 @@ mod chaos_tests {
                 assert_eq!((faults, retries), (0, 0), "rate 0 must be fault-free");
             }
         }
+    }
+
+    #[test]
+    fn replicated_chaos_table_is_deterministic_and_survives_a_dead_primary() {
+        let w = default_world();
+        let a = replicated_chaos_table(&w);
+        let b = replicated_chaos_table(&w);
+        assert_eq!((a.n_shards, a.n_replicas), (4, 2));
+        for (ra, rb) in a.cells.iter().zip(&b.cells) {
+            for (ca, cb) in ra.iter().zip(rb) {
+                match (ca, cb) {
+                    (Some((sa, oa)), Some((sb, ob))) => {
+                        assert_eq!(sa.to_bits(), sb.to_bits());
+                        assert_eq!(oa.to_bits(), ob.to_bits());
+                    }
+                    (None, None) => {}
+                    _ => panic!("applicability differs between runs"),
+                }
+            }
+        }
+        assert_eq!(a.fault_cells, b.fault_cells);
+        // Unlike the other chaos tables, even the rate-0 column faults:
+        // the dead primary is attempted (and charged) until the breaker
+        // opens, then served by the surviving replica. Every method row
+        // must show that cost — it proves failover actually ran.
+        for (mi, row) in a.fault_cells.iter().enumerate() {
+            if let Some((faults, _)) = row[0] {
+                assert!(
+                    faults > 0,
+                    "{}: dead primary never surfaced a fault at rate 0",
+                    a.methods[mi]
+                );
+            }
+        }
+        // And the grid's per-rate answer-equality assertion (inside
+        // chaos_grid) has already proven every faulted cell returns the
+        // rate-0 answers despite the permanently dead replica.
     }
 }

@@ -72,11 +72,30 @@ impl CostParams {
     /// backoff comes from the retry schedule in force. A fault-free ledger
     /// (or an empty one) leaves the model untouched.
     pub fn with_fault_model(mut self, usage: &Usage, policy: &RetryPolicy) -> Self {
-        self.fault_rate = if usage.invocations == 0 {
+        self = self.with_fault_model_replicated(usage, policy, 1);
+        self
+    }
+
+    /// Fault model for a service with `replicas` copies of every shard: a
+    /// call only pays retry backoff when *all* replicas of a shard are down
+    /// at once, so the post-failover effective rate is the observed
+    /// per-server rate raised to the replica count (independent-failure
+    /// model). `replicas = 1` is exactly [`with_fault_model`]
+    /// (no failover: every fault is paid for).
+    ///
+    /// [`with_fault_model`]: Self::with_fault_model
+    pub fn with_fault_model_replicated(
+        mut self,
+        usage: &Usage,
+        policy: &RetryPolicy,
+        replicas: usize,
+    ) -> Self {
+        let observed = if usage.invocations == 0 {
             0.0
         } else {
             usage.faults as f64 / usage.invocations as f64
         };
+        self.fault_rate = observed.powi(replicas.max(1) as i32);
         self.mean_backoff = policy.mean_backoff();
         self
     }
@@ -169,6 +188,24 @@ mod tests {
         assert_eq!(p.g, 1);
         assert!((p.constants.c_i - 3.0).abs() < 1e-12);
         assert_eq!(CostParams::mercury(1.0).with_g(0).g, 1, "g clamped to ≥1");
+    }
+
+    #[test]
+    fn replicated_fault_model_discounts_the_observed_rate() {
+        let u = Usage {
+            invocations: 10,
+            faults: 5,
+            ..Usage::default()
+        };
+        let policy = RetryPolicy::standard();
+        let single = CostParams::mercury(100.0).with_fault_model(&u, &policy);
+        assert!((single.fault_rate - 0.5).abs() < 1e-12);
+        let repl = CostParams::mercury(100.0).with_fault_model_replicated(&u, &policy, 2);
+        assert!((repl.fault_rate - 0.25).abs() < 1e-12, "rate^R for R=2");
+        assert!(repl.effective_c_i() < single.effective_c_i());
+        // R=1 replicated == the plain fault model.
+        let r1 = CostParams::mercury(100.0).with_fault_model_replicated(&u, &policy, 1);
+        assert_eq!(r1.fault_rate, single.fault_rate);
     }
 
     #[test]

@@ -459,8 +459,15 @@ pub fn plan_and_execute(
     let export = server.export_stats();
     // Fold the session's observed fault rate into the planner's cost model
     // (expected-retry charge per invocation); fault-free sessions fold a
-    // rate of zero and plan exactly as before.
-    let params = params.with_fault_model(&server.usage(), &RetryPolicy::standard());
+    // rate of zero and plan exactly as before. Replicated services fail
+    // over before they retry, so their effective rate is the observed
+    // per-server rate to the power of the replica count.
+    let replicas = server
+        .as_sharded()
+        .map(|s| s.replication_factor())
+        .unwrap_or(1);
+    let params =
+        params.with_fault_model_replicated(&server.usage(), &RetryPolicy::standard(), replicas);
     let mut input = PlannerInput::gather(query, catalog, &export, server.schema(), params)
         .map_err(|e| MethodError::NotApplicable(e.to_string()))?;
     input.obs = server.recorder();

@@ -36,7 +36,7 @@ use textjoin_text::server::{SearchResult, TextError, Usage};
 use textjoin_text::service::TextService;
 use textjoin_text::shard::{PartialShardError, ShardedTextServer};
 
-use crate::retry::{RetryBudget, RetryPolicy};
+use crate::retry::{RetryBudget, RetryPolicy, Route};
 
 /// What the query projects — determines how much document data a method
 /// must ship.
@@ -207,32 +207,47 @@ impl<'a> ExecContext<'a> {
         }
     }
 
-    /// Per-shard retry loop: like [`RetryPolicy::run`] but the backoff is
-    /// charged against the failing shard's ledger and every attempt's
-    /// outcome feeds the adaptive budget.
-    fn shard_attempts<T>(
+    /// Emits a free (chargeless) event on the attached recorder, if any.
+    fn emit_event(&self, kind: EventKind) {
+        if let Some(rec) = self.recorder() {
+            rec.emit(kind);
+        }
+    }
+
+    /// Retry loop for one replica leg: like [`RetryPolicy::run`] but the
+    /// backoff is charged against the failing replica's ledger and — on the
+    /// primary leg only (`feed_budget`) — every attempt's outcome feeds the
+    /// adaptive budget's EWMA. Secondary legs stay out of the EWMA: it
+    /// models the *primary's* health, which is what the breaker routes on.
+    fn leg_attempts<T>(
         &self,
         sh: &ShardedTextServer,
         shard: usize,
-        mut op: impl FnMut() -> Result<T, TextError>,
+        replica: usize,
+        policy: RetryPolicy,
+        feed_budget: bool,
+        op: &mut impl FnMut(usize) -> Result<T, TextError>,
     ) -> Result<T, TextError> {
-        let policy = self.shard_policy(shard);
         let attempts = policy.max_attempts.max(1);
         let mut failed = 0u32;
         loop {
-            match op() {
+            match op(replica) {
                 Ok(v) => {
-                    if let Some(b) = self.budget {
-                        b.observe(shard, false);
+                    if feed_budget {
+                        if let Some(b) = self.budget {
+                            b.observe(shard, false);
+                        }
                     }
                     return Ok(v);
                 }
                 Err(e) if e.is_transient() && failed + 1 < attempts => {
-                    if let Some(b) = self.budget {
-                        b.observe(shard, true);
+                    if feed_budget {
+                        if let Some(b) = self.budget {
+                            b.observe(shard, true);
+                        }
                     }
                     failed += 1;
-                    sh.charge_shard_backoff(shard, policy.backoff_after(failed));
+                    sh.charge_replica_backoff(shard, replica, policy.backoff_after(failed));
                     if let Some(rec) = self.recorder() {
                         rec.emit(EventKind::Retry {
                             shard: Some(shard),
@@ -241,13 +256,101 @@ impl<'a> ExecContext<'a> {
                     }
                 }
                 Err(e) => {
-                    if let Some(b) = self.budget {
-                        b.observe(shard, e.is_transient());
+                    if feed_budget {
+                        if let Some(b) = self.budget {
+                            b.observe(shard, e.is_transient());
+                        }
                     }
                     return Err(e);
                 }
             }
         }
+    }
+
+    /// One shard leg with replica failover. `op` is called with the replica
+    /// index to address. With R=1 this is exactly the pre-replication
+    /// per-shard retry loop. With R>1 it consults the breaker (when a
+    /// budget is attached): an open breaker skips the primary outright
+    /// (charging it nothing), a half-open turn probes it with a single
+    /// attempt (success closes the breaker), and otherwise the primary gets
+    /// its full adaptive retry loop. On transient exhaustion the leg fails
+    /// over through the secondaries in routing order — base policy, EWMA
+    /// untouched — emitting a `Failover` event per hop. The caller sees the
+    /// last transient error only when every replica is down.
+    fn replicated_attempts<T>(
+        &self,
+        sh: &ShardedTextServer,
+        shard: usize,
+        mut op: impl FnMut(usize) -> Result<T, TextError>,
+    ) -> Result<T, TextError> {
+        let order = sh.routing_order(shard);
+        if order.len() == 1 {
+            return self.leg_attempts(sh, shard, order[0], self.shard_policy(shard), true, &mut op);
+        }
+        let primary = order[0];
+        let route = match self.budget {
+            Some(b) => b.route(shard),
+            None => Route::Primary,
+        };
+        let mut last: Option<TextError> = None;
+        match route {
+            Route::Primary => {
+                match self.leg_attempts(
+                    sh,
+                    shard,
+                    primary,
+                    self.shard_policy(shard),
+                    true,
+                    &mut op,
+                ) {
+                    Ok(v) => return Ok(v),
+                    Err(e) if e.is_transient() => {
+                        if let Some(b) = self.budget {
+                            if b.open_breaker_if_dead(shard) {
+                                self.emit_event(EventKind::CircuitOpen {
+                                    shard,
+                                    rate: b.rate_of(shard),
+                                });
+                            }
+                        }
+                        last = Some(e);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Route::HalfOpenProbe => {
+                let b = self.budget.expect("half-open probes require a budget");
+                match op(primary) {
+                    Ok(v) => {
+                        b.observe(shard, false);
+                        if b.close_breaker(shard) {
+                            self.emit_event(EventKind::CircuitClose {
+                                shard,
+                                rate: b.rate_of(shard),
+                            });
+                        }
+                        return Ok(v);
+                    }
+                    Err(e) if e.is_transient() => {
+                        b.observe(shard, true);
+                        last = Some(e);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            // Breaker open, not a probe turn: the primary is skipped and
+            // charged nothing.
+            Route::Replica => {}
+        }
+        for &r in order.iter().skip(1) {
+            self.emit_event(EventKind::Failover { shard, replica: r });
+            match self.leg_attempts(sh, shard, r, self.retry, false, &mut op) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("a transient failure preceded every failover"))
     }
 
     /// Scatter/gather search over every shard with per-shard retries.
@@ -269,7 +372,7 @@ impl<'a> ExecContext<'a> {
         let mut done: Vec<Option<SearchResult>> = vec![None; n];
         for i in 0..n {
             let _shard_span = self.span(&format!("gather/shard{i}"));
-            match self.shard_attempts(sh, i, || sh.search_shard(i, expr)) {
+            match self.replicated_attempts(sh, i, |r| sh.search_replica(i, r, expr)) {
                 Ok(r) => done[i] = Some(r),
                 Err(e) if e.is_transient() => {
                     return Err(TextError::Shard(Box::new(PartialShardError {
@@ -286,10 +389,38 @@ impl<'a> ExecContext<'a> {
         ))
     }
 
-    /// Retrying [`TextService::search`]; per-shard retries when sharded.
+    /// [`sharded_gather`](Self::sharded_gather) plus gather completion:
+    /// when a replicated gather still fails mid-way (every replica of one
+    /// shard down after retries and failover), resume from the
+    /// [`PartialShardError`]'s partial results — already-transmitted shard
+    /// responses are reused verbatim, only the missing keyspace is
+    /// re-scattered. Unreplicated services keep the abort-with-partial
+    /// contract unchanged: with no replica to fail over to, an immediate
+    /// re-scatter would just re-buy the same postings from the same dead
+    /// shard.
+    fn sharded_search(
+        &self,
+        sh: &ShardedTextServer,
+        expr: &SearchExpr,
+    ) -> Result<SearchResult, TextError> {
+        match self.sharded_gather(sh, expr) {
+            Err(TextError::Shard(pse)) if sh.replication_factor() > 1 => {
+                let _span = self.span(&format!(
+                    "complete-gather[{}/{}]",
+                    pse.gathered(),
+                    pse.partial.len()
+                ));
+                sh.complete_gather(&pse.partial, expr)
+            }
+            other => other,
+        }
+    }
+
+    /// Retrying [`TextService::search`]; per-shard retries, replica
+    /// failover, and gather completion when sharded.
     pub fn search(&self, expr: &SearchExpr) -> Result<SearchResult, TextError> {
         match self.server.as_sharded() {
-            Some(sh) => self.sharded_gather(sh, expr),
+            Some(sh) => self.sharded_search(sh, expr),
             None => self.retry.run(self.server, || self.server.search(expr)),
         }
     }
@@ -297,10 +428,12 @@ impl<'a> ExecContext<'a> {
     /// Retrying [`TextService::probe`]. Sharded probing is all-shards-or-
     /// error: a probe's ids feed candidate sets, so a partial id list would
     /// silently drop matches — the typed error forces the caller through
-    /// its degradation path instead.
+    /// its degradation path instead. With replication the error only
+    /// surfaces (and the caller only degrades to "unknown — don't prune")
+    /// when *every* replica of some shard is down.
     pub fn probe(&self, expr: &SearchExpr) -> Result<Vec<DocId>, TextError> {
         match self.server.as_sharded() {
-            Some(sh) => Ok(self.sharded_gather(sh, expr)?.ids()),
+            Some(sh) => Ok(self.sharded_search(sh, expr)?.ids()),
             None => self.retry.run(self.server, || self.server.probe(expr)),
         }
     }
@@ -314,14 +447,14 @@ impl<'a> ExecContext<'a> {
     }
 
     /// Retrying [`TextService::retrieve`]; routed to (and retried against)
-    /// the owning shard when sharded.
+    /// the owning shard when sharded, with replica failover.
     pub fn retrieve(&self, id: DocId) -> Result<Document, TextError> {
         match self.server.as_sharded() {
             Some(sh) => {
                 let shard = sh
                     .owner_of(id)
                     .ok_or(TextError::UnknownDoc(id))?;
-                self.shard_attempts(sh, shard, || self.server.retrieve(id))
+                self.replicated_attempts(sh, shard, |r| sh.retrieve_replica(shard, r, id))
             }
             None => self.retry.run(self.server, || self.server.retrieve(id)),
         }
@@ -345,7 +478,7 @@ impl<'a> ExecContext<'a> {
                 let mut per_shard = Vec::with_capacity(n);
                 for i in 0..n {
                     let _shard_span = self.span(&format!("gather/shard{i}"));
-                    match self.shard_attempts(sh, i, || sh.batch_shard(i, exprs)) {
+                    match self.replicated_attempts(sh, i, |r| sh.batch_replica(i, r, exprs)) {
                         Ok(b) => per_shard.push(b),
                         Err(e) if e.is_transient() => {
                             return Err(TextError::Shard(Box::new(PartialShardError {

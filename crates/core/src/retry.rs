@@ -125,7 +125,38 @@ pub struct RetryBudget {
     base: RetryPolicy,
     /// Per-shard EWMA fault rates, parts-per-1024; grows on demand.
     rates: RefCell<Vec<u32>>,
+    /// Per-shard circuit breakers over the primary replica; grows on
+    /// demand alongside `rates`.
+    breakers: RefCell<Vec<Breaker>>,
 }
+
+/// Per-shard circuit-breaker state. While open, routed calls skip the
+/// shard's primary replica entirely (charging it nothing) and every
+/// [`HALF_OPEN_INTERVAL`]-th call half-open-probes it instead; a probe
+/// success closes the breaker.
+#[derive(Debug, Clone, Copy, Default)]
+struct Breaker {
+    open: bool,
+    /// Calls routed while open; drives the deterministic probe cadence.
+    skips: u32,
+}
+
+/// Routing decision for one replicated shard leg, from
+/// [`RetryBudget::route`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Breaker closed: try the primary first with the shard's full budget.
+    Primary,
+    /// Breaker open: skip the primary, go straight to the secondaries.
+    Replica,
+    /// Breaker open, probe turn: one unretried attempt on the primary; a
+    /// success closes the breaker.
+    HalfOpenProbe,
+}
+
+/// Every this-many-th routed call against an open breaker probes the
+/// primary instead of skipping it.
+const HALF_OPEN_INTERVAL: u32 = 4;
 
 /// EWMA weight of one observation, parts-per-1024 (1/8 of full scale).
 const EWMA_STEP: u32 = 128;
@@ -142,6 +173,7 @@ impl RetryBudget {
         RetryBudget {
             base,
             rates: RefCell::new(Vec::new()),
+            breakers: RefCell::new(Vec::new()),
         }
     }
 
@@ -180,6 +212,72 @@ impl RetryBudget {
             max_attempts: self.attempts_for(shard),
             ..self.base
         }
+    }
+
+    /// Routing decision for the next replicated leg against `shard`. With
+    /// the breaker closed this is always [`Route::Primary`]; while open,
+    /// calls skip the primary, and every [`HALF_OPEN_INTERVAL`]-th one
+    /// half-open-probes it. The probe cadence is a plain counter, so two
+    /// identical call sequences route identically.
+    pub fn route(&self, shard: usize) -> Route {
+        let mut breakers = self.breakers.borrow_mut();
+        if breakers.len() <= shard {
+            breakers.resize_with(shard + 1, Breaker::default);
+        }
+        let b = &mut breakers[shard];
+        if !b.open {
+            return Route::Primary;
+        }
+        b.skips += 1;
+        if b.skips.is_multiple_of(HALF_OPEN_INTERVAL) {
+            Route::HalfOpenProbe
+        } else {
+            Route::Replica
+        }
+    }
+
+    /// Opens `shard`'s breaker if its EWMA says the primary is persistently
+    /// dead (rate ≥ the dead threshold). Called when a primary retry leg
+    /// exhausts transiently. Returns true only on the closed → open
+    /// transition, so the caller emits exactly one `CircuitOpen` event.
+    pub fn open_breaker_if_dead(&self, shard: usize) -> bool {
+        if self.rate_of(shard) < DEAD_THRESHOLD {
+            return false;
+        }
+        let mut breakers = self.breakers.borrow_mut();
+        if breakers.len() <= shard {
+            breakers.resize_with(shard + 1, Breaker::default);
+        }
+        let b = &mut breakers[shard];
+        if b.open {
+            return false;
+        }
+        b.open = true;
+        b.skips = 0;
+        true
+    }
+
+    /// Closes `shard`'s breaker after a successful half-open probe.
+    /// Returns true only on the open → closed transition.
+    pub fn close_breaker(&self, shard: usize) -> bool {
+        let mut breakers = self.breakers.borrow_mut();
+        match breakers.get_mut(shard) {
+            Some(b) if b.open => {
+                b.open = false;
+                b.skips = 0;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether `shard`'s breaker is currently open.
+    pub fn breaker_open(&self, shard: usize) -> bool {
+        self.breakers
+            .borrow()
+            .get(shard)
+            .map(|b| b.open)
+            .unwrap_or(false)
     }
 }
 
@@ -317,6 +415,34 @@ mod tests {
             trace
         };
         assert_eq!(run(), run(), "identical observation stream, identical rates");
+    }
+
+    #[test]
+    fn breaker_opens_only_when_dead_and_probes_on_a_fixed_cadence() {
+        let b = RetryBudget::new(RetryPolicy::standard());
+        // A healthy shard cannot trip the breaker.
+        assert!(!b.open_breaker_if_dead(1));
+        assert_eq!(b.route(1), Route::Primary);
+        // Drive the EWMA over the dead threshold, then trip it.
+        for _ in 0..20 {
+            b.observe(1, true);
+        }
+        assert!(b.open_breaker_if_dead(1), "closed -> open transition");
+        assert!(!b.open_breaker_if_dead(1), "already open: no second event");
+        assert!(b.breaker_open(1));
+        // Skips 1..3 route to replicas; the 4th call probes.
+        assert_eq!(b.route(1), Route::Replica);
+        assert_eq!(b.route(1), Route::Replica);
+        assert_eq!(b.route(1), Route::Replica);
+        assert_eq!(b.route(1), Route::HalfOpenProbe);
+        assert_eq!(b.route(1), Route::Replica, "cadence restarts after a probe");
+        // A successful probe closes it; routing reverts to the primary.
+        assert!(b.close_breaker(1), "open -> closed transition");
+        assert!(!b.close_breaker(1), "already closed");
+        assert!(!b.breaker_open(1));
+        assert_eq!(b.route(1), Route::Primary);
+        // Other shards were never affected.
+        assert_eq!(b.route(0), Route::Primary);
     }
 
     #[test]

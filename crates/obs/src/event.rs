@@ -146,6 +146,31 @@ pub enum EventKind {
         /// 1-based count of failures absorbed so far.
         attempt: u32,
     },
+    /// A shard leg moved to the next replica in its routing order (the
+    /// previous replica was exhausted or skipped by an open breaker). Free:
+    /// only real attempts are charged, and those carry their own events.
+    Failover {
+        /// The logical shard being served.
+        shard: usize,
+        /// The replica the leg moves *to*.
+        replica: usize,
+    },
+    /// A shard's circuit breaker opened: its primary replica looks
+    /// persistently dead, so calls route straight to the secondaries. Free.
+    CircuitOpen {
+        /// The shard whose primary is being bypassed.
+        shard: usize,
+        /// The EWMA fault rate (parts-per-1024) that tripped the breaker.
+        rate: u32,
+    },
+    /// A shard's circuit breaker closed after a successful half-open probe
+    /// of the primary. Free.
+    CircuitClose {
+        /// The shard whose primary is back in rotation.
+        shard: usize,
+        /// The EWMA fault rate (parts-per-1024) after the probe.
+        rate: u32,
+    },
     /// The optimizer estimated one candidate method. Free.
     Planner(PlannerChoice),
 }
@@ -282,6 +307,24 @@ impl Event {
                 out.push_str("\"type\":\"retry\",");
                 push_shard(&mut out, *shard);
                 let _ = write!(out, "\"attempt\":{attempt}");
+            }
+            EventKind::Failover { shard, replica } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"failover\",\"shard\":{shard},\"replica\":{replica}"
+                );
+            }
+            EventKind::CircuitOpen { shard, rate } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"circuit_open\",\"shard\":{shard},\"rate\":{rate}"
+                );
+            }
+            EventKind::CircuitClose { shard, rate } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"circuit_close\",\"shard\":{shard},\"rate\":{rate}"
+                );
             }
             EventKind::Planner(p) => {
                 let cols: Vec<String> = p.probe_cols.iter().map(|c| c.to_string()).collect();

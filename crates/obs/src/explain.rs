@@ -108,6 +108,15 @@ impl Node {
                 shard_tag(*shard),
                 brief(charge)
             ))),
+            EventKind::Failover { shard, replica } => self.items.push(Item::Line(format!(
+                "> failover@shard{shard} -> replica {replica}"
+            ))),
+            EventKind::CircuitOpen { shard, rate } => self.items.push(Item::Line(format!(
+                "x circuit open@shard{shard} (ewma {rate}/1024)"
+            ))),
+            EventKind::CircuitClose { shard, rate } => self.items.push(Item::Line(format!(
+                "o circuit close@shard{shard} (ewma {rate}/1024)"
+            ))),
             EventKind::Planner(p) => {
                 let total = p.invocation + p.processing + p.transmission + p.rtp;
                 self.items.push(Item::Line(format!(
@@ -235,6 +244,22 @@ mod tests {
         assert!(text.contains("1× search"), "{text}");
         // The method span's inclusive rollup covers the nested call.
         assert!(text.contains("Σ 3.000s"), "{text}");
+    }
+
+    #[test]
+    fn renders_failover_and_breaker_lines() {
+        let ring = Rc::new(RingSink::unbounded());
+        let rec = Recorder::new(ring.clone());
+        {
+            let _g = rec.span("gather/shard2");
+            rec.emit(EventKind::CircuitOpen { shard: 2, rate: 801 });
+            rec.emit(EventKind::Failover { shard: 2, replica: 1 });
+            rec.emit(EventKind::CircuitClose { shard: 2, rate: 112 });
+        }
+        let text = render(&ring.events());
+        assert!(text.contains("> failover@shard2 -> replica 1"), "{text}");
+        assert!(text.contains("x circuit open@shard2 (ewma 801/1024)"), "{text}");
+        assert!(text.contains("o circuit close@shard2 (ewma 112/1024)"), "{text}");
     }
 
     #[test]

@@ -148,6 +148,19 @@ impl Recorder {
             }
             EventKind::Rebate { .. } => m.incr("rebates", 1),
             EventKind::Retry { .. } => m.incr("retry_attempts", 1),
+            EventKind::Failover { shard, replica } => {
+                m.incr("failovers", 1);
+                m.incr(&format!("shard{shard}.failovers"), 1);
+                m.incr(&format!("shard{shard}.replica{replica}.serves"), 1);
+            }
+            EventKind::CircuitOpen { shard, .. } => {
+                m.incr("circuit.open", 1);
+                m.incr(&format!("shard{shard}.circuit.open"), 1);
+            }
+            EventKind::CircuitClose { shard, .. } => {
+                m.incr("circuit.close", 1);
+                m.incr(&format!("shard{shard}.circuit.close"), 1);
+            }
             EventKind::SpanBegin { .. } => m.incr("spans", 1),
             EventKind::SpanEnd { .. } => {}
             EventKind::Planner(p) => {

@@ -143,6 +143,13 @@ impl FaultPlan {
         Self::random(seed, rate, FaultKinds::all(), max_consecutive)
     }
 
+    /// A permanently dead server: every operation faults transiently and no
+    /// consecutive bound ever forces a success through. Retrying cannot
+    /// help; only failing over to a replica can.
+    pub fn dead(seed: u64) -> Self {
+        Self::random(seed, 1.0, FaultKinds::transient_only(), 0)
+    }
+
     /// Random plan with explicit kind selection.
     pub fn random(seed: u64, rate: f64, kinds: FaultKinds, max_consecutive: u32) -> Self {
         assert!((0.0..=1.0).contains(&rate), "fault rate out of [0,1]");
@@ -372,6 +379,18 @@ mod tests {
             if let Some(f) = at_floor.next_search_fault(4) {
                 assert!(!matches!(f, Fault::CapReduced { .. }));
             }
+        }
+    }
+
+    #[test]
+    fn dead_plan_faults_every_operation() {
+        let p = FaultPlan::dead(42);
+        for _ in 0..200 {
+            assert!(p.next_search_fault(70).is_some(), "a dead server never answers");
+            assert!(matches!(
+                p.next_search_fault(70),
+                Some(Fault::Unavailable | Fault::Timeout { .. })
+            ));
         }
     }
 

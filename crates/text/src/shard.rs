@@ -66,9 +66,10 @@ impl fmt::Display for PartialShardError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "shard {} failed mid-gather after {} shard responses: {}",
+            "shard {} failed mid-gather: gathered {}/{} shards: {}",
             self.failed_shard,
             self.gathered(),
+            self.partial.len(),
             self.error
         )
     }
@@ -91,9 +92,19 @@ fn splitmix64(x: u64) -> u64 {
 
 /// A deterministic partition of one [`Collection`] across N metered
 /// [`TextServer`] shards, presenting the same [`TextService`] surface.
+///
+/// Each logical shard owns R replica servers holding identical copies of
+/// the shard's slice, each with its own fault plan, term cap, and ledger.
+/// One replica is the seeded-deterministic **primary**; the others form a
+/// failover rotation (`routing_order`). R defaults to 1, in which case
+/// every path below degenerates to the unreplicated behavior exactly.
 #[derive(Debug)]
 pub struct ShardedTextServer {
-    shards: Vec<TextServer>,
+    /// `replicas[i]` = the copies of shard `i`'s slice;
+    /// `replicas[i][primary[i]]` is the preferred one.
+    replicas: Vec<Vec<TextServer>>,
+    /// Per shard: index of the primary replica.
+    primary: Vec<usize>,
     /// Global docid → (owning shard, local docid).
     route: Vec<(usize, DocId)>,
     /// Per shard: local docid → global docid (increasing by construction).
@@ -124,7 +135,27 @@ impl ShardedTextServer {
         seed: u64,
         constants: CostConstants,
     ) -> Self {
+        Self::replicated_with_constants(coll, n_shards, 1, seed, constants)
+    }
+
+    /// Partitions `coll` across `n_shards` logical shards of `n_replicas`
+    /// servers each, with default constants. Placement of both documents
+    /// and primaries is a seeded hash, so the same `(collection, seed,
+    /// n_shards, n_replicas)` always yields the same topology.
+    pub fn replicated(coll: &Collection, n_shards: usize, n_replicas: usize, seed: u64) -> Self {
+        Self::replicated_with_constants(coll, n_shards, n_replicas, seed, CostConstants::default())
+    }
+
+    /// Same, with explicit cost constants.
+    pub fn replicated_with_constants(
+        coll: &Collection,
+        n_shards: usize,
+        n_replicas: usize,
+        seed: u64,
+        constants: CostConstants,
+    ) -> Self {
         assert!(n_shards > 0, "a sharded server needs at least one shard");
+        assert!(n_replicas > 0, "each shard needs at least one replica");
         let mut colls: Vec<Collection> =
             (0..n_shards).map(|_| Collection::new(coll.schema().clone())).collect();
         let mut route = Vec::with_capacity(coll.doc_count());
@@ -137,15 +168,23 @@ impl ShardedTextServer {
             route.push((shard, local));
             to_global[shard].push(global);
         }
-        let shards: Vec<TextServer> = colls
-            .into_iter()
-            .map(|c| TextServer::with_constants(c, constants))
-            .collect();
-        for (i, s) in shards.iter().enumerate() {
-            s.set_shard_index(i);
+        let mut replicas: Vec<Vec<TextServer>> = Vec::with_capacity(n_shards);
+        let mut primary = Vec::with_capacity(n_shards);
+        for (i, c) in colls.into_iter().enumerate() {
+            let copies: Vec<TextServer> = (0..n_replicas)
+                .map(|_| TextServer::with_constants(c.clone(), constants))
+                .collect();
+            for s in &copies {
+                s.set_shard_index(i);
+            }
+            // Seeded primary placement: mixed separately from the document
+            // partition so the two deals are independent. R=1 pins it to 0.
+            primary.push((splitmix64(seed ^ 0xCAB1E ^ i as u64) % n_replicas as u64) as usize);
+            replicas.push(copies);
         }
         Self {
-            shards,
+            replicas,
+            primary,
             route,
             to_global,
             extra: RefCell::new(Usage::default()),
@@ -154,11 +193,13 @@ impl ShardedTextServer {
         }
     }
 
-    /// Attaches (or detaches) a flight recorder, shared with every shard
-    /// so all events land in one totally-ordered trace.
+    /// Attaches (or detaches) a flight recorder, shared with every replica
+    /// of every shard so all events land in one totally-ordered trace.
     pub fn set_recorder(&self, rec: Option<Rc<Recorder>>) {
-        for s in &self.shards {
-            s.set_recorder(rec.clone());
+        for copies in &self.replicas {
+            for s in copies {
+                s.set_recorder(rec.clone());
+            }
         }
         *self.recorder.borrow_mut() = rec;
     }
@@ -182,7 +223,7 @@ impl ShardedTextServer {
     /// statistics export the planner reads for selectivity estimation.
     pub fn stats_snapshot(&self) -> MetricsSnapshot {
         let mut m = MetricsSnapshot::new();
-        let schema = self.shards[0].collection().schema();
+        let schema = self.replicas[0][0].collection().schema();
         let fill = |prefix: &str, stats: &VocabularyStats, m: &mut MetricsSnapshot| {
             m.set_counter(&format!("{prefix}stats.docs"), stats.doc_count as u64);
             for (fid, def) in schema.iter() {
@@ -194,8 +235,8 @@ impl ShardedTextServer {
                 }
             }
         };
-        for (i, s) in self.shards.iter().enumerate() {
-            fill(&format!("shard{i}."), &s.export_stats(), &mut m);
+        for i in 0..self.replicas.len() {
+            fill(&format!("shard{i}."), &self.shard(i).export_stats(), &mut m);
         }
         fill("", &TextService::export_stats(self), &mut m);
         m
@@ -203,7 +244,12 @@ impl ShardedTextServer {
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.replicas.len()
+    }
+
+    /// Number of replicas per shard (1 = unreplicated).
+    pub fn replication_factor(&self) -> usize {
+        self.replicas[0].len()
     }
 
     /// The partition seed in force.
@@ -211,15 +257,40 @@ impl ShardedTextServer {
         self.partition_seed
     }
 
-    /// Shared read access to shard `i` (its ledger, cap, fault plan).
+    /// Shared read access to shard `i`'s **primary** replica (its ledger,
+    /// cap, fault plan).
     pub fn shard(&self, i: usize) -> &TextServer {
-        &self.shards[i]
+        &self.replicas[i][self.primary[i]]
     }
 
-    /// Mutable access to shard `i`, for installing per-shard fault plans
-    /// and term caps.
+    /// Mutable access to shard `i`'s primary replica, for installing
+    /// per-shard fault plans and term caps.
     pub fn shard_mut(&mut self, i: usize) -> &mut TextServer {
-        &mut self.shards[i]
+        let p = self.primary[i];
+        &mut self.replicas[i][p]
+    }
+
+    /// Shared read access to replica `r` of shard `i`.
+    pub fn replica(&self, i: usize, r: usize) -> &TextServer {
+        &self.replicas[i][r]
+    }
+
+    /// Mutable access to replica `r` of shard `i`.
+    pub fn replica_mut(&mut self, i: usize, r: usize) -> &mut TextServer {
+        &mut self.replicas[i][r]
+    }
+
+    /// Index of shard `i`'s primary replica.
+    pub fn primary_of(&self, i: usize) -> usize {
+        self.primary[i]
+    }
+
+    /// Shard `i`'s replica routing order: the primary first, then the
+    /// secondaries in rotation. Deterministic for a given topology.
+    pub fn routing_order(&self, i: usize) -> Vec<usize> {
+        let n = self.replicas[i].len();
+        let p = self.primary[i];
+        (0..n).map(|k| (p + k) % n).collect()
     }
 
     /// The shard owning global docid `id`, or `None` for unknown ids.
@@ -227,19 +298,37 @@ impl ShardedTextServer {
         self.route.get(id.0 as usize).map(|&(s, _)| s)
     }
 
-    /// Snapshot of shard `i`'s ledger.
+    /// Snapshot of shard `i`'s ledger: the sum over all its replicas, so
+    /// the aggregate identity `usage() = extra + Σ shard_usage(i)` holds
+    /// no matter which replica absorbed a charge.
     pub fn shard_usage(&self, i: usize) -> Usage {
-        self.shards[i].usage()
+        let mut total = Usage::default();
+        for s in &self.replicas[i] {
+            total.accumulate(&s.usage());
+        }
+        total
     }
 
-    /// Searches shard `i` only, remapping result docids to global ids.
-    /// Charges (and faults) exactly like a search on that shard.
-    pub fn search_shard(&self, i: usize, expr: &SearchExpr) -> Result<SearchResult, TextError> {
-        let mut r = self.shards[i].search(expr)?;
-        for d in &mut r.docs {
+    /// Searches replica `r` of shard `i` only, remapping result docids to
+    /// global ids. Charges (and faults) exactly like a search on that
+    /// replica's server.
+    pub fn search_replica(
+        &self,
+        i: usize,
+        r: usize,
+        expr: &SearchExpr,
+    ) -> Result<SearchResult, TextError> {
+        let mut res = self.replicas[i][r].search(expr)?;
+        for d in &mut res.docs {
             d.id = self.to_global[i][d.id.0 as usize];
         }
-        Ok(r)
+        Ok(res)
+    }
+
+    /// Searches shard `i`'s primary replica only, remapping result docids
+    /// to global ids.
+    pub fn search_shard(&self, i: usize, expr: &SearchExpr) -> Result<SearchResult, TextError> {
+        self.search_replica(i, self.primary[i], expr)
     }
 
     /// Probes shard `i` only, returning global docids.
@@ -247,22 +336,52 @@ impl ShardedTextServer {
         Ok(self.search_shard(i, expr)?.ids())
     }
 
-    /// Runs a batch on shard `i` only, remapping every member result's
-    /// docids to global ids (the shard applies its own invocation rebates).
-    pub fn batch_shard(&self, i: usize, exprs: &[SearchExpr]) -> Result<BatchResult, TextError> {
-        let mut b = self.shards[i].search_batch(exprs)?;
-        for r in &mut b.results {
-            for d in &mut r.docs {
+    /// Runs a batch on replica `r` of shard `i` only, remapping every
+    /// member result's docids to global ids (the replica applies its own
+    /// invocation rebates).
+    pub fn batch_replica(
+        &self,
+        i: usize,
+        r: usize,
+        exprs: &[SearchExpr],
+    ) -> Result<BatchResult, TextError> {
+        let mut b = self.replicas[i][r].search_batch(exprs)?;
+        for res in &mut b.results {
+            for d in &mut res.docs {
                 d.id = self.to_global[i][d.id.0 as usize];
             }
         }
         Ok(b)
     }
 
-    /// Charges simulated retry backoff against shard `i`'s ledger (the
-    /// shard that caused the wait pays for it).
+    /// Runs a batch on shard `i`'s primary replica only.
+    pub fn batch_shard(&self, i: usize, exprs: &[SearchExpr]) -> Result<BatchResult, TextError> {
+        self.batch_replica(i, self.primary[i], exprs)
+    }
+
+    /// Retrieves global docid `id` from replica `r` of shard `i`. Errors
+    /// with `UnknownDoc` when `id` is unknown or not owned by shard `i`.
+    pub fn retrieve_replica(&self, i: usize, r: usize, id: DocId) -> Result<Document, TextError> {
+        match self.route.get(id.0 as usize) {
+            Some(&(owner, local)) if owner == i => self.replicas[i][r].retrieve(local),
+            _ => Err(TextError::UnknownDoc(id)),
+        }
+    }
+
+    /// Charges simulated retry backoff against shard `i`'s primary ledger
+    /// (the shard that caused the wait pays for it). Because
+    /// [`shard_usage`](Self::shard_usage) sums every replica and the
+    /// aggregate [`usage`](TextService::usage) sums the same ledgers, the
+    /// backoff lands in both views at once — they cannot drift.
     pub fn charge_shard_backoff(&self, i: usize, seconds: f64) {
-        self.shards[i].charge_backoff(seconds);
+        self.charge_replica_backoff(i, self.primary[i], seconds);
+    }
+
+    /// Charges simulated retry backoff against one specific replica's
+    /// ledger (failover retry loops attribute the wait to the replica that
+    /// caused it).
+    pub fn charge_replica_backoff(&self, i: usize, r: usize, seconds: f64) {
+        self.replicas[i][r].charge_backoff(seconds);
     }
 
     /// Union-merges per-shard results into one result set in global docid
@@ -296,16 +415,64 @@ impl ShardedTextServer {
         Ok(())
     }
 
-    /// Single-attempt scatter/gather over all shards, in shard order. A
-    /// transient shard failure wraps the results gathered so far into a
-    /// [`PartialShardError`]; non-transient errors (cap renegotiations,
-    /// syntax) propagate raw so the callers' re-packaging lattices keep
-    /// working unchanged. Callers wanting per-shard retries orchestrate
-    /// [`search_shard`](Self::search_shard) themselves.
+    /// One failover pass over shard `i`'s routing order: a single search
+    /// attempt per replica, moving to the next replica (with a `Failover`
+    /// event) when one fails transiently. Non-transient errors (cap
+    /// renegotiations, syntax) propagate raw so the callers' re-packaging
+    /// lattices keep working unchanged. With R=1 this is exactly one
+    /// attempt on the shard, as before replication existed.
+    fn failover_search(&self, i: usize, expr: &SearchExpr) -> Result<SearchResult, TextError> {
+        let order = self.routing_order(i);
+        let mut last: Option<TextError> = None;
+        for (pos, &r) in order.iter().enumerate() {
+            match self.search_replica(i, r, expr) {
+                Ok(res) => return Ok(res),
+                Err(e) if e.is_transient() => {
+                    if let Some(&next) = order.get(pos + 1) {
+                        self.emit(EventKind::Failover {
+                            shard: i,
+                            replica: next,
+                        });
+                    }
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("routing order is never empty"))
+    }
+
+    /// Batch counterpart of [`failover_search`](Self::failover_search).
+    fn failover_batch(&self, i: usize, exprs: &[SearchExpr]) -> Result<BatchResult, TextError> {
+        let order = self.routing_order(i);
+        let mut last: Option<TextError> = None;
+        for (pos, &r) in order.iter().enumerate() {
+            match self.batch_replica(i, r, exprs) {
+                Ok(b) => return Ok(b),
+                Err(e) if e.is_transient() => {
+                    if let Some(&next) = order.get(pos + 1) {
+                        self.emit(EventKind::Failover {
+                            shard: i,
+                            replica: next,
+                        });
+                    }
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("routing order is never empty"))
+    }
+
+    /// Single-attempt-per-replica scatter/gather over all shards, in shard
+    /// order. A shard whose every replica fails transiently wraps the
+    /// results gathered so far into a [`PartialShardError`]. Callers
+    /// wanting per-shard retries orchestrate
+    /// [`search_replica`](Self::search_replica) themselves.
     fn scatter_search(&self, expr: &SearchExpr) -> Result<Vec<SearchResult>, TextError> {
-        let mut done: Vec<Option<SearchResult>> = vec![None; self.shards.len()];
-        for i in 0..self.shards.len() {
-            match self.search_shard(i, expr) {
+        let mut done: Vec<Option<SearchResult>> = vec![None; self.replicas.len()];
+        for i in 0..self.replicas.len() {
+            match self.failover_search(i, expr) {
                 Ok(r) => done[i] = Some(r),
                 Err(e) if e.is_transient() => {
                     return Err(TextError::Shard(Box::new(PartialShardError {
@@ -319,35 +486,78 @@ impl ShardedTextServer {
         }
         Ok(done.into_iter().map(|r| r.expect("all gathered")).collect())
     }
+
+    /// Resumes a failed gather from the partial results a
+    /// [`PartialShardError`] carried: shards that already answered are
+    /// reused verbatim — their postings were transmitted and paid for once
+    /// and are never re-bought — and only the missing shards' keyspace is
+    /// re-scattered, each leg failing over through the shard's replica
+    /// routing order. Fails with a fresh `TextError::Shard` (carrying the
+    /// updated partial) only when every replica of a missing shard is still
+    /// down. A `partial` whose length does not match the shard count (e.g.
+    /// the empty partial of a batch gather) is treated as all-missing.
+    pub fn complete_gather(
+        &self,
+        partial: &[Option<SearchResult>],
+        expr: &SearchExpr,
+    ) -> Result<SearchResult, TextError> {
+        let mut done: Vec<Option<SearchResult>> = if partial.len() == self.replicas.len() {
+            partial.to_vec()
+        } else {
+            vec![None; self.replicas.len()]
+        };
+        for i in 0..done.len() {
+            if done[i].is_some() {
+                continue;
+            }
+            match self.failover_search(i, expr) {
+                Ok(r) => done[i] = Some(r),
+                Err(e) if e.is_transient() => {
+                    return Err(TextError::Shard(Box::new(PartialShardError {
+                        partial: done,
+                        failed_shard: i,
+                        error: e,
+                    })))
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Self::merge(
+            done.into_iter().map(|r| r.expect("all gathered")).collect(),
+        ))
+    }
 }
 
 impl TextService for ShardedTextServer {
     fn schema(&self) -> &TextSchema {
-        self.shards[0].collection().schema()
+        self.replicas[0][0].collection().schema()
     }
 
     fn doc_count(&self) -> usize {
         self.route.len()
     }
 
-    /// The minimum cap over the shards: a package legal under the aggregate
-    /// cap is legal on every shard it is scattered to.
+    /// The minimum cap over every replica of every shard: a package legal
+    /// under the aggregate cap is legal on every server a failover could
+    /// route it to.
     fn max_terms(&self) -> usize {
-        self.shards
+        self.replicas
             .iter()
+            .flatten()
             .map(|s| s.max_terms())
             .min()
             .expect("at least one shard")
     }
 
     fn constants(&self) -> CostConstants {
-        self.shards[0].constants()
+        self.replicas[0][0].constants()
     }
 
-    /// Exact sum of the per-shard ledgers plus the aggregate-level counters.
+    /// Exact sum of the per-replica ledgers plus the aggregate-level
+    /// counters.
     fn usage(&self) -> Usage {
         let mut total = *self.extra.borrow();
-        for s in &self.shards {
+        for s in self.replicas.iter().flatten() {
             total.accumulate(&s.usage());
         }
         total
@@ -355,7 +565,7 @@ impl TextService for ShardedTextServer {
 
     fn reset_usage(&self) {
         *self.extra.borrow_mut() = Usage::default();
-        for s in &self.shards {
+        for s in self.replicas.iter().flatten() {
             s.reset_usage();
         }
     }
@@ -394,9 +604,30 @@ impl TextService for ShardedTextServer {
         Ok(TextService::search(self, expr)?.ids())
     }
 
+    /// Routes to the owning shard, failing over through its replica
+    /// routing order on transient errors (single attempt per replica).
     fn retrieve(&self, id: DocId) -> Result<Document, TextError> {
         match self.route.get(id.0 as usize) {
-            Some(&(shard, local)) => self.shards[shard].retrieve(local),
+            Some(&(shard, local)) => {
+                let order = self.routing_order(shard);
+                let mut last: Option<TextError> = None;
+                for (pos, &r) in order.iter().enumerate() {
+                    match self.replicas[shard][r].retrieve(local) {
+                        Ok(doc) => return Ok(doc),
+                        Err(e) if e.is_transient() => {
+                            if let Some(&next) = order.get(pos + 1) {
+                                self.emit(EventKind::Failover {
+                                    shard,
+                                    replica: next,
+                                });
+                            }
+                            last = Some(e);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(last.expect("routing order is never empty"))
+            }
             None => Err(TextError::UnknownDoc(id)),
         }
     }
@@ -425,9 +656,9 @@ impl TextService for ShardedTextServer {
         for e in exprs {
             self.validate_cap(e)?;
         }
-        let mut per_shard = Vec::with_capacity(self.shards.len());
-        for i in 0..self.shards.len() {
-            match self.batch_shard(i, exprs) {
+        let mut per_shard = Vec::with_capacity(self.replicas.len());
+        for i in 0..self.replicas.len() {
+            match self.failover_batch(i, exprs) {
                 Ok(b) => per_shard.push(b),
                 Err(e) if e.is_transient() => {
                     return Err(TextError::Shard(Box::new(PartialShardError {
@@ -446,12 +677,12 @@ impl TextService for ShardedTextServer {
     }
 
     fn export_stats(&self) -> VocabularyStats {
-        VocabularyStats::merged(self.shards.iter().map(|s| s.export_stats()))
+        VocabularyStats::merged((0..self.replicas.len()).map(|i| self.shard(i).export_stats()))
     }
 
     fn reconstruct_short(&self, id: DocId) -> Option<ShortDoc> {
         let &(shard, local) = self.route.get(id.0 as usize)?;
-        let coll = self.shards[shard].collection();
+        let coll = self.shard(shard).collection();
         coll.document(local)
             .map(|d| d.short_form(id, coll.schema()))
     }
@@ -619,6 +850,88 @@ mod tests {
             sf,
             TextService::reconstruct_short(&single, DocId(6)).unwrap()
         );
+    }
+
+    #[test]
+    fn replica_placement_is_deterministic_and_serves_identically() {
+        let coll = corpus(40);
+        let a = ShardedTextServer::replicated(&coll, 4, 3, 7);
+        let b = ShardedTextServer::replicated(&coll, 4, 3, 7);
+        assert_eq!(a.replication_factor(), 3);
+        for i in 0..4 {
+            assert_eq!(a.primary_of(i), b.primary_of(i));
+            assert_eq!(a.routing_order(i)[0], a.primary_of(i));
+            let mut sorted = a.routing_order(i);
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2], "routing order is a permutation");
+        }
+        // Unreplicated construction pins every primary to replica 0.
+        let r1 = ShardedTextServer::new(&coll, 4, 7);
+        for i in 0..4 {
+            assert_eq!(r1.primary_of(i), 0);
+            assert_eq!(r1.routing_order(i), vec![0]);
+        }
+        // Replication never changes the answer.
+        let single = TextServer::new(coll.clone());
+        let want = single.search_str("TI='shared'").unwrap();
+        let got = TextService::search_str(&a, "TI='shared'").unwrap();
+        assert_eq!(got.docs, want.docs);
+        // The healthy path charges only the primaries.
+        let u = TextService::usage(&a);
+        assert_eq!(u.invocations, 4, "secondaries are free while primaries answer");
+    }
+
+    #[test]
+    fn dead_primary_fails_over_to_a_secondary() {
+        let coll = corpus(40);
+        let mut s = ShardedTextServer::replicated(&coll, 4, 2, 7);
+        let p = s.primary_of(2);
+        s.replica_mut(2, p).set_fault_plan(FaultPlan::dead(9));
+        let single = TextServer::new(coll.clone());
+        let want = single.search_str("TI='shared'").unwrap();
+        let got = TextService::search_str(&s, "TI='shared'").unwrap();
+        assert_eq!(got.docs, want.docs, "failover preserves the result");
+        // The dead primary was charged its failed attempt; the secondary
+        // served the real one.
+        let sec = (p + 1) % 2;
+        assert_eq!(s.replica(2, p).usage().faults, 1);
+        assert_eq!(s.replica(2, sec).usage().invocations, 1);
+        // Shard and aggregate ledgers both see every replica's charges.
+        assert_eq!(s.shard_usage(2).faults, 1);
+        let mut summed = *s.extra.borrow();
+        for i in 0..4 {
+            summed.accumulate(&s.shard_usage(i));
+        }
+        assert_eq!(TextService::usage(&s), summed);
+        // Owner-routed retrieves fail over the same way.
+        let victim = (0..40)
+            .map(DocId)
+            .find(|&g| s.owner_of(g) == Some(2))
+            .unwrap();
+        let doc = TextService::retrieve(&s, victim).unwrap();
+        assert_eq!(doc, single.retrieve(victim).unwrap());
+    }
+
+    #[test]
+    fn complete_gather_reuses_paid_partials() {
+        let coll = corpus(40);
+        let mut s = ShardedTextServer::new(&coll, 4, 7);
+        s.shard_mut(2)
+            .set_fault_plan(FaultPlan::scripted(vec![(0, Fault::Unavailable)]));
+        let expr = parse_search("TI='shared'", TextService::schema(&s)).unwrap();
+        let err = TextService::search(&s, &expr).unwrap_err();
+        let TextError::Shard(pse) = err else {
+            panic!("expected a shard error");
+        };
+        let before = s.shard_usage(0);
+        let done = s.complete_gather(&pse.partial, &expr).unwrap();
+        assert_eq!(
+            s.shard_usage(0),
+            before,
+            "already-gathered shards are reused, never re-bought"
+        );
+        let single = TextServer::new(coll.clone());
+        assert_eq!(done.docs, single.search(&expr).unwrap().docs);
     }
 
     #[test]

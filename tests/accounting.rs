@@ -303,3 +303,66 @@ fn sharded_aggregate_ledger_is_exactly_the_sum_of_shard_ledgers() {
             < 1e-6
     );
 }
+
+#[test]
+fn replicated_backoff_lands_in_both_the_aggregate_and_the_shard_invoice() {
+    use textjoin::core::retry::{RetryBudget, RetryPolicy};
+    use textjoin::text::faults::FaultPlan;
+    use textjoin::text::server::Usage;
+    use textjoin::text::shard::ShardedTextServer;
+    use textjoin::text::TextService;
+
+    let w = world();
+    let schema = w.server.collection().schema();
+    let p = prepare(&paper::q3(&w), &w.catalog, schema).expect("q3 prepares");
+    let fj = p.foreign_join();
+
+    // 4 shards × 2 replicas with shard 2's primary permanently dead:
+    // every scatter to shard 2 pays failover retries and backoff.
+    let mut s = ShardedTextServer::replicated(w.server.collection(), 4, 2, 0x5AD);
+    let dead = s.primary_of(2);
+    s.replica_mut(2, dead).set_fault_plan(FaultPlan::dead(77));
+    // Backoff charged through both entry points — the legacy shard-level
+    // one (lands on the primary) and the replica-level one failover legs
+    // use — before the organic workload runs on top.
+    s.charge_shard_backoff(1, 2.5);
+    s.charge_replica_backoff(3, 1, 4.0);
+    let budget = RetryBudget::new(RetryPolicy::standard());
+    let ctx = ExecContext::with_budget(&s, &budget);
+    let out = textjoin::core::methods::ts::tuple_substitution(&ctx, &fj, true)
+        .expect("failover absorbs the dead primary");
+
+    // The answer is still the unreplicated answer.
+    let plain = textjoin::core::methods::ts::tuple_substitution(
+        &ExecContext::new(&w.server),
+        &fj,
+        true,
+    )
+    .expect("plain TS runs");
+    assert_eq!(canonical_rows(&out.table), canonical_rows(&plain.table));
+
+    // The no-drift pin for charge_shard_backoff / charge_replica_backoff:
+    // because the shard invoice sums every replica of the shard and the
+    // aggregate sums the same ledgers, retries and backoff land in both
+    // views at once — the aggregate must equal the shard-invoice sum
+    // field for field, manual charges and failover charges alike.
+    let agg = s.usage();
+    let mut sum = Usage::default();
+    for i in 0..s.shard_count() {
+        sum.accumulate(&s.shard_usage(i));
+    }
+    assert_eq!(agg.retries, sum.retries, "retries cannot drift");
+    assert!(
+        (agg.time_backoff - sum.time_backoff).abs() < 1e-9,
+        "backoff seconds cannot drift"
+    );
+    assert!(agg.retries > 2, "the dead primary forced organic retries too");
+    assert!(agg.time_backoff > 6.5, "manual 6.5s + organic failover backoff");
+
+    // And the metrics-snapshot bridge reports exactly the ledger's
+    // numbers, so printed tables can never disagree with the invoice.
+    let snap = agg.metrics_snapshot();
+    assert_eq!(snap.counter("usage.retries"), agg.retries);
+    assert_eq!(snap.counter("usage.faults"), agg.faults);
+    assert!((snap.value("usage.time_backoff") - agg.time_backoff).abs() < 1e-12);
+}

@@ -190,6 +190,69 @@ fn trace_charges_reconcile_with_sharded_aggregate_ledger() {
     );
 }
 
+#[test]
+fn trace_charges_reconcile_with_replicated_failover_ledger() {
+    use textjoin::obs::EventKind;
+
+    let w = compact_world(7);
+    let schema = w.server.collection().schema();
+    let mut audited = 0u32;
+    let mut failover_traces = 0u32;
+    for (qname, q) in [("q3", paper::q3(&w)), ("q4", paper::q4(&w))] {
+        let p = textjoin::core::query::prepare(&q, &w.catalog, schema)
+            .expect("paper query prepares");
+        let fj = p.foreign_join();
+        for rate in [0.0, 0.3] {
+            for method in methods_for(&fj) {
+                // 4 shards × 2 replicas, shard 2's primary permanently
+                // dead, independent bounded transient plans everywhere
+                // else: every trace contains failover (and possibly
+                // breaker) events, and all of them are charge-free — the
+                // audit must still reconcile exactly.
+                let mut s = ShardedTextServer::replicated(w.server.collection(), 4, 2, 0x5AD);
+                let dead = s.primary_of(2);
+                for i in 0..4 {
+                    for r in 0..2 {
+                        let plan = if (i, r) == (2, dead) {
+                            FaultPlan::dead(11)
+                        } else {
+                            FaultPlan::transient(
+                                11 ^ ((i as u64) << 24) ^ ((r as u64) << 32),
+                                rate,
+                                2,
+                            )
+                        };
+                        s.replica_mut(i, r).set_fault_plan(plan);
+                    }
+                }
+                let sink = Rc::new(RingSink::unbounded());
+                s.set_recorder(Some(Recorder::new(sink.clone())));
+                let budget = RetryBudget::new(RetryPolicy::standard());
+                let ctx = ExecContext::with_budget(&s, &budget);
+                // Bounded faults on the survivors can still (rarely) take
+                // both replicas of a shard down at once; the trace must
+                // reconcile either way.
+                let _ = run_one(&ctx, &fj, method);
+                let label = format!("replicated {qname}/{method}@{rate}");
+                let events = sink.events();
+                assert_reconciles(&label, &events, &s.usage());
+                audited += 1;
+                if events
+                    .iter()
+                    .any(|e| matches!(e.kind, EventKind::Failover { .. }))
+                {
+                    failover_traces += 1;
+                }
+            }
+        }
+    }
+    assert!(audited >= 16, "audit matrix too small ({audited})");
+    assert_eq!(
+        failover_traces, audited,
+        "every run scatters to the dead primary, so every trace fails over"
+    );
+}
+
 /// Attaching a recorder with the discard-everything sink must leave every
 /// `Usage` field byte-identical to an unrecorded run — observation is free
 /// by contract.

@@ -496,3 +496,214 @@ fn dead_shard_yields_partial_shard_error_with_the_failed_shard() {
     // The adaptive budget has marked shard 2 as dead and tightened it.
     assert!(budget.rate_of(2) > budget.rate_of(0));
 }
+
+// ---------------------------------------------------------------------
+// Replicated chaos: failover routing, circuit breakers, gather completion
+// ---------------------------------------------------------------------
+
+use std::rc::Rc;
+
+use textjoin::obs::{Recorder, RingSink};
+use textjoin::text::faults::Fault;
+
+/// The replication acceptance bar: with R = 2 and one shard's primary
+/// permanently dead, every method returns exactly the brute-force answer
+/// — no `TextError::Shard` ever escapes to the caller, because every
+/// scatter leg fails over to the surviving replica.
+#[test]
+fn replicated_dead_primary_yields_exact_answers_with_no_shard_errors() {
+    let w = compact_world(7);
+    let schema = w.server.collection().schema();
+    let p = textjoin::core::query::prepare(&paper::q3(&w), &w.catalog, schema)
+        .expect("q3 prepares");
+    let fj = p.foreign_join();
+    let expected = oracle_shape(&fj, &oracle_pairs(&fj, &w.server));
+
+    // Same topology as the R=1 dead-shard test above, but with a second
+    // replica per shard: the identical fault now costs money instead of
+    // failing the query.
+    let mut s = ShardedTextServer::replicated(w.server.collection(), 4, 2, 0x5AD);
+    let dead = s.primary_of(2);
+    s.replica_mut(2, dead).set_fault_plan(FaultPlan::dead(77));
+    let budget = RetryBudget::new(RetryPolicy::standard());
+    let ctx = ExecContext::with_budget(&s, &budget);
+
+    macro_rules! run {
+        ($label:expr, $body:expr) => {{
+            #[allow(clippy::redundant_closure_call)]
+            let out = ($body)(&ctx).unwrap_or_else(|e| {
+                panic!("{}: failover must absorb the dead primary: {e}", $label)
+            });
+            assert_eq!(
+                method_shape(&fj, &out.table),
+                expected,
+                "{}: diverged from the oracle under a dead primary",
+                $label
+            );
+        }};
+    }
+
+    run!("TS", |ctx| textjoin::core::methods::ts::tuple_substitution(
+        ctx, &fj, true
+    ));
+    if !fj.selections.is_empty() {
+        run!("RTP", |ctx| {
+            textjoin::core::methods::rtp::relational_text_processing(ctx, &fj)
+        });
+    }
+    run!("SJ", |ctx| textjoin::core::methods::sj::semi_join(ctx, &fj));
+    run!("P+TS", |ctx| {
+        textjoin::core::methods::probe::probe_tuple_substitution(
+            ctx,
+            &fj,
+            &[0],
+            ProbeSchedule::ProbeFirst,
+        )
+    });
+    run!("P+RTP", |ctx| {
+        textjoin::core::methods::probe::probe_rtp(ctx, &fj, &[0])
+    });
+
+    // The dead primary was attempted (and charged) until the breaker
+    // opened; the surviving replica carried every read for shard 2.
+    assert!(s.replica(2, dead).usage().faults > 0, "the death was paid for");
+    assert!(
+        s.replica(2, 1 - dead).usage().invocations > 0,
+        "the secondary served"
+    );
+    assert!(budget.breaker_open(2), "the per-shard breaker latched open");
+    assert!(!budget.breaker_open(0), "healthy shards keep their breakers closed");
+    // Failover charges are real charges: the aggregate still decomposes
+    // into the sum of the shard invoices.
+    let mut sum = textjoin::text::server::Usage::default();
+    for i in 0..s.shard_count() {
+        sum.accumulate(&s.shard_usage(i));
+    }
+    assert_eq!(s.usage().invocations, sum.invocations);
+    assert_eq!(s.usage().faults, sum.faults);
+}
+
+/// Breaker lifecycle, scripted end to end: a primary that faults its
+/// first 30 search attempts and then recovers drives the shard's breaker
+/// open (consecutive exhausted legs at a dead-level EWMA), keeps it open
+/// across the fixed-cadence half-open probes that still find it down, and
+/// closes it on the first probe that succeeds — after which the primary
+/// serves again. The whole event trace must be byte-identical across two
+/// runs.
+#[test]
+fn breaker_opens_probes_and_closes_with_byte_identical_event_traces() {
+    let w = compact_world(7);
+    let schema = w.server.collection().schema();
+    let au = schema.field_by_name("author").expect("author field");
+    let student = w.catalog.table("student").expect("student table");
+    let name = student.rows()[0]
+        .get(student.col("name"))
+        .as_str()
+        .expect("student names are strings")
+        .to_owned();
+    let expr = textjoin::text::expr::SearchExpr::term_in(&name, au);
+    let fault_free = w.server.search(&expr).expect("healthy search").ids();
+
+    let run = || {
+        // One logical shard, two replicas: every search is a single
+        // routed leg, so the breaker's state drives the whole trace.
+        let mut s = ShardedTextServer::replicated(w.server.collection(), 1, 2, 0x5AD);
+        let primary = s.primary_of(0);
+        let script: Vec<(u64, Fault)> = (0..30).map(|o| (o, Fault::Unavailable)).collect();
+        s.replica_mut(0, primary).set_fault_plan(FaultPlan::scripted(script));
+        let sink = Rc::new(RingSink::unbounded());
+        s.set_recorder(Some(Recorder::new(sink.clone())));
+        let budget = RetryBudget::new(RetryPolicy::standard());
+        let ctx = ExecContext::with_budget(&s, &budget);
+        for i in 0..80 {
+            let r = ctx
+                .search(&expr)
+                .unwrap_or_else(|e| panic!("search {i}: the replica always serves: {e}"));
+            assert_eq!(r.ids(), fault_free, "search {i} diverged");
+        }
+        assert!(!budget.breaker_open(0), "the recovered primary closed the breaker");
+        let trace: Vec<String> = sink.events().iter().map(|e| e.to_jsonl()).collect();
+        trace
+    };
+
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "the breaker event trace must be byte-identical across runs");
+
+    let at = |what: &str| -> Vec<usize> {
+        a.iter()
+            .enumerate()
+            .filter(|(_, l)| l.contains(&format!("\"type\":\"{what}\"")))
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let opens = at("circuit_open");
+    let closes = at("circuit_close");
+    let failovers = at("failover");
+    assert_eq!(opens.len(), 1, "exactly one open transition");
+    assert_eq!(closes.len(), 1, "exactly one close transition");
+    assert!(opens[0] < closes[0], "open precedes close");
+    assert!(
+        failovers.first().is_some_and(|&f| f < opens[0]),
+        "failover legs precede the open (the EWMA needs evidence)"
+    );
+    assert!(
+        failovers.iter().any(|&f| opens[0] < f && f < closes[0]),
+        "while open, reads are served by the replica"
+    );
+    assert!(
+        failovers.iter().all(|&f| f < closes[0]),
+        "after the close, the recovered primary serves directly"
+    );
+}
+
+/// Gather completion at the executor level: when *every* replica of one
+/// shard exhausts its scripted faults mid-gather, the search surfaces a
+/// partial-shard error internally — and the completion path re-scatters
+/// only the missing shards, reusing the already-paid partial results, so
+/// the caller still gets the full answer.
+#[test]
+fn gather_completion_resumes_from_the_partial_without_rebuying_shards() {
+    let w = compact_world(7);
+    let schema = w.server.collection().schema();
+    let au = schema.field_by_name("author").expect("author field");
+    let student = w.catalog.table("student").expect("student table");
+    let name = student.rows()[0]
+        .get(student.col("name"))
+        .as_str()
+        .expect("student names are strings")
+        .to_owned();
+    let expr = textjoin::text::expr::SearchExpr::term_in(&name, au);
+    let fault_free = w.server.search(&expr).expect("healthy search").ids();
+
+    let mut s = ShardedTextServer::replicated(w.server.collection(), 4, 2, 0x5AD);
+    // Shard 2: the primary faults its first 10 search attempts (past any
+    // adaptive leg), the secondary its first 4 (exactly the base failover
+    // leg) — so the first gather loses shard 2 on both replicas, and the
+    // completion re-scatter finds the secondary recovered.
+    let primary = s.primary_of(2);
+    s.replica_mut(2, primary).set_fault_plan(FaultPlan::scripted(
+        (0..10).map(|o| (o, Fault::Unavailable)).collect(),
+    ));
+    s.replica_mut(2, 1 - primary).set_fault_plan(FaultPlan::scripted(
+        (0..4).map(|o| (o, Fault::Unavailable)).collect(),
+    ));
+    let sink = Rc::new(RingSink::unbounded());
+    s.set_recorder(Some(Recorder::new(sink.clone())));
+    let budget = RetryBudget::new(RetryPolicy::standard());
+    let ctx = ExecContext::with_budget(&s, &budget);
+
+    let r = ctx.search(&expr).expect("completion must rescue the gather");
+    assert_eq!(r.ids(), fault_free, "the completed gather is exact");
+    // The healthy shards' results were reused, not re-bought: one scatter
+    // leg each, despite the second pass.
+    assert_eq!(s.shard_usage(0).invocations, 1);
+    assert_eq!(s.shard_usage(1).invocations, 1);
+    // The completion ran under its named span, carrying the
+    // gathered-k-of-n attribute.
+    let trace: Vec<String> = sink.events().iter().map(|e| e.to_jsonl()).collect();
+    assert!(
+        trace.iter().any(|l| l.contains("complete-gather[2/4]")),
+        "the completion span records how much of the gather was already paid for"
+    );
+}
