@@ -1,6 +1,42 @@
-//! Reproduces the Section 4.1 calibration of the cost constants.
+//! Reproduces the Section 4.1 calibration of the cost constants, then
+//! closes the loop the trace-driven way: records the Table-2 and chaos
+//! workloads with the flight recorder attached and fits the constants
+//! back from the per-event charges by least squares, printing a
+//! configured-vs-fitted drift table per workload. Everything is seeded —
+//! two invocations print byte-identical output (CI diffs them).
 
-use textjoin_bench::experiments::{calibrate, default_world};
+use textjoin_bench::experiments::{
+    calibrate, chaos_trace, default_world, drift_table, table2_trace, DriftTable,
+};
+
+fn print_drift(name: &str, t: &DriftTable) {
+    println!("workload: {name} ({} events)", t.events);
+    println!("  component  configured    fitted        drift      obs");
+    for r in &t.rows {
+        if r.determined {
+            println!(
+                "  {:<9}  {:<12.6}  {:<12.6}  {:>+7.2}%  {:>5}",
+                r.component,
+                r.configured,
+                r.fitted,
+                r.drift * 100.0,
+                r.observations
+            );
+        } else {
+            println!(
+                "  {:<9}  {:<12.6}  (undetermined: kept configured)",
+                r.component, r.configured
+            );
+        }
+    }
+    println!("  rms residual: {:.9} s/call", t.rms_residual);
+    println!(
+        "  effective c_i: configured {:.6} -> fitted {:.6} \
+         ({} faults, {:.3} s backoff observed)",
+        t.effective_configured, t.effective_fitted, t.faults, t.backoff_seconds
+    );
+    println!();
+}
 
 fn main() {
     let w = default_world();
@@ -10,4 +46,11 @@ fn main() {
     println!("  c_p = {:<10} (paper: 0.00001 s/posting)", c.c_p);
     println!("  c_s = {:<10} (paper: 0.015 s/short-form doc)", c.c_s);
     println!("  c_l = {:<10} (paper: 4 s/long-form doc)", c.c_l);
+    println!();
+
+    println!("Trace-driven re-calibration (least squares over per-event charges):\n");
+    let t2 = table2_trace(&w);
+    print_drift("table2 (healthy)", &drift_table(&w, &t2));
+    let ch = chaos_trace(&w);
+    print_drift("chaos (transient rate 0.2)", &drift_table(&w, &ch));
 }

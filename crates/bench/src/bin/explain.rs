@@ -1,14 +1,61 @@
-//! Flight-recorder replay: runs P+RTP on a composite-join paper query
-//! under seeded transient faults with the recorder attached, then renders
-//! the trace as an indented span tree with per-phase cost rollups.
+//! Flight-recorder replay: renders a trace as an indented span tree with
+//! per-phase cost rollups, then a deterministic histogram-quantile
+//! summary (pow2 bucket midpoints).
 //!
+//! With a path argument, replays that JSONL trace file. With no argument,
+//! runs the built-in scenario — P+RTP on a composite-join paper query
+//! under seeded transient faults — so CI can diff two invocations.
 //! Everything is seeded — two invocations print byte-identical trees. The
 //! EXPERIMENTS.md observability appendix is regenerated from this binary.
 
 use textjoin_bench::experiments::{default_world, explain_run};
-use textjoin_obs::render;
+use textjoin_obs::{parse_jsonl, render, Event, MetricsSnapshot};
+
+/// The p50/p90/p99 summary `explain` appends below the span tree. The
+/// quantiles come from the metrics registry's pow2 histograms replayed
+/// from the events — bucket midpoints, so the numbers are deterministic
+/// estimates, not exact order statistics.
+fn quantile_summary(events: &[Event]) -> String {
+    let snap = MetricsSnapshot::from_events(events);
+    let mut out = String::from("\nquantiles (pow2 bucket midpoints):\n");
+    let mut any = false;
+    for key in ["hist.postings", "hist.docs_short"] {
+        if let Some((p50, p90, p99)) = snap.quantiles(key) {
+            out.push_str(&format!(
+                "  {key:<16} p50={p50} p90={p90} p99={p99}\n"
+            ));
+            any = true;
+        }
+    }
+    if !any {
+        out.push_str("  (no histogram observations in this trace)\n");
+    }
+    out
+}
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    if let Some(path) = args.next() {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("explain: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let events = match parse_jsonl(&text) {
+            Ok(ev) => ev,
+            Err(e) => {
+                eprintln!("explain: {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!("Trace replay — {path}\n");
+        print!("{}", render(&events));
+        print!("{}", quantile_summary(&events));
+        return;
+    }
+
     let w = default_world();
     println!(
         "Trace replay — P+RTP under transient faults (rate 0.20, ≤2 consecutive)\n\
@@ -18,4 +65,5 @@ fn main() {
     );
     let events = explain_run(&w);
     print!("{}", render(&events));
+    print!("{}", quantile_summary(&events));
 }

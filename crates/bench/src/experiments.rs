@@ -1158,6 +1158,135 @@ pub fn explain_run(w: &World) -> Vec<textjoin_obs::Event> {
     sink.events()
 }
 
+// ---------------------------------------------------------------------
+// Trace-driven re-calibration (ISSUE 5 tentpole)
+// ---------------------------------------------------------------------
+
+/// Records the Table-2 workload — every applicable method on Q1–Q4
+/// against one healthy server — as a single continuous trace. This is the
+/// calibration corpus for the fault-free drift table: the server's true
+/// prices are the Mercury constants, so fitting them back is a closed
+/// loop.
+pub fn table2_trace(w: &World) -> Vec<textjoin_obs::Event> {
+    use std::rc::Rc;
+    use textjoin_obs::{Recorder, RingSink};
+    use textjoin_text::server::TextServer;
+
+    let preps = chaos_preps(w);
+    let server = TextServer::new(w.server.collection().clone());
+    let sink = Rc::new(RingSink::unbounded());
+    server.set_recorder(Some(Recorder::new(sink.clone())));
+    for p in &preps {
+        let _ = run_method_on(&server, &p.prepared, MethodKind::Ts, &[]);
+        let _ = run_method_on(&server, &p.prepared, MethodKind::Rtp, &[]);
+        let _ = run_method_on(&server, &p.prepared, MethodKind::Sj, &[]);
+        if p.k >= 2 {
+            let _ = run_method_on(&server, &p.prepared, MethodKind::PTs, &p.pts);
+            let _ = run_method_on(&server, &p.prepared, MethodKind::PRtp, &p.prtp);
+        }
+    }
+    sink.events()
+}
+
+/// Records the same workload under the chaos bench's seeded transient
+/// plan (rate 0.2, ≤2 consecutive). The per-call charges stay exactly
+/// linear — faults change *which* calls happen, not their prices — but
+/// the trace now carries backoff events, so the fitted fault model
+/// (`effective_c_i`) diverges from the configured fault-free one.
+pub fn chaos_trace(w: &World) -> Vec<textjoin_obs::Event> {
+    use std::rc::Rc;
+    use textjoin_obs::{Recorder, RingSink};
+    use textjoin_text::faults::FaultPlan;
+    use textjoin_text::server::TextServer;
+
+    let preps = chaos_preps(w);
+    let mut server = TextServer::new(w.server.collection().clone());
+    server.set_fault_plan(FaultPlan::transient(0xCA1, 0.2, 2));
+    let sink = Rc::new(RingSink::unbounded());
+    server.set_recorder(Some(Recorder::new(sink.clone())));
+    for p in &preps {
+        let _ = run_method_on(&server, &p.prepared, MethodKind::Ts, &[]);
+        let _ = run_method_on(&server, &p.prepared, MethodKind::Rtp, &[]);
+        let _ = run_method_on(&server, &p.prepared, MethodKind::Sj, &[]);
+        if p.k >= 2 {
+            let _ = run_method_on(&server, &p.prepared, MethodKind::PTs, &p.pts);
+            let _ = run_method_on(&server, &p.prepared, MethodKind::PRtp, &p.prtp);
+        }
+    }
+    sink.events()
+}
+
+/// One row of a configured-vs-fitted drift table.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftRow {
+    /// Component name (`c_i`, `c_p`, `c_s`, `c_l`).
+    pub component: &'static str,
+    /// The configured (Mercury) value the planner would otherwise use.
+    pub configured: f64,
+    /// The least-squares fit from the trace.
+    pub fitted: f64,
+    /// Relative drift `(fitted - configured) / configured`.
+    pub drift: f64,
+    /// Call/rebate observations that entered the fit.
+    pub observations: u64,
+    /// Whether the workload determined this component at all.
+    pub determined: bool,
+}
+
+/// The drift table for one recorded workload, plus the observed fault
+/// model that replaces the analytic `rate × mean_backoff` fold.
+#[derive(Debug, Clone)]
+pub struct DriftTable {
+    /// Events in the trace the fit consumed.
+    pub events: usize,
+    /// Per-constant drift rows.
+    pub rows: Vec<DriftRow>,
+    /// Root-mean-square residual of the fit, seconds per call.
+    pub rms_residual: f64,
+    /// The configured effective invocation price (fault-free analytic).
+    pub effective_configured: f64,
+    /// The adopted effective invocation price (fitted `c_i` + observed
+    /// backoff seconds per invocation).
+    pub effective_fitted: f64,
+    /// Faults the trace recorded.
+    pub faults: i64,
+    /// Backoff seconds the trace paid.
+    pub backoff_seconds: f64,
+}
+
+/// Fits `events` and compares against the world's configured params —
+/// the adoption path the planner uses via `plan_and_execute_with`.
+pub fn drift_table(w: &World, events: &[textjoin_obs::Event]) -> DriftTable {
+    let params = world_params(w);
+    let cal = textjoin_obs::calibrate_trace(events);
+    let adopted = params.with_calibration(&cal);
+    let rows = [
+        ("c_i", params.constants.c_i, &cal.c_i),
+        ("c_p", params.constants.c_p, &cal.c_p),
+        ("c_s", params.constants.c_s, &cal.c_s),
+        ("c_l", params.constants.c_l, &cal.c_l),
+    ]
+    .into_iter()
+    .map(|(component, configured, fit)| DriftRow {
+        component,
+        configured,
+        fitted: if fit.determined { fit.fitted } else { configured },
+        drift: adopted.drift(component).unwrap_or(0.0),
+        observations: fit.observations,
+        determined: fit.determined,
+    })
+    .collect();
+    DriftTable {
+        events: events.len(),
+        rows,
+        rms_residual: cal.rms_residual(),
+        effective_configured: params.effective_c_i(),
+        effective_fitted: adopted.fitted.effective_c_i(),
+        faults: cal.faults,
+        backoff_seconds: cal.backoff_seconds,
+    }
+}
+
 #[cfg(test)]
 mod chaos_tests {
     use super::*;

@@ -15,6 +15,7 @@
 //! | `s_i` | [`PredStats::selectivity`] | predicate selectivity |
 //! | `f_i` | [`PredStats::fanout`] | predicate fanout |
 
+use textjoin_obs::TraceCalibration;
 use textjoin_text::server::{CostConstants, Usage};
 
 use crate::retry::RetryPolicy;
@@ -104,6 +105,78 @@ impl CostParams {
     /// expected retry backoff per invocation.
     pub fn effective_c_i(&self) -> f64 {
         self.constants.c_i + self.fault_rate * self.mean_backoff
+    }
+
+    /// Adopts a trace-driven calibration: every constant the trace
+    /// determines replaces its configured value, undetermined components
+    /// keep the configured ones, and the analytic fault model (ledger
+    /// rate × schedule mean) is replaced by the *observed* one — under
+    /// the calibrated model `effective_c_i` charges exactly the backoff
+    /// seconds per invocation the trace actually paid.
+    ///
+    /// This is the planner-facing half of the re-calibrator: feed the
+    /// returned [`CalibratedParams::fitted`] to `plan_and_execute` (or
+    /// any `PlannerInput`) exactly as a configured `CostParams`.
+    pub fn with_calibration(self, cal: &TraceCalibration) -> CalibratedParams {
+        let mut fitted = self;
+        let mut per_component_drift = Vec::with_capacity(5);
+        let mut adopt = |target: &mut f64, fit: &textjoin_obs::ComponentFit| {
+            let configured = *target;
+            if fit.determined {
+                *target = fit.fitted;
+            }
+            let drift = if configured != 0.0 {
+                (*target - configured) / configured
+            } else {
+                0.0
+            };
+            per_component_drift.push((fit.name, drift));
+        };
+        adopt(&mut fitted.constants.c_i, &cal.c_i);
+        adopt(&mut fitted.constants.c_p, &cal.c_p);
+        adopt(&mut fitted.constants.c_s, &cal.c_s);
+        adopt(&mut fitted.constants.c_l, &cal.c_l);
+        fitted.fault_rate = cal.observed_fault_rate();
+        fitted.mean_backoff = cal.mean_backoff_per_fault();
+        let configured_eff = self.effective_c_i();
+        let eff_drift = if configured_eff != 0.0 {
+            (fitted.effective_c_i() - configured_eff) / configured_eff
+        } else {
+            0.0
+        };
+        per_component_drift.push(("effective_c_i", eff_drift));
+        CalibratedParams {
+            fitted,
+            residuals: cal.rms_residual(),
+            per_component_drift,
+        }
+    }
+}
+
+/// A [`CostParams`] re-fit from a recorded trace, with the evidence a
+/// caller needs to decide whether to trust it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibratedParams {
+    /// The parameters the planner should adopt: fitted constants where
+    /// the trace determines them, configured values elsewhere, and the
+    /// observed (not analytic) fault model.
+    pub fitted: CostParams,
+    /// Root-mean-square residual seconds of the linear fit — zero when
+    /// the server prices work exactly as the model assumes.
+    pub residuals: f64,
+    /// `(component, relative drift)` for `c_i`, `c_p`, `c_s`, `c_l`, and
+    /// `effective_c_i`: how far the adopted value moved from the
+    /// configured one (`(fitted − configured) / configured`).
+    pub per_component_drift: Vec<(&'static str, f64)>,
+}
+
+impl CalibratedParams {
+    /// The adopted drift for one component, if it was fit.
+    pub fn drift(&self, component: &str) -> Option<f64> {
+        self.per_component_drift
+            .iter()
+            .find(|(name, _)| *name == component)
+            .map(|&(_, d)| d)
     }
 }
 
@@ -206,6 +279,88 @@ mod tests {
         // R=1 replicated == the plain fault model.
         let r1 = CostParams::mercury(100.0).with_fault_model_replicated(&u, &policy, 1);
         assert_eq!(r1.fault_rate, single.fault_rate);
+    }
+
+    #[test]
+    fn calibration_adoption_replaces_determined_components_only() {
+        use textjoin_obs::{calibrate_trace, Charge, Event, EventKind};
+        // A two-event trace generated with c_i = 6 (double the configured
+        // 3.0) and c_p = 1e-5; no transmission work at all.
+        let ev = |post: i64| Event {
+            seq: 0,
+            clock: 0.0,
+            kind: EventKind::Call {
+                op: "search",
+                shard: None,
+                terms: 1,
+                err: None,
+                charge: Charge {
+                    invocations: 1,
+                    postings: post,
+                    time_invocation: 6.0,
+                    time_processing: 1e-5 * post as f64,
+                    ..Charge::default()
+                },
+            },
+        };
+        let cal = calibrate_trace(&[ev(100), ev(250)]);
+        let configured = CostParams::mercury(10_000.0);
+        let adopted = configured.with_calibration(&cal);
+        assert!((adopted.fitted.constants.c_i - 6.0).abs() < 1e-12);
+        assert!((adopted.fitted.constants.c_p - 1e-5).abs() < 1e-12);
+        // Undetermined transmission constants keep their configured values.
+        assert_eq!(adopted.fitted.constants.c_s, configured.constants.c_s);
+        assert_eq!(adopted.fitted.constants.c_l, configured.constants.c_l);
+        assert!((adopted.drift("c_i").unwrap() - 1.0).abs() < 1e-12, "+100%");
+        assert!(adopted.drift("c_p").unwrap().abs() < 1e-12);
+        assert_eq!(adopted.drift("c_s"), Some(0.0));
+        assert!(adopted.residuals < 1e-9);
+        // No faults observed: the adopted fault model is clean and the
+        // effective c_i is exactly the fitted c_i.
+        assert_eq!(adopted.fitted.fault_rate, 0.0);
+        assert!((adopted.fitted.effective_c_i() - 6.0).abs() < 1e-12);
+        assert!((adopted.drift("effective_c_i").unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_refits_effective_c_i_from_observed_backoff() {
+        use textjoin_obs::{calibrate_trace, Charge, Event, EventKind};
+        let call = Event {
+            seq: 0,
+            clock: 0.0,
+            kind: EventKind::Call {
+                op: "search",
+                shard: None,
+                terms: 1,
+                err: None,
+                charge: Charge {
+                    invocations: 1,
+                    faults: 1,
+                    time_invocation: 3.0,
+                    ..Charge::default()
+                },
+            },
+        };
+        let backoff = Event {
+            seq: 1,
+            clock: 0.0,
+            kind: EventKind::Backoff {
+                shard: None,
+                seconds: 0.75,
+                charge: Charge {
+                    retries: 1,
+                    time_backoff: 0.75,
+                    ..Charge::default()
+                },
+            },
+        };
+        let cal = calibrate_trace(&[call, backoff]);
+        let adopted = CostParams::mercury(10_000.0).with_calibration(&cal);
+        // rate × mean collapses to observed backoff per invocation.
+        assert!(
+            (adopted.fitted.effective_c_i() - (3.0 + 0.75)).abs() < 1e-12,
+            "eff c_i = fitted c_i + observed backoff/invocation"
+        );
     }
 
     #[test]

@@ -456,18 +456,46 @@ pub fn plan_and_execute(
     params: crate::cost::params::CostParams,
     space: crate::optimizer::multi::ExecutionSpace,
 ) -> Result<(crate::optimizer::multi::PlannedQuery, MultiOutcome), MethodError> {
+    plan_and_execute_with(query, catalog, server, params, space, None)
+}
+
+/// [`plan_and_execute`] with an optional trace-driven calibration. With
+/// `Some`, the planner adopts the calibration's fitted constants and
+/// *observed* fault model (backoff seconds per invocation as the trace
+/// actually paid them) instead of folding the analytic
+/// `ledger rate × schedule mean` approximation; with `None` it behaves
+/// exactly as before.
+pub fn plan_and_execute_with(
+    query: &MultiJoinQuery,
+    catalog: &Catalog,
+    server: &dyn TextService,
+    params: crate::cost::params::CostParams,
+    space: crate::optimizer::multi::ExecutionSpace,
+    calibration: Option<&textjoin_obs::TraceCalibration>,
+) -> Result<(crate::optimizer::multi::PlannedQuery, MultiOutcome), MethodError> {
     let export = server.export_stats();
-    // Fold the session's observed fault rate into the planner's cost model
-    // (expected-retry charge per invocation); fault-free sessions fold a
-    // rate of zero and plan exactly as before. Replicated services fail
-    // over before they retry, so their effective rate is the observed
-    // per-server rate to the power of the replica count.
-    let replicas = server
-        .as_sharded()
-        .map(|s| s.replication_factor())
-        .unwrap_or(1);
-    let params =
-        params.with_fault_model_replicated(&server.usage(), &RetryPolicy::standard(), replicas);
+    let params = match calibration {
+        // A calibration carries its own observed fault model; adopting it
+        // replaces the analytic fold below wholesale.
+        Some(cal) => params.with_calibration(cal).fitted,
+        None => {
+            // Fold the session's observed fault rate into the planner's
+            // cost model (expected-retry charge per invocation);
+            // fault-free sessions fold a rate of zero and plan exactly as
+            // before. Replicated services fail over before they retry, so
+            // their effective rate is the observed per-server rate to the
+            // power of the replica count.
+            let replicas = server
+                .as_sharded()
+                .map(|s| s.replication_factor())
+                .unwrap_or(1);
+            params.with_fault_model_replicated(
+                &server.usage(),
+                &RetryPolicy::standard(),
+                replicas,
+            )
+        }
+    };
     let mut input = PlannerInput::gather(query, catalog, &export, server.schema(), params)
         .map_err(|e| MethodError::NotApplicable(e.to_string()))?;
     input.obs = server.recorder();

@@ -19,14 +19,20 @@
 //! recorder (any sink, including [`NoopSink`]) must leave every `Usage`
 //! field untouched.
 
+mod calibrate;
 mod event;
 mod explain;
 mod metrics;
 mod recorder;
+mod sample;
 mod sink;
+mod trace;
 
+pub use calibrate::{calibrate_trace, ComponentFit, TraceCalibration};
 pub use event::{Charge, Event, EventKind, PlannerChoice};
 pub use explain::render;
 pub use metrics::{Histogram, MetricsSnapshot};
 pub use recorder::{Recorder, SpanGuard};
+pub use sample::{is_hot, splitmix64, SampledSink, SamplePolicy};
 pub use sink::{JsonlSink, NoopSink, RingSink, Sink};
+pub use trace::{parse_jsonl, TraceParseError};

@@ -8,6 +8,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::event::{Event, EventKind};
+
 /// A histogram over fixed power-of-two buckets: bucket `k` counts values
 /// `v` with `v <= 2^k` (the last bucket is an unbounded overflow bucket).
 /// The bucket layout is fixed at construction, so merging and rendering
@@ -42,6 +44,42 @@ impl Histogram {
     /// Total observations.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
+    }
+
+    /// The representative value reported for bucket `idx`: the rounded-up
+    /// midpoint of the bucket's value range. The unbounded overflow
+    /// bucket reports the midpoint of the *next* doubling — the best
+    /// guess the layout allows.
+    fn midpoint(&self, idx: usize) -> u64 {
+        let lo = if idx == 0 { 0 } else { self.bounds[idx - 1] + 1 };
+        let hi = match self.bounds.get(idx) {
+            Some(&b) => b,
+            None => self
+                .bounds
+                .last()
+                .map(|&b| b.saturating_mul(2))
+                .unwrap_or(u64::MAX),
+        };
+        lo + (hi - lo).div_ceil(2)
+    }
+
+    /// Deterministic quantile estimate from the bucket midpoints: the
+    /// midpoint of the bucket holding the `ceil(q × total)`-th smallest
+    /// observation. `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(self.midpoint(idx));
+            }
+        }
+        None
     }
 
     /// `(upper_bound, count)` pairs for the non-empty buckets; the
@@ -123,6 +161,98 @@ impl MetricsSnapshot {
             .entry(key.to_string())
             .or_insert_with(|| Histogram::pow2(24))
             .observe(v);
+    }
+
+    /// `(p50, p90, p99)` quantile estimates for histogram `key`, from
+    /// bucket midpoints. `None` when the histogram is absent or empty.
+    pub fn quantiles(&self, key: &str) -> Option<(u64, u64, u64)> {
+        let h = self.histograms.get(key)?;
+        Some((h.quantile(0.50)?, h.quantile(0.90)?, h.quantile(0.99)?))
+    }
+
+    /// Folds one event into the registry — the single definition of how
+    /// the event stream maps to metrics keys, shared by the live
+    /// [`Recorder`](crate::Recorder) and offline trace replay.
+    pub fn absorb(&mut self, kind: &EventKind) {
+        let shard_key =
+            |shard: &Option<usize>, key: &str| shard.map(|i| format!("shard{i}.{key}"));
+        match kind {
+            EventKind::Call {
+                op,
+                shard,
+                err,
+                charge,
+                ..
+            } => {
+                let calls = format!("calls.{op}");
+                self.incr(&calls, 1);
+                if let Some(k) = shard_key(shard, &calls) {
+                    self.incr(&k, 1);
+                }
+                for (key, v) in [
+                    ("postings", charge.postings),
+                    ("docs_short", charge.docs_short),
+                    ("docs_long", charge.docs_long),
+                    ("faults", charge.faults),
+                    ("rejected", charge.rejected),
+                ] {
+                    if v > 0 {
+                        self.incr(key, v as u64);
+                        if let Some(k) = shard_key(shard, key) {
+                            self.incr(&k, v as u64);
+                        }
+                    }
+                }
+                if err.is_none() && *op != "retrieve" {
+                    self.observe("hist.postings", charge.postings.max(0) as u64);
+                    self.observe("hist.docs_short", charge.docs_short.max(0) as u64);
+                }
+            }
+            EventKind::Backoff { shard, charge, .. } => {
+                self.incr("retries", charge.retries.max(0) as u64);
+                self.add_value("time_backoff", charge.time_backoff);
+                if let Some(k) = shard_key(shard, "retries") {
+                    self.incr(&k, charge.retries.max(0) as u64);
+                }
+                if let Some(k) = shard_key(shard, "time_backoff") {
+                    self.add_value(&k, charge.time_backoff);
+                }
+            }
+            EventKind::Rebate { .. } => self.incr("rebates", 1),
+            EventKind::Retry { .. } => self.incr("retry_attempts", 1),
+            EventKind::Failover { shard, replica } => {
+                self.incr("failovers", 1);
+                self.incr(&format!("shard{shard}.failovers"), 1);
+                self.incr(&format!("shard{shard}.replica{replica}.serves"), 1);
+            }
+            EventKind::CircuitOpen { shard, .. } => {
+                self.incr("circuit.open", 1);
+                self.incr(&format!("shard{shard}.circuit.open"), 1);
+            }
+            EventKind::CircuitClose { shard, .. } => {
+                self.incr("circuit.close", 1);
+                self.incr(&format!("shard{shard}.circuit.close"), 1);
+            }
+            EventKind::SpanBegin { .. } => self.incr("spans", 1),
+            EventKind::SpanEnd { .. } => {}
+            EventKind::Planner(p) => {
+                self.incr("planner.candidates", 1);
+                if p.chosen {
+                    self.incr("planner.chosen", 1);
+                }
+            }
+        }
+    }
+
+    /// The registry a live recorder would have built for `events` —
+    /// offline replay for rendered traces (the `explain` binary rebuilds
+    /// quantiles from a JSONL file through this).
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut m = Self::new();
+        for ev in events {
+            m.absorb(&ev.kind);
+        }
+        m
     }
 
     /// Counter value (0 when absent).
@@ -239,6 +369,50 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.counter("x"), 3);
         assert_eq!(a.histograms["h"].total(), 2);
+    }
+
+    #[test]
+    fn quantiles_come_from_bucket_midpoints() {
+        let mut h = Histogram::pow2(4); // bounds 1, 2, 4, 8 + overflow
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        for _ in 0..9 {
+            h.observe(1);
+        }
+        h.observe(7); // bucket (4,8] → midpoint 7
+        assert_eq!(h.quantile(0.5), Some(1));
+        assert_eq!(h.quantile(0.9), Some(1), "rank 9 still in the first bucket");
+        assert_eq!(h.quantile(0.99), Some(7));
+        h.observe(1000); // overflow → midpoint of the next doubling (8,16]
+        assert_eq!(h.quantile(1.0), Some(13));
+    }
+
+    #[test]
+    fn snapshot_quantiles_and_event_replay_match_live_registry() {
+        use crate::event::Charge;
+        let charge = Charge {
+            invocations: 1,
+            postings: 100,
+            docs_short: 3,
+            ..Charge::default()
+        };
+        let events = vec![Event {
+            seq: 0,
+            clock: 0.0,
+            kind: EventKind::Call {
+                op: "search",
+                shard: Some(1),
+                terms: 2,
+                err: None,
+                charge,
+            },
+        }];
+        let replayed = MetricsSnapshot::from_events(&events);
+        let mut live = MetricsSnapshot::new();
+        live.absorb(&events[0].kind);
+        assert_eq!(replayed, live);
+        let (p50, p90, p99) = replayed.quantiles("hist.postings").unwrap();
+        assert_eq!((p50, p90, p99), (97, 97, 97), "single obs in (64,128]");
+        assert!(replayed.quantiles("hist.nope").is_none());
     }
 
     #[test]

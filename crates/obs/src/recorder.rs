@@ -90,86 +90,15 @@ impl Recorder {
         if let Some(charge) = kind.charge() {
             self.clock.set(self.clock.get() + charge.total());
         }
-        self.update_metrics(&kind);
+        // The event→metrics mapping lives on the snapshot so offline
+        // trace replay produces the same registry a live run would.
+        self.metrics.borrow_mut().absorb(&kind);
         let ev = Event {
             seq,
             clock: self.clock.get(),
             kind,
         };
         self.sink.record(&ev);
-    }
-
-    fn update_metrics(&self, kind: &EventKind) {
-        let mut m = self.metrics.borrow_mut();
-        let shard_key = |shard: &Option<usize>, key: &str| {
-            shard.map(|i| format!("shard{i}.{key}"))
-        };
-        match kind {
-            EventKind::Call {
-                op,
-                shard,
-                err,
-                charge,
-                ..
-            } => {
-                let calls = format!("calls.{op}");
-                m.incr(&calls, 1);
-                if let Some(k) = shard_key(shard, &calls) {
-                    m.incr(&k, 1);
-                }
-                for (key, v) in [
-                    ("postings", charge.postings),
-                    ("docs_short", charge.docs_short),
-                    ("docs_long", charge.docs_long),
-                    ("faults", charge.faults),
-                    ("rejected", charge.rejected),
-                ] {
-                    if v > 0 {
-                        m.incr(key, v as u64);
-                        if let Some(k) = shard_key(shard, key) {
-                            m.incr(&k, v as u64);
-                        }
-                    }
-                }
-                if err.is_none() && *op != "retrieve" {
-                    m.observe("hist.postings", charge.postings.max(0) as u64);
-                    m.observe("hist.docs_short", charge.docs_short.max(0) as u64);
-                }
-            }
-            EventKind::Backoff { shard, charge, .. } => {
-                m.incr("retries", charge.retries.max(0) as u64);
-                m.add_value("time_backoff", charge.time_backoff);
-                if let Some(k) = shard_key(shard, "retries") {
-                    m.incr(&k, charge.retries.max(0) as u64);
-                }
-                if let Some(k) = shard_key(shard, "time_backoff") {
-                    m.add_value(&k, charge.time_backoff);
-                }
-            }
-            EventKind::Rebate { .. } => m.incr("rebates", 1),
-            EventKind::Retry { .. } => m.incr("retry_attempts", 1),
-            EventKind::Failover { shard, replica } => {
-                m.incr("failovers", 1);
-                m.incr(&format!("shard{shard}.failovers"), 1);
-                m.incr(&format!("shard{shard}.replica{replica}.serves"), 1);
-            }
-            EventKind::CircuitOpen { shard, .. } => {
-                m.incr("circuit.open", 1);
-                m.incr(&format!("shard{shard}.circuit.open"), 1);
-            }
-            EventKind::CircuitClose { shard, .. } => {
-                m.incr("circuit.close", 1);
-                m.incr(&format!("shard{shard}.circuit.close"), 1);
-            }
-            EventKind::SpanBegin { .. } => m.incr("spans", 1),
-            EventKind::SpanEnd { .. } => {}
-            EventKind::Planner(p) => {
-                m.incr("planner.candidates", 1);
-                if p.chosen {
-                    m.incr("planner.chosen", 1);
-                }
-            }
-        }
     }
 
     /// Opens a span; the returned guard closes it on drop (including on

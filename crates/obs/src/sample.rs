@@ -1,0 +1,470 @@
+//! Deterministic head sampling: a [`SampledSink`] wrapper that keeps a
+//! seeded fraction of spans (and the cold events inside them) while
+//! *always* keeping the chaos signal — faulted calls, circuit-breaker
+//! transitions, and failover *transitions* — so a sampled trace of an
+//! unhealthy run never hides why it was unhealthy.
+//!
+//! The keep decision for a span is a pure function of the policy seed and
+//! the span's begin-event sequence number (`splitmix64(seed ^ span_seq)`),
+//! so two identical runs sample identically and the sampled golden trace
+//! is byte-identical across runs. Decisions are independent per span —
+//! a kept span under a dropped ancestor is still kept (the replay
+//! attaches it to the nearest kept enclosing span).
+//!
+//! The always-keep rule covers fault *signals*, not fault *volume*. A
+//! replicated server with a dead primary fails over on every single call
+//! to that shard, forever — the first hop tells the story, the thousandth
+//! is bookkeeping. Three novelty rules encode that:
+//!
+//! - a `Failover` is hot only when it changes state: a different replica
+//!   than the shard's previous hop, or the first hop after a
+//!   circuit-breaker transition opened a new outage episode;
+//! - while a shard's breaker is *open*, its faulted calls are half-open
+//!   probes (or bypassed-primary legs) against a known-bad primary — the
+//!   first after each breaker transition is kept, repeats are sampled;
+//!   faulted calls on closed-breaker shards are always kept;
+//! - the retry/backoff machinery that follows a fault, whose schedule is
+//!   fully determined by the kept faulted call and the policy in force,
+//!   is sampled at the span rate like any other in-span event.
+//!
+//! Sampling is *observational only*: the wrapped recorder still stamps
+//! every event (sequence numbers in a sampled trace are gapped but
+//! monotonic) and the ledgers never see the sampler. Charges attached to
+//! dropped events are accumulated in [`SampledSink::dropped_charge`], so
+//! the trace↔ledger audit extends to sampled traces as
+//! `kept + dropped == ledger`, field for field.
+//!
+//! Because the keep decision never looks at an event's charge, the kept
+//! `Call`/`Rebate` events are an unbiased sample of the charge population
+//! — fitting cost constants on a sampled trace estimates the same
+//! constants as the full trace (see `calibrate`). The always-keep rule
+//! intentionally oversamples faulted calls, so *aggregate* fault rates
+//! must be read from the full trace or the ledger, not the sample.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::event::{Charge, Event, EventKind};
+use crate::sink::Sink;
+
+/// SplitMix64's output mixer: a well-distributed 64-bit hash used for all
+/// sampling decisions. Pure and seedable — no global RNG state.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded per-span-kind sampling rates. A span labelled `L` beginning at
+/// trace sequence `s` is kept iff `splitmix64(seed ^ s) % denom(L) == 0`,
+/// where `denom(L)` comes from the first matching label-prefix rule
+/// (falling back to the default). `denom == 1` keeps everything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SamplePolicy {
+    seed: u64,
+    default_denom: u64,
+    rules: Vec<(String, u64)>,
+}
+
+impl SamplePolicy {
+    /// Keeps every span (the identity policy).
+    pub fn keep_all(seed: u64) -> Self {
+        Self::one_in(seed, 1)
+    }
+
+    /// Keeps roughly one span in `denom`.
+    pub fn one_in(seed: u64, denom: u64) -> Self {
+        Self {
+            seed,
+            default_denom: denom.max(1),
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a per-span-kind rule: spans whose label starts with
+    /// `label_prefix` are sampled at one-in-`denom` instead of the
+    /// default. Rules are consulted in insertion order, first match wins.
+    pub fn with_rule(mut self, label_prefix: &str, denom: u64) -> Self {
+        self.rules.push((label_prefix.to_string(), denom.max(1)));
+        self
+    }
+
+    /// The sampling denominator that applies to a span labelled `label`.
+    pub fn denom_for(&self, label: &str) -> u64 {
+        self.rules
+            .iter()
+            .find(|(prefix, _)| label.starts_with(prefix.as_str()))
+            .map(|&(_, d)| d)
+            .unwrap_or(self.default_denom)
+    }
+
+    /// The head-sampling decision for a span: deterministic in
+    /// `(seed, label kind, begin-event sequence number)`.
+    pub fn keeps(&self, label: &str, span_seq: u64) -> bool {
+        let denom = self.denom_for(label);
+        denom <= 1 || splitmix64(self.seed ^ span_seq).is_multiple_of(denom)
+    }
+}
+
+/// Whether an event belongs to the always-keep chaos classes: faulted or
+/// rejected calls, failovers, and circuit-breaker transitions. For
+/// `Failover` — and for faulted calls on a shard whose breaker is open —
+/// the sampler additionally requires *novelty*: steady-state repeats
+/// inside the same outage episode are sampled like cold events (see the
+/// module docs). Retry and backoff events are not hot: their schedule is
+/// fully determined by the kept faulted call and the retry policy in
+/// force, and their charges stay accounted via
+/// [`SampledSink::dropped_charge`].
+pub fn is_hot(kind: &EventKind) -> bool {
+    match kind {
+        EventKind::Call { err, .. } => err.is_some(),
+        EventKind::Failover { .. }
+        | EventKind::CircuitOpen { .. }
+        | EventKind::CircuitClose { .. } => true,
+        _ => false,
+    }
+}
+
+struct Frame {
+    id: u64,
+    keep: bool,
+}
+
+#[derive(Default)]
+struct State {
+    stack: Vec<Frame>,
+    /// Spans popped by an out-of-order ancestor close whose own `SpanEnd`
+    /// has not arrived yet: id → keep.
+    force_closed: BTreeMap<u64, bool>,
+    /// Per-shard replica of the last observed failover: a failover is
+    /// novel (always kept) iff it differs, or iff a circuit transition on
+    /// that shard opened a new outage episode since.
+    last_failover: BTreeMap<usize, usize>,
+    /// Shards whose circuit breaker is currently open, mapped to whether
+    /// a faulted call has already been kept during this open episode.
+    /// While open, faulted calls on the shard are half-open-probe (or
+    /// bypassed-primary) bookkeeping against a *known-bad* primary: the
+    /// first is kept, repeats are sampled like cold events.
+    open_breakers: BTreeMap<usize, bool>,
+    dropped: Charge,
+    seen: u64,
+    kept: u64,
+}
+
+/// A [`Sink`] adapter that forwards a deterministic sample of the event
+/// stream to `inner` and accounts for everything it drops. See the module
+/// docs for the retention rules.
+pub struct SampledSink {
+    inner: Rc<dyn Sink>,
+    policy: SamplePolicy,
+    state: RefCell<State>,
+}
+
+impl SampledSink {
+    /// Samples the stream into `inner` under `policy`.
+    pub fn new(inner: Rc<dyn Sink>, policy: SamplePolicy) -> Self {
+        Self {
+            inner,
+            policy,
+            state: RefCell::new(State::default()),
+        }
+    }
+
+    /// Field-wise sum of the charges attached to every dropped event. The
+    /// sampled-audit invariant is `charge_sum(kept) + dropped_charge ==
+    /// ledger`, exactly.
+    pub fn dropped_charge(&self) -> Charge {
+        self.state.borrow().dropped
+    }
+
+    /// Events observed (kept or not).
+    pub fn events_seen(&self) -> u64 {
+        self.state.borrow().seen
+    }
+
+    /// Events forwarded to the inner sink.
+    pub fn events_kept(&self) -> u64 {
+        self.state.borrow().kept
+    }
+
+    fn forward(&self, st: &mut State, ev: &Event) {
+        st.kept += 1;
+        self.inner.record(ev);
+    }
+
+    fn drop_event(&self, st: &mut State, ev: &Event) {
+        if let Some(c) = ev.kind.charge() {
+            st.dropped.accumulate(c);
+        }
+    }
+
+    /// The span-sampling decision that applies to a cold event: that of
+    /// the innermost open span (root-level events are always kept).
+    fn cold_keep(&self, st: &State) -> bool {
+        st.stack.last().map(|f| f.keep).unwrap_or(true)
+    }
+}
+
+impl Sink for SampledSink {
+    fn record(&self, ev: &Event) {
+        let mut st = self.state.borrow_mut();
+        st.seen += 1;
+        match &ev.kind {
+            EventKind::SpanBegin { id, label, .. } => {
+                let keep = self.policy.keeps(label, ev.seq);
+                st.stack.push(Frame { id: *id, keep });
+                if keep {
+                    self.forward(&mut st, ev);
+                }
+            }
+            EventKind::SpanEnd { id, .. } => {
+                // Mirror the recorder's out-of-order-drop semantics:
+                // closing a span force-pops any children still open; each
+                // child's own SpanEnd arrives later and must resolve to
+                // the keep decision made at its begin.
+                let keep = if let Some(pos) = st.stack.iter().rposition(|f| f.id == *id) {
+                    for popped in st.stack.split_off(pos + 1) {
+                        st.force_closed.insert(popped.id, popped.keep);
+                    }
+                    st.stack.pop().map(|f| f.keep).unwrap_or(true)
+                } else {
+                    // Unknown spans (opened before the sampler attached)
+                    // are kept: never drop an end we cannot account for.
+                    st.force_closed.remove(id).unwrap_or(true)
+                };
+                if keep {
+                    self.forward(&mut st, ev);
+                } else {
+                    self.drop_event(&mut st, ev);
+                }
+            }
+            EventKind::Failover { shard, replica } => {
+                let novel = st.last_failover.insert(*shard, *replica) != Some(*replica);
+                if novel || self.cold_keep(&st) {
+                    self.forward(&mut st, ev);
+                } else {
+                    self.drop_event(&mut st, ev);
+                }
+            }
+            EventKind::CircuitOpen { shard, .. } => {
+                // A breaker transition starts a new outage episode: the
+                // next failover and the next faulted probe on this shard
+                // are novel again.
+                st.last_failover.remove(shard);
+                st.open_breakers.insert(*shard, false);
+                self.forward(&mut st, ev);
+            }
+            EventKind::CircuitClose { shard, .. } => {
+                st.last_failover.remove(shard);
+                st.open_breakers.remove(shard);
+                self.forward(&mut st, ev);
+            }
+            EventKind::Call {
+                shard: Some(s),
+                err: Some(_),
+                ..
+            } if st.open_breakers.contains_key(s) => {
+                // Probe of a shard already known to be bad: first kept,
+                // repeats sampled (the open breaker is the standing fact).
+                let novel = !std::mem::replace(st.open_breakers.get_mut(s).unwrap(), true);
+                if novel || self.cold_keep(&st) {
+                    self.forward(&mut st, ev);
+                } else {
+                    self.drop_event(&mut st, ev);
+                }
+            }
+            kind if is_hot(kind) => self.forward(&mut st, ev),
+            _ => {
+                if self.cold_keep(&st) {
+                    self.forward(&mut st, ev);
+                } else {
+                    self.drop_event(&mut st, ev);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::sink::RingSink;
+
+    fn call(err: Option<&str>, secs: f64) -> EventKind {
+        EventKind::Call {
+            op: "search",
+            shard: None,
+            terms: 1,
+            err: err.map(str::to_string),
+            charge: Charge {
+                invocations: 1,
+                time_invocation: secs,
+                ..Charge::default()
+            },
+        }
+    }
+
+    #[test]
+    fn splitmix64_is_a_fixed_function() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // Reference value pinned so the sampling decisions (and therefore
+        // the golden sampled traces) can never drift silently.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn policy_rules_override_default() {
+        let p = SamplePolicy::one_in(7, 16).with_rule("gather/shard", 4).with_rule("gather", 2);
+        assert_eq!(p.denom_for("gather/shard1"), 4);
+        assert_eq!(p.denom_for("gather"), 2);
+        assert_eq!(p.denom_for("TS"), 16);
+        assert!(SamplePolicy::keep_all(7).keeps("anything", 3));
+    }
+
+    #[test]
+    fn hot_events_survive_any_rate_and_dropped_charge_balances() {
+        let ring = Rc::new(RingSink::unbounded());
+        let sampled = Rc::new(SampledSink::new(
+            ring.clone(),
+            // denom too large for any span to be kept by chance
+            SamplePolicy::one_in(99, u64::MAX),
+        ));
+        let rec = Recorder::new(sampled.clone());
+        {
+            let _g = rec.span("gather");
+            rec.emit(call(None, 3.0)); // cold: dropped
+            rec.emit(call(Some("injected fault"), 3.0)); // hot: kept
+            rec.emit(EventKind::Failover { shard: 0, replica: 1 });
+        }
+        let kept = ring.events();
+        assert!(kept.iter().all(|e| is_hot(&e.kind)), "only hot events kept");
+        assert_eq!(kept.len(), 2);
+        let dropped = sampled.dropped_charge();
+        assert_eq!(dropped.invocations, 1, "the cold call's charge is accounted");
+        assert!((dropped.time_invocation - 3.0).abs() < 1e-12);
+        assert_eq!(sampled.events_seen(), 5);
+        assert_eq!(sampled.events_kept(), 2);
+    }
+
+    #[test]
+    fn failover_repeats_are_cold_until_the_episode_changes() {
+        let ring = Rc::new(RingSink::unbounded());
+        let sampled = Rc::new(SampledSink::new(
+            ring.clone(),
+            SamplePolicy::one_in(99, u64::MAX),
+        ));
+        let rec = Recorder::new(sampled);
+        {
+            let _g = rec.span("gather");
+            rec.emit(EventKind::Failover { shard: 2, replica: 1 }); // novel: first hop
+            rec.emit(EventKind::Failover { shard: 2, replica: 1 }); // repeat: sampled out
+            rec.emit(EventKind::Failover { shard: 0, replica: 1 }); // novel: other shard
+            rec.emit(EventKind::Failover { shard: 2, replica: 2 }); // novel: replica change
+            rec.emit(EventKind::CircuitOpen { shard: 2, rate: 512 }); // new episode
+            rec.emit(EventKind::Failover { shard: 2, replica: 2 }); // novel again
+            rec.emit(EventKind::Failover { shard: 2, replica: 2 }); // repeat
+        }
+        let hops: Vec<(usize, usize)> = ring
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Failover { shard, replica } => Some((shard, replica)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hops, vec![(2, 1), (0, 1), (2, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn probe_faults_on_an_open_breaker_are_cold_after_the_first() {
+        let probe = |shard: usize| EventKind::Call {
+            op: "search",
+            shard: Some(shard),
+            terms: 1,
+            err: Some("injected fault".to_string()),
+            charge: Charge {
+                rejected: 1,
+                ..Charge::default()
+            },
+        };
+        let ring = Rc::new(RingSink::unbounded());
+        let sampled = Rc::new(SampledSink::new(
+            ring.clone(),
+            SamplePolicy::one_in(99, u64::MAX),
+        ));
+        let rec = Recorder::new(sampled.clone());
+        {
+            let _g = rec.span("gather");
+            rec.emit(probe(2)); // breaker closed: genuine fault, kept
+            rec.emit(probe(2)); // still closed: kept
+            rec.emit(EventKind::CircuitOpen { shard: 2, rate: 512 });
+            rec.emit(probe(2)); // first probe of the episode: kept
+            rec.emit(probe(2)); // repeat probe: sampled out
+            rec.emit(probe(0)); // other shard's breaker closed: kept
+            rec.emit(EventKind::CircuitClose { shard: 2, rate: 0 });
+            rec.emit(probe(2)); // closed again: kept
+        }
+        let kept_faults = ring
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Call { err: Some(_), .. }))
+            .count();
+        assert_eq!(kept_faults, 5);
+        // the dropped probe's charge is still accounted
+        assert_eq!(sampled.dropped_charge().rejected, 1);
+    }
+
+    #[test]
+    fn kept_spans_keep_their_cold_events_and_both_ends() {
+        let ring = Rc::new(RingSink::unbounded());
+        let sampled = Rc::new(SampledSink::new(ring.clone(), SamplePolicy::keep_all(1)));
+        let rec = Recorder::new(sampled);
+        {
+            let _g = rec.span("gather");
+            rec.emit(call(None, 3.0));
+        }
+        let kept = ring.events();
+        assert_eq!(kept.len(), 3);
+        assert!(matches!(kept[0].kind, EventKind::SpanBegin { .. }));
+        assert!(matches!(kept[2].kind, EventKind::SpanEnd { .. }));
+    }
+
+    #[test]
+    fn span_end_matches_its_begin_decision_even_out_of_order() {
+        let ring = Rc::new(RingSink::unbounded());
+        let sampled = Rc::new(SampledSink::new(
+            ring.clone(),
+            SamplePolicy::one_in(99, u64::MAX),
+        ));
+        let rec = Recorder::new(sampled);
+        let outer = rec.span("outer");
+        let inner = rec.span("inner");
+        drop(outer); // force-pops inner off the recorder stack
+        drop(inner); // its SpanEnd still arrives, and must still be dropped
+        assert!(ring.events().is_empty(), "no span was sampled in");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_across_runs() {
+        let run = || {
+            let ring = Rc::new(RingSink::unbounded());
+            let sampled = Rc::new(SampledSink::new(ring.clone(), SamplePolicy::one_in(42, 3)));
+            let rec = Recorder::new(sampled);
+            for i in 0..20 {
+                let _s = rec.span(&format!("work{i}"));
+                rec.emit(call(None, 1.0));
+            }
+            ring.events()
+                .iter()
+                .map(|e| e.seq)
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(!a.is_empty() && a.len() < 60, "a strict subsample: {a:?}");
+    }
+}

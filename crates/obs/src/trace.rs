@@ -1,0 +1,584 @@
+//! Reading JSONL traces back into [`Event`]s — the inverse of
+//! [`Event::to_jsonl`].
+//!
+//! The parser is a small hand-rolled JSON reader (this crate is
+//! dependency-free by design) specialised to the recorder's line format:
+//! one flat object per line, with at most one nested `charge`/`est`
+//! object and one `probe_cols` array. Numbers keep their source text
+//! until a field asks for an integer or a float, so shortest-roundtrip
+//! serialized floats parse back to the exact bits that were written and a
+//! parse→serialize round trip is byte-identical.
+
+use crate::event::{Charge, Event, EventKind, PlannerChoice};
+
+/// Why a trace line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// A parsed JSON value. Numbers hold their raw text so integer fields
+/// never round-trip through `f64`.
+#[derive(Debug, Clone, PartialEq)]
+enum JVal {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<JVal>),
+    Obj(Vec<(String, JVal)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(got) if got == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(got) => Err(format!(
+                "expected '{}' at byte {}, found '{}'",
+                b as char, self.pos, got as char
+            )),
+            None => Err(format!("expected '{}', found end of line", b as char)),
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<JVal, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JVal::Str(self.string()?)),
+            Some(b'n') if self.eat_literal("null") => Ok(JVal::Null),
+            Some(b't') if self.eat_literal("true") => Ok(JVal::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(JVal::Bool(false)),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(format!("unexpected '{}' at byte {}", b as char, self.pos)),
+            None => Err("unexpected end of line".to_string()),
+        }
+    }
+
+    fn object(&mut self) -> Result<JVal, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JVal::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JVal::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JVal, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JVal::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JVal::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one full UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8")?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JVal, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if text.is_empty() || text == "-" {
+            return Err("empty number".to_string());
+        }
+        Ok(JVal::Num(text.to_string()))
+    }
+}
+
+struct Fields<'a> {
+    fields: &'a [(String, JVal)],
+}
+
+impl<'a> Fields<'a> {
+    fn get(&self, key: &str) -> Result<&'a JVal, String> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field \"{key}\""))
+    }
+
+    fn i64(&self, key: &str) -> Result<i64, String> {
+        match self.get(key)? {
+            JVal::Num(n) => n.parse().map_err(|_| format!("\"{key}\" is not an integer")),
+            _ => Err(format!("\"{key}\" is not a number")),
+        }
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        match self.get(key)? {
+            JVal::Num(n) => n.parse().map_err(|_| format!("\"{key}\" is not a u64")),
+            _ => Err(format!("\"{key}\" is not a number")),
+        }
+    }
+
+    fn f64(&self, key: &str) -> Result<f64, String> {
+        match self.get(key)? {
+            JVal::Num(n) => n.parse().map_err(|_| format!("\"{key}\" is not a float")),
+            _ => Err(format!("\"{key}\" is not a number")),
+        }
+    }
+
+    fn str(&self, key: &str) -> Result<&'a str, String> {
+        match self.get(key)? {
+            JVal::Str(s) => Ok(s),
+            _ => Err(format!("\"{key}\" is not a string")),
+        }
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, String> {
+        match self.get(key)? {
+            JVal::Bool(b) => Ok(*b),
+            _ => Err(format!("\"{key}\" is not a bool")),
+        }
+    }
+
+    fn opt_u64(&self, key: &str) -> Result<Option<u64>, String> {
+        match self.get(key)? {
+            JVal::Null => Ok(None),
+            JVal::Num(n) => n
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("\"{key}\" is not a u64")),
+            _ => Err(format!("\"{key}\" is not a number or null")),
+        }
+    }
+
+    fn opt_str(&self, key: &str) -> Result<Option<&'a str>, String> {
+        match self.get(key)? {
+            JVal::Null => Ok(None),
+            JVal::Str(s) => Ok(Some(s)),
+            _ => Err(format!("\"{key}\" is not a string or null")),
+        }
+    }
+
+    fn obj(&self, key: &str) -> Result<Fields<'a>, String> {
+        match self.get(key)? {
+            JVal::Obj(fields) => Ok(Fields { fields }),
+            _ => Err(format!("\"{key}\" is not an object")),
+        }
+    }
+}
+
+fn shard_of(f: &Fields<'_>) -> Result<Option<usize>, String> {
+    Ok(f.opt_u64("shard")?.map(|v| v as usize))
+}
+
+fn charge_of(f: &Fields<'_>) -> Result<Charge, String> {
+    let c = f.obj("charge")?;
+    Ok(Charge {
+        invocations: c.i64("inv")?,
+        rejected: c.i64("rej")?,
+        postings: c.i64("post")?,
+        docs_short: c.i64("short")?,
+        docs_long: c.i64("long")?,
+        time_invocation: c.f64("t_inv")?,
+        time_processing: c.f64("t_proc")?,
+        time_transmission: c.f64("t_xmit")?,
+        faults: c.i64("faults")?,
+        retries: c.i64("retries")?,
+        time_backoff: c.f64("t_backoff")?,
+    })
+}
+
+/// Call events carry a `&'static str` operation name; the serialized name
+/// must map back to the interned one the server would have used.
+fn op_of(name: &str) -> Result<&'static str, String> {
+    match name {
+        "search" => Ok("search"),
+        "probe" => Ok("probe"),
+        "batch" => Ok("batch"),
+        "retrieve" => Ok("retrieve"),
+        other => Err(format!("unknown call op \"{other}\"")),
+    }
+}
+
+fn event_of(line: &str) -> Result<Event, String> {
+    let mut p = Parser::new(line);
+    let JVal::Obj(fields) = p.object()? else {
+        unreachable!("object() only returns Obj");
+    };
+    if p.peek().is_some() {
+        return Err(format!("trailing bytes after object at {}", p.pos));
+    }
+    let f = Fields { fields: &fields };
+    let seq = f.u64("seq")?;
+    let clock = f.f64("clock")?;
+    let kind = match f.str("type")? {
+        "span_begin" => EventKind::SpanBegin {
+            id: f.u64("id")?,
+            parent: f.opt_u64("parent")?,
+            label: f.str("label")?.to_string(),
+        },
+        "span_end" => EventKind::SpanEnd {
+            id: f.u64("id")?,
+            label: f.str("label")?.to_string(),
+        },
+        "call" => EventKind::Call {
+            op: op_of(f.str("op")?)?,
+            shard: shard_of(&f)?,
+            terms: f.u64("terms")?,
+            err: f.opt_str("err")?.map(str::to_string),
+            charge: charge_of(&f)?,
+        },
+        "rebate" => EventKind::Rebate {
+            shard: shard_of(&f)?,
+            charge: charge_of(&f)?,
+        },
+        "backoff" => EventKind::Backoff {
+            shard: shard_of(&f)?,
+            seconds: f.f64("seconds")?,
+            charge: charge_of(&f)?,
+        },
+        "retry" => EventKind::Retry {
+            shard: shard_of(&f)?,
+            attempt: f.u64("attempt")? as u32,
+        },
+        "failover" => EventKind::Failover {
+            shard: f.u64("shard")? as usize,
+            replica: f.u64("replica")? as usize,
+        },
+        "circuit_open" => EventKind::CircuitOpen {
+            shard: f.u64("shard")? as usize,
+            rate: f.u64("rate")? as u32,
+        },
+        "circuit_close" => EventKind::CircuitClose {
+            shard: f.u64("shard")? as usize,
+            rate: f.u64("rate")? as u32,
+        },
+        "planner" => {
+            let est = f.obj("est")?;
+            let cols = match f.get("probe_cols")? {
+                JVal::Arr(items) => items
+                    .iter()
+                    .map(|v| match v {
+                        JVal::Num(n) => {
+                            n.parse::<usize>().map_err(|_| "bad probe col".to_string())
+                        }
+                        _ => Err("bad probe col".to_string()),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => return Err("\"probe_cols\" is not an array".to_string()),
+            };
+            EventKind::Planner(PlannerChoice {
+                label: f.str("label")?.to_string(),
+                chosen: f.bool("chosen")?,
+                probe_cols: cols,
+                invocation: est.f64("invocation")?,
+                processing: est.f64("processing")?,
+                transmission: est.f64("transmission")?,
+                rtp: est.f64("rtp")?,
+                searches: est.f64("searches")?,
+                effective_c_i: f.f64("effective_c_i")?,
+            })
+        }
+        other => return Err(format!("unknown event type \"{other}\"")),
+    };
+    Ok(Event { seq, clock, kind })
+}
+
+/// Parses a JSONL trace (one event per non-empty line) back into events.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, TraceParseError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        events.push(event_of(line).map_err(|message| TraceParseError {
+            line: i + 1,
+            message,
+        })?);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ev: Event) {
+        let line = ev.to_jsonl();
+        let parsed = parse_jsonl(&line).expect("parses");
+        assert_eq!(parsed, vec![ev], "round trip of {line}");
+        assert_eq!(parsed[0].to_jsonl(), line, "byte-identical re-serialize");
+    }
+
+    #[test]
+    fn round_trips_every_event_kind() {
+        let charge = Charge {
+            invocations: 1,
+            rejected: 0,
+            postings: 120,
+            docs_short: -3,
+            docs_long: 2,
+            time_invocation: 3.0,
+            time_processing: 0.05080000000000001,
+            time_transmission: 8.045,
+            faults: 1,
+            retries: 2,
+            time_backoff: 0.125,
+        };
+        roundtrip(Event {
+            seq: 0,
+            clock: 0.0,
+            kind: EventKind::SpanBegin {
+                id: 0,
+                parent: None,
+                label: "P+RTP{name}".into(),
+            },
+        });
+        roundtrip(Event {
+            seq: 1,
+            clock: 1.5,
+            kind: EventKind::SpanBegin {
+                id: 1,
+                parent: Some(0),
+                label: "gather/shard2".into(),
+            },
+        });
+        roundtrip(Event {
+            seq: 2,
+            clock: 11.045,
+            kind: EventKind::Call {
+                op: "search",
+                shard: Some(2),
+                terms: 4,
+                err: Some("cap \"M\" hit\nline2".into()),
+                charge,
+            },
+        });
+        roundtrip(Event {
+            seq: 3,
+            clock: 11.045,
+            kind: EventKind::Rebate {
+                shard: None,
+                charge,
+            },
+        });
+        roundtrip(Event {
+            seq: 4,
+            clock: 11.17,
+            kind: EventKind::Backoff {
+                shard: Some(0),
+                seconds: 0.125,
+                charge,
+            },
+        });
+        roundtrip(Event {
+            seq: 5,
+            clock: 11.17,
+            kind: EventKind::Retry {
+                shard: None,
+                attempt: 3,
+            },
+        });
+        roundtrip(Event {
+            seq: 6,
+            clock: 11.17,
+            kind: EventKind::Failover {
+                shard: 2,
+                replica: 1,
+            },
+        });
+        roundtrip(Event {
+            seq: 7,
+            clock: 11.17,
+            kind: EventKind::CircuitOpen { shard: 2, rate: 801 },
+        });
+        roundtrip(Event {
+            seq: 8,
+            clock: 11.17,
+            kind: EventKind::CircuitClose { shard: 2, rate: 12 },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::Planner(PlannerChoice {
+                label: "P+RTP{name}".into(),
+                chosen: true,
+                probe_cols: vec![0, 2],
+                invocation: 12.0,
+                processing: 0.5,
+                transmission: 3.25,
+                rtp: 0.001,
+                searches: 4.0,
+                effective_c_i: 3.2,
+            }),
+        });
+        roundtrip(Event {
+            seq: 10,
+            clock: 12.0,
+            kind: EventKind::SpanEnd {
+                id: 1,
+                label: "gather/shard2".into(),
+            },
+        });
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        // Shortest-roundtrip Display output must parse back to identical
+        // bits, or trace-replay clocks would drift.
+        for v in [0.1, 1.0 / 3.0, 0.05080000000000001, 1e-5, 123456.789012345] {
+            let ev = Event {
+                seq: 0,
+                clock: v,
+                kind: EventKind::Retry {
+                    shard: None,
+                    attempt: 1,
+                },
+            };
+            let parsed = parse_jsonl(&ev.to_jsonl()).unwrap();
+            assert_eq!(parsed[0].clock.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_errors_carry_line_numbers() {
+        let ev = Event {
+            seq: 0,
+            clock: 0.0,
+            kind: EventKind::Retry {
+                shard: None,
+                attempt: 1,
+            },
+        };
+        let text = format!("{}\n\n{}\n", ev.to_jsonl(), ev.to_jsonl());
+        assert_eq!(parse_jsonl(&text).unwrap().len(), 2);
+        let err = parse_jsonl("{\"seq\":0,\"clock\":0,\"type\":\"nope\"}").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("nope"), "{err}");
+        let err = parse_jsonl("not json").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+}

@@ -49,8 +49,7 @@ fn charge_sum(events: &[Event]) -> Charge {
 /// fields to 1e-9 (a sharded aggregate sums shard ledgers in shard order
 /// while the trace accumulated them in temporal order, so the float sums
 /// may differ by rounding, never by a charge).
-fn assert_reconciles(label: &str, events: &[Event], ledger: &Usage) {
-    let sum = charge_sum(events);
+fn assert_reconciles(label: &str, sum: Charge, ledger: &Usage) {
     assert_eq!(sum.invocations, ledger.invocations as i64, "{label}: invocations");
     assert_eq!(sum.rejected, ledger.rejected as i64, "{label}: rejected");
     assert_eq!(
@@ -131,7 +130,7 @@ fn trace_charges_reconcile_with_single_server_ledger() {
                 run_one(&ctx, &fj, method).expect("bounded faults never exhaust retries");
                 let label = format!("{qname}/{method}@{rate}");
                 let events = sink.events();
-                assert_reconciles(&label, &events, &s.usage());
+                assert_reconciles(&label, charge_sum(&events), &s.usage());
                 audited += 1;
                 if s.usage().faults > 0 {
                     faulted_traces += 1;
@@ -175,7 +174,7 @@ fn trace_charges_reconcile_with_sharded_aggregate_ledger() {
                 let _ = run_one(&ctx, &fj, method);
                 let label = format!("sharded {qname}/{method}@{rate}");
                 let events = sink.events();
-                assert_reconciles(&label, &events, &s.usage());
+                assert_reconciles(&label, charge_sum(&events), &s.usage());
                 audited += 1;
                 if s.usage().faults > 0 {
                     faulted_traces += 1;
@@ -235,7 +234,7 @@ fn trace_charges_reconcile_with_replicated_failover_ledger() {
                 let _ = run_one(&ctx, &fj, method);
                 let label = format!("replicated {qname}/{method}@{rate}");
                 let events = sink.events();
-                assert_reconciles(&label, &events, &s.usage());
+                assert_reconciles(&label, charge_sum(&events), &s.usage());
                 audited += 1;
                 if events
                     .iter()
@@ -250,6 +249,155 @@ fn trace_charges_reconcile_with_replicated_failover_ledger() {
     assert_eq!(
         failover_traces, audited,
         "every run scatters to the dead primary, so every trace fails over"
+    );
+}
+
+/// The sampled-audit invariant, measured on the full replicated chaos
+/// grid (q1–q4 × methods × fault rates, dead primary on shard 2 — the
+/// same shape as the bench `chaos-replicated` table): for every cell,
+///
+/// - `charge_sum(kept events) + dropped_charge` reconciles with the
+///   ledger exactly — sampling never changes what the ledger charges;
+/// - the kept stream is a strict subsequence of the full stream;
+/// - every chaos *signal* survives: faulted calls on closed-breaker
+///   shards, circuit transitions, and at least one failover per outage
+///   episode (steady-state failover repeats and open-breaker probe
+///   repeats are volume, sampled at the span rate);
+///
+/// and in aggregate 1/16 sampling shrinks the recorded event count by
+/// at least 8× — the affordability claim behind sampled tracing.
+#[test]
+fn sampled_audit_reconciles_and_reduces_on_replicated_chaos_grid() {
+    use std::collections::BTreeSet;
+    use textjoin::obs::{is_hot, EventKind, SampledSink, SamplePolicy, Sink};
+
+    struct Tee {
+        full: Rc<RingSink>,
+        sampled: Rc<SampledSink>,
+    }
+    impl Sink for Tee {
+        fn record(&self, ev: &Event) {
+            self.full.record(ev);
+            self.sampled.record(ev);
+        }
+    }
+
+    let w = World::generate(WorldSpec::default());
+    let schema = w.server.collection().schema();
+    let mut total_full = 0u64;
+    let mut total_kept = 0u64;
+    for rate in [0.0, 0.05, 0.1, 0.2] {
+        for (qname, q) in [
+            ("q1", paper::q1(&w)),
+            ("q2", paper::q2(&w)),
+            ("q3", paper::q3(&w)),
+            ("q4", paper::q4(&w)),
+        ] {
+            let p = textjoin::core::query::prepare(&q, &w.catalog, schema)
+                .expect("paper query prepares");
+            let fj = p.foreign_join();
+            for method in methods_for(&fj) {
+                let mut s = ShardedTextServer::replicated(w.server.collection(), 4, 2, 0x5AD);
+                let dead = s.primary_of(2);
+                for i in 0..4 {
+                    for r in 0..2 {
+                        let plan = if (i, r) == (2, dead) {
+                            FaultPlan::dead(11)
+                        } else {
+                            FaultPlan::transient(
+                                11 ^ ((i as u64) << 24) ^ ((r as u64) << 32),
+                                rate,
+                                2,
+                            )
+                        };
+                        s.replica_mut(i, r).set_fault_plan(plan);
+                    }
+                }
+                let full = Rc::new(RingSink::unbounded());
+                let kept = Rc::new(RingSink::unbounded());
+                let sampled = Rc::new(SampledSink::new(
+                    kept.clone(),
+                    SamplePolicy::one_in(0xCAFE, 16),
+                ));
+                s.set_recorder(Some(Recorder::new(Rc::new(Tee {
+                    full: full.clone(),
+                    sampled: sampled.clone(),
+                }))));
+                let budget = RetryBudget::new(RetryPolicy::standard());
+                let ctx = ExecContext::with_budget(&s, &budget);
+                let _ = run_one(&ctx, &fj, method);
+                let label = format!("sampled {qname}/{method}@{rate}");
+
+                // Reconciliation: kept charges + dropped charges == ledger.
+                let mut sum = charge_sum(&kept.events());
+                sum.accumulate(&sampled.dropped_charge());
+                assert_reconciles(&label, sum, &s.usage());
+
+                // Subsequence: kept seqs appear in the full stream, in order.
+                let full_events = full.events();
+                let kept_events = kept.events();
+                let full_seqs: Vec<u64> = full_events.iter().map(|e| e.seq).collect();
+                let kept_seqs: Vec<u64> = kept_events.iter().map(|e| e.seq).collect();
+                assert!(
+                    kept_seqs.windows(2).all(|w| w[0] < w[1]),
+                    "{label}: kept stream out of order"
+                );
+                let full_set: BTreeSet<u64> = full_seqs.iter().copied().collect();
+                assert!(
+                    kept_seqs.iter().all(|s| full_set.contains(s)),
+                    "{label}: kept an event the recorder never emitted"
+                );
+
+                // Chaos-signal retention under the episode rules.
+                let kept_set: BTreeSet<u64> = kept_seqs.iter().copied().collect();
+                let mut open: BTreeSet<usize> = BTreeSet::new();
+                let mut failovers = (0u64, 0u64);
+                for ev in &full_events {
+                    match &ev.kind {
+                        EventKind::Failover { .. } => {
+                            failovers.0 += 1;
+                            if kept_set.contains(&ev.seq) {
+                                failovers.1 += 1;
+                            }
+                        }
+                        EventKind::CircuitOpen { shard, .. } => {
+                            open.insert(*shard);
+                            assert!(kept_set.contains(&ev.seq), "{label}: circuit event lost");
+                        }
+                        EventKind::CircuitClose { shard, .. } => {
+                            open.remove(shard);
+                            assert!(kept_set.contains(&ev.seq), "{label}: circuit event lost");
+                        }
+                        EventKind::Call {
+                            shard: Some(sh),
+                            err: Some(_),
+                            ..
+                        } if open.contains(sh) => {} // open-breaker probe: may be sampled
+                        k if is_hot(k) => {
+                            assert!(kept_set.contains(&ev.seq), "{label}: faulted call lost");
+                        }
+                        _ => {}
+                    }
+                }
+                assert!(
+                    failovers.0 > 0,
+                    "{label}: the dead primary must force failovers"
+                );
+                assert!(
+                    failovers.1 >= 1,
+                    "{label}: the failover story vanished from the sample"
+                );
+
+                total_full += full_events.len() as u64;
+                total_kept += kept_events.len() as u64;
+            }
+        }
+    }
+    let ratio = total_full as f64 / total_kept as f64;
+    assert!(
+        ratio >= 8.0,
+        "1/16 sampling must shrink the grid's event volume ≥8× (got {ratio:.2}: \
+         {total_full} full vs {total_kept} kept)"
     );
 }
 

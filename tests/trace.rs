@@ -72,6 +72,114 @@ fn golden_chaos_trace_is_byte_identical_across_runs() {
     }
 }
 
+/// One fixed replicated chaos run recorded twice from the same event
+/// stream: the full JSONL and a 1/16 head-sampled JSONL. Returns both.
+fn golden_sampled_pair(w: &World) -> (String, String) {
+    use textjoin::obs::{Event, SampledSink, SamplePolicy, Sink};
+
+    struct Tee {
+        full: Rc<JsonlSink>,
+        sampled: Rc<SampledSink>,
+    }
+    impl Sink for Tee {
+        fn record(&self, ev: &Event) {
+            self.full.record(ev);
+            self.sampled.record(ev);
+        }
+    }
+
+    let schema = w.server.collection().schema();
+    let p = textjoin::core::query::prepare(&paper::q3(w), &w.catalog, schema)
+        .expect("q3 prepares");
+    let fj = p.foreign_join();
+    let mut s = ShardedTextServer::replicated(w.server.collection(), 4, 2, 0x5AD);
+    let dead = s.primary_of(2);
+    for i in 0..4 {
+        for r in 0..2 {
+            let plan = if (i, r) == (2, dead) {
+                FaultPlan::dead(11)
+            } else {
+                FaultPlan::transient(11 ^ ((i as u64) << 24) ^ ((r as u64) << 32), 0.1, 2)
+            };
+            s.replica_mut(i, r).set_fault_plan(plan);
+        }
+    }
+    let full = Rc::new(JsonlSink::new());
+    let kept = Rc::new(JsonlSink::new());
+    let sampled = Rc::new(SampledSink::new(
+        kept.clone(),
+        SamplePolicy::one_in(0xCAFE, 16),
+    ));
+    s.set_recorder(Some(Recorder::new(Rc::new(Tee {
+        full: full.clone(),
+        sampled,
+    }))));
+    let budget = RetryBudget::new(RetryPolicy::standard());
+    let ctx = ExecContext::with_budget(&s, &budget);
+    let _ = textjoin::core::methods::ts::tuple_substitution(&ctx, &fj, true);
+    (full.contents(), kept.contents())
+}
+
+#[test]
+fn golden_sampled_trace_is_byte_identical_and_a_subsequence() {
+    let w = compact_world(7);
+    let (full_a, sampled_a) = golden_sampled_pair(&w);
+    let (full_b, sampled_b) = golden_sampled_pair(&w);
+    assert_eq!(full_a, full_b, "full golden trace must be deterministic");
+    assert_eq!(
+        sampled_a, sampled_b,
+        "sampled golden trace must be deterministic"
+    );
+
+    // The sampled trace is a strict, order-preserving subsequence of the
+    // full trace: every kept line exists verbatim in the full trace, in
+    // the same relative order.
+    let mut full_lines = full_a.lines();
+    let mut matched = 0usize;
+    for kept_line in sampled_a.lines() {
+        assert!(
+            full_lines.any(|l| l == kept_line),
+            "sampled line not found in order in the full trace: {kept_line}"
+        );
+        matched += 1;
+    }
+    let full_count = full_a.lines().count();
+    assert!(matched > 0 && matched < full_count / 2, "sampling must actually drop events ({matched} of {full_count} kept)");
+
+    // The chaos signal survives sampling.
+    for needle in [
+        "\"type\":\"failover\"",
+        "\"type\":\"circuit_open\"",
+        "\"err\":",
+    ] {
+        assert!(
+            sampled_a.contains(needle),
+            "sampled trace is missing {needle}"
+        );
+    }
+}
+
+#[test]
+fn parsed_golden_traces_round_trip_byte_identically() {
+    use textjoin::obs::parse_jsonl;
+
+    let w = compact_world(7);
+    let full = golden_chaos_trace(&w);
+    let (grid_full, grid_sampled) = golden_sampled_pair(&w);
+    for (label, text) in [
+        ("single-server chaos", &full),
+        ("replicated full", &grid_full),
+        ("replicated sampled", &grid_sampled),
+    ] {
+        let events = parse_jsonl(text).unwrap_or_else(|e| panic!("{label}: {e}"));
+        let rebuilt: String = events.iter().map(|e| e.to_jsonl() + "\n").collect();
+        assert_eq!(
+            &rebuilt, text,
+            "{label}: parse → serialize must reproduce the trace byte for byte"
+        );
+    }
+}
+
 #[test]
 fn dead_shard_mid_gather_leaves_no_open_span() {
     let w = compact_world(7);
