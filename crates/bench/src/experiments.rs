@@ -1287,6 +1287,289 @@ pub fn drift_table(w: &World, events: &[textjoin_obs::Event]) -> DriftTable {
     }
 }
 
+// ---------------------------------------------------------------------
+// Makespan: concurrent transport, hedged replica reads, deadlines
+// ---------------------------------------------------------------------
+
+/// One method's aggregate over Q1–Q4 in the makespan grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MakespanCell {
+    /// Σ issued leg costs — what a serial transport would have taken
+    /// (cancelled hedge legs included).
+    pub serial: f64,
+    /// Σ per-query critical-path times under the concurrency limit.
+    pub makespan: f64,
+    /// Hedge legs launched against slow-but-alive primaries.
+    pub hedges: u64,
+    /// Race losers cancelled (their charges rebated).
+    pub cancels: u64,
+    /// Queries whose critical path crossed the per-query deadline.
+    pub deadline_misses: u64,
+    /// Output rows summed over the queries (must match fault-free).
+    pub rows: usize,
+}
+
+/// The makespan grid: every method over Q1–Q4 against a replicated
+/// sharded server with one slow replica per shard and a per-query
+/// deadline.
+#[derive(Debug, Clone)]
+pub struct MakespanTable {
+    /// Method labels in row order.
+    pub methods: Vec<&'static str>,
+    /// `cells[m]`, `None` when the method applies to no query.
+    pub cells: Vec<Option<MakespanCell>>,
+    /// Shards / replicas per shard in every cell's server.
+    pub n_shards: usize,
+    /// Replicas per shard.
+    pub n_replicas: usize,
+    /// Per-query deadline (simulated seconds).
+    pub deadline: f64,
+    /// Per-operation probability of a latency-only `Slow` fault on each
+    /// shard's primary replica.
+    pub slow_rate: f64,
+}
+
+/// Runs every method over Q1–Q4 against a 4-shard × 2-replica server in
+/// which each shard's *primary* replica carries a seeded latency-only
+/// [`FaultPlan::slow`] plan (it always answers, sometimes late) and each
+/// query runs under a per-query deadline on a fresh virtual-time
+/// [`Scheduler`]. Slow primary legs above the budget's hedge threshold
+/// race a hedge read on the secondary; the loser's charge is rebated.
+/// Every cell asserts the fault-free row counts — deadline misses degrade
+/// or simply finish late, they never error — and that the concurrent
+/// makespan lands strictly below the serial transport time.
+///
+/// [`FaultPlan::slow`]: textjoin_text::faults::FaultPlan::slow
+/// [`Scheduler`]: textjoin_core::sched::Scheduler
+pub fn makespan_table(w: &World) -> MakespanTable {
+    use textjoin_core::retry::{RetryBudget, RetryPolicy};
+    use textjoin_core::sched::{SchedConfig, Scheduler};
+    use textjoin_text::faults::FaultPlan;
+    use textjoin_text::shard::ShardedTextServer;
+
+    const N_SHARDS: usize = 4;
+    const N_REPLICAS: usize = 2;
+    const PARTITION_SEED: u64 = 0x5AD;
+    const DEADLINE: f64 = 150.0;
+    const SLOW_RATE: f64 = 0.25;
+
+    let methods: Vec<&'static str> = vec!["TS", "RTP", "SJ/SJ+RTP", "P+TS", "P+RTP"];
+    let kinds = [
+        MethodKind::Ts,
+        MethodKind::Rtp,
+        MethodKind::Sj,
+        MethodKind::PTs,
+        MethodKind::PRtp,
+    ];
+    let preps = chaos_preps(w);
+
+    // Fault-free baseline row counts (the oracle the grid must match).
+    let baseline: Vec<Vec<Option<usize>>> = kinds
+        .iter()
+        .map(|&kind| {
+            preps
+                .iter()
+                .map(|p| {
+                    let cols = probe_cols_of(p, kind)?;
+                    run_method_on(&w.server, &p.prepared, kind, cols)
+                        .ok()
+                        .map(|m| m.rows)
+                })
+                .collect()
+        })
+        .collect();
+    w.server.reset_usage();
+
+    let mut cells = Vec::with_capacity(kinds.len());
+    for (mi, &kind) in kinds.iter().enumerate() {
+        let mut agg = MakespanCell {
+            serial: 0.0,
+            makespan: 0.0,
+            hedges: 0,
+            cancels: 0,
+            deadline_misses: 0,
+            rows: 0,
+        };
+        let mut any = false;
+        for (qi, p) in preps.iter().enumerate() {
+            let Some(cols) = probe_cols_of(p, kind) else { continue };
+            let Some(base_rows) = baseline[mi][qi] else { continue };
+            let mut sharded = ShardedTextServer::replicated(
+                w.server.collection(),
+                N_SHARDS,
+                N_REPLICAS,
+                PARTITION_SEED,
+            );
+            for i in 0..N_SHARDS {
+                let pri = sharded.primary_of(i);
+                sharded.replica_mut(i, pri).set_fault_plan(FaultPlan::slow(
+                    0x510 ^ ((qi as u64) << 16) ^ ((mi as u64) << 8) ^ i as u64,
+                    SLOW_RATE,
+                ));
+            }
+            let budget = RetryBudget::new(RetryPolicy::standard());
+            let sched = Scheduler::new(SchedConfig::new(0x7E97).with_deadline(DEADLINE));
+            let ctx = ExecContext::with_budget(&sharded, &budget).with_transport(&sched);
+            let m = run_method_ctx(&ctx, &p.prepared, kind, cols)
+                .expect("latency-only faults and deadline misses never error");
+            assert_eq!(
+                m.rows, base_rows,
+                "{} on Q{} changed its answer under slow replicas",
+                methods[mi],
+                qi + 1
+            );
+            assert!(
+                sched.makespan() < sched.serial_total(),
+                "{} on Q{}: scatter/gather makespan must beat serial",
+                methods[mi],
+                qi + 1
+            );
+            agg.serial += sched.serial_total();
+            agg.makespan += sched.makespan();
+            agg.hedges += sched.hedges();
+            agg.cancels += sched.cancels();
+            agg.deadline_misses += sched.deadline_misses();
+            agg.rows += m.rows;
+            any = true;
+        }
+        cells.push(any.then_some(agg));
+    }
+    MakespanTable {
+        methods,
+        cells,
+        n_shards: N_SHARDS,
+        n_replicas: N_REPLICAS,
+        deadline: DEADLINE,
+        slow_rate: SLOW_RATE,
+    }
+}
+
+/// The probe columns `kind` needs on `p`, `None` when inapplicable.
+fn probe_cols_of(p: &ChaosPrep, kind: MethodKind) -> Option<&[usize]> {
+    match kind {
+        MethodKind::PTs => (p.k >= 2).then_some(p.pts.as_slice()),
+        MethodKind::PRtp => (p.k >= 2).then_some(p.prtp.as_slice()),
+        _ => Some(&[]),
+    }
+}
+
+/// One Q5 execution in the deadline-degradation demo.
+#[derive(Debug, Clone)]
+pub struct DeadlineRun {
+    /// `"unbounded"` or the deadline label.
+    pub label: String,
+    /// Total charge of the run.
+    pub total: f64,
+    /// Critical-path transport time.
+    pub makespan: f64,
+    /// Serial transport time.
+    pub serial: f64,
+    /// Method downgrades taken under deadline pressure.
+    pub degradations: u64,
+    /// Whether the critical path crossed the deadline anyway.
+    pub deadline_misses: u64,
+    /// Output rows (all runs must agree).
+    pub rows: usize,
+    /// The executed plan, rendered.
+    pub plan: String,
+}
+
+/// Executes a Q6 plan that chains two text joins — Sj on the project
+/// titles first, then a probe pass and a probing text join on the
+/// student authors — on a sharded replicated server, unbounded and then
+/// under a deadline derived from the unbounded run's makespan: tight
+/// enough that the first text join's transport puts the executor under
+/// pressure, so the probe node is skipped and the probing join falls
+/// back TS-style instead of erroring. Both runs must return the same
+/// rows.
+pub fn deadline_demo(w: &World) -> Vec<DeadlineRun> {
+    use textjoin_core::exec::MultiExecutor;
+    use textjoin_core::optimizer::multi::PlannerInput;
+    use textjoin_core::optimizer::plan::PlanNode;
+    use textjoin_core::sched::{SchedConfig, Scheduler};
+    use textjoin_text::service::TextService;
+    use textjoin_text::shard::ShardedTextServer;
+
+    const N_SHARDS: usize = 4;
+    const N_REPLICAS: usize = 2;
+    const PARTITION_SEED: u64 = 0x5AD;
+
+    let q = paper::q6(w);
+    let params = world_params(w);
+    // Text-join project titles first (Sj, the bulk of the transport),
+    // then relationally join the member students, probe the survivors on
+    // the author predicate, and settle it with a probing text join. The
+    // probe and the P+TS join dispatch *after* the Sj join has spent its
+    // transport — exactly where deadline pressure bites.
+    let plan = PlanNode::TextJoin {
+        input: Some(Box::new(PlanNode::Probe {
+            input: Box::new(PlanNode::RelJoin {
+                left: Box::new(PlanNode::TextJoin {
+                    input: Some(Box::new(PlanNode::Scan { rel: 0 })),
+                    preds: vec![0],
+                    method: MethodKind::Sj,
+                    probe_cols: vec![],
+                }),
+                right: Box::new(PlanNode::Scan { rel: 1 }),
+                preds: vec![0],
+                foreign_residuals: vec![],
+            }),
+            preds: vec![1],
+        })),
+        preds: vec![1],
+        method: MethodKind::PTs,
+        probe_cols: vec![0],
+    };
+    let run = |label: String, deadline: Option<f64>| -> DeadlineRun {
+        let sharded = ShardedTextServer::replicated(
+            w.server.collection(),
+            N_SHARDS,
+            N_REPLICAS,
+            PARTITION_SEED,
+        );
+        let export = sharded.export_stats();
+        let input = PlannerInput::gather(
+            &q,
+            &w.catalog,
+            &export,
+            w.server.collection().schema(),
+            params,
+        )
+        .expect("q6 gathers");
+        let sched = Scheduler::new(match deadline {
+            Some(d) => SchedConfig::new(0x7E97).with_deadline(d),
+            None => SchedConfig::new(0x7E97),
+        });
+        let mut exec = MultiExecutor::new(&input, &w.catalog, &sharded).expect("q6 executor");
+        exec.set_scheduler(&sched);
+        let outcome = exec.execute(&plan).expect("q6 executes");
+        DeadlineRun {
+            label,
+            total: outcome.total_cost,
+            makespan: outcome.makespan,
+            serial: outcome.serial_transport,
+            degradations: outcome.degradations,
+            deadline_misses: outcome.deadline_misses,
+            rows: outcome.table.len(),
+            plan: plan.display(&q).to_string(),
+        }
+    };
+    let unbounded = run("unbounded".into(), None);
+    // A deadline at 60% of the observed unbounded makespan: the Sj
+    // join's transport spends past half the deadline, so the probe pass
+    // is skipped and the P+TS join runs TS-style. Derived
+    // deterministically from the first run, so the printed table stays
+    // byte-identical.
+    let deadline = (unbounded.makespan * 0.6).ceil();
+    let bounded = run(format!("deadline {deadline:.0}s"), Some(deadline));
+    assert_eq!(unbounded.rows, bounded.rows, "degradation changed the answer");
+    assert!(
+        bounded.degradations > 0,
+        "the deadline run must actually degrade"
+    );
+    vec![unbounded, bounded]
+}
+
 #[cfg(test)]
 mod chaos_tests {
     use super::*;
@@ -1391,5 +1674,59 @@ mod chaos_tests {
         // And the grid's per-rate answer-equality assertion (inside
         // chaos_grid) has already proven every faulted cell returns the
         // rate-0 answers despite the permanently dead replica.
+    }
+
+    #[test]
+    fn makespan_table_is_deterministic_and_concurrency_pays() {
+        let w = default_world();
+        let a = makespan_table(&w);
+        let b = makespan_table(&w);
+        assert_eq!((a.n_shards, a.n_replicas), (4, 2));
+        let mut hedges = 0;
+        let mut misses = 0;
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            match (ca, cb) {
+                (Some(ca), Some(cb)) => {
+                    assert_eq!(ca.serial.to_bits(), cb.serial.to_bits());
+                    assert_eq!(ca.makespan.to_bits(), cb.makespan.to_bits());
+                    assert_eq!(
+                        (ca.hedges, ca.cancels, ca.deadline_misses, ca.rows),
+                        (cb.hedges, cb.cancels, cb.deadline_misses, cb.rows)
+                    );
+                    // Every hedge race has exactly one loser, and it was
+                    // cancelled (its charge rebated).
+                    assert_eq!(ca.hedges, ca.cancels);
+                    // makespan_table itself asserts makespan < serial per
+                    // query; the aggregate must agree.
+                    assert!(ca.makespan < ca.serial);
+                    hedges += ca.hedges;
+                    misses += ca.deadline_misses;
+                }
+                (None, None) => {}
+                _ => panic!("applicability differs between runs"),
+            }
+        }
+        assert!(hedges > 0, "no hedge ever fired across the grid");
+        assert!(misses > 0, "the deadline never bit — tighten it");
+    }
+
+    #[test]
+    fn deadline_demo_degrades_without_changing_rows() {
+        let w = default_world();
+        let a = deadline_demo(&w);
+        let b = deadline_demo(&w);
+        assert_eq!(a.len(), 2);
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.label, rb.label);
+            assert_eq!(ra.total.to_bits(), rb.total.to_bits());
+            assert_eq!(ra.makespan.to_bits(), rb.makespan.to_bits());
+            assert_eq!(ra.rows, rb.rows);
+        }
+        // deadline_demo itself asserts equal rows and degradations > 0;
+        // pin the shape the bench prints: the unbounded run is clean, the
+        // bounded run crossed the deadline and shed work.
+        assert_eq!((a[0].degradations, a[0].deadline_misses), (0, 0));
+        assert!(a[1].deadline_misses > 0);
+        assert!(a[1].total < a[0].total, "shed probe work must shed charge");
     }
 }

@@ -44,6 +44,15 @@ pub struct CostParams {
     /// Mean simulated backoff charged per retry (from the session's
     /// [`RetryPolicy`]).
     pub mean_backoff: f64,
+    /// Per-query completion deadline in simulated seconds. `None` (the
+    /// default) ranks plans by total charge exactly as before; `Some`
+    /// switches the planner to the deadline-aware rank that rewards plans
+    /// whose work parallelizes across shards (see [`rank`](Self::rank)).
+    pub deadline: Option<f64>,
+    /// Degree of transport parallelism the scheduler can exploit — the
+    /// shard count for a sharded service, 1 otherwise. Only consulted
+    /// when a deadline is set.
+    pub parallelism: f64,
 }
 
 impl CostParams {
@@ -59,6 +68,8 @@ impl CostParams {
             g: 1,
             fault_rate: 0.0,
             mean_backoff: 0.0,
+            deadline: None,
+            parallelism: 1.0,
         }
     }
 
@@ -66,6 +77,35 @@ impl CostParams {
     pub fn with_g(mut self, g: usize) -> Self {
         self.g = g.max(1);
         self
+    }
+
+    /// Sets the per-query completion deadline (simulated seconds).
+    pub fn with_deadline(mut self, deadline: f64) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the transport parallelism the rank may assume (clamped ≥ 1).
+    pub fn with_parallelism(mut self, parallelism: f64) -> Self {
+        self.parallelism = parallelism.max(1.0);
+        self
+    }
+
+    /// The planner's ranking view of a method cost decomposition. Without
+    /// a deadline this is exactly the total charge — byte-identical plans
+    /// to the pre-deadline planner. With a deadline it approximates the
+    /// *makespan*: invocation rounds and relational text processing are
+    /// inherently serial, while postings processing and transmission
+    /// scatter across shards and divide by the parallelism — so plans
+    /// whose heavy work parallelizes rank ahead even at equal total
+    /// charge.
+    pub fn rank(&self, invocation: f64, processing: f64, transmission: f64, rtp: f64) -> f64 {
+        match self.deadline {
+            None => invocation + processing + transmission + rtp,
+            Some(_) => {
+                invocation + rtp + (processing + transmission) / self.parallelism.max(1.0)
+            }
+        }
     }
 
     /// Folds the session's observed fault behavior into the model: the

@@ -27,7 +27,8 @@ use textjoin_text::expr::SearchExpr;
 use textjoin_text::server::Usage;
 use textjoin_text::service::TextService;
 
-use crate::retry::RetryPolicy;
+use crate::retry::{RetryBudget, RetryPolicy};
+use crate::sched::{SchedConfig, Scheduler};
 
 use crate::methods::{
     probe::{probe_rtp, probe_tuple_substitution, ProbeSchedule},
@@ -72,6 +73,24 @@ pub struct MultiOutcome {
     pub rtp_comparisons: u64,
     /// Total simulated cost: text + `c_pair`·pairs + `c_a`·comparisons.
     pub total_cost: f64,
+    /// Critical-path completion time of the transport under bounded
+    /// concurrency. Without a scheduler the transport is modelled as
+    /// serial: `makespan == serial_transport == text.total_cost()`.
+    pub makespan: f64,
+    /// What a fully serial transport would have taken (cancelled hedge
+    /// legs included — their work was issued).
+    pub serial_transport: f64,
+    /// Hedge legs launched against a slow-but-alive primary replica.
+    pub hedges: u64,
+    /// Legs cancelled (one race loser per hedge, its charge rebated).
+    pub cancels: u64,
+    /// Queries whose critical path crossed the deadline (0 or 1).
+    pub deadline_misses: u64,
+    /// Method downgrades taken under deadline pressure instead of erroring.
+    pub degradations: u64,
+    /// Deterministic render of the concurrent timeline, when a scheduler
+    /// was attached.
+    pub timeline: Option<String>,
 }
 
 /// Executes multi-join PrL plans.
@@ -81,6 +100,10 @@ pub struct MultiExecutor<'a> {
     c_a: f64,
     retry: RetryPolicy,
     rel_model: RelCostModel,
+    /// Optional adaptive per-shard retry budget (enables hedged reads).
+    budget: Option<&'a RetryBudget>,
+    /// Optional virtual-time transport scheduler (makespan + deadlines).
+    sched: Option<&'a Scheduler>,
     /// Locally filtered base tables with qualified column names
     /// (`relation.column`), built once.
     base_tables: Vec<Table>,
@@ -116,6 +139,8 @@ impl<'a> MultiExecutor<'a> {
             c_a: 1e-5,
             retry: RetryPolicy::standard(),
             rel_model: input.rel_model,
+            budget: None,
+            sched: None,
             base_tables,
         })
     }
@@ -125,13 +150,27 @@ impl<'a> MultiExecutor<'a> {
         self.retry = retry;
     }
 
+    /// Attaches an adaptive per-shard retry budget; with a scheduler also
+    /// attached, slow primary legs are hedged against a replica.
+    pub fn set_retry_budget(&mut self, budget: &'a RetryBudget) {
+        self.budget = Some(budget);
+    }
+
+    /// Attaches a virtual-time transport scheduler: legs are timed, the
+    /// makespan is reported, and deadline pressure triggers graceful
+    /// method degradation instead of errors.
+    pub fn set_scheduler(&mut self, sched: &'a Scheduler) {
+        self.sched = Some(sched);
+    }
+
     /// The method-level execution context this executor hands out.
     fn ctx(&self) -> ExecContext<'a> {
         ExecContext {
             server: self.server,
             c_a: self.c_a,
             retry: self.retry,
-            budget: None,
+            budget: self.budget,
+            sched: self.sched,
         }
     }
 
@@ -187,12 +226,32 @@ impl<'a> MultiExecutor<'a> {
         let total_cost = text.total_cost()
             + self.rel_model.c_pair * rel_pairs as f64
             + self.c_a * rtp_comparisons as f64;
+        let (makespan, serial_transport, hedges, cancels, deadline_misses, degradations, timeline) =
+            match self.sched {
+                Some(s) => (
+                    s.makespan(),
+                    s.serial_total(),
+                    s.hedges(),
+                    s.cancels(),
+                    s.deadline_misses(),
+                    s.degradations(),
+                    Some(s.timeline()),
+                ),
+                None => (text.total_cost(), text.total_cost(), 0, 0, 0, 0, None),
+            };
         Ok(MultiOutcome {
             table,
             text,
             rel_pairs,
             rtp_comparisons,
             total_cost,
+            makespan,
+            serial_transport,
+            hedges,
+            cancels,
+            deadline_misses,
+            degradations,
+            timeline,
         })
     }
 
@@ -206,6 +265,16 @@ impl<'a> MultiExecutor<'a> {
             PlanNode::Scan { rel } => Ok(self.base_tables[*rel].clone()),
             PlanNode::Probe { input, preds } => {
                 let t = self.eval(input, rel_pairs, rtp_comparisons)?;
+                // Graceful degradation: probing only prunes, it never
+                // decides membership, so under deadline pressure the
+                // probe phase is skipped outright — the downstream text
+                // join settles the same multiset.
+                if let Some(s) = self.sched {
+                    if s.under_pressure() {
+                        s.note_degradation();
+                        return Ok(t);
+                    }
+                }
                 self.eval_probe(&t, preds)
             }
             PlanNode::RelJoin {
@@ -384,6 +453,17 @@ impl<'a> MultiExecutor<'a> {
             projection: self.text_join_projection(preds.len()),
         };
         let ctx = self.ctx();
+        // Graceful degradation: under deadline pressure the probing
+        // methods drop their probe phase and fall back TS-style (the
+        // universal method — same multiset, no extra text round-trips
+        // spent on pruning that may no longer pay for itself).
+        let method = match (method, self.sched) {
+            (MethodKind::PTs | MethodKind::PRtp, Some(s)) if s.under_pressure() => {
+                s.note_degradation();
+                MethodKind::Ts
+            }
+            (m, _) => m,
+        };
         let outcome = match method {
             MethodKind::Ts => tuple_substitution(&ctx, &fj, true)?,
             MethodKind::Rtp => relational_text_processing(&ctx, &fj)?,
@@ -496,6 +576,12 @@ pub fn plan_and_execute_with(
             )
         }
     };
+    // The deadline-aware rank divides parallelizable work by the transport
+    // parallelism — the shard count when the service scatters.
+    let params = match server.as_sharded() {
+        Some(sh) => params.with_parallelism(sh.shard_count() as f64),
+        None => params,
+    };
     let mut input = PlannerInput::gather(query, catalog, &export, server.schema(), params)
         .map_err(|e| MethodError::NotApplicable(e.to_string()))?;
     input.obs = server.recorder();
@@ -503,7 +589,17 @@ pub fn plan_and_execute_with(
     let planned = crate::optimizer::multi::plan_query(&input, space)
         .ok_or_else(|| MethodError::NotApplicable("no plan found".into()))?;
     drop(plan_span);
-    let exec = MultiExecutor::new(&input, catalog, server)?;
+    // Every execution gets a virtual-time schedule (seeded; deadline from
+    // the cost params) so the outcome reports a real makespan next to the
+    // total charge. Without a budget no hedging can fire, and without a
+    // deadline no degradation can trigger, so charges are exactly as
+    // before — the scheduler is then purely observational.
+    let sched = Scheduler::new(match params.deadline {
+        Some(d) => SchedConfig::new(0x7e97).with_deadline(d),
+        None => SchedConfig::new(0x7e97),
+    });
+    let mut exec = MultiExecutor::new(&input, catalog, server)?;
+    exec.set_scheduler(&sched);
     let outcome = exec.execute(&planned.plan)?;
     Ok((planned, outcome))
 }

@@ -20,6 +20,9 @@
 //! * [`runtime`] — runtime re-optimization: budget-guarded executors for
 //!   the fetch-heavy methods that fall back to tuple substitution when
 //!   fanout estimates prove unreliable (the safeguard Section 5 points to).
+//! * [`sched`] — the deterministic virtual-time transport scheduler:
+//!   bounded-concurrency scatter legs, hedged replica reads, per-query
+//!   deadlines, and the makespan (critical-path) cost they induce.
 
 pub mod cost;
 pub mod exec;
@@ -28,4 +31,5 @@ pub mod optimizer;
 pub mod query;
 pub mod retry;
 pub mod runtime;
+pub mod sched;
 pub mod stats;

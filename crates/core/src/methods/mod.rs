@@ -37,6 +37,7 @@ use textjoin_text::service::TextService;
 use textjoin_text::shard::{PartialShardError, ShardedTextServer};
 
 use crate::retry::{RetryBudget, RetryPolicy, Route};
+use crate::sched::Scheduler;
 
 /// What the query projects — determines how much document data a method
 /// must ship.
@@ -150,6 +151,14 @@ pub struct ExecContext<'a> {
     pub retry: RetryPolicy,
     /// Optional adaptive per-shard retry budget (sharded services only).
     pub budget: Option<&'a RetryBudget>,
+    /// Optional virtual-time transport scheduler. When attached, every
+    /// server leg's charged cost is also booked as a timed leg, scatter
+    /// legs overlap under the configured concurrency, slow-but-successful
+    /// primary legs are hedged against a replica (with the loser's charge
+    /// rebated), and per-query deadlines are tracked. Results are never
+    /// affected: the scheduler models *when* work completes, not *what*
+    /// it computes.
+    pub sched: Option<&'a Scheduler>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -161,6 +170,7 @@ impl<'a> ExecContext<'a> {
             c_a: 1e-5,
             retry: RetryPolicy::standard(),
             budget: None,
+            sched: None,
         }
     }
 
@@ -171,6 +181,7 @@ impl<'a> ExecContext<'a> {
             c_a: 1e-5,
             retry,
             budget: None,
+            sched: None,
         }
     }
 
@@ -182,7 +193,14 @@ impl<'a> ExecContext<'a> {
             c_a: 1e-5,
             retry: RetryPolicy::standard(),
             budget: Some(budget),
+            sched: None,
         }
+    }
+
+    /// Attaches a virtual-time transport scheduler (builder-style).
+    pub fn with_transport(mut self, sched: &'a Scheduler) -> Self {
+        self.sched = Some(sched);
+        self
     }
 
     /// The flight recorder attached to the service, if any. Observation is
@@ -212,6 +230,36 @@ impl<'a> ExecContext<'a> {
         if let Some(rec) = self.recorder() {
             rec.emit(kind);
         }
+    }
+
+    /// Books one transport leg's charged cost on the attached scheduler
+    /// (no-op without one). The first leg whose completion crosses the
+    /// query deadline emits a single chargeless `DeadlineMiss` event —
+    /// deadline misses degrade downstream, they never error.
+    fn record_leg(&self, shard: Option<usize>, label: &str, delta: &Usage) {
+        if let Some(sched) = self.sched {
+            let t = sched.leg(shard, label, delta.total_cost());
+            if t.crossed_deadline {
+                self.emit_event(EventKind::DeadlineMiss { shard });
+            }
+        }
+    }
+
+    /// Runs an unsharded server operation as one serial leg on the
+    /// scheduler, measured by the service's own ledger delta.
+    fn serial_op<T>(
+        &self,
+        label: &str,
+        f: impl FnOnce() -> Result<T, TextError>,
+    ) -> Result<T, TextError> {
+        if self.sched.is_none() {
+            return f();
+        }
+        let before = self.server.usage();
+        let out = f();
+        let delta = self.server.usage().since(&before);
+        self.record_leg(None, label, &delta);
+        out
     }
 
     /// Retry loop for one replica leg: like [`RetryPolicy::run`] but the
@@ -285,7 +333,11 @@ impl<'a> ExecContext<'a> {
     ) -> Result<T, TextError> {
         let order = sh.routing_order(shard);
         if order.len() == 1 {
-            return self.leg_attempts(sh, shard, order[0], self.shard_policy(shard), true, &mut op);
+            let before = self.leg_baseline(sh, shard, order[0]);
+            let out =
+                self.leg_attempts(sh, shard, order[0], self.shard_policy(shard), true, &mut op);
+            self.book_leg(sh, shard, order[0], "leg", before);
+            return out;
         }
         let primary = order[0];
         let route = match self.budget {
@@ -295,6 +347,7 @@ impl<'a> ExecContext<'a> {
         let mut last: Option<TextError> = None;
         match route {
             Route::Primary => {
+                let before = self.leg_baseline(sh, shard, primary);
                 match self.leg_attempts(
                     sh,
                     shard,
@@ -303,8 +356,12 @@ impl<'a> ExecContext<'a> {
                     true,
                     &mut op,
                 ) {
-                    Ok(v) => return Ok(v),
+                    Ok(v) => {
+                        self.settle_primary_leg(sh, shard, primary, order[1], before, &mut op);
+                        return Ok(v);
+                    }
                     Err(e) if e.is_transient() => {
+                        self.book_leg(sh, shard, primary, "leg", before);
                         if let Some(b) = self.budget {
                             if b.open_breaker_if_dead(shard) {
                                 self.emit_event(EventKind::CircuitOpen {
@@ -315,12 +372,18 @@ impl<'a> ExecContext<'a> {
                         }
                         last = Some(e);
                     }
-                    Err(e) => return Err(e),
+                    Err(e) => {
+                        self.book_leg(sh, shard, primary, "leg", before);
+                        return Err(e);
+                    }
                 }
             }
             Route::HalfOpenProbe => {
                 let b = self.budget.expect("half-open probes require a budget");
-                match op(primary) {
+                let before = self.leg_baseline(sh, shard, primary);
+                let attempt = op(primary);
+                self.book_leg(sh, shard, primary, "half-open-probe", before);
+                match attempt {
                     Ok(v) => {
                         b.observe(shard, false);
                         if b.close_breaker(shard) {
@@ -344,13 +407,102 @@ impl<'a> ExecContext<'a> {
         }
         for &r in order.iter().skip(1) {
             self.emit_event(EventKind::Failover { shard, replica: r });
-            match self.leg_attempts(sh, shard, r, self.retry, false, &mut op) {
+            let before = self.leg_baseline(sh, shard, r);
+            let out = self.leg_attempts(sh, shard, r, self.retry, false, &mut op);
+            self.book_leg(sh, shard, r, "failover-leg", before);
+            match out {
                 Ok(v) => return Ok(v),
                 Err(e) if e.is_transient() => last = Some(e),
                 Err(e) => return Err(e),
             }
         }
         Err(last.expect("a transient failure preceded every failover"))
+    }
+
+    /// Snapshot of one replica's ledger before a leg, taken only when a
+    /// scheduler is attached (the unscheduled hot path stays free).
+    fn leg_baseline(&self, sh: &ShardedTextServer, shard: usize, replica: usize) -> Option<Usage> {
+        self.sched.map(|_| sh.replica(shard, replica).usage())
+    }
+
+    /// Books one completed (or exhausted) replica leg on the scheduler.
+    /// Returns the leg's charged delta when measured.
+    fn book_leg(
+        &self,
+        sh: &ShardedTextServer,
+        shard: usize,
+        replica: usize,
+        label: &str,
+        before: Option<Usage>,
+    ) -> Option<Usage> {
+        let before = before?;
+        let delta = sh.replica(shard, replica).usage().since(&before);
+        self.record_leg(Some(shard), label, &delta);
+        Some(delta)
+    }
+
+    /// Books a *successful* primary leg's timing and — when the leg was a
+    /// straggler (charged cost above the shard's hedge threshold, i.e. the
+    /// seeded latency quantile from the budget's EWMA) — races a hedge
+    /// read against the first secondary. The hedge replica runs the same
+    /// operation once; the virtual clock picks the winner and the loser's
+    /// *entire* leg charge is rebated through the ledger (first-winner-
+    /// cancels-loser). The result multiset is never affected: replicas are
+    /// consistent, so the caller keeps the primary's answer either way.
+    fn settle_primary_leg<T>(
+        &self,
+        sh: &ShardedTextServer,
+        shard: usize,
+        primary: usize,
+        hedge_replica: usize,
+        before: Option<Usage>,
+        op: &mut impl FnMut(usize) -> Result<T, TextError>,
+    ) {
+        let Some(before) = before else { return };
+        let delta = sh.replica(shard, primary).usage().since(&before);
+        let cost = delta.total_cost();
+        // Threshold first, then feed: a straggler must not raise the bar
+        // it is judged against.
+        let threshold = self.budget.map(|b| {
+            let t = b.hedge_threshold(shard);
+            b.observe_latency(shard, cost);
+            t
+        });
+        let (Some(sched), Some(threshold)) = (self.sched, threshold) else {
+            self.record_leg(Some(shard), "leg", &delta);
+            return;
+        };
+        if cost <= threshold {
+            self.record_leg(Some(shard), "leg", &delta);
+            return;
+        }
+        self.emit_event(EventKind::Hedge {
+            shard,
+            replica: hedge_replica,
+        });
+        let hedge_before = sh.replica(shard, hedge_replica).usage();
+        let hedged = op(hedge_replica);
+        let hedge_delta = sh.replica(shard, hedge_replica).usage().since(&hedge_before);
+        let timing = if hedged.is_ok() {
+            sched.hedged_leg(shard, "leg", cost, threshold, hedge_delta.total_cost())
+        } else {
+            // The hedge itself faulted: the primary's answer stands and
+            // the failed hedge is the cancelled leg regardless of timing.
+            sched.failed_hedge_leg(shard, "leg", cost, threshold, hedge_delta.total_cost())
+        };
+        if timing.crossed_deadline {
+            self.emit_event(EventKind::DeadlineMiss { shard: Some(shard) });
+        }
+        let (loser, loser_delta) = if timing.hedge_won {
+            (primary, &delta)
+        } else {
+            (hedge_replica, &hedge_delta)
+        };
+        sh.rebate_replica(shard, loser, loser_delta);
+        self.emit_event(EventKind::Cancel {
+            shard,
+            replica: loser,
+        });
     }
 
     /// Scatter/gather search over every shard with per-shard retries.
@@ -369,6 +521,22 @@ impl<'a> ExecContext<'a> {
         }
         let n = sh.shard_count();
         let _gather = self.span("gather");
+        // Scatter phase: shard legs overlap on the virtual clock. The
+        // phase must close on every exit, error paths included.
+        let opened = self.sched.is_some_and(Scheduler::begin_phase);
+        let out = self.gather_shards(sh, expr, n);
+        if opened {
+            self.sched.expect("opened implies a scheduler").end_phase();
+        }
+        out
+    }
+
+    fn gather_shards(
+        &self,
+        sh: &ShardedTextServer,
+        expr: &SearchExpr,
+        n: usize,
+    ) -> Result<SearchResult, TextError> {
         let mut done: Vec<Option<SearchResult>> = vec![None; n];
         for i in 0..n {
             let _shard_span = self.span(&format!("gather/shard{i}"));
@@ -398,22 +566,44 @@ impl<'a> ExecContext<'a> {
     /// contract unchanged: with no replica to fail over to, an immediate
     /// re-scatter would just re-buy the same postings from the same dead
     /// shard.
+    ///
+    /// A completion round can itself fail partially (a *different* shard
+    /// exhausts its replicas mid-re-scatter). Each round gets its own
+    /// `complete-gather[k/n]` span computed from the round's *own* partial
+    /// state, so the spans nest in completion order instead of the first
+    /// round's counts being stamped on every retry. Rounds continue while
+    /// they make progress (strictly more shards gathered); a round that
+    /// gathers nothing new means some shard is down on every replica, and
+    /// its error propagates.
     fn sharded_search(
         &self,
         sh: &ShardedTextServer,
         expr: &SearchExpr,
     ) -> Result<SearchResult, TextError> {
-        match self.sharded_gather(sh, expr) {
-            Err(TextError::Shard(pse)) if sh.replication_factor() > 1 => {
+        let mut out = self.sharded_gather(sh, expr);
+        if sh.replication_factor() > 1 {
+            while let Err(TextError::Shard(pse)) = out {
+                let gathered = pse.gathered();
                 let _span = self.span(&format!(
                     "complete-gather[{}/{}]",
-                    pse.gathered(),
+                    gathered,
                     pse.partial.len()
                 ));
-                sh.complete_gather(&pse.partial, expr)
+                let before = self.sched.map(|_| self.server.usage());
+                let round = sh.complete_gather(&pse.partial, expr);
+                if let Some(before) = before {
+                    let delta = self.server.usage().since(&before);
+                    self.record_leg(None, "complete-gather", &delta);
+                }
+                match round {
+                    Err(TextError::Shard(next)) if next.gathered() > gathered => {
+                        out = Err(TextError::Shard(next));
+                    }
+                    other => return other,
+                }
             }
-            other => other,
         }
+        out
     }
 
     /// Retrying [`TextService::search`]; per-shard retries, replica
@@ -421,7 +611,11 @@ impl<'a> ExecContext<'a> {
     pub fn search(&self, expr: &SearchExpr) -> Result<SearchResult, TextError> {
         match self.server.as_sharded() {
             Some(sh) => self.sharded_search(sh, expr),
-            None => self.retry.run(self.server, || self.server.search(expr)),
+            None => {
+                self.serial_op("search", || {
+                    self.retry.run(self.server, || self.server.search(expr))
+                })
+            }
         }
     }
 
@@ -434,7 +628,11 @@ impl<'a> ExecContext<'a> {
     pub fn probe(&self, expr: &SearchExpr) -> Result<Vec<DocId>, TextError> {
         match self.server.as_sharded() {
             Some(sh) => Ok(self.sharded_search(sh, expr)?.ids()),
-            None => self.retry.run(self.server, || self.server.probe(expr)),
+            None => {
+                self.serial_op("probe", || {
+                    self.retry.run(self.server, || self.server.probe(expr))
+                })
+            }
         }
     }
 
@@ -456,7 +654,11 @@ impl<'a> ExecContext<'a> {
                     .ok_or(TextError::UnknownDoc(id))?;
                 self.replicated_attempts(sh, shard, |r| sh.retrieve_replica(shard, r, id))
             }
-            None => self.retry.run(self.server, || self.server.retrieve(id)),
+            None => {
+                self.serial_op("retrieve", || {
+                    self.retry.run(self.server, || self.server.retrieve(id))
+                })
+            }
         }
     }
 
@@ -475,32 +677,48 @@ impl<'a> ExecContext<'a> {
                 }
                 let n = sh.shard_count();
                 let _gather = self.span("gather");
-                let mut per_shard = Vec::with_capacity(n);
-                for i in 0..n {
-                    let _shard_span = self.span(&format!("gather/shard{i}"));
-                    match self.replicated_attempts(sh, i, |r| sh.batch_replica(i, r, exprs)) {
-                        Ok(b) => per_shard.push(b),
-                        Err(e) if e.is_transient() => {
-                            return Err(TextError::Shard(Box::new(PartialShardError {
-                                partial: Vec::new(),
-                                failed_shard: i,
-                                error: e,
-                            })))
-                        }
-                        Err(e) => return Err(e),
-                    }
+                let opened = self.sched.is_some_and(Scheduler::begin_phase);
+                let out = self.batch_shards(sh, exprs, n);
+                if opened {
+                    self.sched.expect("opened implies a scheduler").end_phase();
                 }
-                let results = (0..exprs.len())
-                    .map(|j| {
-                        ShardedTextServer::merge(
-                            per_shard.iter().map(|b| b.results[j].clone()).collect(),
-                        )
-                    })
-                    .collect();
-                Ok(BatchResult { results })
+                out
             }
-            None => self.retry.run(self.server, || self.server.search_batch(exprs)),
+            None => {
+                self.serial_op("search-batch", || {
+                    self.retry.run(self.server, || self.server.search_batch(exprs))
+                })
+            }
         }
+    }
+
+    fn batch_shards(
+        &self,
+        sh: &ShardedTextServer,
+        exprs: &[SearchExpr],
+        n: usize,
+    ) -> Result<BatchResult, TextError> {
+        let mut per_shard = Vec::with_capacity(n);
+        for i in 0..n {
+            let _shard_span = self.span(&format!("gather/shard{i}"));
+            match self.replicated_attempts(sh, i, |r| sh.batch_replica(i, r, exprs)) {
+                Ok(b) => per_shard.push(b),
+                Err(e) if e.is_transient() => {
+                    return Err(TextError::Shard(Box::new(PartialShardError {
+                        partial: Vec::new(),
+                        failed_shard: i,
+                        error: e,
+                    })))
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let results = (0..exprs.len())
+            .map(|j| {
+                ShardedTextServer::merge(per_shard.iter().map(|b| b.results[j].clone()).collect())
+            })
+            .collect();
+        Ok(BatchResult { results })
     }
 }
 

@@ -85,6 +85,7 @@ fn best_subset(
     s: &JoinStatistics,
     f: impl Fn(&CostParams, &JoinStatistics, &[usize]) -> CostBreakdown,
 ) -> Option<(Vec<usize>, CostBreakdown)> {
+    let rank = |c: &CostBreakdown| p.rank(c.invocation, c.processing, c.transmission, c.rtp);
     candidates
         .into_iter()
         .map(|subset| {
@@ -92,8 +93,8 @@ fn best_subset(
             (subset, c)
         })
         .min_by(|a, b| {
-            a.1.total()
-                .partial_cmp(&b.1.total())
+            rank(&a.1)
+                .partial_cmp(&rank(&b.1))
                 .expect("costs are finite")
                 // Tie-break on fewer probe columns (cheaper bookkeeping).
                 .then(a.0.len().cmp(&b.0.len()))
@@ -167,10 +168,14 @@ pub fn enumerate_methods(
             });
         }
     }
+    // Without a deadline `rank` is exactly `total()` — the pre-deadline
+    // ordering, byte for byte. Under a deadline, methods whose heavy work
+    // parallelizes across shards rank ahead at equal total charge.
+    let rank =
+        |c: &CostBreakdown| p.rank(c.invocation, c.processing, c.transmission, c.rtp);
     out.sort_by(|a, b| {
-        a.cost
-            .total()
-            .partial_cmp(&b.cost.total())
+        rank(&a.cost)
+            .partial_cmp(&rank(&b.cost))
             .expect("costs are finite")
     });
     out

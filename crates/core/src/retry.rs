@@ -128,6 +128,9 @@ pub struct RetryBudget {
     /// Per-shard circuit breakers over the primary replica; grows on
     /// demand alongside `rates`.
     breakers: RefCell<Vec<Breaker>>,
+    /// Per-shard EWMA of the primary leg's charged latency (simulated
+    /// seconds); 0.0 = no observation yet. Drives the hedge threshold.
+    latencies: RefCell<Vec<f64>>,
 }
 
 /// Per-shard circuit-breaker state. While open, routed calls skip the
@@ -166,6 +169,13 @@ const DEAD_THRESHOLD: u32 = 768;
 /// Below this rate (1/4) a shard counts as healthy.
 const HEALTHY_THRESHOLD: u32 = 256;
 
+/// A primary leg this many times slower than its shard's latency EWMA is a
+/// straggler worth hedging.
+const HEDGE_MULTIPLIER: f64 = 3.0;
+/// Hedging never fires below this absolute latency (seconds) — protects
+/// cold EWMAs and trivially cheap legs from spurious duplicate work.
+const HEDGE_FLOOR: f64 = 1.0;
+
 impl RetryBudget {
     /// A budget that scales `base` per shard; all shards start neutral
     /// (rate 0 = healthy).
@@ -174,6 +184,39 @@ impl RetryBudget {
             base,
             rates: RefCell::new(Vec::new()),
             breakers: RefCell::new(Vec::new()),
+            latencies: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Records the charged latency of one successful primary leg against
+    /// `shard`. Float EWMA with α = 1/8, seeded with the first observation
+    /// — the same decay the fault-rate EWMA uses, so both adapt on the same
+    /// horizon. IEEE arithmetic on an identical observation stream is
+    /// identical, so this stays byte-reproducible.
+    pub fn observe_latency(&self, shard: usize, seconds: f64) {
+        let mut lat = self.latencies.borrow_mut();
+        if lat.len() <= shard {
+            lat.resize(shard + 1, 0.0);
+        }
+        let l = lat[shard];
+        lat[shard] = if l == 0.0 { seconds } else { l + (seconds - l) / 8.0 };
+    }
+
+    /// The shard's current latency EWMA (0.0 = nothing observed yet).
+    pub fn latency_of(&self, shard: usize) -> f64 {
+        self.latencies.borrow().get(shard).copied().unwrap_or(0.0)
+    }
+
+    /// The hedge threshold for `shard`: a primary leg whose charged cost
+    /// exceeds this launches a hedge on a secondary replica. Infinite
+    /// until the EWMA has seen at least one leg (never hedge cold), then
+    /// `max(3 × EWMA, 1s)`.
+    pub fn hedge_threshold(&self, shard: usize) -> f64 {
+        let l = self.latency_of(shard);
+        if l == 0.0 {
+            f64::INFINITY
+        } else {
+            (HEDGE_MULTIPLIER * l).max(HEDGE_FLOOR)
         }
     }
 
@@ -443,6 +486,26 @@ mod tests {
         assert_eq!(b.route(1), Route::Primary);
         // Other shards were never affected.
         assert_eq!(b.route(0), Route::Primary);
+    }
+
+    #[test]
+    fn latency_ewma_drives_the_hedge_threshold() {
+        let b = RetryBudget::new(RetryPolicy::standard());
+        // Cold shard: never hedge.
+        assert_eq!(b.latency_of(0), 0.0);
+        assert_eq!(b.hedge_threshold(0), f64::INFINITY);
+        // First observation seeds the EWMA outright.
+        b.observe_latency(0, 4.0);
+        assert!((b.latency_of(0) - 4.0).abs() < 1e-12);
+        assert!((b.hedge_threshold(0) - 12.0).abs() < 1e-12, "3 × EWMA");
+        // Further observations decay with α = 1/8.
+        b.observe_latency(0, 12.0);
+        assert!((b.latency_of(0) - 5.0).abs() < 1e-12);
+        // The floor protects trivially cheap legs.
+        b.observe_latency(1, 0.05);
+        assert!((b.hedge_threshold(1) - 1.0).abs() < 1e-12, "floored at 1s");
+        // Shards are independent.
+        assert_eq!(b.latency_of(2), 0.0);
     }
 
     #[test]

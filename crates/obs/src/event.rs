@@ -171,6 +171,32 @@ pub enum EventKind {
         /// The EWMA fault rate (parts-per-1024) after the probe.
         rate: u32,
     },
+    /// A hedge leg launched against a secondary replica because the
+    /// primary leg exceeded the hedge latency threshold. Free: the hedge
+    /// attempt's own call carries its charge, and the loser's charge is
+    /// refunded by a [`Rebate`](Self::Rebate).
+    Hedge {
+        /// The logical shard being served.
+        shard: usize,
+        /// The replica the hedge leg runs on.
+        replica: usize,
+    },
+    /// A leg was cancelled (the losing half of a hedged read, or a leg
+    /// that would have completed past the query deadline). Free: the
+    /// cancelled leg's already-booked charge is refunded by an adjacent
+    /// [`Rebate`](Self::Rebate) event that carries the negative charge.
+    Cancel {
+        /// The logical shard whose leg was cancelled.
+        shard: usize,
+        /// The replica the cancelled leg ran on.
+        replica: usize,
+    },
+    /// The query's virtual completion time passed its deadline; the
+    /// executor degrades instead of erroring. Free.
+    DeadlineMiss {
+        /// Shard whose leg crossed the deadline, if attributable.
+        shard: Option<usize>,
+    },
     /// The optimizer estimated one candidate method. Free.
     Planner(PlannerChoice),
 }
@@ -325,6 +351,27 @@ impl Event {
                     out,
                     "\"type\":\"circuit_close\",\"shard\":{shard},\"rate\":{rate}"
                 );
+            }
+            EventKind::Hedge { shard, replica } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"hedge\",\"shard\":{shard},\"replica\":{replica}"
+                );
+            }
+            EventKind::Cancel { shard, replica } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"cancel\",\"shard\":{shard},\"replica\":{replica}"
+                );
+            }
+            EventKind::DeadlineMiss { shard } => {
+                out.push_str("\"type\":\"deadline_miss\",");
+                match shard {
+                    Some(i) => {
+                        let _ = write!(out, "\"shard\":{i}");
+                    }
+                    None => out.push_str("\"shard\":null"),
+                }
             }
             EventKind::Planner(p) => {
                 let cols: Vec<String> = p.probe_cols.iter().map(|c| c.to_string()).collect();

@@ -117,6 +117,16 @@ impl Node {
             EventKind::CircuitClose { shard, rate } => self.items.push(Item::Line(format!(
                 "o circuit close@shard{shard} (ewma {rate}/1024)"
             ))),
+            EventKind::Hedge { shard, replica } => self.items.push(Item::Line(format!(
+                "+ hedge@shard{shard} -> replica {replica}"
+            ))),
+            EventKind::Cancel { shard, replica } => self.items.push(Item::Line(format!(
+                "x cancel@shard{shard} replica {replica}"
+            ))),
+            EventKind::DeadlineMiss { shard } => self.items.push(Item::Line(format!(
+                "! deadline miss{}",
+                shard_tag(*shard)
+            ))),
             EventKind::Planner(p) => {
                 let total = p.invocation + p.processing + p.transmission + p.rtp;
                 self.items.push(Item::Line(format!(

@@ -233,6 +233,22 @@ impl MetricsSnapshot {
                 self.incr("circuit.close", 1);
                 self.incr(&format!("shard{shard}.circuit.close"), 1);
             }
+            EventKind::Hedge { shard, replica } => {
+                self.incr("hedges", 1);
+                self.incr(&format!("shard{shard}.hedges"), 1);
+                self.incr(&format!("shard{shard}.replica{replica}.hedges"), 1);
+            }
+            EventKind::Cancel { shard, replica } => {
+                self.incr("cancels", 1);
+                self.incr(&format!("shard{shard}.cancels"), 1);
+                self.incr(&format!("shard{shard}.replica{replica}.cancels"), 1);
+            }
+            EventKind::DeadlineMiss { shard } => {
+                self.incr("deadline.miss", 1);
+                if let Some(k) = shard_key(shard, "deadline.miss") {
+                    self.incr(&k, 1);
+                }
+            }
             EventKind::SpanBegin { .. } => self.incr("spans", 1),
             EventKind::SpanEnd { .. } => {}
             EventKind::Planner(p) => {

@@ -66,6 +66,7 @@ pub struct SamplePolicy {
     seed: u64,
     default_denom: u64,
     rules: Vec<(String, u64)>,
+    tail: bool,
 }
 
 impl SamplePolicy {
@@ -80,7 +81,25 @@ impl SamplePolicy {
             seed,
             default_denom: denom.max(1),
             rules: Vec::new(),
+            tail: false,
         }
+    }
+
+    /// Enables tail-based retention: the events of a head-dropped span are
+    /// buffered instead of discarded, and the moment a descendant event is
+    /// kept anyway — a faulted call, a cancelled leg, a deadline miss, or
+    /// any other always-keep signal — the whole enclosing span chain is
+    /// retroactively flushed to the inner sink, in original order. A span
+    /// that closes without such a signal resolves as dropped, its buffered
+    /// charges accounted in [`SampledSink::dropped_charge`] as usual.
+    pub fn with_tail_keep(mut self) -> Self {
+        self.tail = true;
+        self
+    }
+
+    /// Whether tail-based retention is enabled.
+    pub fn tail_enabled(&self) -> bool {
+        self.tail
     }
 
     /// Adds a per-span-kind rule: spans whose label starts with
@@ -122,7 +141,9 @@ pub fn is_hot(kind: &EventKind) -> bool {
         EventKind::Call { err, .. } => err.is_some(),
         EventKind::Failover { .. }
         | EventKind::CircuitOpen { .. }
-        | EventKind::CircuitClose { .. } => true,
+        | EventKind::CircuitClose { .. }
+        | EventKind::Cancel { .. }
+        | EventKind::DeadlineMiss { .. } => true,
         _ => false,
     }
 }
@@ -130,6 +151,10 @@ pub fn is_hot(kind: &EventKind) -> bool {
 struct Frame {
     id: u64,
     keep: bool,
+    /// Tail mode only: events of a head-dropped span, held back until the
+    /// span is either promoted (a descendant signal flushes them) or
+    /// closed (their charges resolve as dropped).
+    buf: Vec<Event>,
 }
 
 #[derive(Default)]
@@ -189,7 +214,24 @@ impl SampledSink {
         self.state.borrow().kept
     }
 
+    /// Forwards one event. In tail mode, first retroactively promotes
+    /// every still-unkept enclosing span: their buffered events (span
+    /// begins and cold interior events, in original order) flush to the
+    /// inner sink *before* this event, so the kept stream stays a strictly
+    /// ordered subsequence of the full stream.
     fn forward(&self, st: &mut State, ev: &Event) {
+        if self.policy.tail {
+            for i in 0..st.stack.len() {
+                if !st.stack[i].keep {
+                    st.stack[i].keep = true;
+                    let buf = std::mem::take(&mut st.stack[i].buf);
+                    for held in &buf {
+                        st.kept += 1;
+                        self.inner.record(held);
+                    }
+                }
+            }
+        }
         st.kept += 1;
         self.inner.record(ev);
     }
@@ -197,6 +239,31 @@ impl SampledSink {
     fn drop_event(&self, st: &mut State, ev: &Event) {
         if let Some(c) = ev.kind.charge() {
             st.dropped.accumulate(c);
+        }
+    }
+
+    /// A cold event the head decision rejects: dropped outright, or — in
+    /// tail mode, inside a still-unkept span — held back in case a later
+    /// descendant signal promotes the span.
+    fn drop_or_buffer(&self, st: &mut State, ev: &Event) {
+        if self.policy.tail {
+            if let Some(f) = st.stack.last_mut() {
+                if !f.keep {
+                    f.buf.push(ev.clone());
+                    return;
+                }
+            }
+        }
+        self.drop_event(st, ev);
+    }
+
+    /// Resolves a frame that closed without being promoted: its buffered
+    /// charges are dropped charges.
+    fn resolve_dropped_frame(&self, st: &mut State, buf: Vec<Event>) {
+        for held in &buf {
+            if let Some(c) = held.kind.charge() {
+                st.dropped.accumulate(c);
+            }
         }
     }
 
@@ -214,7 +281,11 @@ impl Sink for SampledSink {
         match &ev.kind {
             EventKind::SpanBegin { id, label, .. } => {
                 let keep = self.policy.keeps(label, ev.seq);
-                st.stack.push(Frame { id: *id, keep });
+                let mut buf = Vec::new();
+                if !keep && self.policy.tail {
+                    buf.push(ev.clone());
+                }
+                st.stack.push(Frame { id: *id, keep, buf });
                 if keep {
                     self.forward(&mut st, ev);
                 }
@@ -227,8 +298,15 @@ impl Sink for SampledSink {
                 let keep = if let Some(pos) = st.stack.iter().rposition(|f| f.id == *id) {
                     for popped in st.stack.split_off(pos + 1) {
                         st.force_closed.insert(popped.id, popped.keep);
+                        self.resolve_dropped_frame(&mut st, popped.buf);
                     }
-                    st.stack.pop().map(|f| f.keep).unwrap_or(true)
+                    match st.stack.pop() {
+                        Some(f) => {
+                            self.resolve_dropped_frame(&mut st, f.buf);
+                            f.keep
+                        }
+                        None => true,
+                    }
                 } else {
                     // Unknown spans (opened before the sampler attached)
                     // are kept: never drop an end we cannot account for.
@@ -245,7 +323,7 @@ impl Sink for SampledSink {
                 if novel || self.cold_keep(&st) {
                     self.forward(&mut st, ev);
                 } else {
-                    self.drop_event(&mut st, ev);
+                    self.drop_or_buffer(&mut st, ev);
                 }
             }
             EventKind::CircuitOpen { shard, .. } => {
@@ -272,7 +350,7 @@ impl Sink for SampledSink {
                 if novel || self.cold_keep(&st) {
                     self.forward(&mut st, ev);
                 } else {
-                    self.drop_event(&mut st, ev);
+                    self.drop_or_buffer(&mut st, ev);
                 }
             }
             kind if is_hot(kind) => self.forward(&mut st, ev),
@@ -280,7 +358,7 @@ impl Sink for SampledSink {
                 if self.cold_keep(&st) {
                     self.forward(&mut st, ev);
                 } else {
-                    self.drop_event(&mut st, ev);
+                    self.drop_or_buffer(&mut st, ev);
                 }
             }
         }
@@ -446,6 +524,115 @@ mod tests {
         drop(outer); // force-pops inner off the recorder stack
         drop(inner); // its SpanEnd still arrives, and must still be dropped
         assert!(ring.events().is_empty(), "no span was sampled in");
+    }
+
+    #[test]
+    fn tail_keep_promotes_the_whole_span_on_a_descendant_signal() {
+        let ring = Rc::new(RingSink::unbounded());
+        let sampled = Rc::new(SampledSink::new(
+            ring.clone(),
+            SamplePolicy::one_in(99, u64::MAX).with_tail_keep(),
+        ));
+        let rec = Recorder::new(sampled.clone());
+        {
+            let _g = rec.span("gather");
+            rec.emit(call(None, 3.0)); // cold: buffered
+            rec.emit(call(Some("injected fault"), 1.0)); // signal: promotes
+            rec.emit(call(None, 2.0)); // span now kept
+        }
+        let kept = ring.events();
+        // Span begin, the buffered cold call, the fault, the later cold
+        // call, and the span end — all kept, in original order.
+        assert_eq!(kept.len(), 5);
+        assert!(matches!(kept[0].kind, EventKind::SpanBegin { .. }));
+        assert!(matches!(kept[4].kind, EventKind::SpanEnd { .. }));
+        let seqs: Vec<u64> = kept.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "ordered: {seqs:?}");
+        assert!(sampled.dropped_charge().is_zero(), "nothing was dropped");
+    }
+
+    #[test]
+    fn tail_keep_promotes_on_cancel_and_deadline_miss() {
+        for signal in [
+            EventKind::Cancel { shard: 1, replica: 0 },
+            EventKind::DeadlineMiss { shard: Some(1) },
+        ] {
+            let ring = Rc::new(RingSink::unbounded());
+            let sampled = Rc::new(SampledSink::new(
+                ring.clone(),
+                SamplePolicy::one_in(99, u64::MAX).with_tail_keep(),
+            ));
+            let rec = Recorder::new(sampled.clone());
+            {
+                let _g = rec.span("gather");
+                rec.emit(call(None, 3.0));
+                rec.emit(signal.clone());
+            }
+            let kept = ring.events();
+            assert_eq!(kept.len(), 4, "begin + cold + signal + end");
+            assert!(sampled.dropped_charge().is_zero());
+        }
+    }
+
+    #[test]
+    fn tail_keep_resolves_clean_spans_as_dropped() {
+        let ring = Rc::new(RingSink::unbounded());
+        let sampled = Rc::new(SampledSink::new(
+            ring.clone(),
+            SamplePolicy::one_in(99, u64::MAX).with_tail_keep(),
+        ));
+        let rec = Recorder::new(sampled.clone());
+        {
+            let _g = rec.span("gather");
+            rec.emit(call(None, 3.0));
+        }
+        assert!(ring.events().is_empty(), "clean span stays dropped");
+        let dropped = sampled.dropped_charge();
+        assert_eq!(dropped.invocations, 1);
+        assert!((dropped.time_invocation - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_keep_nested_spans_flush_ancestors_in_order() {
+        let ring = Rc::new(RingSink::unbounded());
+        let sampled = Rc::new(SampledSink::new(
+            ring.clone(),
+            SamplePolicy::one_in(99, u64::MAX).with_tail_keep(),
+        ));
+        let rec = Recorder::new(sampled);
+        {
+            let _outer = rec.span("gather");
+            rec.emit(call(None, 1.0));
+            {
+                let _clean = rec.span("gather/shard0");
+                rec.emit(call(None, 1.0)); // resolves as dropped at close
+            }
+            {
+                let _faulty = rec.span("gather/shard1");
+                rec.emit(call(Some("injected fault"), 1.0));
+            }
+        }
+        let kept = ring.events();
+        let seqs: Vec<u64> = kept.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "ordered: {seqs:?}");
+        // The clean sibling sub-span resolved before the signal: dropped.
+        assert!(
+            !kept.iter().any(|e| matches!(
+                &e.kind,
+                EventKind::SpanBegin { label, .. } if label == "gather/shard0"
+            )),
+            "closed clean sibling stays dropped"
+        );
+        // The outer span and the faulty child are fully retained.
+        for want in ["gather", "gather/shard1"] {
+            assert!(
+                kept.iter().any(|e| matches!(
+                    &e.kind,
+                    EventKind::SpanBegin { label, .. } if label == want
+                )),
+                "{want} begin retained"
+            );
+        }
     }
 
     #[test]

@@ -375,6 +375,17 @@ fn event_of(line: &str) -> Result<Event, String> {
             shard: f.u64("shard")? as usize,
             rate: f.u64("rate")? as u32,
         },
+        "hedge" => EventKind::Hedge {
+            shard: f.u64("shard")? as usize,
+            replica: f.u64("replica")? as usize,
+        },
+        "cancel" => EventKind::Cancel {
+            shard: f.u64("shard")? as usize,
+            replica: f.u64("replica")? as usize,
+        },
+        "deadline_miss" => EventKind::DeadlineMiss {
+            shard: shard_of(&f)?,
+        },
         "planner" => {
             let est = f.obj("est")?;
             let cols = match f.get("probe_cols")? {
@@ -519,6 +530,32 @@ mod tests {
             seq: 8,
             clock: 11.17,
             kind: EventKind::CircuitClose { shard: 2, rate: 12 },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::Hedge {
+                shard: 1,
+                replica: 0,
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::Cancel {
+                shard: 1,
+                replica: 1,
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::DeadlineMiss { shard: Some(3) },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::DeadlineMiss { shard: None },
         });
         roundtrip(Event {
             seq: 9,

@@ -38,6 +38,21 @@ pub enum Fault {
         /// The new, lower cap `M`.
         new_m: usize,
     },
+    /// The server answers correctly but late: `delta_s` extra simulated
+    /// seconds, charged as backoff time. Latency-only — the operation
+    /// *succeeds*, no error is surfaced — so hedged reads and deadlines
+    /// have a realistic straggler to race against.
+    Slow {
+        /// Extra simulated seconds before the (correct) answer arrives.
+        delta_s: u32,
+    },
+}
+
+impl Fault {
+    /// True for faults that only add latency and never surface an error.
+    pub fn is_latency_only(&self) -> bool {
+        matches!(self, Fault::Slow { .. })
+    }
 }
 
 impl fmt::Display for Fault {
@@ -48,6 +63,7 @@ impl fmt::Display for Fault {
                 write!(f, "timeout after {after_postings} postings")
             }
             Fault::CapReduced { new_m } => write!(f, "cap reduced to {new_m}"),
+            Fault::Slow { delta_s } => write!(f, "slow +{delta_s}s"),
         }
     }
 }
@@ -58,6 +74,7 @@ pub struct FaultKinds {
     pub unavailable: bool,
     pub timeout: bool,
     pub cap_reduced: bool,
+    pub slow: bool,
 }
 
 impl FaultKinds {
@@ -67,15 +84,30 @@ impl FaultKinds {
             unavailable: true,
             timeout: true,
             cap_reduced: false,
+            slow: false,
         }
     }
 
-    /// Everything, including cap renegotiation.
+    /// Every *erroring* kind, including cap renegotiation. Latency-only
+    /// `Slow` faults are opt-in (via [`FaultKinds::slow_only`] or the
+    /// `slow` field) so existing seeded chaos streams keep their exact
+    /// draw sequences.
     pub fn all() -> Self {
         FaultKinds {
             unavailable: true,
             timeout: true,
             cap_reduced: true,
+            slow: false,
+        }
+    }
+
+    /// Only latency faults: the server always answers, sometimes late.
+    pub fn slow_only() -> Self {
+        FaultKinds {
+            unavailable: false,
+            timeout: false,
+            cap_reduced: false,
+            slow: true,
         }
     }
 }
@@ -148,6 +180,14 @@ impl FaultPlan {
     /// help; only failing over to a replica can.
     pub fn dead(seed: u64) -> Self {
         Self::random(seed, 1.0, FaultKinds::transient_only(), 0)
+    }
+
+    /// A straggler server: operations always *succeed* but, at the given
+    /// `rate`, arrive `1..=8` simulated seconds late (charged as backoff).
+    /// No error ever surfaces, so no retry fires — only hedging or a
+    /// deadline can route around the latency.
+    pub fn slow(seed: u64, rate: f64) -> Self {
+        Self::random(seed, rate, FaultKinds::slow_only(), 0)
     }
 
     /// Random plan with explicit kind selection.
@@ -230,7 +270,7 @@ impl FaultPlan {
         }
         self.draw(|state| {
             // Uniform choice over the enabled kinds.
-            let mut menu: Vec<u8> = Vec::with_capacity(3);
+            let mut menu: Vec<u8> = Vec::with_capacity(4);
             if self.kinds.unavailable {
                 menu.push(0);
             }
@@ -242,6 +282,9 @@ impl FaultPlan {
             if self.kinds.cap_reduced && current_m > 4 {
                 menu.push(2);
             }
+            if self.kinds.slow {
+                menu.push(3);
+            }
             if menu.is_empty() {
                 return None;
             }
@@ -251,8 +294,11 @@ impl FaultPlan {
                 1 => Fault::Timeout {
                     after_postings: Self::next_u64(state) % 4096,
                 },
-                _ => Fault::CapReduced {
+                2 => Fault::CapReduced {
                     new_m: (current_m * 2 / 3).max(4),
+                },
+                _ => Fault::Slow {
+                    delta_s: 1 + (Self::next_u64(state) % 8) as u32,
                 },
             })
         })
@@ -391,6 +437,31 @@ mod tests {
                 p.next_search_fault(70),
                 Some(Fault::Unavailable | Fault::Timeout { .. })
             ));
+        }
+    }
+
+    #[test]
+    fn slow_plans_only_draw_latency_faults() {
+        let p = FaultPlan::slow(9, 1.0);
+        for _ in 0..200 {
+            let f = p.next_search_fault(70).expect("rate 1.0 must draw");
+            assert!(f.is_latency_only(), "slow plan drew {f:?}");
+            match f {
+                Fault::Slow { delta_s } => assert!((1..=8).contains(&delta_s)),
+                other => panic!("slow plan drew {other:?}"),
+            }
+        }
+        // Retrieves need `unavailable`, which slow-only plans disable.
+        assert_eq!(p.next_retrieve_fault(), None);
+    }
+
+    #[test]
+    fn erroring_menus_never_draw_slow() {
+        let p = FaultPlan::chaos(21, 1.0, 0);
+        for _ in 0..300 {
+            if let Some(f) = p.next_search_fault(70) {
+                assert!(!f.is_latency_only(), "chaos menu drew {f:?}");
+            }
         }
     }
 

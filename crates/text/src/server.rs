@@ -511,7 +511,14 @@ impl TextServer {
             });
         }
         if let Some(fault) = self.fault_plan.next_search_fault(self.max_terms.get()) {
-            return Err(self.charge_search_fault(fault, op, count));
+            if let Fault::Slow { delta_s } = fault {
+                // Latency-only: the answer still arrives (late). Charge the
+                // wait as backoff time and fall through to the normal
+                // success path below.
+                self.charge_slow(delta_s);
+            } else {
+                return Err(self.charge_search_fault(fault, op, count));
+            }
         }
         if self.trace.get() {
             self.log
@@ -682,6 +689,9 @@ impl TextServer {
                     self.max_terms.set(new_m);
                     TextError::CapReduced { new_m }
                 }
+                Fault::Slow { .. } => {
+                    unreachable!("Slow is latency-only and handled on the success path")
+                }
             }
         };
         self.emit(EventKind::Call {
@@ -692,6 +702,65 @@ impl TextServer {
             charge,
         });
         err
+    }
+
+    /// Books an injected [`Fault::Slow`]: the operation still succeeds,
+    /// but the extra server-side wait is charged as backoff time (the
+    /// ledger for *all* simulated time lives in [`Usage`]). Unlike
+    /// [`charge_backoff`](Self::charge_backoff) this is not a retry —
+    /// no `retries` counter moves, and no fault is surfaced.
+    fn charge_slow(&self, delta_s: u32) {
+        let seconds = f64::from(delta_s);
+        self.usage.borrow_mut().time_backoff += seconds;
+        self.emit(EventKind::Backoff {
+            shard: self.shard_index.get(),
+            seconds,
+            charge: Charge {
+                time_backoff: seconds,
+                ..Charge::default()
+            },
+        });
+    }
+
+    /// Rebates (un-books) a previously charged usage delta — the
+    /// cancellation path for hedged reads and deadline-cancelled legs.
+    /// The loser leg's work was booked call-by-call as it ran; cancelling
+    /// refunds the *entire* leg field-for-field, so the winner's charge is
+    /// the only one that counts and the cost-decomposition identity
+    /// (`total_cost = server charges + c_a × comparisons`) survives
+    /// exactly. Emits a `Rebate` event carrying the negated charge so the
+    /// trace↔ledger audit stays exact too.
+    pub fn rebate(&self, delta: &Usage) {
+        {
+            let mut u = self.usage.borrow_mut();
+            u.invocations -= delta.invocations;
+            u.rejected -= delta.rejected;
+            u.postings_processed -= delta.postings_processed;
+            u.docs_short -= delta.docs_short;
+            u.docs_long -= delta.docs_long;
+            u.time_invocation -= delta.time_invocation;
+            u.time_processing -= delta.time_processing;
+            u.time_transmission -= delta.time_transmission;
+            u.faults -= delta.faults;
+            u.retries -= delta.retries;
+            u.time_backoff -= delta.time_backoff;
+        }
+        self.emit(EventKind::Rebate {
+            shard: self.shard_index.get(),
+            charge: Charge {
+                invocations: -(delta.invocations as i64),
+                rejected: -(delta.rejected as i64),
+                postings: -(delta.postings_processed as i64),
+                docs_short: -(delta.docs_short as i64),
+                docs_long: -(delta.docs_long as i64),
+                time_invocation: -delta.time_invocation,
+                time_processing: -delta.time_processing,
+                time_transmission: -delta.time_transmission,
+                faults: -(delta.faults as i64),
+                retries: -(delta.retries as i64),
+                time_backoff: -delta.time_backoff,
+            },
+        });
     }
 
     /// Charges simulated backoff time a client spent waiting before a
@@ -912,6 +981,40 @@ mod tests {
         let shown = s.usage().to_string();
         assert!(shown.contains("retries 1"), "missing backoff segment: {shown}");
         assert!(shown.contains("2.50s backoff"), "missing backoff time: {shown}");
+    }
+
+    #[test]
+    fn slow_fault_charges_latency_but_still_answers() {
+        let mut s = server();
+        s.set_fault_plan(crate::faults::FaultPlan::scripted(vec![(
+            0,
+            crate::faults::Fault::Slow { delta_s: 5 },
+        )]));
+        let r = s.search_str("TI='text'").unwrap();
+        assert_eq!(r.len(), 1, "slow search still returns the full result");
+        let u = s.usage();
+        assert_eq!(u.faults, 0, "latency-only faults are not error faults");
+        assert_eq!(u.retries, 0, "no retry happened");
+        assert!((u.time_backoff - 5.0).abs() < 1e-9);
+        let c = s.constants();
+        let expected = c.c_i
+            + c.c_p * u.postings_processed as f64
+            + c.c_s * u.docs_short as f64
+            + 5.0;
+        assert!((u.total_cost() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rebate_is_the_exact_inverse_of_a_leg() {
+        let s = server();
+        let before = s.usage();
+        s.search_str("TI='text'").unwrap();
+        s.retrieve(DocId(1)).unwrap();
+        s.charge_backoff(2.0);
+        let leg = s.usage().since(&before);
+        assert!(leg.total_cost() > 0.0);
+        s.rebate(&leg);
+        assert_eq!(s.usage(), before, "rebate must undo the leg field-for-field");
     }
 
     #[test]

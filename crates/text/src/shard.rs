@@ -384,6 +384,15 @@ impl ShardedTextServer {
         self.replicas[i][r].charge_backoff(seconds);
     }
 
+    /// Rebates a previously charged usage delta against one specific
+    /// replica's ledger — the cancellation path for a hedged read whose
+    /// leg lost the race. Exactly inverts the leg's charges field-for-field
+    /// (see [`TextServer::rebate`]), so both the shard sum and the
+    /// aggregate ledger forget the cancelled work.
+    pub fn rebate_replica(&self, i: usize, r: usize, delta: &Usage) {
+        self.replicas[i][r].rebate(delta);
+    }
+
     /// Union-merges per-shard results into one result set in global docid
     /// order. Shard result sets are disjoint (the partition) and each is
     /// already sorted, so this is a pure merge.
@@ -932,6 +941,23 @@ mod tests {
         );
         let single = TextServer::new(coll.clone());
         assert_eq!(done.docs, single.search(&expr).unwrap().docs);
+    }
+
+    #[test]
+    fn rebate_replica_unbooks_a_cancelled_leg_everywhere() {
+        let coll = corpus(40);
+        let s = ShardedTextServer::replicated(&coll, 4, 2, 7);
+        let expr = parse_search("TI='shared'", TextService::schema(&s)).unwrap();
+        let loser = (s.primary_of(1) + 1) % 2;
+        let aggregate_before = TextService::usage(&s);
+        let leg_before = s.replica(1, loser).usage();
+        s.search_replica(1, loser, &expr).unwrap();
+        let leg = s.replica(1, loser).usage().since(&leg_before);
+        assert!(leg.total_cost() > 0.0, "the leg did chargeable work");
+        s.rebate_replica(1, loser, &leg);
+        assert_eq!(s.replica(1, loser).usage(), leg_before);
+        assert_eq!(s.shard_usage(1), Usage::default());
+        assert_eq!(TextService::usage(&s), aggregate_before);
     }
 
     #[test]

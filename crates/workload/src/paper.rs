@@ -151,6 +151,59 @@ pub fn q5(_w: &World) -> MultiJoinQuery {
     }
 }
 
+/// Q6 (beyond the paper): a three-way join whose plans chain *two* text
+/// joins — NSF projects whose name appears in a report title, joined to
+/// the member students whose names appear as authors.
+///
+/// ```sql
+/// select * from project, student, mercury
+/// where project.sponsor = 'NSF'
+///   and project.member = student.name
+///   and project.name in mercury.title
+///   and student.name in mercury.author
+/// ```
+///
+/// Unlike Q5 (where the single text join is the plan's first transport
+/// operation), Q6's second text join dispatches after the first has
+/// already spent transport time — the shape that exercises deadline
+/// pressure and graceful degradation mid-plan.
+pub fn q6(w: &World) -> MultiJoinQuery {
+    let project = w.catalog.table("project").expect("world has project");
+    MultiJoinQuery {
+        relations: vec![
+            RelSpec {
+                name: "project".into(),
+                local_pred: Pred::eq(project.col("sponsor"), "NSF"),
+            },
+            RelSpec {
+                name: "student".into(),
+                local_pred: Pred::True,
+            },
+        ],
+        rel_joins: vec![RelJoinPred {
+            left_rel: 0,
+            left_col: "member".into(),
+            op: CmpOp::Eq,
+            right_rel: 1,
+            right_col: "name".into(),
+        }],
+        selections: vec![],
+        foreign: vec![
+            ForeignSpec {
+                rel: 0,
+                column: "name".into(),
+                field: "title".into(),
+            },
+            ForeignSpec {
+                rel: 1,
+                column: "name".into(),
+                field: "author".into(),
+            },
+        ],
+        projection: Projection::Full,
+    }
+}
+
 /// The number of tuples Q_i's local selection keeps — handy when reporting
 /// experiment parameters.
 pub fn local_cardinality(w: &World, q: &SingleJoinQuery) -> usize {

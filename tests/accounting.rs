@@ -366,3 +366,92 @@ fn replicated_backoff_lands_in_both_the_aggregate_and_the_shard_invoice() {
     assert_eq!(snap.counter("usage.faults"), agg.faults);
     assert!((snap.value("usage.time_backoff") - agg.time_backoff).abs() < 1e-12);
 }
+
+#[test]
+fn cancelled_hedge_rebate_keeps_every_accounting_view_in_agreement() {
+    use textjoin::core::retry::{RetryBudget, RetryPolicy};
+    use textjoin::core::sched::{SchedConfig, Scheduler};
+    use textjoin::text::faults::FaultPlan;
+    use textjoin::text::server::Usage;
+    use textjoin::text::shard::ShardedTextServer;
+    use textjoin::text::TextService;
+
+    let w = world();
+    let schema = w.server.collection().schema();
+    let p = prepare(&paper::q3(&w), &w.catalog, schema).expect("q3 prepares");
+    let fj = p.foreign_join();
+
+    // 4 shards × 2 replicas, every primary on a latency-only slow plan:
+    // primaries always answer, but slow legs race a hedge read on the
+    // secondary and the loser's whole charge is rebated mid-flight.
+    let mut s = ShardedTextServer::replicated(w.server.collection(), 4, 2, 0x5AD);
+    for i in 0..s.shard_count() {
+        let pri = s.primary_of(i);
+        s.replica_mut(i, pri)
+            .set_fault_plan(FaultPlan::slow(0xC0DE + i as u64, 0.5));
+    }
+    let budget = RetryBudget::new(RetryPolicy::standard());
+    let sched = Scheduler::new(SchedConfig::new(0x7E97));
+    let before = s.usage();
+    let ctx = ExecContext::with_budget(&s, &budget).with_transport(&sched);
+    let out = textjoin::core::methods::ts::tuple_substitution(&ctx, &fj, true)
+        .expect("slow replicas never fail the join");
+
+    // The machinery under test actually engaged, and every race had
+    // exactly one cancelled loser.
+    assert!(sched.hedges() > 0, "no hedge fired — the slow plan is too tame");
+    assert_eq!(sched.hedges(), sched.cancels());
+
+    // Same answer as the unreplicated baseline.
+    let plain =
+        textjoin::core::methods::ts::tuple_substitution(&ExecContext::new(&w.server), &fj, true)
+            .expect("plain TS runs");
+    assert_eq!(canonical_rows(&out.table), canonical_rows(&plain.table));
+
+    // View 1 vs view 2: the method's reported ledger must equal the
+    // external `Usage::since` delta even though race losers were charged
+    // and then rebated inside the measurement window.
+    let delta = s.usage().since(&before);
+    assert_eq!(delta.invocations, out.report.text.invocations);
+    assert_eq!(delta.docs_short, out.report.text.docs_short);
+    assert_eq!(delta.docs_long, out.report.text.docs_long);
+    assert!((delta.total_cost() - out.report.text.total_cost()).abs() < 1e-9);
+
+    // View 3: the aggregate ledger is exactly the sum of the per-shard
+    // invoices — a rebate is an inverse charge on the loser's replica,
+    // not a hidden aggregate-side adjustment.
+    let agg = s.usage();
+    let mut sum = Usage::default();
+    for i in 0..s.shard_count() {
+        sum.accumulate(&s.shard_usage(i));
+    }
+    assert_eq!(agg.invocations, sum.invocations);
+    assert_eq!(agg.docs_short, sum.docs_short);
+    assert_eq!(agg.docs_long, sum.docs_long);
+    assert!((agg.total_cost() - sum.total_cost()).abs() < 1e-9);
+
+    // The exact cost decomposition of CLAUDE.md still holds on the
+    // post-rebate ledger: server charges + c_a × comparisons.
+    let k = s.constants();
+    let u = &out.report.text;
+    let expected_text = k.c_i * u.invocations as f64
+        + k.c_p * u.postings_processed as f64
+        + k.c_s * u.docs_short as f64
+        + k.c_l * u.docs_long as f64
+        + u.time_backoff;
+    assert!((u.total_cost() - expected_text).abs() < 1e-6);
+    assert!(
+        (out.report.total_cost() - (expected_text + ctx.c_a * out.report.rtp_comparisons as f64))
+            .abs()
+            < 1e-6
+    );
+
+    // View 4: the metrics-snapshot bridge reports the rebated ledger's
+    // numbers verbatim — a printed table can never disagree with the
+    // invoice about what cancelled work cost.
+    let snap = agg.metrics_snapshot();
+    assert_eq!(snap.counter("usage.invocations"), agg.invocations);
+    assert_eq!(snap.counter("usage.docs_short"), agg.docs_short);
+    assert_eq!(snap.counter("usage.docs_long"), agg.docs_long);
+    assert!((snap.value("usage.total_cost") - agg.total_cost()).abs() < 1e-12);
+}

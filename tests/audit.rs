@@ -401,6 +401,148 @@ fn sampled_audit_reconciles_and_reduces_on_replicated_chaos_grid() {
     );
 }
 
+/// Hedged reads charge the race loser and then rebate it: the trace must
+/// carry both sides — the loser's `Call` charges *and* a `Rebate` with the
+/// exact inverse — so the audit reconciles against the post-rebate ledger,
+/// and the scheduler's hedge/cancel counters must agree with the emitted
+/// `Hedge`/`Cancel` events one for one.
+#[test]
+fn hedge_and_cancel_traces_reconcile_with_the_rebated_ledger() {
+    use textjoin::core::sched::{SchedConfig, Scheduler};
+    use textjoin::obs::EventKind;
+
+    let w = compact_world(7);
+    let schema = w.server.collection().schema();
+    let mut hedged_traces = 0u32;
+    for (qname, q) in [("q3", paper::q3(&w)), ("q4", paper::q4(&w))] {
+        let p = textjoin::core::query::prepare(&q, &w.catalog, schema)
+            .expect("paper query prepares");
+        let fj = p.foreign_join();
+        for method in methods_for(&fj) {
+            let mut s = ShardedTextServer::replicated(w.server.collection(), 4, 2, 0x5AD);
+            for i in 0..4 {
+                let pri = s.primary_of(i);
+                s.replica_mut(i, pri)
+                    .set_fault_plan(FaultPlan::slow(11 ^ ((i as u64) << 24), 0.5));
+            }
+            let sink = Rc::new(RingSink::unbounded());
+            s.set_recorder(Some(Recorder::new(sink.clone())));
+            let budget = RetryBudget::new(RetryPolicy::standard());
+            let sched = Scheduler::new(SchedConfig::new(0x7E97));
+            let ctx = ExecContext::with_budget(&s, &budget).with_transport(&sched);
+            run_one(&ctx, &fj, method).expect("slow replicas never fail the join");
+            let label = format!("hedged {qname}/{method}");
+            let events = sink.events();
+            assert_reconciles(&label, charge_sum(&events), &s.usage());
+
+            let hedges = events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Hedge { .. }))
+                .count() as u64;
+            let cancels = events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Cancel { .. }))
+                .count() as u64;
+            let rebates = events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Rebate { .. }))
+                .count() as u64;
+            assert_eq!(hedges, sched.hedges(), "{label}: hedge events vs counter");
+            assert_eq!(cancels, sched.cancels(), "{label}: cancel events vs counter");
+            assert_eq!(hedges, cancels, "{label}: every race has exactly one loser");
+            assert!(
+                rebates >= cancels,
+                "{label}: every cancelled leg must carry its inverse charge"
+            );
+            if hedges > 0 {
+                hedged_traces += 1;
+            }
+        }
+    }
+    assert!(hedged_traces > 0, "no trace in the matrix ever hedged");
+}
+
+/// Tail-based sampling under hedging and deadlines: a head-dropped span
+/// that turns out to contain a `Cancel` or `DeadlineMiss` is retroactively
+/// kept, so the sampled trace never loses a cancellation or deadline
+/// story — while `charge_sum(kept) + dropped_charge` still reconciles with
+/// the rebated ledger exactly.
+#[test]
+fn tail_sampling_keeps_cancellation_and_deadline_stories() {
+    use std::collections::BTreeSet;
+    use textjoin::core::sched::{SchedConfig, Scheduler};
+    use textjoin::obs::{EventKind, SampledSink, SamplePolicy, Sink};
+
+    struct Tee {
+        full: Rc<RingSink>,
+        sampled: Rc<SampledSink>,
+    }
+    impl Sink for Tee {
+        fn record(&self, ev: &Event) {
+            self.full.record(ev);
+            self.sampled.record(ev);
+        }
+    }
+
+    let w = compact_world(7);
+    let schema = w.server.collection().schema();
+    let mut cancel_stories = 0u64;
+    let mut miss_stories = 0u64;
+    for (qname, q) in [("q3", paper::q3(&w)), ("q4", paper::q4(&w))] {
+        let p = textjoin::core::query::prepare(&q, &w.catalog, schema)
+            .expect("paper query prepares");
+        let fj = p.foreign_join();
+        for method in methods_for(&fj) {
+            let mut s = ShardedTextServer::replicated(w.server.collection(), 4, 2, 0x5AD);
+            for i in 0..4 {
+                let pri = s.primary_of(i);
+                s.replica_mut(i, pri)
+                    .set_fault_plan(FaultPlan::slow(11 ^ ((i as u64) << 24), 0.5));
+            }
+            let full = Rc::new(RingSink::unbounded());
+            let kept = Rc::new(RingSink::unbounded());
+            let sampled = Rc::new(SampledSink::new(
+                kept.clone(),
+                SamplePolicy::one_in(0xCAFE, 16).with_tail_keep(),
+            ));
+            s.set_recorder(Some(Recorder::new(Rc::new(Tee {
+                full: full.clone(),
+                sampled: sampled.clone(),
+            }))));
+            let budget = RetryBudget::new(RetryPolicy::standard());
+            // A deliberately tight deadline: the first crossing emits a
+            // DeadlineMiss — flagged and traced, never an error.
+            let sched = Scheduler::new(SchedConfig::new(0x7E97).with_deadline(5.0));
+            let ctx = ExecContext::with_budget(&s, &budget).with_transport(&sched);
+            run_one(&ctx, &fj, method).expect("deadline misses never error");
+            let label = format!("tail {qname}/{method}");
+
+            // The sampled-audit invariant holds with tail retention on.
+            let mut sum = charge_sum(&kept.events());
+            sum.accumulate(&sampled.dropped_charge());
+            assert_reconciles(&label, sum, &s.usage());
+
+            // Every cancellation and deadline miss survives sampling.
+            let kept_set: BTreeSet<u64> = kept.events().iter().map(|e| e.seq).collect();
+            for ev in &full.events() {
+                match ev.kind {
+                    EventKind::Cancel { .. } => {
+                        cancel_stories += 1;
+                        assert!(kept_set.contains(&ev.seq), "{label}: cancel lost");
+                    }
+                    EventKind::DeadlineMiss { .. } => {
+                        miss_stories += 1;
+                        assert!(kept_set.contains(&ev.seq), "{label}: deadline miss lost");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    assert!(cancel_stories > 0, "the matrix never cancelled a hedge");
+    assert!(miss_stories > 0, "the matrix never crossed its deadline");
+}
+
 /// Attaching a recorder with the discard-everything sink must leave every
 /// `Usage` field byte-identical to an unrecorded run — observation is free
 /// by contract.

@@ -231,6 +231,111 @@ fn sj_recovers_by_package_splitting_when_cap_is_lowered_between_batches() {
     );
 }
 
+fn eight_doc_collection() -> Collection {
+    let schema = TextSchema::bibliographic();
+    let ti = schema.field_by_name("title").unwrap();
+    let au = schema.field_by_name("author").unwrap();
+    let mut coll = Collection::new(schema);
+    for i in 0..8 {
+        coll.add_document(
+            Document::new()
+                .with(ti, "common subject")
+                .with(au, format!("author{i}")),
+        );
+    }
+    coll
+}
+
+/// Satellite pin: a replicated gather that fails twice — a *different*
+/// shard each round — runs one completion round per failure, and each
+/// round's span carries the round's own progress (`complete-gather[1/4]`
+/// then `complete-gather[2/4]`) instead of the first round's counts being
+/// stamped on every retry.
+#[test]
+fn completion_rounds_carry_their_own_progress_labels() {
+    use std::rc::Rc;
+    use textjoin::obs::{EventKind, Recorder, RingSink};
+    use textjoin::text::expr::SearchExpr;
+    use textjoin::text::shard::ShardedTextServer;
+
+    let coll = eight_doc_collection();
+    let ti = coll.schema().field_by_name("title").unwrap();
+    let mut s = ShardedTextServer::replicated(&coll, 4, 2, 0x5AD);
+    for r in 0..2 {
+        // Shard 1: both replicas fault their first four searches, so the
+        // initial scatter exhausts the 4-attempt policy on the primary
+        // leg and the failover leg alike — then the shard recovers in
+        // time for the first completion round.
+        s.replica_mut(1, r).set_fault_plan(FaultPlan::scripted(
+            (0..4).map(|o| (o, Fault::Unavailable)).collect(),
+        ));
+        // Shard 2: both replicas fault exactly their first search — the
+        // first completion round's single attempt per replica fails, the
+        // second round's succeeds.
+        s.replica_mut(2, r)
+            .set_fault_plan(FaultPlan::scripted(vec![(0, Fault::Unavailable)]));
+    }
+    let sink = Rc::new(RingSink::unbounded());
+    s.set_recorder(Some(Recorder::new(sink.clone())));
+    let ctx = ExecContext::new(&s);
+    let out = ctx
+        .search(&SearchExpr::term_in("common", ti))
+        .expect("two completion rounds finish the gather");
+    assert_eq!(out.ids().len(), 8, "every shard's documents were gathered");
+
+    let labels: Vec<String> = sink
+        .events()
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::SpanBegin { label, .. } if label.starts_with("complete-gather[") => {
+                Some(label.clone())
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        labels,
+        vec!["complete-gather[1/4]", "complete-gather[2/4]"],
+        "each completion round is labelled with its own gathered count"
+    );
+}
+
+/// A completion round that gathers nothing new means some shard is down on
+/// every replica: the typed partial error propagates (carrying the best
+/// partial state reached) instead of re-scattering forever.
+#[test]
+fn completion_stops_when_a_round_makes_no_progress() {
+    use textjoin::text::expr::SearchExpr;
+    use textjoin::text::shard::ShardedTextServer;
+
+    let coll = eight_doc_collection();
+    let ti = coll.schema().field_by_name("title").unwrap();
+    let mut s = ShardedTextServer::replicated(&coll, 4, 2, 0x5AD);
+    for r in 0..2 {
+        // Shard 1 recovers after the initial scatter; shard 2 is dead on
+        // both replicas, permanently.
+        s.replica_mut(1, r).set_fault_plan(FaultPlan::scripted(
+            (0..4).map(|o| (o, Fault::Unavailable)).collect(),
+        ));
+        s.replica_mut(2, r).set_fault_plan(FaultPlan::dead(77));
+    }
+    let ctx = ExecContext::new(&s);
+    let err = ctx
+        .search(&SearchExpr::term_in("common", ti))
+        .expect_err("a shard dead on every replica must surface");
+    match err {
+        TextError::Shard(pse) => {
+            assert_eq!(pse.failed_shard, 2, "the dead shard is named");
+            assert_eq!(
+                pse.gathered(),
+                2,
+                "the error carries the best partial state reached (shards 0 and 1)"
+            );
+        }
+        other => panic!("expected a typed partial error, got {other:?}"),
+    }
+}
+
 /// A cap too small for even a single conjunct cannot be packaged around:
 /// the method reports inapplicability instead of looping.
 #[test]

@@ -260,6 +260,95 @@ fn q1_with_selection_matches_oracle() {
     }
 }
 
+/// The acceptance grid for the deterministic transport: every method, on a
+/// 4-shard × 2-replica server whose every primary runs slow, under an
+/// adaptive budget (hedged reads racing the stragglers), a virtual-time
+/// scheduler, and a deliberately tight per-query deadline — and still every
+/// method returns exactly the brute-force multiset, no deadline miss
+/// escapes as an error, and the concurrent makespan lands strictly below
+/// the serial transport time.
+#[test]
+fn all_methods_match_oracle_under_slow_replicas_hedging_and_deadlines() {
+    use textjoin::core::retry::{RetryBudget, RetryPolicy};
+    use textjoin::core::sched::{SchedConfig, Scheduler};
+    use textjoin::text::faults::FaultPlan;
+    use textjoin::text::shard::ShardedTextServer;
+
+    let mut hedges = 0u64;
+    let mut misses = 0u64;
+    for w in worlds() {
+        // q1 carries both a text selection and a join predicate, so all
+        // five methods (including RTP, which requires a selection) apply.
+        let p = textjoin::core::query::prepare(
+            &paper::q1(&w),
+            &w.catalog,
+            w.server.collection().schema(),
+        )
+        .expect("q1 prepares");
+        let fj = p.foreign_join();
+        let expected = oracle_shape(&fj, &oracle_pairs(&fj, &w.server));
+
+        type MethodRun<'a> = Box<dyn Fn(&ExecContext<'_>) -> Table + 'a>;
+        let runs: Vec<(&str, MethodRun<'_>)> = vec![
+            ("TS", Box::new(|ctx: &ExecContext<'_>| {
+                textjoin::core::methods::ts::tuple_substitution(ctx, &fj, true)
+                    .expect("TS survives slow replicas")
+                    .table
+            })),
+            ("RTP", Box::new(|ctx: &ExecContext<'_>| {
+                textjoin::core::methods::rtp::relational_text_processing(ctx, &fj)
+                    .expect("RTP survives slow replicas")
+                    .table
+            })),
+            ("SJ", Box::new(|ctx: &ExecContext<'_>| {
+                textjoin::core::methods::sj::semi_join(ctx, &fj)
+                    .expect("SJ survives slow replicas")
+                    .table
+            })),
+            ("P+TS", Box::new(|ctx: &ExecContext<'_>| {
+                textjoin::core::methods::probe::probe_tuple_substitution(
+                    ctx,
+                    &fj,
+                    &[0],
+                    ProbeSchedule::ProbeFirst,
+                )
+                .expect("P+TS survives slow replicas")
+                .table
+            })),
+            ("P+RTP", Box::new(|ctx: &ExecContext<'_>| {
+                textjoin::core::methods::probe::probe_rtp(ctx, &fj, &[0])
+                    .expect("P+RTP survives slow replicas")
+                    .table
+            })),
+        ];
+        for (label, run) in &runs {
+            let mut s = ShardedTextServer::replicated(w.server.collection(), 4, 2, 0x5AD);
+            for i in 0..s.shard_count() {
+                let pri = s.primary_of(i);
+                s.replica_mut(i, pri)
+                    .set_fault_plan(FaultPlan::slow(0xBEEF ^ ((i as u64) << 16), 0.2));
+            }
+            let budget = RetryBudget::new(RetryPolicy::standard());
+            let sched = Scheduler::new(SchedConfig::new(0x7E97).with_deadline(40.0));
+            let ctx = ExecContext::with_budget(&s, &budget).with_transport(&sched);
+            let table = run(&ctx);
+            assert_eq!(
+                method_shape(&fj, &table),
+                expected,
+                "{label} under slow replicas + hedging + deadline disagrees with the oracle"
+            );
+            assert!(
+                sched.makespan() < sched.serial_total(),
+                "{label}: concurrent makespan must beat the serial transport"
+            );
+            hedges += sched.hedges();
+            misses += sched.deadline_misses();
+        }
+    }
+    assert!(hedges > 0, "the slow primaries never provoked a hedge");
+    assert!(misses > 0, "the 40s deadline never bit");
+}
+
 #[test]
 fn selections_only_probe_consistency() {
     // A selection-only query (no join predicates is invalid for methods,
