@@ -14,17 +14,50 @@
 //! primary replica is permanently dead: every cell exercises failover
 //! routing and the per-shard circuit breaker, and still returns the
 //! fault-free answer.
+//!
+//! With `--rebalance`, every cell runs *during* a paced online migration
+//! whose source primary dies after the first committed batch: queries
+//! race live topology-epoch bumps, transfers drain via the surviving
+//! replica, and the journal finishes every move — still returning the
+//! fault-free answer.
 
 use textjoin_bench::experiments::{
-    chaos_table, default_world, replicated_chaos_table, sharded_chaos_table,
+    chaos_table, default_world, rebalance_chaos_table, replicated_chaos_table,
+    sharded_chaos_table,
 };
 use textjoin_bench::format::chaos_report;
 
 fn main() {
     let sharded = std::env::args().any(|a| a == "--sharded");
     let replicated = std::env::args().any(|a| a == "--replicated");
+    let rebalance = std::env::args().any(|a| a == "--rebalance");
     let w = default_world();
-    if replicated {
+    if rebalance {
+        let t = rebalance_chaos_table(&w);
+        println!(
+            "Rebalance chaos — total simulated cost over Q1–Q4 vs per-operation\n\
+             fault rate while an online migration drains shard {} into shard {}\n\
+             ({} docs in {}-doc batches, paced between query legs), {} shards ×\n\
+             {} replicas, source primary dead after batch 1\n\
+             (D = {} documents, seed = {}, transient faults, ≤2 consecutive on\n\
+             survivors, adaptive retry budget + journal-resume transfers)\n",
+            t.src_shard,
+            t.dst_shard,
+            t.migrated_docs,
+            t.batch_docs,
+            t.n_shards,
+            t.n_replicas,
+            w.server.doc_count(),
+            w.spec.seed
+        );
+        print!("{}", chaos_report(&t.methods, &t.rates, &t.cells, &t.fault_cells));
+        println!("Every cell returns the fault-free answer (asserted) while rows");
+        println!("physically move between shards mid-query: stale gathers re-");
+        println!("scatter only the shards a commit touched, source transfer legs");
+        println!("drain via the surviving replica once the primary dies, and the");
+        println!("journal resumes interrupted batches without re-buying postings");
+        println!("— every cell also drains its migration to completion.");
+    } else if replicated {
         let t = replicated_chaos_table(&w);
         println!(
             "Replicated chaos — total simulated cost over Q1–Q4 vs per-operation\n\

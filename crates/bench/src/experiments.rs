@@ -1570,6 +1570,315 @@ pub fn deadline_demo(w: &World) -> Vec<DeadlineRun> {
     vec![unbounded, bounded]
 }
 
+// ---------------------------------------------------------------------
+// Rebalance chaos: queries racing an online migration whose source dies
+// ---------------------------------------------------------------------
+
+/// Rebalance chaos experiment result: like [`ReplicatedChaosTable`] but
+/// every cell runs *during* a paced online migration draining shard
+/// `src_shard` into `dst_shard`, and the source's primary replica dies
+/// permanently after the first committed batch — every remaining source
+/// transfer leg must drain via the surviving replica. After each method
+/// run the cell drives the migration to completion and asserts the
+/// journal finished with every staged document committed (never aborted).
+#[derive(Debug, Clone)]
+pub struct RebalanceChaosTable {
+    /// Per-operation fault probabilities on the surviving replicas,
+    /// first entry 0.0 (the baseline — which still pays the dead-primary
+    /// transfer faults and the paced migration itself).
+    pub rates: Vec<f64>,
+    /// Method labels in row order.
+    pub methods: Vec<&'static str>,
+    /// `cells[m][r]` = `(total_secs, overhead_pct)`.
+    pub cells: Vec<Vec<Option<(f64, f64)>>>,
+    /// `fault_cells[m][r]` = `(faults, retries)` summed over the queries.
+    pub fault_cells: Vec<Vec<Option<(u64, u64)>>>,
+    /// Number of logical shards in every cell's server.
+    pub n_shards: usize,
+    /// Replicas per shard.
+    pub n_replicas: usize,
+    /// Shard being drained (its primary dies after batch 1).
+    pub src_shard: usize,
+    /// Shard taking ownership.
+    pub dst_shard: usize,
+    /// Documents per migration batch.
+    pub batch_docs: usize,
+    /// Documents each cell's plan stages (identical across cells — same
+    /// collection, same partition seed).
+    pub migrated_docs: u64,
+}
+
+/// Runs every method over Q1–Q4 against a 4-shard × 2-replica server
+/// while a paced online migration drains shard 1 into shard 3. The first
+/// batch commits cleanly; then shard 1's primary replica faults on
+/// *every* operation (`FaultPlan::dead`) and the surviving replicas carry
+/// independent bounded transient plans. Queries interleave with transfer
+/// batches (`set_migration_pacing`), so every cell exercises the
+/// epoch-staleness re-gather, replica-sourced transfer, and the
+/// journal-resume path at once — and still returns the rate-0 answers
+/// (asserted by the grid). Each cell then drains the migration to
+/// completion, asserting exactly-once delivery finished every move.
+pub fn rebalance_chaos_table(w: &World) -> RebalanceChaosTable {
+    use std::cell::Cell;
+    use textjoin_core::retry::{RetryBudget, RetryPolicy};
+    use textjoin_text::doc::DocId;
+    use textjoin_text::faults::FaultPlan;
+    use textjoin_text::rebalance::{MigrationPlan, Move, MoveStatus};
+    use textjoin_text::shard::ShardedTextServer;
+
+    const N_SHARDS: usize = 4;
+    const N_REPLICAS: usize = 2;
+    const PARTITION_SEED: u64 = 0x5AD;
+    const SRC_SHARD: usize = 1;
+    const DST_SHARD: usize = 3;
+    const BATCH_DOCS: usize = 24;
+
+    let rates = vec![0.0, 0.05, 0.1, 0.2];
+    let methods: Vec<&'static str> = vec!["TS", "RTP", "SJ/SJ+RTP", "P+TS", "P+RTP"];
+    let preps = chaos_preps(w);
+    let migrated = Cell::new(0u64);
+    let (cells, fault_cells) = chaos_grid(
+        &preps,
+        &rates,
+        &methods,
+        "rebalance fault injection",
+        |qi, mi, ri, rate, kind, cols| {
+            let cell_seed = 0x4EB ^ ((qi as u64) << 16) ^ ((mi as u64) << 8) ^ ri as u64;
+            let mut sharded = ShardedTextServer::replicated(
+                w.server.collection(),
+                N_SHARDS,
+                N_REPLICAS,
+                PARTITION_SEED,
+            );
+            let doc_count = w.server.doc_count() as u32;
+            let journal = sharded.begin_migration(MigrationPlan::new(
+                vec![Move {
+                    range: (DocId(0), DocId(doc_count)),
+                    src: SRC_SHARD,
+                    dst: DST_SHARD,
+                }],
+                BATCH_DOCS,
+            ));
+            migrated.set(journal.entries.iter().map(|e| e.docs).sum());
+            // Batch 1 commits against healthy replicas; then the source
+            // primary dies and the survivors start faulting transiently.
+            sharded.migrate_batch().expect("fault-free first batch");
+            let dead_replica = sharded.primary_of(SRC_SHARD);
+            for i in 0..N_SHARDS {
+                for r in 0..N_REPLICAS {
+                    let plan = if (i, r) == (SRC_SHARD, dead_replica) {
+                        FaultPlan::dead(cell_seed)
+                    } else {
+                        FaultPlan::transient(
+                            cell_seed ^ ((i as u64) << 24) ^ ((r as u64) << 32),
+                            rate,
+                            2,
+                        )
+                    };
+                    sharded.replica_mut(i, r).set_fault_plan(plan);
+                }
+            }
+            sharded.set_migration_pacing(3);
+            let budget = RetryBudget::new(RetryPolicy::standard());
+            let ctx = ExecContext::with_budget(&sharded, &budget);
+            let out = run_method_ctx(&ctx, &preps[qi].prepared, kind, cols).ok();
+            // Drain what the paced interleave left. A transiently refused
+            // batch resumes from the journal on the next attempt, so the
+            // loop terminates (bounded consecutive faults, finite plan).
+            let mut steps = 0u32;
+            while !sharded.journal().expect("journal exists").finished() {
+                let _ = sharded.migrate_batch();
+                steps += 1;
+                assert!(steps < 10_000, "migration failed to drain");
+            }
+            assert!(
+                sharded
+                    .journal()
+                    .expect("journal exists")
+                    .entries
+                    .iter()
+                    .all(|e| e.status == MoveStatus::Done),
+                "a move aborted under recoverable faults"
+            );
+            out
+        },
+    );
+    RebalanceChaosTable {
+        rates,
+        methods,
+        cells,
+        fault_cells,
+        n_shards: N_SHARDS,
+        n_replicas: N_REPLICAS,
+        src_shard: SRC_SHARD,
+        dst_shard: DST_SHARD,
+        batch_docs: BATCH_DOCS,
+        migrated_docs: migrated.get(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rebalance tables: stats-routing fan-out and migration amortization
+// ---------------------------------------------------------------------
+
+/// One fan-out row: TS over a sharded server with stats-aware routing off
+/// vs on.
+#[derive(Debug, Clone)]
+pub struct FanoutRow {
+    /// Query label (`Q1`..`Q4`).
+    pub label: &'static str,
+    /// Scatter fan-out with routing off (always the shard count).
+    pub full: usize,
+    /// Fan-out after vocabulary pruning (from the same selection masks
+    /// the executor folds into `CostParams::with_scatter_fanout`).
+    pub pruned: usize,
+    /// Simulated seconds with routing off.
+    pub secs_off: f64,
+    /// Simulated seconds with routing on.
+    pub secs_on: f64,
+    /// Output rows (asserted identical off vs on).
+    pub rows: usize,
+}
+
+/// One amortization row: a full drain of the source shard at a given
+/// batch size, every charge read from the dedicated migration bucket.
+#[derive(Debug, Clone)]
+pub struct AmortizationRow {
+    /// Documents per batch.
+    pub batch_docs: usize,
+    /// Committed batches (`ceil(docs / batch_docs)`).
+    pub batches: u64,
+    /// Documents migrated.
+    pub docs: u64,
+    /// Postings ingested on the destination leg.
+    pub postings: u64,
+    /// Transfer invocations (two legs per batch when fault-free).
+    pub invocations: u64,
+    /// Total migration cost (simulated seconds).
+    pub total_cost: f64,
+    /// `total_cost / docs`.
+    pub cost_per_doc: f64,
+}
+
+/// Rebalance experiment result for the `rebalance` binary: the
+/// stats-routing fan-out table and the migration amortization grid.
+#[derive(Debug, Clone)]
+pub struct RebalanceTable {
+    /// Per-query fan-out rows.
+    pub fanout: Vec<FanoutRow>,
+    /// Per-batch-size amortization rows.
+    pub amortization: Vec<AmortizationRow>,
+    /// Shards in every server.
+    pub n_shards: usize,
+    /// Shard drained by the amortization grid.
+    pub src_shard: usize,
+    /// Shard receiving the amortization drain.
+    pub dst_shard: usize,
+}
+
+/// Measures (a) what vocabulary-based shard pruning saves each paper
+/// query's TS run — fan-out N vs pruned, with the pruned fan-out computed
+/// from the *same* selection masks the executor folds into
+/// [`CostParams::with_scatter_fanout`], so the printed table and the
+/// planner's `effective_c_i` can never drift — and (b) how migration
+/// batch size trades invocation overhead against interruption granularity
+/// on a full fault-free drain of one shard. Fully seeded; byte-identical
+/// across runs.
+pub fn rebalance_table(w: &World) -> RebalanceTable {
+    use textjoin_text::doc::DocId;
+    use textjoin_text::expr::SearchExpr;
+    use textjoin_text::rebalance::{MigrationPlan, Move};
+    use textjoin_text::service::TextService;
+    use textjoin_text::shard::ShardedTextServer;
+
+    const N_SHARDS: usize = 4;
+    const PARTITION_SEED: u64 = 0x5AD;
+    const SRC_SHARD: usize = 1;
+    const DST_SHARD: usize = 3;
+
+    let ts_schema = w.server.collection().schema();
+    let labels: [&'static str; 4] = ["Q1", "Q2", "Q3", "Q4"];
+    let queries: Vec<SingleJoinQuery> =
+        vec![paper::q1(w), paper::q2(w), paper::q3(w), paper::q4(w)];
+    let mut fanout = Vec::new();
+    for (label, q) in labels.iter().zip(&queries) {
+        let prepared = prepare(q, &w.catalog, ts_schema).expect("paper query prepares");
+        let run = |routing: bool| {
+            let sharded =
+                ShardedTextServer::new(w.server.collection(), N_SHARDS, PARTITION_SEED);
+            sharded.set_stats_routing(routing);
+            run_method_on(&sharded, &prepared, MethodKind::Ts, &[]).expect("TS runs")
+        };
+        let off = run(false);
+        let on = run(true);
+        assert_eq!(off.rows, on.rows, "stats routing changed {label} answers");
+        // The same mask fold the executor applies (exec.rs): a shard is
+        // relevant if any selection term may match there.
+        let sharded = ShardedTextServer::new(w.server.collection(), N_SHARDS, PARTITION_SEED);
+        sharded.set_stats_routing(true);
+        let schema = TextService::schema(&sharded);
+        let sel: Vec<SearchExpr> = q
+            .selections
+            .iter()
+            .filter_map(|(term, field)| {
+                schema.resolve(field).map(|f| SearchExpr::term_in(term, f))
+            })
+            .collect();
+        let pruned = if sel.is_empty() {
+            N_SHARDS
+        } else {
+            let masks: Vec<Vec<bool>> = sel.iter().map(|e| sharded.relevant_shards(e)).collect();
+            (0..N_SHARDS)
+                .filter(|&i| masks.iter().any(|m| m[i]))
+                .count()
+                .max(1)
+        };
+        fanout.push(FanoutRow {
+            label,
+            full: N_SHARDS,
+            pruned,
+            secs_off: off.secs,
+            secs_on: on.secs,
+            rows: off.rows,
+        });
+    }
+
+    let mut amortization = Vec::new();
+    for &batch in &[4usize, 16, 64] {
+        let mut sharded =
+            ShardedTextServer::new(w.server.collection(), N_SHARDS, PARTITION_SEED);
+        let doc_count = w.server.doc_count() as u32;
+        let journal = sharded.begin_migration(MigrationPlan::new(
+            vec![Move {
+                range: (DocId(0), DocId(doc_count)),
+                src: SRC_SHARD,
+                dst: DST_SHARD,
+            }],
+            batch,
+        ));
+        let docs: u64 = journal.entries.iter().map(|e| e.docs).sum();
+        sharded.run_migration().expect("fault-free migration completes");
+        let u = sharded.migration_usage();
+        amortization.push(AmortizationRow {
+            batch_docs: batch,
+            batches: docs.div_ceil(batch as u64),
+            docs,
+            postings: u.postings_processed,
+            invocations: u.invocations,
+            total_cost: u.total_cost(),
+            cost_per_doc: u.total_cost() / docs as f64,
+        });
+    }
+
+    RebalanceTable {
+        fanout,
+        amortization,
+        n_shards: N_SHARDS,
+        src_shard: SRC_SHARD,
+        dst_shard: DST_SHARD,
+    }
+}
+
 #[cfg(test)]
 mod chaos_tests {
     use super::*;

@@ -53,6 +53,15 @@ pub struct CostParams {
     /// shard count for a sharded service, 1 otherwise. Only consulted
     /// when a deadline is set.
     pub parallelism: f64,
+    /// Shards each logical search actually scatters to. 1 (the default)
+    /// prices invocations exactly as the classic single-server model —
+    /// under all-shards scatter every method's invoice scales by the same
+    /// factor, so rankings are unchanged and the fold stays off. With
+    /// stats-aware routing the executor prunes provably irrelevant shards,
+    /// and the planner must price the *pruned* fan-out (set via
+    /// [`with_scatter_fanout`](Self::with_scatter_fanout)) to stay in
+    /// lockstep with what the scatter paths charge.
+    pub scatter_fanout: f64,
 }
 
 impl CostParams {
@@ -70,6 +79,7 @@ impl CostParams {
             mean_backoff: 0.0,
             deadline: None,
             parallelism: 1.0,
+            scatter_fanout: 1.0,
         }
     }
 
@@ -88,6 +98,15 @@ impl CostParams {
     /// Sets the transport parallelism the rank may assume (clamped ≥ 1).
     pub fn with_parallelism(mut self, parallelism: f64) -> Self {
         self.parallelism = parallelism.max(1.0);
+        self
+    }
+
+    /// Sets the per-search scatter fan-out the invocation terms are priced
+    /// at (clamped ≥ 1). Only meaningful when the executor's stats-aware
+    /// routing is on; the caller must pass the same pruned fan-out the
+    /// scatter paths will use, or planner and executor fall out of sync.
+    pub fn with_scatter_fanout(mut self, fanout: f64) -> Self {
+        self.scatter_fanout = fanout.max(1.0);
         self
     }
 
@@ -141,10 +160,11 @@ impl CostParams {
         self
     }
 
-    /// Effective invocation cost under the fault model: `c_i` plus the
-    /// expected retry backoff per invocation.
+    /// Effective invocation cost under the fault model and the scatter
+    /// fan-out: `c_i` plus the expected retry backoff per invocation, paid
+    /// once per shard the search actually scatters to.
     pub fn effective_c_i(&self) -> f64 {
-        self.constants.c_i + self.fault_rate * self.mean_backoff
+        self.scatter_fanout * (self.constants.c_i + self.fault_rate * self.mean_backoff)
     }
 
     /// Adopts a trace-driven calibration: every constant the trace

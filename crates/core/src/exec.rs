@@ -577,8 +577,41 @@ pub fn plan_and_execute_with(
         }
     };
     // The deadline-aware rank divides parallelizable work by the transport
-    // parallelism — the shard count when the service scatters.
+    // parallelism — the shard count when the service scatters. With
+    // stats-aware routing on, the executor's scatter paths skip shards the
+    // per-shard vocabularies prove irrelevant to the query's text
+    // selections, so the planner prices the *pruned* fan-out instead
+    // (parallelism and the effective_c_i fold alike) — the same
+    // planner/executor lockstep rule as the Full-if-residuals projection.
+    // The selection-only mask is a superset of any instantiated search's
+    // relevance (instantiation only ANDs more terms), so the priced
+    // fan-out never undercounts a scatter the executor will perform.
     let params = match server.as_sharded() {
+        Some(sh) if sh.stats_routing_enabled() => {
+            let schema = server.schema();
+            let sel_exprs: Vec<textjoin_text::expr::SearchExpr> = query
+                .selections
+                .iter()
+                .filter_map(|(term, field)| {
+                    schema
+                        .resolve(field)
+                        .map(|f| textjoin_text::expr::SearchExpr::term_in(term, f))
+                })
+                .collect();
+            let fanout = if sel_exprs.is_empty() {
+                sh.shard_count()
+            } else {
+                let masks: Vec<Vec<bool>> =
+                    sel_exprs.iter().map(|e| sh.relevant_shards(e)).collect();
+                (0..sh.shard_count())
+                    .filter(|&i| masks.iter().any(|m| m[i]))
+                    .count()
+                    .max(1)
+            };
+            params
+                .with_parallelism(fanout as f64)
+                .with_scatter_fanout(fanout as f64)
+        }
         Some(sh) => params.with_parallelism(sh.shard_count() as f64),
         None => params,
     };

@@ -4,6 +4,14 @@
 //! value combinations) are known to fail or succeed, "so that no duplicate
 //! probes are sent". The same structure serves the plain fail-query cache
 //! the paper mentions for tuple substitution.
+//!
+//! Entries are keyed by the **topology epoch** the outcome was observed at
+//! as well as the probe-key values: an online migration batch committing
+//! mid-execution re-routes docids, so an outcome proved against the old
+//! routing must not prune under the new one. A bumped epoch therefore
+//! *misses* (the probe is re-sent and re-recorded at the new epoch) rather
+//! than clearing the cache — single servers never change topology, so
+//! their epoch is constantly 0 and behavior is unchanged.
 
 use std::collections::HashMap;
 
@@ -17,10 +25,11 @@ pub enum ProbeOutcome {
     Fail,
 }
 
-/// A per-execution cache from probe-key values to outcomes.
+/// A per-execution cache from (topology epoch, probe-key values) to
+/// outcomes.
 #[derive(Debug, Default)]
 pub struct ProbeCache {
-    entries: HashMap<Vec<String>, ProbeOutcome>,
+    entries: HashMap<u64, HashMap<Vec<String>, ProbeOutcome>>,
     hits: u64,
     misses: u64,
 }
@@ -31,9 +40,11 @@ impl ProbeCache {
         Self::default()
     }
 
-    /// Looks up a key, recording a hit or miss.
-    pub fn lookup(&mut self, key: &[String]) -> Option<ProbeOutcome> {
-        match self.entries.get(key) {
+    /// Looks up a key at `epoch`, recording a hit or miss. An outcome
+    /// recorded at a different epoch is invisible: routing may have moved
+    /// the documents it was proved against.
+    pub fn lookup(&mut self, epoch: u64, key: &[String]) -> Option<ProbeOutcome> {
+        match self.entries.get(&epoch).and_then(|e| e.get(key)) {
             Some(&o) => {
                 self.hits += 1;
                 Some(o)
@@ -45,20 +56,21 @@ impl ProbeCache {
         }
     }
 
-    /// Records an outcome for a key. Later records overwrite earlier ones
-    /// (a success learned from a full query upgrades a pending state).
-    pub fn record(&mut self, key: Vec<String>, outcome: ProbeOutcome) {
-        self.entries.insert(key, outcome);
+    /// Records an outcome for a key at `epoch`. Later records overwrite
+    /// earlier ones (a success learned from a full query upgrades a
+    /// pending state).
+    pub fn record(&mut self, epoch: u64, key: Vec<String>, outcome: ProbeOutcome) {
+        self.entries.entry(epoch).or_default().insert(key, outcome);
     }
 
-    /// Number of cached keys.
+    /// Number of cached keys, over all epochs.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.values().map(HashMap::len).sum()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// `(hits, misses)` counters.
@@ -75,9 +87,9 @@ mod tests {
     fn lookup_and_record() {
         let mut c = ProbeCache::new();
         let key = vec!["garcia".to_owned()];
-        assert_eq!(c.lookup(&key), None);
-        c.record(key.clone(), ProbeOutcome::Fail);
-        assert_eq!(c.lookup(&key), Some(ProbeOutcome::Fail));
+        assert_eq!(c.lookup(0, &key), None);
+        c.record(0, key.clone(), ProbeOutcome::Fail);
+        assert_eq!(c.lookup(0, &key), Some(ProbeOutcome::Fail));
         assert_eq!(c.stats(), (1, 1));
         assert_eq!(c.len(), 1);
     }
@@ -86,19 +98,35 @@ mod tests {
     fn overwrite_upgrades() {
         let mut c = ProbeCache::new();
         let key = vec!["x".to_owned(), "y".to_owned()];
-        c.record(key.clone(), ProbeOutcome::Fail);
-        c.record(key.clone(), ProbeOutcome::Success);
-        assert_eq!(c.lookup(&key), Some(ProbeOutcome::Success));
+        c.record(0, key.clone(), ProbeOutcome::Fail);
+        c.record(0, key.clone(), ProbeOutcome::Success);
+        assert_eq!(c.lookup(0, &key), Some(ProbeOutcome::Success));
     }
 
     #[test]
     fn multi_column_keys_distinct() {
         let mut c = ProbeCache::new();
-        c.record(vec!["a".into(), "b".into()], ProbeOutcome::Fail);
-        assert_eq!(c.lookup(&["a".to_owned()]), None);
+        c.record(0, vec!["a".into(), "b".into()], ProbeOutcome::Fail);
+        assert_eq!(c.lookup(0, &["a".to_owned()]), None);
         assert_eq!(
-            c.lookup(&["a".to_owned(), "b".to_owned()]),
+            c.lookup(0, &["a".to_owned(), "b".to_owned()]),
             Some(ProbeOutcome::Fail)
         );
+    }
+
+    #[test]
+    fn epoch_bump_misses_without_clearing() {
+        let mut c = ProbeCache::new();
+        let key = vec!["garcia".to_owned()];
+        c.record(3, key.clone(), ProbeOutcome::Fail);
+        // A migration commit bumped the epoch: the stale fail-entry must
+        // not prune against the new routing.
+        assert_eq!(c.lookup(4, &key), None);
+        // The old entry survives (a still-in-flight gather pinned at the
+        // old epoch keeps its pruning power).
+        assert_eq!(c.lookup(3, &key), Some(ProbeOutcome::Fail));
+        c.record(4, key.clone(), ProbeOutcome::Success);
+        assert_eq!(c.lookup(4, &key), Some(ProbeOutcome::Success));
+        assert_eq!(c.len(), 2);
     }
 }

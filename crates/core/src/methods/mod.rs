@@ -531,6 +531,15 @@ impl<'a> ExecContext<'a> {
         out
     }
 
+    /// The per-shard gather loop. Routing is decided at the topology epoch
+    /// in force when the loop starts; a migration batch committing
+    /// mid-gather (paced under these very legs) bumps the epoch, and the
+    /// loop re-scatters *only* the shards the commit touched
+    /// (`RoutingStale`, charge-free) — mirroring the service-level scatter.
+    /// With stats-aware routing on, shards whose vocabulary provably holds
+    /// no postings for `expr` are answered empty for free; the planner
+    /// folds the same pruned fan-out into its costs
+    /// (`CostParams::with_scatter_fanout`).
     fn gather_shards(
         &self,
         sh: &ShardedTextServer,
@@ -538,18 +547,41 @@ impl<'a> ExecContext<'a> {
         n: usize,
     ) -> Result<SearchResult, TextError> {
         let mut done: Vec<Option<SearchResult>> = vec![None; n];
-        for i in 0..n {
-            let _shard_span = self.span(&format!("gather/shard{i}"));
-            match self.replicated_attempts(sh, i, |r| sh.search_replica(i, r, expr)) {
-                Ok(r) => done[i] = Some(r),
-                Err(e) if e.is_transient() => {
-                    return Err(TextError::Shard(Box::new(PartialShardError {
-                        partial: done,
-                        failed_shard: i,
-                        error: e,
-                    })))
+        let mut from_epoch = sh.topology_epoch();
+        let mut relevant = sh.relevant_shards(expr);
+        loop {
+            let now = sh.topology_epoch();
+            if now != from_epoch {
+                for i in sh.note_routing_stale(from_epoch) {
+                    done[i] = None;
                 }
-                Err(e) => return Err(e),
+                relevant = sh.relevant_shards(expr);
+                from_epoch = now;
+            }
+            for i in 0..n {
+                if done[i].is_some() {
+                    continue;
+                }
+                if !relevant[i] {
+                    done[i] = Some(SearchResult { docs: Vec::new() });
+                    continue;
+                }
+                let _shard_span = self.span(&format!("gather/shard{i}"));
+                match self.replicated_attempts(sh, i, |r| sh.search_replica(i, r, expr)) {
+                    Ok(r) => done[i] = Some(r),
+                    Err(e) if e.is_transient() => {
+                        return Err(TextError::Shard(Box::new(PartialShardError {
+                            partial: done,
+                            failed_shard: i,
+                            error: e,
+                            epoch: sh.topology_epoch(),
+                        })))
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if sh.topology_epoch() == from_epoch {
+                break;
             }
         }
         Ok(ShardedTextServer::merge(
@@ -590,7 +622,11 @@ impl<'a> ExecContext<'a> {
                     pse.partial.len()
                 ));
                 let before = self.sched.map(|_| self.server.usage());
-                let round = sh.complete_gather(&pse.partial, expr);
+                // The partials carry the epoch they were gathered at: a
+                // migration batch that committed since invalidates exactly
+                // the shards it touched, and completion re-scatters those
+                // alongside the failed one.
+                let round = sh.complete_gather_from(&pse.partial, expr, pse.epoch);
                 if let Some(before) = before {
                     let delta = self.server.usage().since(&before);
                     self.record_leg(None, "complete-gather", &delta);
@@ -692,27 +728,63 @@ impl<'a> ExecContext<'a> {
         }
     }
 
+    /// Batch analogue of [`gather_shards`](Self::gather_shards): a shard is
+    /// relevant when *any* member may match there, epoch bumps re-scatter
+    /// only the shards a concurrent commit touched.
     fn batch_shards(
         &self,
         sh: &ShardedTextServer,
         exprs: &[SearchExpr],
         n: usize,
     ) -> Result<BatchResult, TextError> {
-        let mut per_shard = Vec::with_capacity(n);
-        for i in 0..n {
-            let _shard_span = self.span(&format!("gather/shard{i}"));
-            match self.replicated_attempts(sh, i, |r| sh.batch_replica(i, r, exprs)) {
-                Ok(b) => per_shard.push(b),
-                Err(e) if e.is_transient() => {
-                    return Err(TextError::Shard(Box::new(PartialShardError {
-                        partial: Vec::new(),
-                        failed_shard: i,
-                        error: e,
-                    })))
+        let batch_mask = |sh: &ShardedTextServer| -> Vec<bool> {
+            let masks: Vec<Vec<bool>> = exprs.iter().map(|e| sh.relevant_shards(e)).collect();
+            (0..n)
+                .map(|i| masks.iter().any(|m| m[i]) || masks.is_empty())
+                .collect()
+        };
+        let mut done: Vec<Option<BatchResult>> = vec![None; n];
+        let mut from_epoch = sh.topology_epoch();
+        let mut relevant = batch_mask(sh);
+        loop {
+            let now = sh.topology_epoch();
+            if now != from_epoch {
+                for i in sh.note_routing_stale(from_epoch) {
+                    done[i] = None;
                 }
-                Err(e) => return Err(e),
+                relevant = batch_mask(sh);
+                from_epoch = now;
+            }
+            for i in 0..n {
+                if done[i].is_some() {
+                    continue;
+                }
+                if !relevant[i] {
+                    done[i] = Some(BatchResult {
+                        results: vec![SearchResult { docs: Vec::new() }; exprs.len()],
+                    });
+                    continue;
+                }
+                let _shard_span = self.span(&format!("gather/shard{i}"));
+                match self.replicated_attempts(sh, i, |r| sh.batch_replica(i, r, exprs)) {
+                    Ok(b) => done[i] = Some(b),
+                    Err(e) if e.is_transient() => {
+                        return Err(TextError::Shard(Box::new(PartialShardError {
+                            partial: Vec::new(),
+                            failed_shard: i,
+                            error: e,
+                            epoch: sh.topology_epoch(),
+                        })))
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if sh.topology_epoch() == from_epoch {
+                break;
             }
         }
+        let per_shard: Vec<BatchResult> =
+            done.into_iter().map(|b| b.expect("all gathered")).collect();
         let results = (0..exprs.len())
             .map(|j| {
                 ShardedTextServer::merge(per_shard.iter().map(|b| b.results[j].clone()).collect())

@@ -114,6 +114,7 @@ fn probe_first_ts(
         // unrecorded — outcome unknown, so phase 2 will not prune on it.
         if let Some(ids) = ctx.try_probe(&expr) {
             cache.record(
+                ctx.server.topology_epoch(),
                 key,
                 if ids.is_empty() {
                     ProbeOutcome::Fail
@@ -138,7 +139,7 @@ fn probe_first_ts(
             continue;
         };
         // Only a *proven* fail prunes; an unknown outcome substitutes.
-        if cache.lookup(&probe_key) == Some(ProbeOutcome::Fail) {
+        if cache.lookup(ctx.server.topology_epoch(), &probe_key) == Some(ProbeOutcome::Fail) {
             continue;
         }
         let Some(expr) = fj.instantiated_search(t, &all) else {
@@ -186,7 +187,7 @@ fn lazy_ts(
             continue;
         };
         // Paper's pseudocode: if cache has fail entry for probe of t, exit.
-        if cache.lookup(&probe_key) == Some(ProbeOutcome::Fail) {
+        if cache.lookup(ctx.server.topology_epoch(), &probe_key) == Some(ProbeOutcome::Fail) {
             continue;
         }
         // Instantiate the query with t (as in tuple substitution).
@@ -196,7 +197,7 @@ fn lazy_ts(
         let result = ctx.search(&expr)?;
         if !result.is_empty() {
             // Query success implies probe success: record without sending.
-            cache.record(probe_key, ProbeOutcome::Success);
+            cache.record(ctx.server.topology_epoch(), probe_key, ProbeOutcome::Success);
             let docs = fetch_for_projection(ctx, fj, &result.docs)?;
             for &ri in &rows {
                 fj.emit(&mut out, text_schema, &fj.rel.rows()[ri], &docs);
@@ -205,7 +206,7 @@ fn lazy_ts(
         }
         // Query failed. If the probe for t is already cached (success —
         // fail was handled above), exit; else send the probe and cache it.
-        if cache.lookup(&probe_key).is_some() {
+        if cache.lookup(ctx.server.topology_epoch(), &probe_key).is_some() {
             continue;
         }
         let probe_expr = fj
@@ -215,6 +216,7 @@ fn lazy_ts(
         // key substitutes (and may retry the probe) instead of pruning.
         if let Some(ids) = ctx.try_probe(&probe_expr) {
             cache.record(
+                ctx.server.topology_epoch(),
                 probe_key,
                 if ids.is_empty() {
                     ProbeOutcome::Fail
@@ -345,6 +347,7 @@ pub fn probe_rtp(
         // degrades it to per-key tuple substitution instead of pruning.
         if let Some(ids) = ctx.try_probe(&expr) {
             cache.record(
+                ctx.server.topology_epoch(),
                 key,
                 if ids.is_empty() {
                     ProbeOutcome::Fail
@@ -394,7 +397,7 @@ pub fn probe_rtp(
         let Some(probe_key) = fj.key_values(t, probe_cols) else {
             continue;
         };
-        match cache.lookup(&probe_key) {
+        match cache.lookup(ctx.server.topology_epoch(), &probe_key) {
             Some(ProbeOutcome::Fail) => continue,
             Some(ProbeOutcome::Success) => {
                 let mut hits: Vec<(DocId, Document)> = Vec::new();

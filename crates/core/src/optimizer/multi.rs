@@ -182,7 +182,12 @@ impl PlannerInput {
     /// against via `CostParams::effective_c_i`. Keep that in sync with the
     /// executor: `plan_and_execute` folds the session's observed fault
     /// rate into `params` before gathering, so the planner prices retries
-    /// with the same schedule `ExecContext` actually charges.
+    /// with the same schedule `ExecContext` actually charges. The same
+    /// lockstep rule covers the scatter fan-out: when the sharded
+    /// service's stats-aware routing is on, `plan_and_execute` folds the
+    /// *pruned* fan-out (`CostParams::with_scatter_fanout`, computed from
+    /// the same per-shard vocabulary masks the scatter paths consult) so
+    /// `effective_c_i` prices exactly the shards a search will invoice.
     fn stats_for(&self, rows: f64, preds: &[usize], projection: Projection) -> JoinStatistics {
         let pred_stats: Vec<PredStats> = preds
             .iter()

@@ -9,6 +9,13 @@
 //! * [`optimal_probe_bounded`] — only subsets of size ≤ `min(k, 2g)`,
 //!   justified by Theorem 5.3 (for 1-correlated cost models the optimal
 //!   probe has at most 2 columns; generalized, at most `min(k, 2g)`).
+//!
+//! The formulas price every invocation at `CostParams::effective_c_i`,
+//! which folds both the session's fault model and the scatter fan-out.
+//! Against a sharded service with stats-aware routing on, the caller must
+//! set the *pruned* fan-out (`with_scatter_fanout`) so the candidates here
+//! are ranked by the same invoice the executor's scatter paths will
+//! actually charge — see `plan_and_execute_with` for the lockstep fold.
 
 use crate::cost::formulas::{
     cost_p_rtp, cost_p_ts, cost_rtp, cost_sj, cost_ts, CostBreakdown,

@@ -322,6 +322,45 @@ impl RetryBudget {
             .map(|b| b.open)
             .unwrap_or(false)
     }
+
+    /// Source replica order for a migration transfer off `shard`: the
+    /// shard's routing order with the primary demoted to last while its
+    /// breaker is open. A transfer should not spend its first attempt on a
+    /// replica queries already proved persistently dead, but the primary
+    /// stays reachable as a last resort (it may hold the only copy).
+    pub fn transfer_order(
+        &self,
+        sh: &textjoin_text::shard::ShardedTextServer,
+        shard: usize,
+    ) -> Vec<usize> {
+        let mut order = sh.routing_order(shard);
+        if self.breaker_open(shard) && order.len() > 1 {
+            let primary = sh.primary_of(shard);
+            order.retain(|&r| r != primary);
+            order.push(primary);
+        }
+        order
+    }
+}
+
+/// Runs one migration batch with breaker-aware source routing: while the
+/// current move's source shard has an open breaker, the transfer draws
+/// from the replicas first ([`RetryBudget::transfer_order`]). The
+/// journal-backed resume semantics of
+/// [`migrate_batch_via`](textjoin_text::shard::ShardedTextServer::migrate_batch_via)
+/// are unchanged — this only reorders which replica the source leg tries
+/// first.
+pub fn migration_step(
+    sh: &textjoin_text::shard::ShardedTextServer,
+    budget: &RetryBudget,
+) -> Result<textjoin_text::rebalance::MigrationProgress, TextError> {
+    match sh.current_move() {
+        Some((_, src, _)) => {
+            let order = budget.transfer_order(sh, src);
+            sh.migrate_batch_via(Some(&order))
+        }
+        None => sh.migrate_batch(),
+    }
 }
 
 #[cfg(test)]
@@ -516,5 +555,79 @@ mod tests {
         assert!(matches!(err, TextError::Unavailable));
         assert_eq!(s.usage().retries, 0);
         assert_eq!(s.usage().time_backoff, 0.0);
+    }
+
+    fn sharded_corpus(n: usize) -> Collection {
+        let schema = TextSchema::bibliographic();
+        let ti = schema.field_by_name("title").unwrap();
+        let mut c = Collection::new(schema);
+        for i in 0..n {
+            c.add_document(Document::new().with(ti, format!("shared subject {i}")));
+        }
+        c
+    }
+
+    #[test]
+    fn transfer_order_demotes_an_open_breaker_primary() {
+        use textjoin_text::shard::ShardedTextServer;
+        let sh = ShardedTextServer::replicated(&sharded_corpus(40), 4, 3, 7);
+        let b = RetryBudget::new(RetryPolicy::standard());
+        // Breaker closed: transfer order is the plain routing order.
+        assert_eq!(b.transfer_order(&sh, 1), sh.routing_order(1));
+        // Open shard 1's breaker the way the failover path does: enough
+        // observed faults to cross the dead threshold.
+        for _ in 0..16 {
+            b.observe(1, true);
+        }
+        assert!(b.open_breaker_if_dead(1));
+        let order = b.transfer_order(&sh, 1);
+        let primary = sh.primary_of(1);
+        assert_eq!(order.last(), Some(&primary), "primary demoted to last");
+        let mut expected = sh.routing_order(1);
+        expected.retain(|&r| r != primary);
+        expected.push(primary);
+        assert_eq!(order, expected, "replica order otherwise preserved");
+        // Other shards are untouched.
+        assert_eq!(b.transfer_order(&sh, 2), sh.routing_order(2));
+    }
+
+    #[test]
+    fn migration_step_drains_an_open_breaker_source_via_replicas() {
+        use textjoin_text::doc::DocId;
+        use textjoin_text::rebalance::{MigrationPlan, MigrationProgress, Move, MoveStatus};
+        use textjoin_text::shard::ShardedTextServer;
+        use textjoin_text::service::TextService;
+
+        let coll = sharded_corpus(40);
+        let mut sh = ShardedTextServer::replicated(&coll, 4, 2, 7);
+        let src = sh.owner_of(DocId(0)).unwrap();
+        let dst = (src + 1) % 4;
+        let primary = sh.primary_of(src);
+        // The primary is persistently dead; queries have already opened
+        // its breaker.
+        sh.replica_mut(src, primary).set_fault_plan(FaultPlan::dead(9));
+        let b = RetryBudget::new(RetryPolicy::standard());
+        for _ in 0..16 {
+            b.observe(src, true);
+        }
+        assert!(b.open_breaker_if_dead(src));
+        sh.begin_migration(MigrationPlan::new(
+            vec![Move { range: (DocId(0), DocId(40)), src, dst }],
+            4,
+        ));
+        loop {
+            match migration_step(&sh, &b).expect("replica-sourced transfer") {
+                MigrationProgress::Idle => break,
+                MigrationProgress::Committed { .. } => {}
+            }
+        }
+        assert_eq!(sh.journal().unwrap().entries[0].status, MoveStatus::Done);
+        // The dead primary was never asked: every out-leg succeeded on the
+        // first (replica) attempt, so the migration bucket carries no
+        // faults at all.
+        assert_eq!(sh.migration_usage().faults, 0, "breaker pre-empted the dead leg");
+        let single = TextServer::new(coll.clone());
+        let got = TextService::search_str(&sh, "TI='shared'").unwrap();
+        assert_eq!(got.docs, single.search_str("TI='shared'").unwrap().docs);
     }
 }

@@ -139,6 +139,7 @@ pub fn guarded_probe_rtp(
         match ctx.try_probe(&expr) {
             Some(ids) => {
                 cache.record(
+                    ctx.server.topology_epoch(),
                     key,
                     if ids.is_empty() {
                         ProbeOutcome::Fail
@@ -151,7 +152,7 @@ pub fn guarded_probe_rtp(
             // Probe outcome unknown: never prune without a proven fail, so
             // the key is kept. Its candidate documents stay uncounted; the
             // primary path re-probes with its own degradation if chosen.
-            None => cache.record(key, ProbeOutcome::Success),
+            None => cache.record(ctx.server.topology_epoch(), key, ProbeOutcome::Success),
         }
     }
     let candidates = matched.len();
@@ -172,7 +173,7 @@ pub fn guarded_probe_rtp(
     let mut survivors = Table::new(format!("{}-survivors", fj.rel.name()), fj.rel.schema().clone());
     for t in fj.rel.iter() {
         if let Some(key) = fj.key_values(t, probe_cols) {
-            if cache.lookup(&key) == Some(ProbeOutcome::Success) {
+            if cache.lookup(ctx.server.topology_epoch(), &key) == Some(ProbeOutcome::Success) {
                 survivors.push(t.clone());
             }
         }

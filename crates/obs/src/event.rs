@@ -197,6 +197,75 @@ pub enum EventKind {
         /// Shard whose leg crossed the deadline, if attributable.
         shard: Option<usize>,
     },
+    /// An online shard migration started: the plan's moves were staged and
+    /// journaled. Free — transfer traffic is charged per batch.
+    MigrationBegin {
+        /// Number of moves in the plan.
+        moves: u64,
+        /// Total documents the plan intends to transfer.
+        docs: u64,
+        /// Topology epoch the migration started from.
+        epoch: u64,
+    },
+    /// One migration batch committed: its documents changed owner and the
+    /// topology epoch advanced. Free — the batch's transfer legs carry
+    /// their own `xfer.out`/`xfer.in` [`Call`](Self::Call) charges.
+    MigrationBatch {
+        /// 0-based index of the move within the plan.
+        mv: u64,
+        /// Source shard.
+        src: usize,
+        /// Destination shard.
+        dst: usize,
+        /// Documents committed by this batch.
+        docs: u64,
+        /// Postings transferred by this batch.
+        postings: u64,
+        /// Highest committed global docid of the move so far (the journal
+        /// high-water mark).
+        high_water: u64,
+        /// Topology epoch after the commit.
+        epoch: u64,
+    },
+    /// A batch resumed from the journal: its source-leg documents were
+    /// already bought, so only the destination leg re-runs. Free.
+    MigrationResume {
+        /// 0-based index of the move within the plan.
+        mv: u64,
+        /// Source shard.
+        src: usize,
+        /// Destination shard.
+        dst: usize,
+        /// In-flight documents whose destination leg is being retried.
+        docs: u64,
+        /// Topology epoch at resume time.
+        epoch: u64,
+    },
+    /// An unresumable move aborted: its committed documents reverted to the
+    /// source shard's routing. Free — sunk transfer charges stay booked.
+    MigrationAbort {
+        /// 0-based index of the move within the plan.
+        mv: u64,
+        /// Source shard.
+        src: usize,
+        /// Destination shard.
+        dst: usize,
+        /// Documents whose routing was reverted.
+        reverted: u64,
+        /// Topology epoch after the revert (monotonically increasing even
+        /// though the routing table matches the pre-move state).
+        epoch: u64,
+    },
+    /// A gather detected that the topology epoch advanced after its routing
+    /// decision and re-scattered only the affected shards. Free.
+    RoutingStale {
+        /// Epoch the routing decision was made at.
+        from_epoch: u64,
+        /// Epoch observed after the gather legs completed.
+        to_epoch: u64,
+        /// Shards whose visibility changed in between (re-scattered).
+        shards: Vec<usize>,
+    },
     /// The optimizer estimated one candidate method. Free.
     Planner(PlannerChoice),
 }
@@ -372,6 +441,67 @@ impl Event {
                     }
                     None => out.push_str("\"shard\":null"),
                 }
+            }
+            EventKind::MigrationBegin { moves, docs, epoch } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"migration_begin\",\"moves\":{moves},\"docs\":{docs},\"epoch\":{epoch}"
+                );
+            }
+            EventKind::MigrationBatch {
+                mv,
+                src,
+                dst,
+                docs,
+                postings,
+                high_water,
+                epoch,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"migration_batch\",\"mv\":{mv},\"src\":{src},\"dst\":{dst},\
+                     \"docs\":{docs},\"postings\":{postings},\"high_water\":{high_water},\
+                     \"epoch\":{epoch}"
+                );
+            }
+            EventKind::MigrationResume {
+                mv,
+                src,
+                dst,
+                docs,
+                epoch,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"migration_resume\",\"mv\":{mv},\"src\":{src},\"dst\":{dst},\
+                     \"docs\":{docs},\"epoch\":{epoch}"
+                );
+            }
+            EventKind::MigrationAbort {
+                mv,
+                src,
+                dst,
+                reverted,
+                epoch,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"migration_abort\",\"mv\":{mv},\"src\":{src},\"dst\":{dst},\
+                     \"reverted\":{reverted},\"epoch\":{epoch}"
+                );
+            }
+            EventKind::RoutingStale {
+                from_epoch,
+                to_epoch,
+                shards,
+            } => {
+                let list: Vec<String> = shards.iter().map(|s| s.to_string()).collect();
+                let _ = write!(
+                    out,
+                    "\"type\":\"routing_stale\",\"from_epoch\":{from_epoch},\
+                     \"to_epoch\":{to_epoch},\"shards\":[{}]",
+                    list.join(",")
+                );
             }
             EventKind::Planner(p) => {
                 let cols: Vec<String> = p.probe_cols.iter().map(|c| c.to_string()).collect();

@@ -127,6 +127,51 @@ impl Node {
                 "! deadline miss{}",
                 shard_tag(*shard)
             ))),
+            EventKind::MigrationBegin { moves, docs, epoch } => {
+                self.items.push(Item::Line(format!(
+                    "# migration begin: {moves} moves, {docs} docs (epoch {epoch})"
+                )));
+            }
+            EventKind::MigrationBatch {
+                mv,
+                src,
+                dst,
+                docs,
+                postings,
+                high_water,
+                epoch,
+            } => {
+                self.items.push(Item::Line(format!(
+                    "# migration batch mv{mv} shard{src} -> shard{dst}: {docs} docs, {postings} postings, high-water {high_water} (epoch {epoch})"
+                )));
+            }
+            EventKind::MigrationResume { mv, src, dst, docs, epoch } => {
+                self.items.push(Item::Line(format!(
+                    "# migration resume mv{mv} shard{src} -> shard{dst}: {docs} docs in flight (epoch {epoch})"
+                )));
+            }
+            EventKind::MigrationAbort {
+                mv,
+                src,
+                dst,
+                reverted,
+                epoch,
+            } => {
+                self.items.push(Item::Line(format!(
+                    "! migration abort mv{mv} shard{src} -> shard{dst}: {reverted} docs reverted (epoch {epoch})"
+                )));
+            }
+            EventKind::RoutingStale {
+                from_epoch,
+                to_epoch,
+                shards,
+            } => {
+                let list: Vec<String> = shards.iter().map(|s| format!("shard{s}")).collect();
+                self.items.push(Item::Line(format!(
+                    "~ routing stale: epoch {from_epoch} -> {to_epoch}, re-scatter [{}]",
+                    list.join(" ")
+                )));
+            }
             EventKind::Planner(p) => {
                 let total = p.invocation + p.processing + p.transmission + p.rtp;
                 self.items.push(Item::Line(format!(

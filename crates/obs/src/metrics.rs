@@ -249,6 +249,36 @@ impl MetricsSnapshot {
                     self.incr(&k, 1);
                 }
             }
+            EventKind::MigrationBegin { moves, docs, .. } => {
+                self.incr("migration.begin", 1);
+                self.incr("migration.docs_planned", *docs);
+                self.incr("migration.moves_planned", *moves);
+            }
+            EventKind::MigrationBatch {
+                src,
+                dst,
+                docs,
+                postings,
+                ..
+            } => {
+                self.incr("migration.batches", 1);
+                self.incr("migration.docs_moved", *docs);
+                self.incr("migration.postings_moved", *postings);
+                self.incr(&format!("shard{src}.migration.docs_out"), *docs);
+                self.incr(&format!("shard{dst}.migration.docs_in"), *docs);
+            }
+            EventKind::MigrationResume { docs, .. } => {
+                self.incr("migration.resumes", 1);
+                self.incr("migration.docs_resumed", *docs);
+            }
+            EventKind::MigrationAbort { reverted, .. } => {
+                self.incr("migration.aborts", 1);
+                self.incr("migration.docs_reverted", *reverted);
+            }
+            EventKind::RoutingStale { shards, .. } => {
+                self.incr("routing.stale", 1);
+                self.incr("routing.stale_shards", shards.len() as u64);
+            }
             EventKind::SpanBegin { .. } => self.incr("spans", 1),
             EventKind::SpanEnd { .. } => {}
             EventKind::Planner(p) => {

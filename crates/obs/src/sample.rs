@@ -143,7 +143,12 @@ pub fn is_hot(kind: &EventKind) -> bool {
         | EventKind::CircuitOpen { .. }
         | EventKind::CircuitClose { .. }
         | EventKind::Cancel { .. }
-        | EventKind::DeadlineMiss { .. } => true,
+        | EventKind::DeadlineMiss { .. }
+        | EventKind::MigrationBegin { .. }
+        | EventKind::MigrationBatch { .. }
+        | EventKind::MigrationResume { .. }
+        | EventKind::MigrationAbort { .. }
+        | EventKind::RoutingStale { .. } => true,
         _ => false,
     }
 }

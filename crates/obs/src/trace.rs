@@ -318,6 +318,8 @@ fn op_of(name: &str) -> Result<&'static str, String> {
         "probe" => Ok("probe"),
         "batch" => Ok("batch"),
         "retrieve" => Ok("retrieve"),
+        "xfer.out" => Ok("xfer.out"),
+        "xfer.in" => Ok("xfer.in"),
         other => Err(format!("unknown call op \"{other}\"")),
     }
 }
@@ -386,6 +388,53 @@ fn event_of(line: &str) -> Result<Event, String> {
         "deadline_miss" => EventKind::DeadlineMiss {
             shard: shard_of(&f)?,
         },
+        "migration_begin" => EventKind::MigrationBegin {
+            moves: f.u64("moves")?,
+            docs: f.u64("docs")?,
+            epoch: f.u64("epoch")?,
+        },
+        "migration_batch" => EventKind::MigrationBatch {
+            mv: f.u64("mv")?,
+            src: f.u64("src")? as usize,
+            dst: f.u64("dst")? as usize,
+            docs: f.u64("docs")?,
+            postings: f.u64("postings")?,
+            high_water: f.u64("high_water")?,
+            epoch: f.u64("epoch")?,
+        },
+        "migration_resume" => EventKind::MigrationResume {
+            mv: f.u64("mv")?,
+            src: f.u64("src")? as usize,
+            dst: f.u64("dst")? as usize,
+            docs: f.u64("docs")?,
+            epoch: f.u64("epoch")?,
+        },
+        "migration_abort" => EventKind::MigrationAbort {
+            mv: f.u64("mv")?,
+            src: f.u64("src")? as usize,
+            dst: f.u64("dst")? as usize,
+            reverted: f.u64("reverted")?,
+            epoch: f.u64("epoch")?,
+        },
+        "routing_stale" => {
+            let shards = match f.get("shards")? {
+                JVal::Arr(items) => items
+                    .iter()
+                    .map(|v| match v {
+                        JVal::Num(n) => {
+                            n.parse::<usize>().map_err(|_| "bad shard index".to_string())
+                        }
+                        _ => Err("bad shard index".to_string()),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => return Err("\"shards\" is not an array".to_string()),
+            };
+            EventKind::RoutingStale {
+                from_epoch: f.u64("from_epoch")?,
+                to_epoch: f.u64("to_epoch")?,
+                shards,
+            }
+        }
         "planner" => {
             let est = f.obj("est")?;
             let cols = match f.get("probe_cols")? {
@@ -556,6 +605,79 @@ mod tests {
             seq: 9,
             clock: 11.17,
             kind: EventKind::DeadlineMiss { shard: None },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::MigrationBegin {
+                moves: 2,
+                docs: 17,
+                epoch: 3,
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::MigrationBatch {
+                mv: 0,
+                src: 2,
+                dst: 0,
+                docs: 4,
+                postings: 96,
+                high_water: 31,
+                epoch: 4,
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::MigrationResume {
+                mv: 1,
+                src: 2,
+                dst: 0,
+                docs: 3,
+                epoch: 4,
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::MigrationAbort {
+                mv: 1,
+                src: 2,
+                dst: 0,
+                reverted: 3,
+                epoch: 5,
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::RoutingStale {
+                from_epoch: 3,
+                to_epoch: 5,
+                shards: vec![0, 2],
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::RoutingStale {
+                from_epoch: 0,
+                to_epoch: 1,
+                shards: Vec::new(),
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::Call {
+                op: "xfer.out",
+                shard: Some(2),
+                terms: 0,
+                err: None,
+                charge,
+            },
         });
         roundtrip(Event {
             seq: 9,

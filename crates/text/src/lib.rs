@@ -49,6 +49,7 @@ pub mod faults;
 pub mod index;
 pub mod parse;
 pub mod postings;
+pub mod rebalance;
 pub mod server;
 pub mod service;
 pub mod shard;
@@ -62,6 +63,7 @@ pub use doc::{DocId, Document, FieldId, TextSchema};
 pub use expr::SearchExpr;
 pub use faults::{Fault, FaultKinds, FaultPlan};
 pub use index::Collection;
+pub use rebalance::{MigrationJournal, MigrationPlan, MigrationProgress, Move, MoveStatus};
 pub use server::{
     CostConstants, PartialRetrieveError, SearchResult, TextError, TextServer, Usage,
 };

@@ -410,6 +410,14 @@ impl TextServer {
         &self.coll
     }
 
+    /// Mutable access to the wrapped collection, for the sharded server's
+    /// migration staging only: rebalancing appends copies of in-flight
+    /// documents to the destination replicas before re-routing. Queries
+    /// never mutate the collection.
+    pub(crate) fn collection_mut(&mut self) -> &mut Collection {
+        &mut self.coll
+    }
+
     /// Total number of documents `D`. Boolean text services advertise their
     /// collection size, and the paper's cost model needs it.
     pub fn doc_count(&self) -> usize {

@@ -97,6 +97,14 @@ pub trait TextService {
     fn recorder(&self) -> Option<std::rc::Rc<textjoin_obs::Recorder>> {
         None
     }
+
+    /// The current topology epoch: bumped whenever a migration batch
+    /// commits (or aborts) and docid routing changes. Single servers never
+    /// change topology, so the default is a constant 0. Cache keys that
+    /// depend on routing decisions must incorporate this value.
+    fn topology_epoch(&self) -> u64 {
+        0
+    }
 }
 
 impl TextService for TextServer {

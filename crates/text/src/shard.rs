@@ -22,7 +22,8 @@
 //! re-route the missing sub-query or fail cleanly — never return a wrong
 //! multiset.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::rc::Rc;
 
@@ -30,9 +31,14 @@ use textjoin_obs::{Charge, EventKind, MetricsSnapshot, Recorder};
 
 use crate::batch::BatchResult;
 use crate::doc::{DocId, Document, ShortDoc, TextSchema};
-use crate::expr::SearchExpr;
+use crate::expr::{BasicTerm, SearchExpr, TermKind};
+use crate::faults::Fault;
 use crate::index::Collection;
 use crate::parse::parse_search;
+use crate::rebalance::{
+    MigrationJournal, MigrationPlan, MigrationProgress, MigrationState, MoveJournal, MoveStatus,
+    StagedDoc,
+};
 use crate::server::{
     CostConstants, PartialRetrieveError, SearchResult, TextError, TextServer, Usage,
 };
@@ -53,6 +59,12 @@ pub struct PartialShardError {
     pub failed_shard: usize,
     /// The underlying (transient, retry-exhausted) failure.
     pub error: TextError,
+    /// Topology epoch in force when the gather failed. Resuming through
+    /// [`ShardedTextServer::complete_gather_from`] compares it against the
+    /// current epoch to invalidate partial slots a concurrent migration
+    /// commit made stale — so migration-vs-fault diagnoses read directly
+    /// off the error chain.
+    pub epoch: u64,
 }
 
 impl PartialShardError {
@@ -66,8 +78,9 @@ impl fmt::Display for PartialShardError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "shard {} failed mid-gather: gathered {}/{} shards: {}",
+            "shard {} failed mid-gather at epoch {}: gathered {}/{} shards: {}",
             self.failed_shard,
+            self.epoch,
             self.gathered(),
             self.partial.len(),
             self.error
@@ -105,10 +118,18 @@ pub struct ShardedTextServer {
     replicas: Vec<Vec<TextServer>>,
     /// Per shard: index of the primary replica.
     primary: Vec<usize>,
-    /// Global docid → (owning shard, local docid).
-    route: Vec<(usize, DocId)>,
-    /// Per shard: local docid → global docid (increasing by construction).
+    /// Global docid → (owning shard, local docid). Interior-mutable: a
+    /// committed migration batch re-routes its documents in place.
+    route: RefCell<Vec<(usize, DocId)>>,
+    /// Per shard: local docid → global docid. Increasing by construction;
+    /// migration staging appends the in-flight globals at the destination
+    /// (so remapping stays a table lookup, and results re-sort by global
+    /// id after the remap).
     to_global: Vec<Vec<DocId>>,
+    /// Per shard: local docids physically present but invisible to
+    /// queries — staged-not-yet-committed copies on a destination, and
+    /// moved-away originals on a source after commit.
+    hidden: RefCell<Vec<BTreeSet<DocId>>>,
     /// Aggregate-level counters: cap rejections and client backoff charged
     /// to the service as a whole rather than to one shard.
     extra: RefCell<Usage>,
@@ -116,6 +137,31 @@ pub struct ShardedTextServer {
     /// Flight recorder shared with every shard (shard events carry their
     /// stamped shard index; aggregate-ledger events carry `shard: None`).
     recorder: RefCell<Option<Rc<Recorder>>>,
+    /// Topology epoch: bumped by every committed (or aborted) migration
+    /// batch. Routing decisions are stamped with it; gathers compare.
+    epoch: Cell<u64>,
+    /// `(epoch, src, dst)` per epoch bump — the log gathers consult to
+    /// re-scatter only the shards a concurrent commit touched.
+    epoch_log: RefCell<Vec<(u64, usize, usize)>>,
+    /// The active migration, if any.
+    migration: RefCell<Option<MigrationState>>,
+    /// The dedicated migration usage bucket: every transfer-leg charge
+    /// lands here, disjoint from the per-shard query ledgers, and is
+    /// added into the aggregate [`usage`](TextService::usage).
+    migration_usage: RefCell<Usage>,
+    /// Whether scatter paths consult per-shard vocabulary stats to skip
+    /// provably irrelevant shards. Off by default: pruning changes the
+    /// per-shard invoice shape, so callers opt in.
+    stats_routing: Cell<bool>,
+    /// Cached per-shard vocabulary stats for routing decisions
+    /// (invalidated when a migration stages new physical content).
+    shard_stats: RefCell<Option<Rc<Vec<VocabularyStats>>>>,
+    /// When > 0, every `pacing`-th query leg advances the active migration
+    /// by one batch first — the deterministic interleaving knob that runs
+    /// migrations *under* live queries.
+    pacing: Cell<u64>,
+    /// Query legs observed since the last paced migration step.
+    ops_since_step: Cell<u64>,
 }
 
 impl ShardedTextServer {
@@ -185,11 +231,20 @@ impl ShardedTextServer {
         Self {
             replicas,
             primary,
-            route,
+            route: RefCell::new(route),
             to_global,
+            hidden: RefCell::new(vec![BTreeSet::new(); n_shards]),
             extra: RefCell::new(Usage::default()),
             partition_seed: seed,
             recorder: RefCell::new(None),
+            epoch: Cell::new(0),
+            epoch_log: RefCell::new(Vec::new()),
+            migration: RefCell::new(None),
+            migration_usage: RefCell::new(Usage::default()),
+            stats_routing: Cell::new(false),
+            shard_stats: RefCell::new(None),
+            pacing: Cell::new(0),
+            ops_since_step: Cell::new(0),
         }
     }
 
@@ -294,8 +349,9 @@ impl ShardedTextServer {
     }
 
     /// The shard owning global docid `id`, or `None` for unknown ids.
+    /// Reflects committed migration batches immediately.
     pub fn owner_of(&self, id: DocId) -> Option<usize> {
-        self.route.get(id.0 as usize).map(|&(s, _)| s)
+        self.route.borrow().get(id.0 as usize).map(|&(s, _)| s)
     }
 
     /// Snapshot of shard `i`'s ledger: the sum over all its replicas, so
@@ -318,10 +374,19 @@ impl ShardedTextServer {
         r: usize,
         expr: &SearchExpr,
     ) -> Result<SearchResult, TextError> {
+        self.pace_migration();
         let mut res = self.replicas[i][r].search(expr)?;
+        {
+            let hidden = self.hidden.borrow();
+            if !hidden[i].is_empty() {
+                res.docs.retain(|d| !hidden[i].contains(&d.id));
+            }
+        }
         for d in &mut res.docs {
             d.id = self.to_global[i][d.id.0 as usize];
         }
+        // Staged copies append out of global order; re-sort after the remap.
+        res.docs.sort_by_key(|d| d.id);
         Ok(res)
     }
 
@@ -345,11 +410,17 @@ impl ShardedTextServer {
         r: usize,
         exprs: &[SearchExpr],
     ) -> Result<BatchResult, TextError> {
+        self.pace_migration();
         let mut b = self.replicas[i][r].search_batch(exprs)?;
+        let hidden = self.hidden.borrow();
         for res in &mut b.results {
+            if !hidden[i].is_empty() {
+                res.docs.retain(|d| !hidden[i].contains(&d.id));
+            }
             for d in &mut res.docs {
                 d.id = self.to_global[i][d.id.0 as usize];
             }
+            res.docs.sort_by_key(|d| d.id);
         }
         Ok(b)
     }
@@ -362,8 +433,9 @@ impl ShardedTextServer {
     /// Retrieves global docid `id` from replica `r` of shard `i`. Errors
     /// with `UnknownDoc` when `id` is unknown or not owned by shard `i`.
     pub fn retrieve_replica(&self, i: usize, r: usize, id: DocId) -> Result<Document, TextError> {
-        match self.route.get(id.0 as usize) {
-            Some(&(owner, local)) if owner == i => self.replicas[i][r].retrieve(local),
+        let routed = self.route.borrow().get(id.0 as usize).copied();
+        match routed {
+            Some((owner, local)) if owner == i => self.replicas[i][r].retrieve(local),
             _ => Err(TextError::UnknownDoc(id)),
         }
     }
@@ -473,27 +545,72 @@ impl ShardedTextServer {
         Err(last.expect("routing order is never empty"))
     }
 
+    /// The epoch-watching gather loop shared by scatter and resumption.
+    /// Fills the `None` slots of `done` (shards pruned by stats routing
+    /// receive a free empty result), then checks the topology epoch: if a
+    /// migration batch committed since `from_epoch`, the slots of the
+    /// shards it touched are invalidated (a charge-free [`RoutingStale`]
+    /// event names them) and only those legs re-run at the new epoch.
+    /// Terminates because migrations are finite.
+    ///
+    /// [`RoutingStale`]: textjoin_obs::EventKind::RoutingStale
+    fn gather_loop(
+        &self,
+        mut done: Vec<Option<SearchResult>>,
+        expr: &SearchExpr,
+        mut from_epoch: u64,
+    ) -> Result<Vec<SearchResult>, TextError> {
+        let mut relevant = self.relevant_shards(expr);
+        loop {
+            let now = self.epoch.get();
+            if now != from_epoch {
+                let affected = self.shards_touched_since(from_epoch);
+                self.emit(EventKind::RoutingStale {
+                    from_epoch,
+                    to_epoch: now,
+                    shards: affected.clone(),
+                });
+                for &i in &affected {
+                    done[i] = None;
+                }
+                relevant = self.relevant_shards(expr);
+                from_epoch = now;
+            }
+            for i in 0..done.len() {
+                if done[i].is_some() {
+                    continue;
+                }
+                if !relevant[i] {
+                    done[i] = Some(SearchResult { docs: Vec::new() });
+                    continue;
+                }
+                match self.failover_search(i, expr) {
+                    Ok(r) => done[i] = Some(r),
+                    Err(e) if e.is_transient() => {
+                        return Err(TextError::Shard(Box::new(PartialShardError {
+                            partial: done,
+                            failed_shard: i,
+                            error: e,
+                            epoch: self.epoch.get(),
+                        })))
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if self.epoch.get() == from_epoch {
+                return Ok(done.into_iter().map(|r| r.expect("all gathered")).collect());
+            }
+        }
+    }
+
     /// Single-attempt-per-replica scatter/gather over all shards, in shard
     /// order. A shard whose every replica fails transiently wraps the
     /// results gathered so far into a [`PartialShardError`]. Callers
     /// wanting per-shard retries orchestrate
     /// [`search_replica`](Self::search_replica) themselves.
     fn scatter_search(&self, expr: &SearchExpr) -> Result<Vec<SearchResult>, TextError> {
-        let mut done: Vec<Option<SearchResult>> = vec![None; self.replicas.len()];
-        for i in 0..self.replicas.len() {
-            match self.failover_search(i, expr) {
-                Ok(r) => done[i] = Some(r),
-                Err(e) if e.is_transient() => {
-                    return Err(TextError::Shard(Box::new(PartialShardError {
-                        partial: done,
-                        failed_shard: i,
-                        error: e,
-                    })))
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(done.into_iter().map(|r| r.expect("all gathered")).collect())
+        let done = vec![None; self.replicas.len()];
+        self.gather_loop(done, expr, self.epoch.get())
     }
 
     /// Resumes a failed gather from the partial results a
@@ -505,35 +622,727 @@ impl ShardedTextServer {
     /// updated partial) only when every replica of a missing shard is still
     /// down. A `partial` whose length does not match the shard count (e.g.
     /// the empty partial of a batch gather) is treated as all-missing.
+    /// Resumes at the current epoch; callers holding a
+    /// [`PartialShardError`] should prefer
+    /// [`complete_gather_from`](Self::complete_gather_from) with the
+    /// error's stamped epoch, which additionally invalidates partial slots
+    /// a migration commit made stale.
     pub fn complete_gather(
         &self,
         partial: &[Option<SearchResult>],
         expr: &SearchExpr,
     ) -> Result<SearchResult, TextError> {
-        let mut done: Vec<Option<SearchResult>> = if partial.len() == self.replicas.len() {
+        self.complete_gather_from(partial, expr, self.epoch.get())
+    }
+
+    /// [`complete_gather`](Self::complete_gather) for a gather whose
+    /// routing was decided at `from_epoch`: partial slots for shards a
+    /// migration batch has touched since are discarded (their reuse could
+    /// double-count or drop a moved document) and re-gathered at the
+    /// current epoch, announced by a charge-free `RoutingStale` event.
+    pub fn complete_gather_from(
+        &self,
+        partial: &[Option<SearchResult>],
+        expr: &SearchExpr,
+        from_epoch: u64,
+    ) -> Result<SearchResult, TextError> {
+        let done: Vec<Option<SearchResult>> = if partial.len() == self.replicas.len() {
             partial.to_vec()
         } else {
             vec![None; self.replicas.len()]
         };
-        for i in 0..done.len() {
-            if done[i].is_some() {
-                continue;
+        Ok(Self::merge(self.gather_loop(done, expr, from_epoch)?))
+    }
+
+    // ---- online rebalancing -------------------------------------------
+
+    /// The current topology epoch (also exposed through
+    /// [`TextService::topology_epoch`]).
+    pub fn topology_epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+
+    /// Shards touched (as source or destination) by commits and aborts
+    /// since `epoch`, sorted and deduplicated.
+    pub fn shards_touched_since(&self, epoch: u64) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .epoch_log
+            .borrow()
+            .iter()
+            .filter(|&&(e, _, _)| e > epoch)
+            .flat_map(|&(_, s, d)| [s, d])
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Announces (via a charge-free `RoutingStale` event) that a gather
+    /// routed at `from_epoch` observed a later epoch, and returns the
+    /// shards whose partial results must be re-gathered. For callers that
+    /// orchestrate per-shard legs themselves (the core execution layer);
+    /// the service-level scatter paths do this internally.
+    pub fn note_routing_stale(&self, from_epoch: u64) -> Vec<usize> {
+        let affected = self.shards_touched_since(from_epoch);
+        self.emit(EventKind::RoutingStale {
+            from_epoch,
+            to_epoch: self.epoch.get(),
+            shards: affected.clone(),
+        });
+        affected
+    }
+
+    /// Opts scatter paths in (or out) of stats-aware routing: when on,
+    /// shards whose vocabulary provably holds no postings for the query's
+    /// terms are skipped, turning the fan-out from N into the number of
+    /// relevant shards. Off by default — pruning changes the per-shard
+    /// invoice shape, and the planner must fold the reduced fan-out into
+    /// its costs in lockstep (see `CostParams::with_scatter_fanout`).
+    pub fn set_stats_routing(&self, on: bool) {
+        self.stats_routing.set(on);
+    }
+
+    /// Whether stats-aware routing is on.
+    pub fn stats_routing_enabled(&self) -> bool {
+        self.stats_routing.get()
+    }
+
+    /// Runs the active migration one batch forward for every `every`-th
+    /// query leg (0 disables): the deterministic interleaving that puts
+    /// topology changes *under* live queries.
+    pub fn set_migration_pacing(&self, every: u64) {
+        self.pacing.set(every);
+        self.ops_since_step.set(0);
+    }
+
+    /// Snapshot of the dedicated migration usage bucket — disjoint from
+    /// every per-shard query ledger, included in the aggregate
+    /// [`usage`](TextService::usage).
+    pub fn migration_usage(&self) -> Usage {
+        *self.migration_usage.borrow()
+    }
+
+    /// The current journal, if a migration was ever begun.
+    pub fn journal(&self) -> Option<MigrationJournal> {
+        self.migration.borrow().as_ref().map(|m| m.journal.clone())
+    }
+
+    /// Whether any move still has work left.
+    pub fn migration_active(&self) -> bool {
+        self.migration
+            .borrow()
+            .as_ref()
+            .is_some_and(|m| !m.journal.finished())
+    }
+
+    /// The non-terminal move the next batch will execute: `(move index,
+    /// src, dst)`.
+    pub fn current_move(&self) -> Option<(usize, usize, usize)> {
+        let st = self.migration.borrow();
+        let state = st.as_ref()?;
+        let mut cur = state.current;
+        while cur < state.plan.moves.len()
+            && matches!(
+                state.journal.entries[cur].status,
+                MoveStatus::Done | MoveStatus::Aborted
+            )
+        {
+            cur += 1;
+        }
+        if cur >= state.plan.moves.len() {
+            return None;
+        }
+        let e = &state.journal.entries[cur];
+        Some((cur, e.src, e.dst))
+    }
+
+    /// Per-shard relevance of `expr` under stats-aware routing: `false`
+    /// means the shard's exported vocabulary proves no document there can
+    /// match, so its scatter leg is skipped for free. The per-shard stats
+    /// include staged-but-hidden physical copies, which only *overcounts*
+    /// — pruning never hides a real match. All-true when routing is off.
+    pub fn relevant_shards(&self, expr: &SearchExpr) -> Vec<bool> {
+        if !self.stats_routing.get() {
+            return vec![true; self.replicas.len()];
+        }
+        let stats = self.shard_stats_for_routing();
+        let schema = self.replicas[0][0].collection().schema();
+        stats
+            .iter()
+            .map(|s| Self::expr_may_match(s, schema, expr))
+            .collect()
+    }
+
+    /// The cached per-shard vocabulary stats backing routing decisions.
+    /// Export is free; the cache is invalidated when a migration stages
+    /// new physical content.
+    fn shard_stats_for_routing(&self) -> Rc<Vec<VocabularyStats>> {
+        if let Some(s) = self.shard_stats.borrow().as_ref() {
+            return s.clone();
+        }
+        let stats = Rc::new(
+            (0..self.replicas.len())
+                .map(|i| self.shard(i).export_stats())
+                .collect::<Vec<_>>(),
+        );
+        *self.shard_stats.borrow_mut() = Some(stats.clone());
+        stats
+    }
+
+    fn term_may_match(stats: &VocabularyStats, schema: &TextSchema, t: &BasicTerm) -> bool {
+        let fields: Vec<_> = match t.field {
+            Some(f) => vec![f],
+            None => schema.iter().map(|(fid, _)| fid).collect(),
+        };
+        fields.into_iter().any(|f| {
+            let Some(fs) = stats.field(f) else {
+                return false;
+            };
+            match &t.kind {
+                TermKind::Word(w) => fs.occurs(w),
+                TermKind::Prefix(p) => fs.occurs_prefix(p),
+                TermKind::Phrase(ws) => ws.iter().all(|w| fs.occurs(w)),
             }
-            match self.failover_search(i, expr) {
-                Ok(r) => done[i] = Some(r),
-                Err(e) if e.is_transient() => {
-                    return Err(TextError::Shard(Box::new(PartialShardError {
-                        partial: done,
-                        failed_shard: i,
-                        error: e,
-                    })))
+        })
+    }
+
+    /// Conservative may-match: `false` only when the vocabulary *proves*
+    /// the shard irrelevant. `AndNot` consults only the positive side; an
+    /// empty `And` is vacuously relevant, an empty `Or` never matches.
+    fn expr_may_match(stats: &VocabularyStats, schema: &TextSchema, expr: &SearchExpr) -> bool {
+        match expr {
+            SearchExpr::Term(t) => Self::term_may_match(stats, schema, t),
+            SearchExpr::Near { a, b, .. } => {
+                Self::term_may_match(stats, schema, a) && Self::term_may_match(stats, schema, b)
+            }
+            SearchExpr::And(cs) => cs.iter().all(|c| Self::expr_may_match(stats, schema, c)),
+            SearchExpr::Or(cs) => cs.iter().any(|c| Self::expr_may_match(stats, schema, c)),
+            SearchExpr::AndNot(lhs, _) => Self::expr_may_match(stats, schema, lhs),
+        }
+    }
+
+    /// Stages `plan` for online execution and returns the initial journal.
+    ///
+    /// Staging gives every destination replica an invisible physical copy
+    /// of each in-flight document (so any replica can serve it the moment
+    /// its batch commits) and extends the local→global tables. Staging is
+    /// free: the *chargeable* transfer is simulated by the `xfer.out` /
+    /// `xfer.in` legs of [`migrate_batch`](Self::migrate_batch), which
+    /// book into the dedicated [migration bucket](Self::migration_usage).
+    /// Routing is untouched until a batch commits, so queries keep seeing
+    /// exactly the pre-migration topology. Panics on a malformed plan or
+    /// when a migration is already in flight (misuse, same contract as the
+    /// constructor asserts).
+    pub fn begin_migration(&mut self, plan: MigrationPlan) -> MigrationJournal {
+        assert!(
+            self.migration
+                .borrow()
+                .as_ref()
+                .is_none_or(|m| m.journal.finished()),
+            "a migration is already in flight"
+        );
+        let n_shards = self.replicas.len();
+        let mut staged_all = Vec::with_capacity(plan.moves.len());
+        let mut entries = Vec::with_capacity(plan.moves.len());
+        let mut total_docs = 0u64;
+        for m in &plan.moves {
+            assert!(
+                m.src < n_shards && m.dst < n_shards,
+                "move names an unknown shard"
+            );
+            assert_ne!(m.src, m.dst, "a move never targets its own source");
+            let mut staged = Vec::new();
+            for g in m.range.0 .0..m.range.1 .0 {
+                let global = DocId(g);
+                let (owner, src_local) = self.route.borrow()[g as usize];
+                if owner != m.src {
+                    continue;
                 }
-                Err(e) => return Err(e),
+                let doc = self.replicas[m.src][0]
+                    .collection()
+                    .document(src_local)
+                    .expect("routed docids are dense")
+                    .clone();
+                let before = self.replicas[m.dst][0].collection().total_postings();
+                let mut dst_local = None;
+                for r in 0..self.replicas[m.dst].len() {
+                    let local = self.replicas[m.dst][r]
+                        .collection_mut()
+                        .add_document(doc.clone());
+                    match dst_local {
+                        None => dst_local = Some(local),
+                        Some(prev) => {
+                            assert_eq!(prev, local, "replica collections stay identical")
+                        }
+                    }
+                }
+                let dst_local = dst_local.expect("at least one replica");
+                let postings =
+                    (self.replicas[m.dst][0].collection().total_postings() - before) as u64;
+                self.hidden.borrow_mut()[m.dst].insert(dst_local);
+                self.to_global[m.dst].push(global);
+                staged.push(StagedDoc {
+                    global,
+                    src_local,
+                    dst_local,
+                    postings,
+                });
+            }
+            entries.push(MoveJournal {
+                src: m.src,
+                dst: m.dst,
+                docs: staged.len() as u64,
+                high_water: None,
+                status: if staged.is_empty() {
+                    MoveStatus::Done
+                } else {
+                    MoveStatus::Pending
+                },
+            });
+            total_docs += staged.len() as u64;
+            staged_all.push(staged);
+        }
+        // New physical content on the destinations: routing stats must
+        // recompute (they now overcount by the staged copies — sound).
+        *self.shard_stats.borrow_mut() = None;
+        let journal = MigrationJournal {
+            begun_at_epoch: self.epoch.get(),
+            entries,
+        };
+        self.emit(EventKind::MigrationBegin {
+            moves: plan.moves.len() as u64,
+            docs: total_docs,
+            epoch: self.epoch.get(),
+        });
+        *self.migration.borrow_mut() = Some(MigrationState {
+            plan,
+            journal: journal.clone(),
+            staged: staged_all,
+            current: 0,
+            cursor: 0,
+            in_flight: 0,
+            delivered: 0,
+        });
+        journal
+    }
+
+    /// Books one transfer-leg attempt into the migration bucket and emits
+    /// the matching `Call` event (op `xfer.out`/`xfer.in`), so the
+    /// trace↔ledger audit covers transfers exactly.
+    fn book_xfer(&self, op: &'static str, shard: usize, err: Option<String>, charge: Charge) {
+        {
+            let mut u = self.migration_usage.borrow_mut();
+            u.invocations += charge.invocations as u64;
+            u.postings_processed += charge.postings as u64;
+            u.docs_long += charge.docs_long as u64;
+            u.faults += charge.faults as u64;
+            u.time_invocation += charge.time_invocation;
+            u.time_processing += charge.time_processing;
+            u.time_transmission += charge.time_transmission;
+            u.time_backoff += charge.time_backoff;
+        }
+        self.emit(EventKind::Call {
+            op,
+            shard: Some(shard),
+            terms: 0,
+            err,
+            charge,
+        });
+    }
+
+    /// Runs the active migration one batch forward, reading the source
+    /// replicas in their routing order. See
+    /// [`migrate_batch_via`](Self::migrate_batch_via).
+    pub fn migrate_batch(&self) -> Result<MigrationProgress, TextError> {
+        self.migrate_batch_via(None)
+    }
+
+    /// Runs one bounded batch of the active migration, with an optional
+    /// explicit source replica order (the retry layer passes one that
+    /// demotes a breaker-open primary, forcing replica-sourced transfer).
+    ///
+    /// A batch is two charged legs plus a commit:
+    ///
+    /// 1. **source leg** (`xfer.out`): one invocation plus `c_l` per
+    ///    document, failing over through the source replicas; every
+    ///    faulted attempt is booked. If every replica refuses, nothing is
+    ///    in flight and the call fails transiently — the journal cursor is
+    ///    unchanged.
+    /// 2. **destination leg** (`xfer.in`): one invocation plus `c_p` per
+    ///    posting. A `Timeout` delivers (and charges) a prefix; the
+    ///    journal remembers it, so resumption ingests only the remainder —
+    ///    transferred postings are never re-bought. If every replica
+    ///    refuses, the fetched batch stays in flight and the next call
+    ///    resumes the destination leg (`MigrationResume`) without
+    ///    re-reading the source.
+    /// 3. **commit**: the batch's documents flip visibility (hidden on the
+    ///    source, visible on the destination), re-route, bump the topology
+    ///    epoch, and advance the journal high-water mark.
+    pub fn migrate_batch_via(
+        &self,
+        src_order: Option<&[usize]>,
+    ) -> Result<MigrationProgress, TextError> {
+        struct Work {
+            mv: usize,
+            src: usize,
+            dst: usize,
+            start: usize,
+            n: usize,
+            resumed: bool,
+            delivered: u64,
+            batch_postings: u64,
+        }
+        let work = {
+            let mut st = self.migration.borrow_mut();
+            let Some(state) = st.as_mut() else {
+                return Ok(MigrationProgress::Idle);
+            };
+            while state.current < state.plan.moves.len()
+                && matches!(
+                    state.journal.entries[state.current].status,
+                    MoveStatus::Done | MoveStatus::Aborted
+                )
+            {
+                state.current += 1;
+                state.cursor = 0;
+            }
+            if state.current >= state.plan.moves.len() {
+                return Ok(MigrationProgress::Idle);
+            }
+            let mv = state.current;
+            let entry = &state.journal.entries[mv];
+            let staged = &state.staged[mv];
+            let resumed = state.in_flight > 0;
+            let n = if resumed {
+                state.in_flight
+            } else {
+                state.plan.batch_docs.min(staged.len() - state.cursor)
+            };
+            let start = state.cursor;
+            let batch_postings = staged[start..start + n].iter().map(|d| d.postings).sum();
+            Work {
+                mv,
+                src: entry.src,
+                dst: entry.dst,
+                start,
+                n,
+                resumed,
+                delivered: state.delivered,
+                batch_postings,
+            }
+        };
+        let c = self.replicas[0][0].constants();
+        if work.resumed {
+            self.emit(EventKind::MigrationResume {
+                mv: work.mv as u64,
+                src: work.src,
+                dst: work.dst,
+                docs: work.n as u64,
+                epoch: self.epoch.get(),
+            });
+        } else {
+            let order = match src_order {
+                Some(o) => o.to_vec(),
+                None => self.routing_order(work.src),
+            };
+            let mut fetched = false;
+            for (pos, &r) in order.iter().enumerate() {
+                let server = &self.replicas[work.src][r];
+                match server.fault_plan().next_search_fault(server.max_terms()) {
+                    Some(Fault::Unavailable) => {
+                        self.book_xfer(
+                            "xfer.out",
+                            work.src,
+                            Some("transfer source unavailable".to_string()),
+                            Charge {
+                                invocations: 1,
+                                faults: 1,
+                                time_invocation: c.c_i,
+                                ..Charge::default()
+                            },
+                        );
+                        if let Some(&next) = order.get(pos + 1) {
+                            self.emit(EventKind::Failover {
+                                shard: work.src,
+                                replica: next,
+                            });
+                        }
+                    }
+                    Some(Fault::Timeout { after_postings }) => {
+                        // An out-leg timeout yields no usable documents:
+                        // long forms are all-or-nothing per doc, and the
+                        // batch is re-read whole from the next replica.
+                        self.book_xfer(
+                            "xfer.out",
+                            work.src,
+                            Some(format!(
+                                "transfer source timeout after {after_postings} postings"
+                            )),
+                            Charge {
+                                invocations: 1,
+                                faults: 1,
+                                time_invocation: c.c_i,
+                                ..Charge::default()
+                            },
+                        );
+                        if let Some(&next) = order.get(pos + 1) {
+                            self.emit(EventKind::Failover {
+                                shard: work.src,
+                                replica: next,
+                            });
+                        }
+                    }
+                    fault => {
+                        // None, CapReduced (caps do not bound transfers),
+                        // or Slow (latency-only) — the read succeeds.
+                        let slow = match fault {
+                            Some(Fault::Slow { delta_s }) => f64::from(delta_s),
+                            _ => 0.0,
+                        };
+                        self.book_xfer(
+                            "xfer.out",
+                            work.src,
+                            None,
+                            Charge {
+                                invocations: 1,
+                                docs_long: work.n as i64,
+                                time_invocation: c.c_i,
+                                time_transmission: c.c_l * work.n as f64,
+                                time_backoff: slow,
+                                ..Charge::default()
+                            },
+                        );
+                        fetched = true;
+                        break;
+                    }
+                }
+            }
+            if !fetched {
+                return Err(TextError::Unavailable);
+            }
+            let mut st = self.migration.borrow_mut();
+            let state = st.as_mut().expect("active migration");
+            state.in_flight = work.n;
+            state.delivered = 0;
+            state.journal.entries[work.mv].status = MoveStatus::InProgress;
+        }
+        let mut delivered = work.delivered;
+        let order = self.routing_order(work.dst);
+        let mut ingested = false;
+        for (pos, &r) in order.iter().enumerate() {
+            let server = &self.replicas[work.dst][r];
+            match server.fault_plan().next_search_fault(server.max_terms()) {
+                Some(Fault::Unavailable) => {
+                    self.book_xfer(
+                        "xfer.in",
+                        work.dst,
+                        Some("transfer destination unavailable".to_string()),
+                        Charge {
+                            invocations: 1,
+                            faults: 1,
+                            time_invocation: c.c_i,
+                            ..Charge::default()
+                        },
+                    );
+                    if let Some(&next) = order.get(pos + 1) {
+                        self.emit(EventKind::Failover {
+                            shard: work.dst,
+                            replica: next,
+                        });
+                    }
+                }
+                Some(Fault::Timeout { after_postings }) => {
+                    let part = after_postings.min(work.batch_postings - delivered);
+                    self.book_xfer(
+                        "xfer.in",
+                        work.dst,
+                        Some(format!(
+                            "transfer destination timeout after {part} postings"
+                        )),
+                        Charge {
+                            invocations: 1,
+                            faults: 1,
+                            postings: part as i64,
+                            time_invocation: c.c_i,
+                            time_processing: c.c_p * part as f64,
+                            ..Charge::default()
+                        },
+                    );
+                    delivered += part;
+                    if let Some(&next) = order.get(pos + 1) {
+                        self.emit(EventKind::Failover {
+                            shard: work.dst,
+                            replica: next,
+                        });
+                    }
+                }
+                fault => {
+                    let slow = match fault {
+                        Some(Fault::Slow { delta_s }) => f64::from(delta_s),
+                        _ => 0.0,
+                    };
+                    let rem = work.batch_postings - delivered;
+                    self.book_xfer(
+                        "xfer.in",
+                        work.dst,
+                        None,
+                        Charge {
+                            invocations: 1,
+                            postings: rem as i64,
+                            time_invocation: c.c_i,
+                            time_processing: c.c_p * rem as f64,
+                            time_backoff: slow,
+                            ..Charge::default()
+                        },
+                    );
+                    delivered = work.batch_postings;
+                    ingested = true;
+                    break;
+                }
             }
         }
-        Ok(Self::merge(
-            done.into_iter().map(|r| r.expect("all gathered")).collect(),
-        ))
+        if !ingested {
+            // The fetched batch stays in flight; the postings already
+            // delivered are journaled so resumption never re-buys them.
+            let mut st = self.migration.borrow_mut();
+            let state = st.as_mut().expect("active migration");
+            state.delivered = delivered;
+            return Err(TextError::Unavailable);
+        }
+        let (high_water, move_done, finished) = {
+            let mut st = self.migration.borrow_mut();
+            let state = st.as_mut().expect("active migration");
+            let batch = &state.staged[work.mv][work.start..work.start + work.n];
+            {
+                let mut hidden = self.hidden.borrow_mut();
+                let mut route = self.route.borrow_mut();
+                for sd in batch {
+                    hidden[work.src].insert(sd.src_local);
+                    hidden[work.dst].remove(&sd.dst_local);
+                    route[sd.global.0 as usize] = (work.dst, sd.dst_local);
+                }
+            }
+            let high_water = batch.last().expect("batches are non-empty").global;
+            state.cursor += work.n;
+            state.in_flight = 0;
+            state.delivered = 0;
+            let entry = &mut state.journal.entries[work.mv];
+            entry.high_water = Some(high_water);
+            let move_done = state.cursor == state.staged[work.mv].len();
+            if move_done {
+                entry.status = MoveStatus::Done;
+                state.current += 1;
+                state.cursor = 0;
+            }
+            (high_water, move_done, state.journal.finished())
+        };
+        let epoch = self.epoch.get() + 1;
+        self.epoch.set(epoch);
+        self.epoch_log.borrow_mut().push((epoch, work.src, work.dst));
+        self.emit(EventKind::MigrationBatch {
+            mv: work.mv as u64,
+            src: work.src,
+            dst: work.dst,
+            docs: work.n as u64,
+            postings: work.batch_postings,
+            high_water: u64::from(high_water.0),
+            epoch,
+        });
+        Ok(MigrationProgress::Committed {
+            mv: work.mv,
+            docs: work.n,
+            resumed: work.resumed,
+            move_done,
+            finished,
+        })
+    }
+
+    /// Cleanly abandons the current move: its committed documents revert
+    /// to the pre-move routing (visibility flips back), the journal marks
+    /// it `Aborted`, and the epoch bumps so in-flight gathers re-scatter
+    /// the affected shards. Sunk transfer charges stay booked — they were
+    /// spent — but rows are never wrong. Returns `false` when there is no
+    /// move to abort.
+    pub fn abort_current_move(&self) -> bool {
+        let (mv, src, dst, committed) = {
+            let mut st = self.migration.borrow_mut();
+            let Some(state) = st.as_mut() else {
+                return false;
+            };
+            while state.current < state.plan.moves.len()
+                && matches!(
+                    state.journal.entries[state.current].status,
+                    MoveStatus::Done | MoveStatus::Aborted
+                )
+            {
+                state.current += 1;
+                state.cursor = 0;
+            }
+            if state.current >= state.plan.moves.len() {
+                return false;
+            }
+            let mv = state.current;
+            let src = state.journal.entries[mv].src;
+            let dst = state.journal.entries[mv].dst;
+            let committed = state.cursor;
+            {
+                let mut hidden = self.hidden.borrow_mut();
+                let mut route = self.route.borrow_mut();
+                for sd in &state.staged[mv][..committed] {
+                    hidden[src].remove(&sd.src_local);
+                    hidden[dst].insert(sd.dst_local);
+                    route[sd.global.0 as usize] = (src, sd.src_local);
+                }
+            }
+            let entry = &mut state.journal.entries[mv];
+            entry.status = MoveStatus::Aborted;
+            entry.high_water = None;
+            state.cursor = 0;
+            state.in_flight = 0;
+            state.delivered = 0;
+            state.current += 1;
+            (mv, src, dst, committed)
+        };
+        let epoch = self.epoch.get() + 1;
+        self.epoch.set(epoch);
+        self.epoch_log.borrow_mut().push((epoch, src, dst));
+        self.emit(EventKind::MigrationAbort {
+            mv: mv as u64,
+            src,
+            dst,
+            reverted: committed as u64,
+            epoch,
+        });
+        true
+    }
+
+    /// Drives the active migration to completion (for fault-free paths;
+    /// transient transfer failures propagate for the caller's retry loop,
+    /// resuming from the journal).
+    pub fn run_migration(&self) -> Result<(), TextError> {
+        loop {
+            match self.migrate_batch()? {
+                MigrationProgress::Idle => return Ok(()),
+                MigrationProgress::Committed { .. } => {}
+            }
+        }
+    }
+
+    /// The per-query-leg migration pacing tick (free when pacing is off or
+    /// no migration is active). A transiently failed step simply waits for
+    /// the next tick — that retry is exactly the journal-resume path.
+    fn pace_migration(&self) {
+        let every = self.pacing.get();
+        if every == 0 || !self.migration_active() {
+            return;
+        }
+        let n = self.ops_since_step.get() + 1;
+        if n >= every {
+            self.ops_since_step.set(0);
+            let _ = self.migrate_batch();
+        } else {
+            self.ops_since_step.set(n);
+        }
     }
 }
 
@@ -543,7 +1352,7 @@ impl TextService for ShardedTextServer {
     }
 
     fn doc_count(&self) -> usize {
-        self.route.len()
+        self.route.borrow().len()
     }
 
     /// The minimum cap over every replica of every shard: a package legal
@@ -566,6 +1375,7 @@ impl TextService for ShardedTextServer {
     /// counters.
     fn usage(&self) -> Usage {
         let mut total = *self.extra.borrow();
+        total.accumulate(&self.migration_usage.borrow());
         for s in self.replicas.iter().flatten() {
             total.accumulate(&s.usage());
         }
@@ -616,8 +1426,9 @@ impl TextService for ShardedTextServer {
     /// Routes to the owning shard, failing over through its replica
     /// routing order on transient errors (single attempt per replica).
     fn retrieve(&self, id: DocId) -> Result<Document, TextError> {
-        match self.route.get(id.0 as usize) {
-            Some(&(shard, local)) => {
+        let routed = self.route.borrow().get(id.0 as usize).copied();
+        match routed {
+            Some((shard, local)) => {
                 let order = self.routing_order(shard);
                 let mut last: Option<TextError> = None;
                 for (pos, &r) in order.iter().enumerate() {
@@ -665,20 +1476,61 @@ impl TextService for ShardedTextServer {
         for e in exprs {
             self.validate_cap(e)?;
         }
-        let mut per_shard = Vec::with_capacity(self.replicas.len());
-        for i in 0..self.replicas.len() {
-            match self.failover_batch(i, exprs) {
-                Ok(b) => per_shard.push(b),
-                Err(e) if e.is_transient() => {
-                    return Err(TextError::Shard(Box::new(PartialShardError {
-                        partial: Vec::new(),
-                        failed_shard: i,
-                        error: e,
-                    })))
+        // A shard is relevant to the batch if any member may match there;
+        // pruned shards answer every member with a free empty result.
+        let batch_mask = |sh: &Self| -> Vec<bool> {
+            let masks: Vec<Vec<bool>> = exprs.iter().map(|e| sh.relevant_shards(e)).collect();
+            (0..sh.replicas.len())
+                .map(|i| masks.iter().any(|m| m[i]) || masks.is_empty())
+                .collect()
+        };
+        let mut from_epoch = self.epoch.get();
+        let mut relevant = batch_mask(self);
+        let mut per_shard: Vec<Option<BatchResult>> = vec![None; self.replicas.len()];
+        loop {
+            let now = self.epoch.get();
+            if now != from_epoch {
+                let affected = self.shards_touched_since(from_epoch);
+                self.emit(EventKind::RoutingStale {
+                    from_epoch,
+                    to_epoch: now,
+                    shards: affected.clone(),
+                });
+                for &i in &affected {
+                    per_shard[i] = None;
                 }
-                Err(e) => return Err(e),
+                relevant = batch_mask(self);
+                from_epoch = now;
+            }
+            for i in 0..per_shard.len() {
+                if per_shard[i].is_some() {
+                    continue;
+                }
+                if !relevant[i] {
+                    per_shard[i] = Some(BatchResult {
+                        results: vec![SearchResult { docs: Vec::new() }; exprs.len()],
+                    });
+                    continue;
+                }
+                match self.failover_batch(i, exprs) {
+                    Ok(b) => per_shard[i] = Some(b),
+                    Err(e) if e.is_transient() => {
+                        return Err(TextError::Shard(Box::new(PartialShardError {
+                            partial: Vec::new(),
+                            failed_shard: i,
+                            error: e,
+                            epoch: self.epoch.get(),
+                        })))
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if self.epoch.get() == from_epoch {
+                break;
             }
         }
+        let per_shard: Vec<BatchResult> =
+            per_shard.into_iter().map(|b| b.expect("all gathered")).collect();
         let results = (0..exprs.len())
             .map(|j| Self::merge(per_shard.iter().map(|b| b.results[j].clone()).collect()))
             .collect();
@@ -690,7 +1542,7 @@ impl TextService for ShardedTextServer {
     }
 
     fn reconstruct_short(&self, id: DocId) -> Option<ShortDoc> {
-        let &(shard, local) = self.route.get(id.0 as usize)?;
+        let (shard, local) = self.route.borrow().get(id.0 as usize).copied()?;
         let coll = self.shard(shard).collection();
         coll.document(local)
             .map(|d| d.short_form(id, coll.schema()))
@@ -702,6 +1554,10 @@ impl TextService for ShardedTextServer {
 
     fn recorder(&self) -> Option<Rc<Recorder>> {
         ShardedTextServer::recorder(self)
+    }
+
+    fn topology_epoch(&self) -> u64 {
+        self.epoch.get()
     }
 }
 
@@ -976,5 +1832,269 @@ mod tests {
         // Each shard charged one net invocation for the whole batch.
         let u = TextService::usage(&sharded);
         assert_eq!(u.invocations, 4, "batch rebate applied per shard");
+    }
+
+    // ---- online rebalancing -------------------------------------------
+
+    use crate::rebalance::{MigrationPlan, MigrationProgress, Move, MoveStatus};
+
+    #[test]
+    fn migration_preserves_results_and_reroutes_ownership() {
+        let coll = corpus(40);
+        let single = TextServer::new(coll.clone());
+        let mut sharded = ShardedTextServer::new(&coll, 4, 7);
+        let plan = MigrationPlan::seeded(3, 4, 40, 3, 2);
+        let journal = sharded.begin_migration(plan.clone());
+        assert_eq!(journal.begun_at_epoch, 0);
+        // Staging alone changes nothing visible and costs nothing.
+        assert_eq!(TextService::topology_epoch(&sharded), 0);
+        assert_eq!(sharded.migration_usage(), Usage::default());
+        sharded.run_migration().unwrap();
+        let journal = sharded.journal().unwrap();
+        assert!(journal.finished());
+        for (e, m) in journal.entries.iter().zip(&plan.moves) {
+            assert_eq!(e.status, MoveStatus::Done, "move {m:?}");
+            if e.docs > 0 {
+                assert!(e.high_water.is_some());
+                // Every staged docid now routes to the destination.
+                for g in m.range.0 .0..m.range.1 .0 {
+                    assert_ne!(sharded.owner_of(DocId(g)), Some(m.src));
+                }
+            }
+        }
+        assert!(TextService::topology_epoch(&sharded) > 0, "commits bump the epoch");
+        // Transfers were charged: both legs, postings and long docs > 0.
+        let mu = sharded.migration_usage();
+        assert!(mu.invocations >= 2 && mu.postings_processed > 0 && mu.docs_long > 0);
+        // Queries and retrieves still agree with the single server exactly.
+        let want = single.search_str("TI='shared'").unwrap();
+        let got = TextService::search_str(&sharded, "TI='shared'").unwrap();
+        assert_eq!(got.ids(), want.ids());
+        assert_eq!(got.docs, want.docs);
+        for g in [0u32, 11, 23, 39] {
+            assert_eq!(
+                TextService::retrieve(&sharded, DocId(g)).unwrap(),
+                single.retrieve(DocId(g)).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn migration_bucket_is_disjoint_from_query_ledgers() {
+        let coll = corpus(40);
+        let mut sharded = ShardedTextServer::new(&coll, 4, 7);
+        sharded.begin_migration(MigrationPlan::seeded(3, 4, 40, 2, 4));
+        sharded.run_migration().unwrap();
+        let mu = sharded.migration_usage();
+        assert!(mu.total_cost() > 0.0);
+        // No per-shard query ledger saw a transfer charge...
+        for i in 0..4 {
+            assert_eq!(sharded.shard_usage(i), Usage::default(), "shard {i}");
+        }
+        // ...yet the aggregate ledger carries the bucket exactly.
+        assert_eq!(TextService::usage(&sharded), mu);
+        TextService::search_str(&sharded, "TI='shared'").unwrap();
+        let mut want = mu;
+        for i in 0..4 {
+            want.accumulate(&sharded.shard_usage(i));
+        }
+        assert_eq!(TextService::usage(&sharded), want, "bucket + shard sums");
+    }
+
+    #[test]
+    fn interrupted_destination_resumes_without_rebuying_postings() {
+        let coll = corpus(40);
+        // Fault-free control run to learn the exact transfer invoice.
+        let mut control = ShardedTextServer::new(&coll, 4, 7);
+        let src = control.owner_of(DocId(0)).unwrap();
+        let dst = (src + 1) % 4;
+        let mv = Move { range: (DocId(0), DocId(40)), src, dst };
+        control.begin_migration(MigrationPlan::new(vec![mv], 40));
+        control.run_migration().unwrap();
+        let control_postings = control.migration_usage().postings_processed;
+        assert!(control_postings > 0);
+
+        let mut sharded = ShardedTextServer::new(&coll, 4, 7);
+        // The destination times out mid-ingest, then dies once more before
+        // recovering: two interrupted attempts, one resume each.
+        sharded.replica_mut(dst, 0).set_fault_plan(FaultPlan::scripted(vec![
+            (0, Fault::Timeout { after_postings: 3 }),
+            (1, Fault::Unavailable),
+        ]));
+        sharded.begin_migration(MigrationPlan::new(vec![mv], 40));
+        assert!(matches!(sharded.migrate_batch(), Err(TextError::Unavailable)));
+        assert!(matches!(sharded.migrate_batch(), Err(TextError::Unavailable)));
+        let got = sharded.migrate_batch().unwrap();
+        assert_eq!(
+            got,
+            MigrationProgress::Committed {
+                mv: 0,
+                docs: sharded.journal().unwrap().entries[0].docs as usize,
+                resumed: true,
+                move_done: true,
+                finished: true,
+            }
+        );
+        let mu = sharded.migration_usage();
+        assert_eq!(
+            mu.postings_processed, control_postings,
+            "interrupts never re-buy postings: the timed-out prefix is kept"
+        );
+        assert_eq!(mu.faults, 2);
+        // The source leg ran exactly once: docs_long charged once.
+        assert_eq!(mu.docs_long, control.migration_usage().docs_long);
+    }
+
+    #[test]
+    fn dead_source_primary_drains_through_a_replica() {
+        let coll = corpus(40);
+        let single = TextServer::new(coll.clone());
+        let mut sharded = ShardedTextServer::replicated(&coll, 4, 2, 7);
+        let src = sharded.owner_of(DocId(5)).unwrap();
+        let dst = (src + 1) % 4;
+        let p = sharded.primary_of(src);
+        sharded.replica_mut(src, p).set_fault_plan(FaultPlan::dead(9));
+        sharded.begin_migration(MigrationPlan::new(
+            vec![Move { range: (DocId(0), DocId(40)), src, dst }],
+            3,
+        ));
+        sharded.run_migration().unwrap();
+        assert_eq!(sharded.journal().unwrap().entries[0].status, MoveStatus::Done);
+        assert!(sharded.migration_usage().faults > 0, "dead primary billed faults");
+        let want = single.search_str("TI='shared'").unwrap();
+        let got = TextService::search_str(&sharded, "TI='shared'").unwrap();
+        assert_eq!(got.docs, want.docs, "drained via replica, rows exact");
+    }
+
+    #[test]
+    fn unresumable_move_aborts_back_to_pre_move_routing() {
+        let coll = corpus(40);
+        let single = TextServer::new(coll.clone());
+        let mut sharded = ShardedTextServer::new(&coll, 4, 7);
+        let src = sharded.owner_of(DocId(0)).unwrap();
+        let dst = (src + 1) % 4;
+        sharded.begin_migration(MigrationPlan::new(
+            vec![Move { range: (DocId(0), DocId(40)), src, dst }],
+            1,
+        ));
+        // One batch commits, then the operator gives up on the move.
+        sharded.migrate_batch().unwrap();
+        let moved = DocId(0);
+        assert_eq!(sharded.owner_of(moved), Some(dst));
+        let epoch_before = TextService::topology_epoch(&sharded);
+        assert!(sharded.abort_current_move());
+        assert_eq!(sharded.owner_of(moved), Some(src), "committed doc reverted");
+        assert_eq!(sharded.journal().unwrap().entries[0].status, MoveStatus::Aborted);
+        assert!(sharded.journal().unwrap().finished());
+        assert!(!sharded.migration_active());
+        assert_eq!(TextService::topology_epoch(&sharded), epoch_before + 1);
+        assert!(!sharded.abort_current_move(), "nothing left to abort");
+        // Rows are never wrong: results match the single server again.
+        let want = single.search_str("TI='shared'").unwrap();
+        let got = TextService::search_str(&sharded, "TI='shared'").unwrap();
+        assert_eq!(got.docs, want.docs);
+        assert_eq!(
+            TextService::retrieve(&sharded, moved).unwrap(),
+            single.retrieve(moved).unwrap()
+        );
+    }
+
+    #[test]
+    fn paced_migration_under_live_queries_stays_exact_and_emits_stale() {
+        let coll = corpus(40);
+        let single = TextServer::new(coll.clone());
+        let mut sharded = ShardedTextServer::new(&coll, 4, 7);
+        let sink = Rc::new(crate::obs::RingSink::unbounded());
+        sharded.set_recorder(Some(Recorder::new(sink.clone())));
+        sharded.begin_migration(MigrationPlan::seeded(3, 4, 40, 4, 1));
+        sharded.set_migration_pacing(1);
+        let want = single.search_str("TI='shared'").unwrap();
+        while sharded.migration_active() {
+            let got = TextService::search_str(&sharded, "TI='shared'").unwrap();
+            assert_eq!(got.ids(), want.ids(), "exact mid-migration");
+            assert_eq!(got.docs, want.docs);
+        }
+        let events = sink.events();
+        assert!(
+            events.iter().any(|e| matches!(e.kind, EventKind::RoutingStale { .. })),
+            "a mid-gather commit re-scattered the affected shards"
+        );
+        assert!(
+            events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::RoutingStale { .. }))
+                .all(|e| e.kind.charge().is_none()),
+            "re-scatter detection is free"
+        );
+    }
+
+    #[test]
+    fn stats_routing_prunes_provably_irrelevant_shards() {
+        let coll = corpus(40);
+        let single = TextServer::new(coll.clone());
+        let sharded = ShardedTextServer::new(&coll, 4, 7);
+        sharded.set_stats_routing(true);
+        // "author17" lives in exactly one document, hence one shard.
+        let want = single.search_str("AU='author17'").unwrap();
+        let got = TextService::search_str(&sharded, "AU='author17'").unwrap();
+        assert_eq!(got.docs, want.docs);
+        let u = TextService::usage(&sharded);
+        assert_eq!(u.invocations, 1, "three shards pruned for free");
+        let owner = sharded.owner_of(DocId(17)).unwrap();
+        let mask = sharded.relevant_shards(&parse_search("AU='author17'", TextService::schema(&sharded)).unwrap());
+        assert_eq!(mask.iter().filter(|&&b| b).count(), 1);
+        assert!(mask[owner]);
+        // A term present everywhere prunes nothing.
+        let mask = sharded.relevant_shards(&parse_search("TI='shared'", TextService::schema(&sharded)).unwrap());
+        assert!(mask.iter().all(|&b| b));
+        // Routing off: no pruning, the invoice shape is the classic one.
+        sharded.set_stats_routing(false);
+        sharded.reset_usage();
+        TextService::search_str(&sharded, "AU='author17'").unwrap();
+        assert_eq!(TextService::usage(&sharded).invocations, 4);
+    }
+
+    #[test]
+    fn stats_routing_stays_sound_during_migration() {
+        let coll = corpus(40);
+        let single = TextServer::new(coll.clone());
+        let mut sharded = ShardedTextServer::new(&coll, 4, 7);
+        sharded.set_stats_routing(true);
+        sharded.begin_migration(MigrationPlan::seeded(5, 4, 40, 4, 2));
+        sharded.set_migration_pacing(1);
+        while sharded.migration_active() {
+            for probe in ["AU='author17'", "AU='author3'", "TI='shared'"] {
+                let got = TextService::search_str(&sharded, probe).unwrap();
+                let want = single.search_str(probe).unwrap();
+                assert_eq!(got.docs, want.docs, "{probe} exact mid-migration");
+            }
+        }
+    }
+
+    #[test]
+    fn complete_gather_from_an_older_epoch_regathers_moved_shards() {
+        let coll = corpus(40);
+        let single = TextServer::new(coll.clone());
+        let mut sharded = ShardedTextServer::new(&coll, 4, 7);
+        let expr = parse_search("TI='shared'", TextService::schema(&sharded)).unwrap();
+        // A full gather at epoch 0, kept as a stale partial.
+        let partial: Vec<Option<SearchResult>> = (0..4)
+            .map(|i| Some(sharded.failover_search(i, &expr).unwrap()))
+            .collect();
+        let src = sharded.owner_of(DocId(0)).unwrap();
+        let dst = (src + 1) % 4;
+        sharded.begin_migration(MigrationPlan::new(
+            vec![Move { range: (DocId(0), DocId(40)), src, dst }],
+            40,
+        ));
+        sharded.run_migration().unwrap();
+        let before = TextService::usage(&sharded);
+        let res = sharded.complete_gather_from(&partial, &expr, 0).unwrap();
+        assert_eq!(res.docs, single.search_str("TI='shared'").unwrap().docs);
+        let delta = TextService::usage(&sharded).since(&before);
+        assert_eq!(
+            delta.invocations, 2,
+            "only the move's source and destination re-gathered"
+        );
     }
 }

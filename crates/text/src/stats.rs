@@ -49,6 +49,16 @@ impl FieldStats {
     pub fn occurs(&self, word: &str) -> bool {
         self.fanout(word) > 0
     }
+
+    /// Whether any word in this field starts with `prefix` — the
+    /// truncation-query analogue of [`occurs`](Self::occurs), used by
+    /// stats-aware shard routing to prove a shard irrelevant.
+    pub fn occurs_prefix(&self, prefix: &str) -> bool {
+        if prefix.is_empty() {
+            return self.vocabulary > 0;
+        }
+        self.df.keys().any(|w| w.starts_with(prefix))
+    }
 }
 
 /// The exported statistics bundle.

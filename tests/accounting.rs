@@ -455,3 +455,85 @@ fn cancelled_hedge_rebate_keeps_every_accounting_view_in_agreement() {
     assert_eq!(snap.counter("usage.docs_long"), agg.docs_long);
     assert!((snap.value("usage.total_cost") - agg.total_cost()).abs() < 1e-12);
 }
+
+#[test]
+fn migration_charges_land_in_a_dedicated_bucket_disjoint_from_queries() {
+    use textjoin::text::doc::DocId;
+    use textjoin::text::rebalance::{MigrationPlan, Move};
+    use textjoin::text::server::Usage;
+    use textjoin::text::shard::ShardedTextServer;
+    use textjoin::text::TextService;
+
+    let w = world();
+    let schema = w.server.collection().schema();
+    let p = prepare(&paper::q1(&w), &w.catalog, schema).expect("q1 prepares");
+    let fj = p.foreign_join();
+
+    let mut s = ShardedTextServer::new(w.server.collection(), 4, 0x5AD);
+    let n = w.server.collection().doc_count() as u32;
+    s.begin_migration(MigrationPlan::new(
+        vec![Move { range: (DocId(0), DocId(n)), src: 1, dst: 3 }],
+        32,
+    ));
+    s.set_migration_pacing(3);
+
+    // A query runs while transfer batches interleave with its legs.
+    let ctx = ExecContext::new(&s);
+    let out = textjoin::core::methods::ts::tuple_substitution(&ctx, &fj, true)
+        .expect("TS runs mid-migration");
+    s.run_migration().expect("fault-free migration completes");
+
+    // The migration bucket is non-trivial and carries the transfer shape:
+    // a source leg per batch (c_l per doc) and a destination leg per
+    // batch (c_p per posting), each one invocation.
+    let mig = s.migration_usage();
+    assert!(mig.invocations > 0, "transfers charge invocations");
+    assert!(mig.docs_long > 0, "the source leg buys long forms");
+    assert!(mig.postings_processed > 0, "the destination leg ingests postings");
+    assert_eq!(mig.docs_short, 0, "no short forms move in a transfer");
+    assert_eq!(mig.faults, 0, "fault-free run");
+    let k = s.constants();
+    let expected_mig = k.c_i * mig.invocations as f64
+        + k.c_p * mig.postings_processed as f64
+        + k.c_l * mig.docs_long as f64;
+    assert!(
+        (mig.total_cost() - expected_mig).abs() < 1e-9,
+        "the migration bucket decomposes into c_i/c_p/c_l charges exactly"
+    );
+
+    // Disjointness: the aggregate ledger is exactly the per-shard query
+    // invoices plus the migration bucket — transfers never leak into a
+    // shard invoice, and queries never leak into the migration bucket.
+    let agg = s.usage();
+    let mut queries = Usage::default();
+    for i in 0..s.shard_count() {
+        queries.accumulate(&s.shard_usage(i));
+    }
+    assert_eq!(agg.invocations, queries.invocations + mig.invocations);
+    assert_eq!(agg.docs_long, queries.docs_long + mig.docs_long);
+    assert_eq!(
+        agg.postings_processed,
+        queries.postings_processed + mig.postings_processed
+    );
+    assert!((agg.total_cost() - (queries.total_cost() + mig.total_cost())).abs() < 1e-9);
+
+    // The method's reported ledger (a `Usage::since` delta over the
+    // aggregate) still decomposes exactly, with the paced transfer legs
+    // it triggered priced by the same constants.
+    let u = &out.report.text;
+    let expected_text = k.c_i * u.invocations as f64
+        + k.c_p * u.postings_processed as f64
+        + k.c_s * u.docs_short as f64
+        + k.c_l * u.docs_long as f64
+        + u.time_backoff;
+    assert!((u.total_cost() - expected_text).abs() < 1e-6);
+
+    // After the drain, further queries grow only the query invoices: the
+    // migration bucket is frozen.
+    let frozen = s.migration_usage();
+    let _ = textjoin::core::methods::ts::tuple_substitution(&ctx, &fj, true)
+        .expect("TS runs after migration");
+    let after = s.migration_usage();
+    assert_eq!(after.invocations, frozen.invocations);
+    assert!((after.total_cost() - frozen.total_cost()).abs() < 1e-12);
+}

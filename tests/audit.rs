@@ -576,3 +576,84 @@ fn noop_recorder_never_perturbs_the_ledger() {
         }
     }
 }
+
+/// The trace↔ledger audit extended to transfers: an online migration runs
+/// to completion twice — once fault-free (the control) and once with the
+/// source primary permanently dead *and* a scripted destination outage
+/// that interrupts one batch after a partially-charged timeout, forcing a
+/// journal resume. In both runs, summing every recorded `Call` charge
+/// (`search`/`xfer.out`/`xfer.in` alike) reconciles exactly with the
+/// aggregate ledger (which folds the dedicated migration bucket). And the
+/// interrupted run buys exactly the control's posting and document
+/// totals: the timeout's delivered prefix is journaled, so resumption
+/// ingests only the remainder — transferred postings are never re-bought.
+#[test]
+fn migration_transfer_traces_reconcile_and_never_rebuy_postings() {
+    use textjoin::text::doc::DocId;
+    use textjoin::text::faults::Fault;
+    use textjoin::text::rebalance::{MigrationPlan, Move, MoveStatus};
+
+    let w = compact_world(7);
+    let n = w.server.collection().doc_count() as u32;
+    let drain = |configure: &dyn Fn(&mut ShardedTextServer)| -> (Vec<Event>, Usage, Usage) {
+        let mut s = ShardedTextServer::replicated(w.server.collection(), 4, 2, 0x5AD);
+        let sink = Rc::new(RingSink::unbounded());
+        s.set_recorder(Some(Recorder::new(sink.clone())));
+        s.begin_migration(MigrationPlan::new(
+            vec![Move { range: (DocId(0), DocId(n)), src: 1, dst: 3 }],
+            16,
+        ));
+        configure(&mut s);
+        let mut steps = 0u32;
+        while !s.journal().expect("journal exists").finished() {
+            let _ = s.migrate_batch();
+            steps += 1;
+            assert!(steps < 10_000, "migration failed to drain");
+        }
+        assert!(s
+            .journal()
+            .expect("journal exists")
+            .entries
+            .iter()
+            .all(|e| e.status == MoveStatus::Done));
+        (sink.events(), s.usage(), s.migration_usage())
+    };
+
+    // Control: healthy replicas end to end.
+    let (ctrl_events, ctrl_usage, ctrl_mig) = drain(&|_s| {});
+    assert_reconciles("control migration", charge_sum(&ctrl_events), &ctrl_usage);
+    assert_eq!(ctrl_mig.faults, 0);
+    assert!(ctrl_mig.postings_processed > 0);
+
+    // Interrupted: the source primary is dead for the whole drain (every
+    // batch's out-leg fails over to the replica), and the destination
+    // shard scripts a Timeout-then-Unavailable outage on one batch — the
+    // fetched batch stays in flight and the next call resumes it.
+    let (evts, usage, mig) = drain(&|s: &mut ShardedTextServer| {
+        let src_pri = s.primary_of(1);
+        s.replica_mut(1, src_pri).set_fault_plan(FaultPlan::dead(0xD1E));
+        let dst_pri = s.primary_of(3);
+        s.replica_mut(3, dst_pri).set_fault_plan(FaultPlan::scripted(vec![(
+            1,
+            Fault::Timeout { after_postings: 7 },
+        )]));
+        s.replica_mut(3, 1 - dst_pri)
+            .set_fault_plan(FaultPlan::scripted(vec![(0, Fault::Unavailable)]));
+    });
+    assert_reconciles("interrupted migration", charge_sum(&evts), &usage);
+    assert!(mig.faults >= 3, "dead primary legs + the scripted outage are booked");
+    let jsonl: Vec<String> = evts.iter().map(|e| e.to_jsonl()).collect();
+    assert!(
+        jsonl.iter().any(|l| l.contains("migration_resume")),
+        "the interrupted batch went through the journal-resume path"
+    );
+    assert!(jsonl.iter().any(|l| l.contains("xfer.out")));
+    assert!(jsonl.iter().any(|l| l.contains("xfer.in")));
+
+    // Exactly-once delivery, proven by the ledger: the interrupted run
+    // ingests precisely the control's posting total (the timeout's prefix
+    // plus the resumed remainder — never the prefix twice), and reads
+    // each document's long form off a source replica exactly once.
+    assert_eq!(mig.postings_processed, ctrl_mig.postings_processed);
+    assert_eq!(mig.docs_long, ctrl_mig.docs_long);
+}

@@ -707,3 +707,87 @@ fn gather_completion_resumes_from_the_partial_without_rebuying_shards() {
         "the completion span records how much of the gather was already paid for"
     );
 }
+
+/// Completion × migration interplay: the same lost-shard gather as above,
+/// but while a paced online migration commits batches *between the
+/// query's legs* — so the partial carries an epoch the topology has
+/// already moved past. The staleness loop re-scatters only the shards the
+/// commits touched, the completion pass re-scatters only the missing
+/// shard, untouched shards keep their single paid invoice, and the answer
+/// is still exact.
+#[test]
+fn gather_completion_stays_exact_while_a_migration_commits_between_legs() {
+    use textjoin::text::rebalance::{MigrationPlan, Move, MoveStatus};
+
+    let w = compact_world(7);
+    let schema = w.server.collection().schema();
+    let au = schema.field_by_name("author").expect("author field");
+    let student = w.catalog.table("student").expect("student table");
+    let name = student.rows()[0]
+        .get(student.col("name"))
+        .as_str()
+        .expect("student names are strings")
+        .to_owned();
+    let expr = textjoin::text::expr::SearchExpr::term_in(&name, au);
+    let fault_free = w.server.search(&expr).expect("healthy search").ids();
+
+    let mut s = ShardedTextServer::replicated(w.server.collection(), 4, 2, 0x5AD);
+    let n = w.server.collection().doc_count() as u32;
+    s.begin_migration(MigrationPlan::new(
+        vec![Move { range: (DocId(0), DocId(n)), src: 1, dst: 3 }],
+        8,
+    ));
+    // A transfer batch commits before every query leg: the gather races
+    // live epoch bumps on shards 1 and 3 the whole way through.
+    s.set_migration_pacing(1);
+    // Shard 2 loses both replicas on the first pass (primary 10 scripted
+    // faults, secondary 4 — the base failover leg), then recovers for the
+    // completion pass. The migration never touches shard 2, so these
+    // scripts only serve query legs.
+    let primary = s.primary_of(2);
+    s.replica_mut(2, primary).set_fault_plan(FaultPlan::scripted(
+        (0..10).map(|o| (o, Fault::Unavailable)).collect(),
+    ));
+    s.replica_mut(2, 1 - primary).set_fault_plan(FaultPlan::scripted(
+        (0..4).map(|o| (o, Fault::Unavailable)).collect(),
+    ));
+    let sink = Rc::new(RingSink::unbounded());
+    s.set_recorder(Some(Recorder::new(sink.clone())));
+    let budget = RetryBudget::new(RetryPolicy::standard());
+    let ctx = ExecContext::with_budget(&s, &budget);
+
+    let r = ctx
+        .search(&expr)
+        .expect("completion must rescue the gather mid-migration");
+    assert_eq!(r.ids(), fault_free, "the completed gather is exact mid-migration");
+    // Shard 0 is neither faulted nor touched by any move: the staleness
+    // re-scatter (shards 1 and 3) and the completion re-scatter (shard 2)
+    // both leave its single paid leg alone.
+    assert_eq!(
+        s.shard_usage(0).invocations,
+        1,
+        "an untouched shard's result is reused, not re-bought"
+    );
+    let trace: Vec<String> = sink.events().iter().map(|e| e.to_jsonl()).collect();
+    assert!(
+        trace.iter().any(|l| l.contains("migration_batch")),
+        "transfer batches committed inside the query window"
+    );
+    assert!(
+        trace.iter().any(|l| l.contains("complete-gather")),
+        "the lost shard went through the completion path"
+    );
+    // The interrupted-then-resumed topology still drains to completion.
+    let mut steps = 0u32;
+    while !s.journal().expect("journal exists").finished() {
+        let _ = s.migrate_batch();
+        steps += 1;
+        assert!(steps < 10_000, "migration failed to drain");
+    }
+    assert!(s
+        .journal()
+        .expect("journal exists")
+        .entries
+        .iter()
+        .all(|e| e.status == MoveStatus::Done));
+}

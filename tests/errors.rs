@@ -26,6 +26,7 @@ fn sample_shard_error() -> PartialShardError {
         partial: vec![None, None],
         failed_shard: 1,
         error: TextError::Unavailable,
+        epoch: 4,
     }
 }
 
@@ -121,6 +122,7 @@ fn partial_failures_compose_through_the_source_chain() {
         partial: vec![None, None, None],
         failed_shard: 2,
         error: TextError::Timeout { postings: 41 },
+        epoch: 0,
     };
     let e = PartialRetrieveError {
         docs: vec![Document::new()],
@@ -153,6 +155,7 @@ fn partial_failures_compose_through_the_source_chain() {
         partial: vec![None],
         failed_shard: 0,
         error: TextError::Unavailable,
+        epoch: 0,
     }))
     .into();
     let mut hops = 0;
@@ -167,6 +170,26 @@ fn partial_failures_compose_through_the_source_chain() {
         assert!(hops < 10, "the chain must terminate");
     }
     assert!(found, "MethodError → TextError::Shard → PartialShardError");
+}
+
+/// A `PartialShardError` names the topology epoch the gather was routed at:
+/// completion resumes from exactly that epoch, re-scattering only shards a
+/// concurrent migration commit touched. The epoch must survive `Display`
+/// and the `source` chain alongside the partial state.
+#[test]
+fn partial_shard_error_carries_its_routing_epoch() {
+    let e = sample_shard_error();
+    assert_eq!(e.epoch, 4);
+    let msg = e.to_string();
+    assert!(msg.contains("epoch 4"), "Display names the epoch: {msg}");
+    // Wrapped and recovered through the chain, the epoch is intact.
+    let wrapped = TextError::Shard(Box::new(sample_shard_error()));
+    let link = wrapped.source().expect("Shard chains to the partial error");
+    let pse = link
+        .downcast_ref::<PartialShardError>()
+        .expect("downcast recovers the typed state");
+    assert_eq!(pse.epoch, 4, "the routing epoch survives the source chain");
+    assert_eq!(pse.failed_shard, 1);
 }
 
 /// Eight join keys, term cap 5: SJ packs 4 conjuncts + 1 selection per

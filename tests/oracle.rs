@@ -349,6 +349,103 @@ fn all_methods_match_oracle_under_slow_replicas_hedging_and_deadlines() {
     assert!(misses > 0, "the 40s deadline never bit");
 }
 
+/// The rebalance acceptance grid: every method runs while a paced online
+/// migration drains shard 1 into shard 3 on a 4-shard × 2-replica server
+/// whose source primary dies permanently after the first committed batch.
+/// Every method must return exactly the brute-force multiset even though
+/// rows physically move between shards mid-query (transfer legs drain via
+/// the surviving replica, gathers re-scatter on epoch bumps), and the
+/// migration must then drain to completion with every move committed.
+#[test]
+fn all_methods_match_oracle_mid_migration_with_dead_source() {
+    use textjoin::core::retry::{RetryBudget, RetryPolicy};
+    use textjoin::text::doc::DocId;
+    use textjoin::text::faults::FaultPlan;
+    use textjoin::text::rebalance::{MigrationPlan, Move, MoveStatus};
+    use textjoin::text::shard::ShardedTextServer;
+
+    for w in worlds() {
+        let p = textjoin::core::query::prepare(
+            &paper::q1(&w),
+            &w.catalog,
+            w.server.collection().schema(),
+        )
+        .expect("q1 prepares");
+        let fj = p.foreign_join();
+        let expected = oracle_shape(&fj, &oracle_pairs(&fj, &w.server));
+
+        type MethodRun<'a> = Box<dyn Fn(&ExecContext<'_>) -> Table + 'a>;
+        let runs: Vec<(&str, MethodRun<'_>)> = vec![
+            ("TS", Box::new(|ctx: &ExecContext<'_>| {
+                textjoin::core::methods::ts::tuple_substitution(ctx, &fj, true)
+                    .expect("TS survives migration")
+                    .table
+            })),
+            ("RTP", Box::new(|ctx: &ExecContext<'_>| {
+                textjoin::core::methods::rtp::relational_text_processing(ctx, &fj)
+                    .expect("RTP survives migration")
+                    .table
+            })),
+            ("SJ", Box::new(|ctx: &ExecContext<'_>| {
+                textjoin::core::methods::sj::semi_join(ctx, &fj)
+                    .expect("SJ survives migration")
+                    .table
+            })),
+            ("P+TS", Box::new(|ctx: &ExecContext<'_>| {
+                textjoin::core::methods::probe::probe_tuple_substitution(
+                    ctx,
+                    &fj,
+                    &[0],
+                    ProbeSchedule::ProbeFirst,
+                )
+                .expect("P+TS survives migration")
+                .table
+            })),
+            ("P+RTP", Box::new(|ctx: &ExecContext<'_>| {
+                textjoin::core::methods::probe::probe_rtp(ctx, &fj, &[0])
+                    .expect("P+RTP survives migration")
+                    .table
+            })),
+        ];
+        for (label, run) in &runs {
+            let mut s = ShardedTextServer::replicated(w.server.collection(), 4, 2, 0x5AD);
+            let n = w.server.collection().doc_count() as u32;
+            s.begin_migration(MigrationPlan::new(
+                vec![Move { range: (DocId(0), DocId(n)), src: 1, dst: 3 }],
+                16,
+            ));
+            // Batch 1 commits cleanly, then the source primary dies: every
+            // further source transfer leg must fail over to the replica.
+            s.migrate_batch().expect("fault-free first batch");
+            let pri = s.primary_of(1);
+            s.replica_mut(1, pri).set_fault_plan(FaultPlan::dead(0xDEAD));
+            s.set_migration_pacing(2);
+            let budget = RetryBudget::new(RetryPolicy::standard());
+            let ctx = ExecContext::with_budget(&s, &budget);
+            let table = run(&ctx);
+            assert_eq!(
+                method_shape(&fj, &table),
+                expected,
+                "{label} mid-migration disagrees with the brute-force oracle"
+            );
+            let mut steps = 0u32;
+            while !s.journal().expect("journal exists").finished() {
+                let _ = s.migrate_batch();
+                steps += 1;
+                assert!(steps < 10_000, "{label}: migration failed to drain");
+            }
+            assert!(
+                s.journal()
+                    .expect("journal exists")
+                    .entries
+                    .iter()
+                    .all(|e| e.status == MoveStatus::Done),
+                "{label}: a move aborted under a recoverable dead primary"
+            );
+        }
+    }
+}
+
 #[test]
 fn selections_only_probe_consistency() {
     // A selection-only query (no join predicates is invalid for methods,
