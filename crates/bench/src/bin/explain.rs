@@ -2,14 +2,17 @@
 //! per-phase cost rollups, then a deterministic histogram-quantile
 //! summary (pow2 bucket midpoints).
 //!
-//! With a path argument, replays that JSONL trace file. With no argument,
+//! With a path argument, replays that JSONL trace file. With no path,
 //! runs the built-in scenario — P+RTP on a composite-join paper query
 //! under seeded transient faults — so CI can diff two invocations.
-//! Everything is seeded — two invocations print byte-identical trees. The
-//! EXPERIMENTS.md observability appendix is regenerated from this binary.
+//! `--windows <secs>` additionally replays the events through the
+//! windowed [`Monitor`] and appends its per-window health table (the same
+//! rendering the `monitor` binary prints). Everything is seeded — two
+//! invocations print byte-identical output. The EXPERIMENTS.md
+//! observability appendix is regenerated from this binary.
 
 use textjoin_bench::experiments::{default_world, explain_run};
-use textjoin_obs::{parse_jsonl, render, Event, MetricsSnapshot};
+use textjoin_obs::{parse_jsonl, render, Event, MetricsSnapshot, Monitor, MonitorConfig};
 
 /// The p50/p90/p99 summary `explain` appends below the span tree. The
 /// quantiles come from the metrics registry's pow2 histograms replayed
@@ -33,9 +36,39 @@ fn quantile_summary(events: &[Event]) -> String {
     out
 }
 
+/// The optional `--windows` section: the monitor's per-window health
+/// table over the same events the span tree rendered.
+fn window_summary(events: &[Event], window_secs: f64) -> String {
+    let mon = Monitor::replay(MonitorConfig::new(window_secs), events);
+    format!("\n{}", mon.render_table())
+}
+
+fn usage() -> ! {
+    eprintln!("usage: explain [trace.jsonl] [--windows <secs>]");
+    std::process::exit(2);
+}
+
 fn main() {
+    let mut path: Option<String> = None;
+    let mut windows: Option<f64> = None;
     let mut args = std::env::args().skip(1);
-    if let Some(path) = args.next() {
+    while let Some(arg) = args.next() {
+        if arg == "--windows" {
+            let Some(secs) = args.next().and_then(|s| s.parse::<f64>().ok()) else {
+                usage();
+            };
+            if !secs.is_finite() || secs <= 0.0 {
+                usage();
+            }
+            windows = Some(secs);
+        } else if path.is_none() {
+            path = Some(arg);
+        } else {
+            usage();
+        }
+    }
+
+    if let Some(path) = path {
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) => {
@@ -53,6 +86,9 @@ fn main() {
         println!("Trace replay — {path}\n");
         print!("{}", render(&events));
         print!("{}", quantile_summary(&events));
+        if let Some(secs) = windows {
+            print!("{}", window_summary(&events, secs));
+        }
         return;
     }
 
@@ -66,4 +102,7 @@ fn main() {
     let events = explain_run(&w);
     print!("{}", render(&events));
     print!("{}", quantile_summary(&events));
+    if let Some(secs) = windows {
+        print!("{}", window_summary(&events, secs));
+    }
 }

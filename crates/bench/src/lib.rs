@@ -14,6 +14,7 @@
 //! | `calibrate` | Section 4.1 — cost-constant recovery |
 //! | `validate`  | Section 7 — model-predicted vs measured winners |
 //! | `multijoin` | Section 6 — Q5 across execution spaces |
+//! | `monitor`   | windowed telemetry: skew closed loop, SLO burn, drift |
 //!
 //! Criterion micro/macro benchmarks live in `benches/`.
 

@@ -232,6 +232,21 @@ impl<'a> ExecContext<'a> {
         }
     }
 
+    /// Emits the docids a gather leg just routed to the client as a free
+    /// `DocTraffic` event, attributed to the serving shard. These ids were
+    /// *already transmitted* (their charges live on the `Call` events);
+    /// this is pure routing metadata so the traffic monitor can derive
+    /// rebalance advice from observed traffic instead of seeded windows.
+    fn note_doc_traffic(&self, shard: usize, ids: &[DocId]) {
+        if ids.is_empty() || self.recorder().is_none() {
+            return;
+        }
+        self.emit_event(EventKind::DocTraffic {
+            shard: Some(shard),
+            docs: ids.iter().map(|id| id.0 as u64).collect(),
+        });
+    }
+
     /// Books one transport leg's charged cost on the attached scheduler
     /// (no-op without one). The first leg whose completion crosses the
     /// query deadline emits a single chargeless `DeadlineMiss` event —
@@ -568,7 +583,10 @@ impl<'a> ExecContext<'a> {
                 }
                 let _shard_span = self.span(&format!("gather/shard{i}"));
                 match self.replicated_attempts(sh, i, |r| sh.search_replica(i, r, expr)) {
-                    Ok(r) => done[i] = Some(r),
+                    Ok(r) => {
+                        self.note_doc_traffic(i, &r.ids());
+                        done[i] = Some(r);
+                    }
                     Err(e) if e.is_transient() => {
                         return Err(TextError::Shard(Box::new(PartialShardError {
                             partial: done,
@@ -688,7 +706,9 @@ impl<'a> ExecContext<'a> {
                 let shard = sh
                     .owner_of(id)
                     .ok_or(TextError::UnknownDoc(id))?;
-                self.replicated_attempts(sh, shard, |r| sh.retrieve_replica(shard, r, id))
+                let doc = self.replicated_attempts(sh, shard, |r| sh.retrieve_replica(shard, r, id))?;
+                self.note_doc_traffic(shard, &[id]);
+                Ok(doc)
             }
             None => {
                 self.serial_op("retrieve", || {
@@ -767,7 +787,12 @@ impl<'a> ExecContext<'a> {
                 }
                 let _shard_span = self.span(&format!("gather/shard{i}"));
                 match self.replicated_attempts(sh, i, |r| sh.batch_replica(i, r, exprs)) {
-                    Ok(b) => done[i] = Some(b),
+                    Ok(b) => {
+                        let ids: Vec<DocId> =
+                            b.results.iter().flat_map(SearchResult::ids).collect();
+                        self.note_doc_traffic(i, &ids);
+                        done[i] = Some(b);
+                    }
                     Err(e) if e.is_transient() => {
                         return Err(TextError::Shard(Box::new(PartialShardError {
                             partial: Vec::new(),

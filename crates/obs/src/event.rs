@@ -266,6 +266,74 @@ pub enum EventKind {
         /// Shards whose visibility changed in between (re-scattered).
         shards: Vec<usize>,
     },
+    /// Docids a gather path routed to the client (search results consumed
+    /// or long forms fetched). Free — the underlying calls carry the
+    /// charges; this is pure routing metadata for the traffic monitor, so
+    /// rebalance advice can be derived from *observed* traffic instead of
+    /// seeded windows.
+    DocTraffic {
+        /// Shard the docids were served from, when attributable.
+        shard: Option<usize>,
+        /// The global docids, in routing order.
+        docs: Vec<u64>,
+    },
+    /// The load-skew detector crossed its hysteresis band for one shard.
+    /// Free, edge-triggered: emitted once when the shard's windowed
+    /// invoice share enters the hot band and once when it clears.
+    SkewAlert {
+        /// 0-based index of the window that closed the edge.
+        window: u64,
+        /// The shard whose invoice share moved.
+        shard: usize,
+        /// The shard's invoice share in that window, parts-per-million.
+        share_ppm: u64,
+        /// `true` on enter (share ≥ threshold), `false` on clear.
+        hot: bool,
+    },
+    /// The SLO burn-rate monitor crossed its dual-window alert condition.
+    /// Free, edge-triggered like [`SkewAlert`](Self::SkewAlert).
+    SloAlert {
+        /// 0-based index of the window that closed the edge.
+        window: u64,
+        /// Fast-window burn rate, parts-per-million of budget.
+        fast_ppm: u64,
+        /// Slow-window burn rate, parts-per-million of budget.
+        slow_ppm: u64,
+        /// `true` when both windows burn above budget, `false` on clear.
+        firing: bool,
+    },
+    /// The drift watchdog re-fitted the cost constants over its trailing
+    /// window and one component drifted past tolerance. Free,
+    /// edge-triggered per component.
+    DriftAlert {
+        /// 0-based index of the window that closed the check.
+        window: u64,
+        /// Which constant drifted (`c_i`, `c_p`, `c_s`, `c_l`).
+        component: &'static str,
+        /// The configured value the planner would otherwise use.
+        configured: f64,
+        /// The trailing-window least-squares fit.
+        fitted: f64,
+        /// `true` when drift exceeds tolerance, `false` on clear.
+        drifted: bool,
+    },
+    /// The skew detector derived an advisory migration from observed
+    /// traffic: move the hot shard's hottest docid range to the coldest
+    /// shard. Free — advice only; executing it is the caller's decision.
+    RebalanceAdvice {
+        /// 0-based index of the window the advice was derived from.
+        window: u64,
+        /// The hot source shard.
+        src: usize,
+        /// The advised destination shard (lowest invoice share).
+        dst: usize,
+        /// Advised half-open docid range start.
+        lo: u64,
+        /// Advised half-open docid range end.
+        hi: u64,
+        /// Observed traffic hits inside the advised range.
+        hits: u64,
+    },
     /// The optimizer estimated one candidate method. Free.
     Planner(PlannerChoice),
 }
@@ -501,6 +569,63 @@ impl Event {
                     "\"type\":\"routing_stale\",\"from_epoch\":{from_epoch},\
                      \"to_epoch\":{to_epoch},\"shards\":[{}]",
                     list.join(",")
+                );
+            }
+            EventKind::DocTraffic { shard, docs } => {
+                out.push_str("\"type\":\"doc_traffic\",");
+                push_shard(&mut out, *shard);
+                let list: Vec<String> = docs.iter().map(|d| d.to_string()).collect();
+                let _ = write!(out, "\"docs\":[{}]", list.join(","));
+            }
+            EventKind::SkewAlert {
+                window,
+                shard,
+                share_ppm,
+                hot,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"skew_alert\",\"window\":{window},\"shard\":{shard},\
+                     \"share_ppm\":{share_ppm},\"hot\":{hot}"
+                );
+            }
+            EventKind::SloAlert {
+                window,
+                fast_ppm,
+                slow_ppm,
+                firing,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"slo_alert\",\"window\":{window},\"fast_ppm\":{fast_ppm},\
+                     \"slow_ppm\":{slow_ppm},\"firing\":{firing}"
+                );
+            }
+            EventKind::DriftAlert {
+                window,
+                component,
+                configured,
+                fitted,
+                drifted,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"drift_alert\",\"window\":{window},\"component\":\"{component}\",\
+                     \"configured\":{configured},\"fitted\":{fitted},\"drifted\":{drifted}"
+                );
+            }
+            EventKind::RebalanceAdvice {
+                window,
+                src,
+                dst,
+                lo,
+                hi,
+                hits,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"rebalance_advice\",\"window\":{window},\"src\":{src},\
+                     \"dst\":{dst},\"lo\":{lo},\"hi\":{hi},\"hits\":{hits}"
                 );
             }
             EventKind::Planner(p) => {

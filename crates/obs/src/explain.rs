@@ -172,6 +172,55 @@ impl Node {
                     list.join(" ")
                 )));
             }
+            EventKind::DocTraffic { shard, docs } => self.items.push(Item::Line(format!(
+                "· traffic{}: {} docs",
+                shard_tag(*shard),
+                docs.len()
+            ))),
+            EventKind::SkewAlert {
+                window,
+                shard,
+                share_ppm,
+                hot,
+            } => self.items.push(Item::Line(format!(
+                "{} skew {}@shard{shard} window {window}: share {:.1}%",
+                if *hot { "!" } else { "o" },
+                if *hot { "hot" } else { "clear" },
+                *share_ppm as f64 / 10_000.0
+            ))),
+            EventKind::SloAlert {
+                window,
+                fast_ppm,
+                slow_ppm,
+                firing,
+            } => self.items.push(Item::Line(format!(
+                "{} slo {} window {window}: burn fast {:.2}x slow {:.2}x",
+                if *firing { "!" } else { "o" },
+                if *firing { "alert" } else { "clear" },
+                *fast_ppm as f64 / 1_000_000.0,
+                *slow_ppm as f64 / 1_000_000.0
+            ))),
+            EventKind::DriftAlert {
+                window,
+                component,
+                configured,
+                fitted,
+                drifted,
+            } => self.items.push(Item::Line(format!(
+                "{} drift {} {component} window {window}: configured {configured} fitted {fitted}",
+                if *drifted { "!" } else { "o" },
+                if *drifted { "alert" } else { "clear" },
+            ))),
+            EventKind::RebalanceAdvice {
+                window,
+                src,
+                dst,
+                lo,
+                hi,
+                hits,
+            } => self.items.push(Item::Line(format!(
+                "# advise rebalance window {window}: shard{src} -> shard{dst} docs [{lo},{hi}) ({hits} hits observed)"
+            ))),
             EventKind::Planner(p) => {
                 let total = p.invocation + p.processing + p.transmission + p.rtp;
                 self.items.push(Item::Line(format!(

@@ -23,6 +23,7 @@ mod calibrate;
 mod event;
 mod explain;
 mod metrics;
+mod monitor;
 mod recorder;
 mod sample;
 mod sink;
@@ -32,7 +33,11 @@ pub use calibrate::{calibrate_trace, ComponentFit, TraceCalibration};
 pub use event::{Charge, Event, EventKind, PlannerChoice};
 pub use explain::render;
 pub use metrics::{Histogram, MetricsSnapshot};
+pub use monitor::{
+    render_windows, Advice, Monitor, MonitorConfig, OwnerFn, ReplicaWindow, ShardWindow,
+    WindowStats,
+};
 pub use recorder::{Recorder, SpanGuard};
 pub use sample::{is_hot, splitmix64, SampledSink, SamplePolicy};
-pub use sink::{JsonlSink, NoopSink, RingSink, Sink};
+pub use sink::{FanoutSink, JsonlSink, NoopSink, RingSink, Sink};
 pub use trace::{parse_jsonl, TraceParseError};

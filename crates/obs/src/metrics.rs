@@ -65,12 +65,16 @@ impl Histogram {
 
     /// Deterministic quantile estimate from the bucket midpoints: the
     /// midpoint of the bucket holding the `ceil(q × total)`-th smallest
-    /// observation. `None` when the histogram is empty.
+    /// observation. `q` is clamped into `[0, 1]` (NaN reads as 0), so
+    /// `q = 0.0` is the lowest occupied bucket and `q = 1.0` the highest —
+    /// both always defined on a non-empty histogram. `None` only when the
+    /// histogram has no observations at all.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         let total = self.total();
         if total == 0 {
             return None;
         }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut cum = 0u64;
         for (idx, &c) in self.counts.iter().enumerate() {
@@ -79,7 +83,9 @@ impl Histogram {
                 return Some(self.midpoint(idx));
             }
         }
-        None
+        // Unreachable: the cumulative count reaches `total ≥ rank`, but
+        // keep the result defined rather than panicking on a future edit.
+        Some(self.midpoint(self.counts.len() - 1))
     }
 
     /// `(upper_bound, count)` pairs for the non-empty buckets; the
@@ -279,6 +285,47 @@ impl MetricsSnapshot {
                 self.incr("routing.stale", 1);
                 self.incr("routing.stale_shards", shards.len() as u64);
             }
+            EventKind::DocTraffic { shard, docs } => {
+                self.incr("traffic.docs", docs.len() as u64);
+                if let Some(k) = shard_key(shard, "traffic.docs") {
+                    self.incr(&k, docs.len() as u64);
+                }
+            }
+            EventKind::SkewAlert { shard, hot, .. } => {
+                let key = if *hot {
+                    "monitor.skew.hot"
+                } else {
+                    "monitor.skew.clear"
+                };
+                self.incr(key, 1);
+                self.incr(&format!("shard{shard}.{key}"), 1);
+            }
+            EventKind::SloAlert { firing, .. } => {
+                self.incr(
+                    if *firing {
+                        "monitor.slo.alert"
+                    } else {
+                        "monitor.slo.clear"
+                    },
+                    1,
+                );
+            }
+            EventKind::DriftAlert {
+                component, drifted, ..
+            } => {
+                let key = if *drifted {
+                    "monitor.drift.alert"
+                } else {
+                    "monitor.drift.clear"
+                };
+                self.incr(key, 1);
+                self.incr(&format!("{key}.{component}"), 1);
+            }
+            EventKind::RebalanceAdvice { src, dst, .. } => {
+                self.incr("monitor.advice", 1);
+                self.incr(&format!("shard{src}.monitor.advice_out"), 1);
+                self.incr(&format!("shard{dst}.monitor.advice_in"), 1);
+            }
             EventKind::SpanBegin { .. } => self.incr("spans", 1),
             EventKind::SpanEnd { .. } => {}
             EventKind::Planner(p) => {
@@ -469,5 +516,135 @@ mod tests {
         m.add_value("t", 2.5);
         let r = m.render();
         assert_eq!(r, "a 1\nb 1\nt 2.500000\n");
+    }
+
+    #[test]
+    fn quantile_edges_are_defined() {
+        // Empty histograms have no quantiles at any q.
+        let h = Histogram::pow2(4);
+        for q in [0.0, 0.5, 1.0, f64::NAN, -3.0, 7.0] {
+            assert_eq!(h.quantile(q), None, "empty at q={q}");
+        }
+        // Non-empty: q=0 is the lowest occupied bucket, q=1 the highest,
+        // and out-of-range / NaN q clamp instead of panicking or lying.
+        let mut h = Histogram::pow2(4); // bounds 1, 2, 4, 8 + overflow
+        h.observe(1);
+        h.observe(7); // bucket (4,8] → midpoint 7
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(7));
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0));
+    }
+
+    #[test]
+    fn single_bucket_histograms_have_quantiles() {
+        // pow2(0): no bounds, only the unbounded overflow bucket. Its
+        // midpoint is the midpoint of (0, u64::MAX] — crude, but defined.
+        let mut h = Histogram::pow2(0);
+        assert_eq!(h.quantile(0.5), None);
+        h.observe(5);
+        let mid = 1u64 << 63;
+        assert_eq!(h.quantile(0.0), Some(mid));
+        assert_eq!(h.quantile(0.5), Some(mid));
+        assert_eq!(h.quantile(1.0), Some(mid));
+        // pow2(1): one real bucket (0,1] plus overflow reporting the next
+        // doubling's midpoint.
+        let mut h = Histogram::pow2(1);
+        h.observe(1);
+        assert_eq!(h.quantile(1.0), Some(1));
+        h.observe(9);
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(2), "overflow reports (1,2] midpoint");
+    }
+
+    #[test]
+    fn golden_render_with_shards_and_histograms() {
+        use crate::event::Charge;
+        let mut m = MetricsSnapshot::new();
+        m.absorb(&EventKind::Call {
+            op: "search",
+            shard: Some(1),
+            terms: 2,
+            err: None,
+            charge: Charge {
+                invocations: 1,
+                postings: 3,
+                docs_short: 2,
+                ..Charge::default()
+            },
+        });
+        m.absorb(&EventKind::Failover {
+            shard: 1,
+            replica: 1,
+        });
+        m.add_value("time_backoff", 0.25);
+        assert_eq!(
+            m.render(),
+            "calls.search 1\n\
+             docs_short 2\n\
+             failovers 1\n\
+             postings 3\n\
+             shard1.calls.search 1\n\
+             shard1.docs_short 2\n\
+             shard1.failovers 1\n\
+             shard1.postings 3\n\
+             shard1.replica1.serves 1\n\
+             time_backoff 0.250000\n\
+             hist.docs_short [≤2:1]\n\
+             hist.postings [≤4:1]\n"
+        );
+        // for_shard narrows to the prefixed keys, prefix stripped, and the
+        // narrowed render is golden too.
+        assert_eq!(
+            m.for_shard(1).render(),
+            "calls.search 1\n\
+             docs_short 2\n\
+             failovers 1\n\
+             postings 3\n\
+             replica1.serves 1\n"
+        );
+        assert_eq!(m.for_shard(3).render(), "");
+    }
+
+    /// Seeded pseudo-random snapshot for the merge property test.
+    fn arbitrary_snapshot(seed: u64) -> MetricsSnapshot {
+        fn splitmix64(mut x: u64) -> u64 {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        }
+        let keys = ["a", "b.c", "shard0.x", "shard1.x", "zz"];
+        let mut m = MetricsSnapshot::new();
+        let n = 1 + (splitmix64(seed) % 12) as usize;
+        for i in 0..n {
+            let r = splitmix64(seed ^ (i as u64) << 8);
+            let key = keys[(r % keys.len() as u64) as usize];
+            match (r >> 8) % 3 {
+                0 => m.incr(key, 1 + (r >> 16) % 5),
+                1 => m.add_value(key, ((r >> 16) % 100) as f64 / 8.0),
+                _ => m.observe(key, 1 + (r >> 16) % 300),
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        // Property: for snapshots built through the public API (all
+        // histograms share the pow2(24) layout), merge(a, b) == merge(b, a)
+        // field for field, and the BTreeMap-backed render is therefore
+        // byte-identical regardless of merge order.
+        for seed in 0..64u64 {
+            let a = arbitrary_snapshot(seed);
+            let b = arbitrary_snapshot(seed.wrapping_mul(0x5851_F42D_4C95_7F2D) ^ 0xDEAD);
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab, ba, "merge not commutative at seed {seed}");
+            assert_eq!(ab.render(), ba.render(), "render differs at seed {seed}");
+        }
     }
 }

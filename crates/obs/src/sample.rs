@@ -89,9 +89,15 @@ impl SamplePolicy {
     /// buffered instead of discarded, and the moment a descendant event is
     /// kept anyway — a faulted call, a cancelled leg, a deadline miss, or
     /// any other always-keep signal — the whole enclosing span chain is
-    /// retroactively flushed to the inner sink, in original order. A span
-    /// that closes without such a signal resolves as dropped, its buffered
-    /// charges accounted in [`SampledSink::dropped_charge`] as usual.
+    /// retroactively flushed to the inner sink, in original order.
+    ///
+    /// Retention is *span-scoped*: the signal retains the whole span's
+    /// events, not just those recorded before it. A clean child span that
+    /// closed *before* the signal folds its buffer into the enclosing
+    /// undecided span and is flushed with it; a child span opened *after*
+    /// the signal inherits the promotion. Only a span whose entire scope
+    /// resolves without a signal is dropped, its buffered charges
+    /// accounted in [`SampledSink::dropped_charge`] as usual.
     pub fn with_tail_keep(mut self) -> Self {
         self.tail = true;
         self
@@ -148,7 +154,11 @@ pub fn is_hot(kind: &EventKind) -> bool {
         | EventKind::MigrationBatch { .. }
         | EventKind::MigrationResume { .. }
         | EventKind::MigrationAbort { .. }
-        | EventKind::RoutingStale { .. } => true,
+        | EventKind::RoutingStale { .. }
+        | EventKind::SkewAlert { .. }
+        | EventKind::SloAlert { .. }
+        | EventKind::DriftAlert { .. }
+        | EventKind::RebalanceAdvice { .. } => true,
         _ => false,
     }
 }
@@ -156,9 +166,18 @@ pub fn is_hot(kind: &EventKind) -> bool {
 struct Frame {
     id: u64,
     keep: bool,
+    /// Tail mode only: the span was retroactively promoted by a descendant
+    /// signal (as opposed to head-kept). Spans opened under a promoted
+    /// frame inherit the promotion, so *the whole span's events* — clean
+    /// child spans opened after the signal included — are retained.
+    promoted: bool,
     /// Tail mode only: events of a head-dropped span, held back until the
     /// span is either promoted (a descendant signal flushes them) or
-    /// closed (their charges resolve as dropped).
+    /// closed. A closed clean span under a still-undecided ancestor folds
+    /// its buffer into the ancestor's, so a *later* signal anywhere in the
+    /// ancestor's scope still retains the whole subtree; only when the
+    /// enclosing scope resolves clean do the buffered charges resolve as
+    /// dropped.
     buf: Vec<Event>,
 }
 
@@ -229,6 +248,7 @@ impl SampledSink {
             for i in 0..st.stack.len() {
                 if !st.stack[i].keep {
                     st.stack[i].keep = true;
+                    st.stack[i].promoted = true;
                     let buf = std::mem::take(&mut st.stack[i].buf);
                     for held in &buf {
                         st.kept += 1;
@@ -262,9 +282,19 @@ impl SampledSink {
         self.drop_event(st, ev);
     }
 
-    /// Resolves a frame that closed without being promoted: its buffered
-    /// charges are dropped charges.
-    fn resolve_dropped_frame(&self, st: &mut State, buf: Vec<Event>) {
+    /// Resolves a head-dropped frame's buffer at close. If the enclosing
+    /// frame is itself still head-dropped, the buffer folds into it: a
+    /// *later* signal anywhere in the enclosing span retroactively retains
+    /// the whole closed subtree (span-scoped retention). Only when no
+    /// undecided enclosing scope remains do the buffered charges resolve
+    /// as dropped charges.
+    fn fold_or_resolve(&self, st: &mut State, buf: Vec<Event>) {
+        if let Some(f) = st.stack.last_mut() {
+            if !f.keep {
+                f.buf.extend(buf);
+                return;
+            }
+        }
         for held in &buf {
             if let Some(c) = held.kind.charge() {
                 st.dropped.accumulate(c);
@@ -285,12 +315,23 @@ impl Sink for SampledSink {
         st.seen += 1;
         match &ev.kind {
             EventKind::SpanBegin { id, label, .. } => {
-                let keep = self.policy.keeps(label, ev.seq);
+                // A span opened while the innermost enclosing span is
+                // *promoted* (tail-retained by a signal) belongs to the
+                // retained scope: it inherits the promotion so the whole
+                // span's events — clean children included — are kept.
+                let inherited = self.policy.tail
+                    && st.stack.last().map(|f| f.promoted).unwrap_or(false);
+                let keep = inherited || self.policy.keeps(label, ev.seq);
                 let mut buf = Vec::new();
                 if !keep && self.policy.tail {
                     buf.push(ev.clone());
                 }
-                st.stack.push(Frame { id: *id, keep, buf });
+                st.stack.push(Frame {
+                    id: *id,
+                    keep,
+                    promoted: inherited,
+                    buf,
+                });
                 if keep {
                     self.forward(&mut st, ev);
                 }
@@ -303,11 +344,20 @@ impl Sink for SampledSink {
                 let keep = if let Some(pos) = st.stack.iter().rposition(|f| f.id == *id) {
                     for popped in st.stack.split_off(pos + 1) {
                         st.force_closed.insert(popped.id, popped.keep);
-                        self.resolve_dropped_frame(&mut st, popped.buf);
+                        self.fold_or_resolve(&mut st, popped.buf);
                     }
                     match st.stack.pop() {
                         Some(f) => {
-                            self.resolve_dropped_frame(&mut st, f.buf);
+                            if !f.keep && self.policy.tail {
+                                // The span closed without a signal: its
+                                // whole buffered subtree (this end
+                                // included) folds into the enclosing
+                                // undecided scope, or resolves as
+                                // dropped.
+                                let mut buf = f.buf;
+                                buf.push(ev.clone());
+                                self.fold_or_resolve(&mut st, buf);
+                            }
                             f.keep
                         }
                         None => true,
@@ -319,9 +369,8 @@ impl Sink for SampledSink {
                 };
                 if keep {
                     self.forward(&mut st, ev);
-                } else {
-                    self.drop_event(&mut st, ev);
                 }
+                // A dropped SpanEnd carries no charge: nothing to account.
             }
             EventKind::Failover { shard, replica } => {
                 let novel = st.last_failover.insert(*shard, *replica) != Some(*replica);
@@ -604,13 +653,13 @@ mod tests {
             ring.clone(),
             SamplePolicy::one_in(99, u64::MAX).with_tail_keep(),
         ));
-        let rec = Recorder::new(sampled);
+        let rec = Recorder::new(sampled.clone());
         {
             let _outer = rec.span("gather");
             rec.emit(call(None, 1.0));
             {
                 let _clean = rec.span("gather/shard0");
-                rec.emit(call(None, 1.0)); // resolves as dropped at close
+                rec.emit(call(None, 1.0)); // folds into the outer buffer
             }
             {
                 let _faulty = rec.span("gather/shard1");
@@ -620,16 +669,10 @@ mod tests {
         let kept = ring.events();
         let seqs: Vec<u64> = kept.iter().map(|e| e.seq).collect();
         assert!(seqs.windows(2).all(|w| w[0] < w[1]), "ordered: {seqs:?}");
-        // The clean sibling sub-span resolved before the signal: dropped.
-        assert!(
-            !kept.iter().any(|e| matches!(
-                &e.kind,
-                EventKind::SpanBegin { label, .. } if label == "gather/shard0"
-            )),
-            "closed clean sibling stays dropped"
-        );
-        // The outer span and the faulty child are fully retained.
-        for want in ["gather", "gather/shard1"] {
+        // Span-scoped retention: the clean sibling closed *before* the
+        // signal, but the signal fired inside the same enclosing span, so
+        // the whole folded subtree is retained with it.
+        for want in ["gather", "gather/shard0", "gather/shard1"] {
             assert!(
                 kept.iter().any(|e| matches!(
                     &e.kind,
@@ -638,6 +681,57 @@ mod tests {
                 "{want} begin retained"
             );
         }
+        // begin + cold + (begin + cold + end) + (begin + fault + end) + end
+        assert_eq!(kept.len(), 9);
+        assert!(sampled.dropped_charge().is_zero(), "nothing was dropped");
+    }
+
+    #[test]
+    fn tail_keep_retains_clean_children_opened_after_promotion() {
+        let ring = Rc::new(RingSink::unbounded());
+        let sampled = Rc::new(SampledSink::new(
+            ring.clone(),
+            SamplePolicy::one_in(99, u64::MAX).with_tail_keep(),
+        ));
+        let rec = Recorder::new(sampled.clone());
+        {
+            let _outer = rec.span("gather");
+            rec.emit(call(Some("injected fault"), 1.0)); // promotes outer
+            {
+                // Opened under the now-promoted span: inherits retention,
+                // so "the whole span's events" really means all of them.
+                let _clean = rec.span("gather/shard0");
+                rec.emit(call(None, 2.0));
+            }
+        }
+        let kept = ring.events();
+        // begin + fault + (begin + cold + end) + end
+        assert_eq!(kept.len(), 6);
+        let seqs: Vec<u64> = kept.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "ordered: {seqs:?}");
+        assert!(sampled.dropped_charge().is_zero(), "nothing was dropped");
+    }
+
+    #[test]
+    fn tail_keep_resolves_clean_subtrees_with_charges_accounted() {
+        let ring = Rc::new(RingSink::unbounded());
+        let sampled = Rc::new(SampledSink::new(
+            ring.clone(),
+            SamplePolicy::one_in(99, u64::MAX).with_tail_keep(),
+        ));
+        let rec = Recorder::new(sampled.clone());
+        {
+            let _outer = rec.span("gather");
+            {
+                let _clean = rec.span("gather/shard0");
+                rec.emit(call(None, 2.0));
+            }
+            rec.emit(call(None, 3.0));
+        }
+        assert!(ring.events().is_empty(), "fully clean subtree stays dropped");
+        let dropped = sampled.dropped_charge();
+        assert_eq!(dropped.invocations, 2, "both buffered calls accounted");
+        assert!((dropped.time_invocation - 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,7 +1,9 @@
-//! Where events go: nothing (default), an in-memory ring, or JSONL text.
+//! Where events go: nothing (default), an in-memory ring, JSONL text, or
+//! a fan-out tee feeding several sinks at once.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 use crate::event::Event;
 
@@ -109,6 +111,30 @@ impl Sink for JsonlSink {
     }
 }
 
+/// Forwards every event to each of several sinks, in order. This is how a
+/// live [`Monitor`](crate::Monitor) tees off the same stream a trace sink
+/// is already consuming: the recorder still stamps each event exactly
+/// once, so the teed copies are identical and attaching more observers
+/// can never change what any single observer sees.
+pub struct FanoutSink {
+    sinks: Vec<Rc<dyn Sink>>,
+}
+
+impl FanoutSink {
+    /// A tee over `sinks`; events are delivered in the given order.
+    pub fn new(sinks: Vec<Rc<dyn Sink>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl Sink for FanoutSink {
+    fn record(&self, ev: &Event) {
+        for sink in &self.sinks {
+            sink.record(ev);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +159,18 @@ mod tests {
         ring.record(&ev(2));
         let kept: Vec<u64> = ring.events().iter().map(|e| e.seq).collect();
         assert_eq!(kept, vec![1, 2]);
+    }
+
+    #[test]
+    fn fanout_delivers_to_every_sink_in_order() {
+        let a = Rc::new(RingSink::unbounded());
+        let b = Rc::new(RingSink::unbounded());
+        let tee = FanoutSink::new(vec![a.clone() as Rc<dyn Sink>, b.clone()]);
+        tee.record(&ev(0));
+        tee.record(&ev(1));
+        let seqs = |r: &RingSink| r.events().iter().map(|e| e.seq).collect::<Vec<_>>();
+        assert_eq!(seqs(&a), vec![0, 1]);
+        assert_eq!(seqs(&a), seqs(&b), "both sinks see the identical stream");
     }
 
     #[test]

@@ -324,6 +324,33 @@ fn op_of(name: &str) -> Result<&'static str, String> {
     }
 }
 
+/// Drift alerts carry a `&'static str` component name; the serialized
+/// name must map back to the interned one the watchdog would have used.
+fn component_of(name: &str) -> Result<&'static str, String> {
+    match name {
+        "c_i" => Ok("c_i"),
+        "c_p" => Ok("c_p"),
+        "c_s" => Ok("c_s"),
+        "c_l" => Ok("c_l"),
+        other => Err(format!("unknown drift component \"{other}\"")),
+    }
+}
+
+fn u64_array(f: &Fields<'_>, key: &str) -> Result<Vec<u64>, String> {
+    match f.get(key)? {
+        JVal::Arr(items) => items
+            .iter()
+            .map(|v| match v {
+                JVal::Num(n) => n
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad entry in \"{key}\"")),
+                _ => Err(format!("bad entry in \"{key}\"")),
+            })
+            .collect(),
+        _ => Err(format!("\"{key}\" is not an array")),
+    }
+}
+
 fn event_of(line: &str) -> Result<Event, String> {
     let mut p = Parser::new(line);
     let JVal::Obj(fields) = p.object()? else {
@@ -435,6 +462,37 @@ fn event_of(line: &str) -> Result<Event, String> {
                 shards,
             }
         }
+        "doc_traffic" => EventKind::DocTraffic {
+            shard: shard_of(&f)?,
+            docs: u64_array(&f, "docs")?,
+        },
+        "skew_alert" => EventKind::SkewAlert {
+            window: f.u64("window")?,
+            shard: f.u64("shard")? as usize,
+            share_ppm: f.u64("share_ppm")?,
+            hot: f.bool("hot")?,
+        },
+        "slo_alert" => EventKind::SloAlert {
+            window: f.u64("window")?,
+            fast_ppm: f.u64("fast_ppm")?,
+            slow_ppm: f.u64("slow_ppm")?,
+            firing: f.bool("firing")?,
+        },
+        "drift_alert" => EventKind::DriftAlert {
+            window: f.u64("window")?,
+            component: component_of(f.str("component")?)?,
+            configured: f.f64("configured")?,
+            fitted: f.f64("fitted")?,
+            drifted: f.bool("drifted")?,
+        },
+        "rebalance_advice" => EventKind::RebalanceAdvice {
+            window: f.u64("window")?,
+            src: f.u64("src")? as usize,
+            dst: f.u64("dst")? as usize,
+            lo: f.u64("lo")?,
+            hi: f.u64("hi")?,
+            hits: f.u64("hits")?,
+        },
         "planner" => {
             let est = f.obj("est")?;
             let cols = match f.get("probe_cols")? {
@@ -677,6 +735,65 @@ mod tests {
                 terms: 0,
                 err: None,
                 charge,
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::DocTraffic {
+                shard: Some(1),
+                docs: vec![3, 17, 120],
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::DocTraffic {
+                shard: None,
+                docs: Vec::new(),
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::SkewAlert {
+                window: 4,
+                shard: 1,
+                share_ppm: 612_500,
+                hot: true,
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::SloAlert {
+                window: 7,
+                fast_ppm: 2_000_000,
+                slow_ppm: 1_250_000,
+                firing: false,
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::DriftAlert {
+                window: 6,
+                component: "c_p",
+                configured: 0.0002,
+                fitted: 0.00031,
+                drifted: true,
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::RebalanceAdvice {
+                window: 4,
+                src: 1,
+                dst: 3,
+                lo: 40,
+                hi: 90,
+                hits: 37,
             },
         });
         roundtrip(Event {

@@ -108,6 +108,24 @@ impl MigrationPlan {
         Self::new(moves, batch_docs)
     }
 
+    /// A plan executing one piece of monitor-derived rebalance advice:
+    /// drain the advised hot docid range from the hot shard into the
+    /// advised destination. This is the policy-layer closure of the loop
+    /// — *observed* traffic (the monitor's windowed docid counters)
+    /// decides what moves, instead of a seeded window.
+    pub fn from_advice(advice: &textjoin_obs::Advice, batch_docs: usize) -> Self {
+        assert!(advice.src != advice.dst, "advice never targets its source");
+        assert!(advice.lo < advice.hi, "advice ranges are non-empty");
+        Self::new(
+            vec![Move {
+                range: (DocId(advice.lo as u32), DocId(advice.hi as u32)),
+                src: advice.src,
+                dst: advice.dst,
+            }],
+            batch_docs,
+        )
+    }
+
     /// Total moves in the plan.
     pub fn len(&self) -> usize {
         self.moves.len()
@@ -241,6 +259,29 @@ mod tests {
         }
         let c = MigrationPlan::seeded(12, 4, 40, 3, 2);
         assert_ne!(a, c, "a different seed deals different moves");
+    }
+
+    #[test]
+    fn advice_converts_to_a_single_move_plan() {
+        let advice = textjoin_obs::Advice {
+            window: 3,
+            src: 1,
+            dst: 2,
+            lo: 40,
+            hi: 61,
+            hits: 17,
+        };
+        let plan = MigrationPlan::from_advice(&advice, 8);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.batch_docs, 8);
+        assert_eq!(
+            plan.moves[0],
+            Move {
+                range: (DocId(40), DocId(61)),
+                src: 1,
+                dst: 2,
+            }
+        );
     }
 
     #[test]

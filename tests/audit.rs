@@ -577,6 +577,95 @@ fn noop_recorder_never_perturbs_the_ledger() {
     }
 }
 
+/// The passivity contract extended to the *windowed monitor*: wiring the
+/// full telemetry pipeline (monitor teed with a JSONL sink, exactly as
+/// the bench harness attaches it) must leave every method's result
+/// multiset and every ledger view — the single server's `Usage`, the
+/// sharded aggregate, and each per-shard view — byte-identical to the
+/// unmonitored run. Detectors may fire; they never charge.
+#[test]
+fn monitor_never_perturbs_results_or_ledgers() {
+    use textjoin::obs::{FanoutSink, JsonlSink, Monitor, MonitorConfig, Sink};
+    use textjoin::rel::table::Table;
+
+    let w = compact_world(7);
+    let schema = w.server.collection().schema();
+    for (qname, q) in [("q3", paper::q3(&w)), ("q4", paper::q4(&w))] {
+        let p = textjoin::core::query::prepare(&q, &w.catalog, schema)
+            .expect("paper query prepares");
+        let fj = p.foreign_join();
+        for method in methods_for(&fj) {
+            // Single faulted server: result rows + the one ledger.
+            let run_single = |monitored: bool| -> (Table, Usage) {
+                let mut s = TextServer::new(w.server.collection().clone());
+                s.set_fault_plan(FaultPlan::transient(11, 0.3, 2));
+                let mon = Rc::new(Monitor::new(MonitorConfig::new(50.0)));
+                if monitored {
+                    let tee = Rc::new(FanoutSink::new(vec![
+                        Rc::new(JsonlSink::new()) as Rc<dyn Sink>,
+                        mon.clone(),
+                    ]));
+                    s.set_recorder(Some(Recorder::new(tee)));
+                }
+                let ctx = ExecContext::new(&s);
+                let out = run_one(&ctx, &fj, method).expect("bounded faults complete");
+                mon.finish();
+                (out.table, s.usage())
+            };
+            let bare = run_single(false);
+            let monitored = run_single(true);
+            assert_eq!(
+                bare.0, monitored.0,
+                "{qname}/{method}: the monitor changed a result row"
+            );
+            assert_eq!(
+                bare.1, monitored.1,
+                "{qname}/{method}: the monitor changed the single-server ledger"
+            );
+
+            // Replicated sharded server with a degraded shard: result
+            // rows, the aggregate ledger, and all four per-shard views.
+            let run_sharded = |monitored: bool| -> (Table, Usage, Vec<Usage>) {
+                let mut s =
+                    ShardedTextServer::replicated(w.server.collection(), 4, 2, 0x5AD);
+                for r in 0..2 {
+                    s.replica_mut(1, r).set_fault_plan(FaultPlan::transient(
+                        0x5EA7 ^ ((r as u64) << 32),
+                        0.3,
+                        2,
+                    ));
+                }
+                let mon = Rc::new(Monitor::new(
+                    MonitorConfig::new(50.0).with_skew(400_000, 320_000),
+                ));
+                if monitored {
+                    s.set_recorder(Some(Recorder::new(mon.clone())));
+                }
+                let budget = RetryBudget::new(RetryPolicy::standard());
+                let ctx = ExecContext::with_budget(&s, &budget);
+                let out = run_one(&ctx, &fj, method).expect("bounded faults complete");
+                mon.finish();
+                let shards: Vec<Usage> = (0..4).map(|i| s.shard_usage(i)).collect();
+                (out.table, s.usage(), shards)
+            };
+            let bare = run_sharded(false);
+            let monitored = run_sharded(true);
+            assert_eq!(
+                bare.0, monitored.0,
+                "{qname}/{method}: the monitor changed a sharded result row"
+            );
+            assert_eq!(
+                bare.1, monitored.1,
+                "{qname}/{method}: the monitor changed the aggregate ledger"
+            );
+            assert_eq!(
+                bare.2, monitored.2,
+                "{qname}/{method}: the monitor changed a per-shard ledger view"
+            );
+        }
+    }
+}
+
 /// The trace↔ledger audit extended to transfers: an online migration runs
 /// to completion twice — once fault-free (the control) and once with the
 /// source primary permanently dead *and* a scripted destination outage
