@@ -30,6 +30,7 @@ use textjoin_text::service::TextService;
 use crate::retry::{RetryBudget, RetryPolicy};
 use crate::sched::{SchedConfig, Scheduler};
 
+use crate::methods::CostCeiling;
 use crate::methods::{
     probe::{probe_rtp, probe_tuple_substitution, ProbeSchedule},
     rtp::relational_text_processing,
@@ -104,6 +105,10 @@ pub struct MultiExecutor<'a> {
     budget: Option<&'a RetryBudget>,
     /// Optional virtual-time transport scheduler (makespan + deadlines).
     sched: Option<&'a Scheduler>,
+    /// Optional session-scoped probe cache (serving sessions).
+    probe_cache: Option<&'a std::cell::RefCell<crate::methods::cache::ProbeCache>>,
+    /// Optional per-query cost ceiling (serving sessions' budget guard).
+    ceiling: Option<CostCeiling>,
     /// Locally filtered base tables with qualified column names
     /// (`relation.column`), built once.
     base_tables: Vec<Table>,
@@ -141,6 +146,8 @@ impl<'a> MultiExecutor<'a> {
             rel_model: input.rel_model,
             budget: None,
             sched: None,
+            probe_cache: None,
+            ceiling: None,
             base_tables,
         })
     }
@@ -163,6 +170,22 @@ impl<'a> MultiExecutor<'a> {
         self.sched = Some(sched);
     }
 
+    /// Attaches a session-scoped probe cache: probe outcomes proved by
+    /// earlier executions prune this one (identical probes only — entries
+    /// are namespaced by the full probe identity).
+    pub fn set_probe_cache(
+        &mut self,
+        cache: &'a std::cell::RefCell<crate::methods::cache::ProbeCache>,
+    ) {
+        self.probe_cache = Some(cache);
+    }
+
+    /// Attaches a per-query cost ceiling — the serving session's
+    /// mid-flight budget guard.
+    pub fn set_ceiling(&mut self, ceiling: CostCeiling) {
+        self.ceiling = Some(ceiling);
+    }
+
     /// The method-level execution context this executor hands out.
     fn ctx(&self) -> ExecContext<'a> {
         ExecContext {
@@ -171,6 +194,8 @@ impl<'a> MultiExecutor<'a> {
             retry: self.retry,
             budget: self.budget,
             sched: self.sched,
+            probe_cache: self.probe_cache,
+            ceiling: self.ceiling,
         }
     }
 
@@ -553,6 +578,62 @@ pub fn plan_and_execute_with(
     space: crate::optimizer::multi::ExecutionSpace,
     calibration: Option<&textjoin_obs::TraceCalibration>,
 ) -> Result<(crate::optimizer::multi::PlannedQuery, MultiOutcome), MethodError> {
+    let (input, planned) = prepare_plan(query, catalog, server, params, space, calibration, None)?;
+    let outcome = execute_prepared(&input, &planned, catalog, server, &ExecHooks::default())?;
+    Ok((planned, outcome))
+}
+
+/// Execution knobs a serving session threads through one query. The
+/// default (all `None`/`false`) reproduces [`plan_and_execute`] exactly.
+#[derive(Default)]
+pub struct ExecHooks<'a> {
+    /// Per-tenant adaptive retry budget (breakers, hedge thresholds).
+    pub retry_budget: Option<&'a RetryBudget>,
+    /// Session-scoped probe cache shared across executions.
+    pub probe_cache: Option<&'a std::cell::RefCell<crate::methods::cache::ProbeCache>>,
+    /// Mid-flight budget guard: refuse charged operations past the limit.
+    pub ceiling: Option<CostCeiling>,
+    /// Assert overload pressure so the degradation lattice fires from the
+    /// first plan node (cost-only downgrades, never rows).
+    pub force_pressure: bool,
+}
+
+/// The planning half of [`plan_and_execute_with`]: folds the observed
+/// fault model (or adopts a trace calibration), prices the stats-routed
+/// scatter fan-out, gathers statistics, and runs the optimizer. Entirely
+/// charge-free — only the execution half touches the metered service.
+/// `fold_usage` overrides the ledger the fault model is folded from
+/// (serving sessions pass the tenant's own history so one tenant's faults
+/// never re-price another tenant's plans); `None` reads the server's
+/// aggregate ledger as before.
+#[allow(clippy::too_many_arguments)]
+pub fn prepare_plan(
+    query: &MultiJoinQuery,
+    catalog: &Catalog,
+    server: &dyn TextService,
+    params: crate::cost::params::CostParams,
+    space: crate::optimizer::multi::ExecutionSpace,
+    calibration: Option<&textjoin_obs::TraceCalibration>,
+    fold_usage: Option<&Usage>,
+) -> Result<(PlannerInput, crate::optimizer::multi::PlannedQuery), MethodError> {
+    let input = prepare_input(query, catalog, server, params, calibration, fold_usage)?;
+    let planned = plan_prepared(&input, server, space)?;
+    Ok((input, planned))
+}
+
+/// The parameter-fold + statistics-gather prefix of [`prepare_plan`]:
+/// everything up to (but not including) the optimizer enumeration. A
+/// serving session's plan cache calls this on every request (gathering is
+/// free and must track the live stats epoch) and skips [`plan_prepared`]
+/// on a cache hit.
+pub fn prepare_input(
+    query: &MultiJoinQuery,
+    catalog: &Catalog,
+    server: &dyn TextService,
+    params: crate::cost::params::CostParams,
+    calibration: Option<&textjoin_obs::TraceCalibration>,
+    fold_usage: Option<&Usage>,
+) -> Result<PlannerInput, MethodError> {
     let export = server.export_stats();
     let params = match calibration {
         // A calibration carries its own observed fault model; adopting it
@@ -569,11 +650,8 @@ pub fn plan_and_execute_with(
                 .as_sharded()
                 .map(|s| s.replication_factor())
                 .unwrap_or(1);
-            params.with_fault_model_replicated(
-                &server.usage(),
-                &RetryPolicy::standard(),
-                replicas,
-            )
+            let observed = fold_usage.copied().unwrap_or_else(|| server.usage());
+            params.with_fault_model_replicated(&observed, &RetryPolicy::standard(), replicas)
         }
     };
     // The deadline-aware rank divides parallelizable work by the transport
@@ -618,23 +696,58 @@ pub fn plan_and_execute_with(
     let mut input = PlannerInput::gather(query, catalog, &export, server.schema(), params)
         .map_err(|e| MethodError::NotApplicable(e.to_string()))?;
     input.obs = server.recorder();
+    Ok(input)
+}
+
+/// The optimizer-enumeration suffix of [`prepare_plan`], spanned in the
+/// trace as `plan`.
+pub fn plan_prepared(
+    input: &PlannerInput,
+    server: &dyn TextService,
+    space: crate::optimizer::multi::ExecutionSpace,
+) -> Result<crate::optimizer::multi::PlannedQuery, MethodError> {
     let plan_span = server.recorder().map(|r| r.span("plan"));
-    let planned = crate::optimizer::multi::plan_query(&input, space)
+    let planned = crate::optimizer::multi::plan_query(input, space)
         .ok_or_else(|| MethodError::NotApplicable("no plan found".into()))?;
     drop(plan_span);
+    Ok(planned)
+}
+
+/// The execution half of [`plan_and_execute_with`]: builds the seeded
+/// virtual-time scheduler from the folded params' deadline, applies any
+/// session hooks, and runs the plan. With default hooks this is
+/// byte-identical to the tail of the original fused pipeline.
+pub fn execute_prepared(
+    input: &PlannerInput,
+    planned: &crate::optimizer::multi::PlannedQuery,
+    catalog: &Catalog,
+    server: &dyn TextService,
+    hooks: &ExecHooks<'_>,
+) -> Result<MultiOutcome, MethodError> {
     // Every execution gets a virtual-time schedule (seeded; deadline from
     // the cost params) so the outcome reports a real makespan next to the
     // total charge. Without a budget no hedging can fire, and without a
     // deadline no degradation can trigger, so charges are exactly as
     // before — the scheduler is then purely observational.
-    let sched = Scheduler::new(match params.deadline {
+    let sched = Scheduler::new(match input.params.deadline {
         Some(d) => SchedConfig::new(0x7e97).with_deadline(d),
         None => SchedConfig::new(0x7e97),
     });
-    let mut exec = MultiExecutor::new(&input, catalog, server)?;
+    if hooks.force_pressure {
+        sched.force_pressure();
+    }
+    let mut exec = MultiExecutor::new(input, catalog, server)?;
     exec.set_scheduler(&sched);
-    let outcome = exec.execute(&planned.plan)?;
-    Ok((planned, outcome))
+    if let Some(rb) = hooks.retry_budget {
+        exec.set_retry_budget(rb);
+    }
+    if let Some(pc) = hooks.probe_cache {
+        exec.set_probe_cache(pc);
+    }
+    if let Some(c) = hooks.ceiling {
+        exec.set_ceiling(c);
+    }
+    exec.execute(&planned.plan)
 }
 
 /// Comparison helper for result equivalence in tests and benches: rows

@@ -23,6 +23,11 @@
 //! * [`sched`] — the deterministic virtual-time transport scheduler:
 //!   bounded-concurrency scatter legs, hedged replica reads, per-query
 //!   deadlines, and the makespan (critical-path) cost they induce.
+//! * [`serve`] — the multi-tenant serving session: admission control
+//!   with per-tenant cost budgets, deficit-round-robin fairness with
+//!   typed overload shedding, tenant fault isolation (per-tenant retry
+//!   budgets, invoices, and fault-model folds), and session-scoped
+//!   probe/plan caches.
 
 pub mod cost;
 pub mod exec;
@@ -32,4 +37,5 @@ pub mod query;
 pub mod retry;
 pub mod runtime;
 pub mod sched;
+pub mod serve;
 pub mod stats;

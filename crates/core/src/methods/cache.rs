@@ -25,13 +25,16 @@ pub enum ProbeOutcome {
     Fail,
 }
 
-/// A per-execution cache from (topology epoch, probe-key values) to
-/// outcomes.
+/// A cache from (topology epoch, probe-key values) to outcomes.
+/// Per-execution by default; a serving session promotes one instance to
+/// session scope and threads it through every execution.
 #[derive(Debug, Default)]
 pub struct ProbeCache {
     entries: HashMap<u64, HashMap<Vec<String>, ProbeOutcome>>,
     hits: u64,
     misses: u64,
+    evicted: u64,
+    latest_epoch: u64,
 }
 
 impl ProbeCache {
@@ -40,10 +43,28 @@ impl ProbeCache {
         Self::default()
     }
 
+    /// Epoch garbage collection: once an operation arrives at `epoch`,
+    /// every entry older than the *previous* epoch is unreachable —
+    /// lookups pin at most the current and the immediately preceding
+    /// routing (an in-flight gather that began just before the commit).
+    /// Anything older is dropped and counted as evicted.
+    fn advance(&mut self, epoch: u64) {
+        if epoch <= self.latest_epoch {
+            return;
+        }
+        self.latest_epoch = epoch;
+        let floor = epoch.saturating_sub(1);
+        let before: usize = self.entries.values().map(HashMap::len).sum();
+        self.entries.retain(|&e, _| e >= floor);
+        let after: usize = self.entries.values().map(HashMap::len).sum();
+        self.evicted += (before - after) as u64;
+    }
+
     /// Looks up a key at `epoch`, recording a hit or miss. An outcome
     /// recorded at a different epoch is invisible: routing may have moved
     /// the documents it was proved against.
     pub fn lookup(&mut self, epoch: u64, key: &[String]) -> Option<ProbeOutcome> {
+        self.advance(epoch);
         match self.entries.get(&epoch).and_then(|e| e.get(key)) {
             Some(&o) => {
                 self.hits += 1;
@@ -56,10 +77,29 @@ impl ProbeCache {
         }
     }
 
+    /// [`lookup`](Self::lookup) without touching the hit/miss counters —
+    /// for phases that can only *act* on one of the two outcomes and must
+    /// not claim a hit for the other.
+    pub fn peek(&mut self, epoch: u64, key: &[String]) -> Option<ProbeOutcome> {
+        self.advance(epoch);
+        self.entries.get(&epoch).and_then(|e| e.get(key)).copied()
+    }
+
+    /// Counts a hit that [`peek`](Self::peek) proved usable.
+    pub fn note_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Counts a miss for a [`peek`](Self::peek) that found nothing usable.
+    pub fn note_miss(&mut self) {
+        self.misses += 1;
+    }
+
     /// Records an outcome for a key at `epoch`. Later records overwrite
     /// earlier ones (a success learned from a full query upgrades a
     /// pending state).
     pub fn record(&mut self, epoch: u64, key: Vec<String>, outcome: ProbeOutcome) {
+        self.advance(epoch);
         self.entries.entry(epoch).or_default().insert(key, outcome);
     }
 
@@ -76,6 +116,12 @@ impl ProbeCache {
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// `(hits, misses, evicted)` counters — the shape
+    /// `Usage::metrics_snapshot` exposes.
+    pub fn full_stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evicted)
     }
 }
 
@@ -112,6 +158,27 @@ mod tests {
             c.lookup(0, &["a".to_owned(), "b".to_owned()]),
             Some(ProbeOutcome::Fail)
         );
+    }
+
+    #[test]
+    fn epoch_gc_drops_everything_older_than_the_previous_epoch() {
+        let mut c = ProbeCache::new();
+        c.record(0, vec!["a".into()], ProbeOutcome::Fail);
+        c.record(1, vec!["b".into()], ProbeOutcome::Success);
+        c.record(2, vec!["c".into()], ProbeOutcome::Fail);
+        // Advancing to epoch 3 makes epochs ≤ 1 unreachable: epoch 0 and 1
+        // entries are dropped, epoch 2 (the previous epoch) survives.
+        assert_eq!(c.lookup(3, &["c".to_owned()]), None);
+        assert_eq!(c.full_stats().2, 2, "epochs 0 and 1 evicted");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(2, &["c".to_owned()]), Some(ProbeOutcome::Fail));
+        // peek never counts.
+        let (h, m, _) = c.full_stats();
+        assert_eq!(c.peek(3, &["zzz".to_owned()]), None);
+        assert_eq!((h, m), {
+            let (h2, m2, _) = c.full_stats();
+            (h2, m2)
+        });
     }
 
     #[test]

@@ -159,6 +159,28 @@ pub struct ExecContext<'a> {
     /// affected: the scheduler models *when* work completes, not *what*
     /// it computes.
     pub sched: Option<&'a Scheduler>,
+    /// Optional session-scoped probe cache. `None` (the default) keeps
+    /// the paper's per-execution caches; a serving session threads one
+    /// shared cache through every execution so probe outcomes proved by
+    /// one query prune the next (namespaced by the full probe identity,
+    /// so only identical probes ever share an entry).
+    pub probe_cache: Option<&'a std::cell::RefCell<cache::ProbeCache>>,
+    /// Optional per-query cost ceiling. When attached, every charged
+    /// wrapper refuses to issue the next operation once the server's
+    /// ledger has grown past `baseline + limit`, returning the
+    /// non-transient [`TextError::BudgetExceeded`] — the serving
+    /// session's mid-flight budget guard. Charges already booked stay.
+    pub ceiling: Option<CostCeiling>,
+}
+
+/// A per-query charge ceiling for [`ExecContext`]: operations are refused
+/// once `server.usage().total_cost() - baseline` exceeds `limit`.
+#[derive(Debug, Clone, Copy)]
+pub struct CostCeiling {
+    /// The server ledger's `total_cost()` when the query started.
+    pub baseline: f64,
+    /// Simulated seconds the query may charge beyond the baseline.
+    pub limit: f64,
 }
 
 impl<'a> ExecContext<'a> {
@@ -171,6 +193,8 @@ impl<'a> ExecContext<'a> {
             retry: RetryPolicy::standard(),
             budget: None,
             sched: None,
+            probe_cache: None,
+            ceiling: None,
         }
     }
 
@@ -182,6 +206,8 @@ impl<'a> ExecContext<'a> {
             retry,
             budget: None,
             sched: None,
+            probe_cache: None,
+            ceiling: None,
         }
     }
 
@@ -194,6 +220,8 @@ impl<'a> ExecContext<'a> {
             retry: RetryPolicy::standard(),
             budget: Some(budget),
             sched: None,
+            probe_cache: None,
+            ceiling: None,
         }
     }
 
@@ -201,6 +229,36 @@ impl<'a> ExecContext<'a> {
     pub fn with_transport(mut self, sched: &'a Scheduler) -> Self {
         self.sched = Some(sched);
         self
+    }
+
+    /// Attaches a session-scoped probe cache (builder-style).
+    pub fn with_probe_cache(mut self, cache: &'a std::cell::RefCell<cache::ProbeCache>) -> Self {
+        self.probe_cache = Some(cache);
+        self
+    }
+
+    /// Attaches a per-query cost ceiling (builder-style): the mid-flight
+    /// budget guard of a serving session.
+    pub fn with_ceiling(mut self, ceiling: CostCeiling) -> Self {
+        self.ceiling = Some(ceiling);
+        self
+    }
+
+    /// The mid-flight budget guard: refuses the next charged operation
+    /// once the ledger has overrun the attached ceiling. Free when no
+    /// ceiling is attached.
+    fn guard_budget(&self) -> Result<(), TextError> {
+        let Some(c) = self.ceiling else {
+            return Ok(());
+        };
+        let spent = self.server.usage().total_cost() - c.baseline;
+        if spent > c.limit {
+            return Err(TextError::BudgetExceeded {
+                spent_ms: (spent * 1000.0).round() as u64,
+                limit_ms: (c.limit * 1000.0).round() as u64,
+            });
+        }
+        Ok(())
     }
 
     /// The flight recorder attached to the service, if any. Observation is
@@ -663,6 +721,7 @@ impl<'a> ExecContext<'a> {
     /// Retrying [`TextService::search`]; per-shard retries, replica
     /// failover, and gather completion when sharded.
     pub fn search(&self, expr: &SearchExpr) -> Result<SearchResult, TextError> {
+        self.guard_budget()?;
         match self.server.as_sharded() {
             Some(sh) => self.sharded_search(sh, expr),
             None => {
@@ -680,6 +739,7 @@ impl<'a> ExecContext<'a> {
     /// surfaces (and the caller only degrades to "unknown — don't prune")
     /// when *every* replica of some shard is down.
     pub fn probe(&self, expr: &SearchExpr) -> Result<Vec<DocId>, TextError> {
+        self.guard_budget()?;
         match self.server.as_sharded() {
             Some(sh) => Ok(self.sharded_search(sh, expr)?.ids()),
             None => {
@@ -701,6 +761,7 @@ impl<'a> ExecContext<'a> {
     /// Retrying [`TextService::retrieve`]; routed to (and retried against)
     /// the owning shard when sharded, with replica failover.
     pub fn retrieve(&self, id: DocId) -> Result<Document, TextError> {
+        self.guard_budget()?;
         match self.server.as_sharded() {
             Some(sh) => {
                 let shard = sh
@@ -724,6 +785,7 @@ impl<'a> ExecContext<'a> {
     /// retries; a shard exhausting its budget yields the typed shard error
     /// (no per-member partial sets — the batch is all-or-error).
     pub fn search_batch(&self, exprs: &[SearchExpr]) -> Result<BatchResult, TextError> {
+        self.guard_budget()?;
         match self.server.as_sharded() {
             Some(sh) => {
                 for e in exprs {

@@ -69,6 +69,120 @@ fn method_label(prefix: &str, probe_cols: &[usize], suffix: &str) -> String {
     format!("{prefix}{}+{suffix}", cols.join(""))
 }
 
+/// The probe cache one method execution works against: the session's
+/// shared cache when the context carries one, a fresh per-execution cache
+/// otherwise (the paper's default).
+///
+/// Shared entries are namespaced by the full probe identity — the text
+/// selections and the probed fields — so an outcome proved by one query
+/// can only ever answer a *byte-identical* probe from another. Cache
+/// traffic is counted either way; the counters ride the method's usage
+/// delta so `Usage::metrics_snapshot` can report them. Hits served from a
+/// session cache additionally emit a charge-free `CacheHit` event (the
+/// per-execution path emits nothing, keeping legacy traces byte-stable).
+struct Probes<'a> {
+    shared: Option<&'a std::cell::RefCell<ProbeCache>>,
+    local: std::cell::RefCell<ProbeCache>,
+    ns: Vec<String>,
+    start: (u64, u64, u64),
+}
+
+impl<'a> Probes<'a> {
+    fn new(ctx: &ExecContext<'a>, fj: &ForeignJoin<'_>, probe_cols: &[usize]) -> Self {
+        let mut ns = Vec::with_capacity(fj.selections.len() + probe_cols.len());
+        for s in &fj.selections {
+            ns.push(format!("s:{}@{}", s.term, s.field.0));
+        }
+        for &i in probe_cols {
+            ns.push(format!("f:{}", fj.join_fields[i].0));
+        }
+        let start = match ctx.probe_cache {
+            Some(c) => c.borrow().full_stats(),
+            None => (0, 0, 0),
+        };
+        Self {
+            shared: ctx.probe_cache,
+            local: std::cell::RefCell::new(ProbeCache::new()),
+            ns,
+            start,
+        }
+    }
+
+    fn key(&self, values: &[String]) -> Vec<String> {
+        let mut k = self.ns.clone();
+        k.extend(values.iter().cloned());
+        k
+    }
+
+    fn cache(&self) -> std::cell::RefMut<'_, ProbeCache> {
+        match self.shared {
+            Some(c) => c.borrow_mut(),
+            None => self.local.borrow_mut(),
+        }
+    }
+
+    /// Counting lookup; emits a `CacheHit` event on session-cache hits.
+    fn lookup(&self, ctx: &ExecContext<'_>, epoch: u64, values: &[String]) -> Option<ProbeOutcome> {
+        let out = self.cache().lookup(epoch, &self.key(values));
+        if out.is_some() {
+            self.emit_hit(ctx, epoch);
+        }
+        out
+    }
+
+    /// Non-counting peek, for phases that can only use one outcome.
+    fn peek(&self, epoch: u64, values: &[String]) -> Option<ProbeOutcome> {
+        self.cache().peek(epoch, &self.key(values))
+    }
+
+    /// Books a usable peek as a hit (and emits the session `CacheHit`).
+    fn note_hit(&self, ctx: &ExecContext<'_>, epoch: u64) {
+        self.cache().note_hit();
+        self.emit_hit(ctx, epoch);
+    }
+
+    fn note_miss(&self) {
+        self.cache().note_miss();
+    }
+
+    fn record(&self, epoch: u64, values: &[String], outcome: ProbeOutcome) {
+        self.cache().record(epoch, self.key(values), outcome);
+    }
+
+    fn emit_hit(&self, ctx: &ExecContext<'_>, epoch: u64) {
+        if self.shared.is_some() {
+            if let Some(rec) = ctx.recorder() {
+                rec.emit(textjoin_obs::EventKind::CacheHit {
+                    scope: "probe",
+                    epoch,
+                });
+            }
+        }
+    }
+
+    /// `(hits, misses, evicted)` accrued during this execution.
+    fn delta(&self) -> (u64, u64, u64) {
+        let end = match self.shared {
+            Some(c) => c.borrow().full_stats(),
+            None => self.local.borrow().full_stats(),
+        };
+        (
+            end.0 - self.start.0,
+            end.1 - self.start.1,
+            end.2 - self.start.2,
+        )
+    }
+
+    /// Folds the execution's cache traffic into the report's usage delta
+    /// (free counters — no simulated seconds move).
+    fn fold_into(&self, report: &mut super::MethodReport) {
+        let (h, m, e) = self.delta();
+        report.text.cache_hits += h;
+        report.text.cache_misses += m;
+        report.text.cache_evicted += e;
+    }
+}
+
 /// Probing with tuple substitution (P+TS).
 pub fn probe_tuple_substitution(
     ctx: &ExecContext<'_>,
@@ -100,12 +214,21 @@ fn probe_first_ts(
     // Phase 1: one probe per distinct key over the probe columns.
     let probe_span = ctx.span("probe-phase");
     let probe_groups = group_by(fj.rel, &cols_of(fj, probe_cols));
-    let mut cache = ProbeCache::new();
+    let cache = Probes::new(ctx, fj, probe_cols);
     for (_, rows) in &probe_groups {
         let t = &fj.rel.rows()[rows[0]];
         let Some(key) = fj.key_values(t, probe_cols) else {
             continue; // NULL key: no probe; tuples can never match anyway
         };
+        // A key an earlier execution already settled (either way) needs no
+        // probe: phase 2 only consumes the recorded outcome. Fresh
+        // per-execution caches never hit here — phase-1 keys are distinct.
+        let epoch = ctx.server.topology_epoch();
+        if cache.peek(epoch, &key).is_some() {
+            cache.note_hit(ctx, epoch);
+            continue;
+        }
+        cache.note_miss();
         let expr = fj
             .instantiated_search(t, probe_cols)
             .expect("key_values succeeded");
@@ -115,7 +238,7 @@ fn probe_first_ts(
         if let Some(ids) = ctx.try_probe(&expr) {
             cache.record(
                 ctx.server.topology_epoch(),
-                key,
+                &key,
                 if ids.is_empty() {
                     ProbeOutcome::Fail
                 } else {
@@ -139,7 +262,7 @@ fn probe_first_ts(
             continue;
         };
         // Only a *proven* fail prunes; an unknown outcome substitutes.
-        if cache.lookup(ctx.server.topology_epoch(), &probe_key) == Some(ProbeOutcome::Fail) {
+        if cache.lookup(ctx, ctx.server.topology_epoch(), &probe_key) == Some(ProbeOutcome::Fail) {
             continue;
         }
         let Some(expr) = fj.instantiated_search(t, &all) else {
@@ -159,9 +282,11 @@ fn probe_first_ts(
     }
 
     let rows = out.len();
+    let mut rep = report(label, ctx, &before, 0, rows);
+    cache.fold_into(&mut rep);
     Ok(MethodOutcome {
         table: out,
-        report: report(label, ctx, &before, 0, rows),
+        report: rep,
     })
 }
 
@@ -177,7 +302,7 @@ fn lazy_ts(
     let mut out = fj.output_table(text_schema, &label);
     let all = fj.all_preds();
 
-    let mut cache = ProbeCache::new();
+    let cache = Probes::new(ctx, fj, probe_cols);
     // Group by the *full* key so the distinct-tuple optimization still
     // applies; the probe cache prunes across full-key groups.
     let groups = group_by(fj.rel, &fj.join_cols);
@@ -187,7 +312,7 @@ fn lazy_ts(
             continue;
         };
         // Paper's pseudocode: if cache has fail entry for probe of t, exit.
-        if cache.lookup(ctx.server.topology_epoch(), &probe_key) == Some(ProbeOutcome::Fail) {
+        if cache.lookup(ctx, ctx.server.topology_epoch(), &probe_key) == Some(ProbeOutcome::Fail) {
             continue;
         }
         // Instantiate the query with t (as in tuple substitution).
@@ -197,7 +322,7 @@ fn lazy_ts(
         let result = ctx.search(&expr)?;
         if !result.is_empty() {
             // Query success implies probe success: record without sending.
-            cache.record(ctx.server.topology_epoch(), probe_key, ProbeOutcome::Success);
+            cache.record(ctx.server.topology_epoch(), &probe_key, ProbeOutcome::Success);
             let docs = fetch_for_projection(ctx, fj, &result.docs)?;
             for &ri in &rows {
                 fj.emit(&mut out, text_schema, &fj.rel.rows()[ri], &docs);
@@ -206,7 +331,10 @@ fn lazy_ts(
         }
         // Query failed. If the probe for t is already cached (success —
         // fail was handled above), exit; else send the probe and cache it.
-        if cache.lookup(ctx.server.topology_epoch(), &probe_key).is_some() {
+        if cache
+            .lookup(ctx, ctx.server.topology_epoch(), &probe_key)
+            .is_some()
+        {
             continue;
         }
         let probe_expr = fj
@@ -217,7 +345,7 @@ fn lazy_ts(
         if let Some(ids) = ctx.try_probe(&probe_expr) {
             cache.record(
                 ctx.server.topology_epoch(),
-                probe_key,
+                &probe_key,
                 if ids.is_empty() {
                     ProbeOutcome::Fail
                 } else {
@@ -228,9 +356,11 @@ fn lazy_ts(
     }
 
     let rows = out.len();
+    let mut rep = report(label, ctx, &before, 0, rows);
+    cache.fold_into(&mut rep);
     Ok(MethodOutcome {
         table: out,
-        report: report(label, ctx, &before, 0, rows),
+        report: rep,
     })
 }
 
@@ -333,13 +463,25 @@ pub fn probe_rtp(
     // Phase 1: probes; collect matched docids and per-key outcomes.
     let probe_span = ctx.span("probe-phase");
     let probe_groups = group_by(fj.rel, &cols_of(fj, probe_cols));
-    let mut cache = ProbeCache::new();
+    let cache = Probes::new(ctx, fj, probe_cols);
     let mut matched: BTreeSet<DocId> = BTreeSet::new();
     for (_, rows) in &probe_groups {
         let t = &fj.rel.rows()[rows[0]];
         let Some(key) = fj.key_values(t, probe_cols) else {
             continue;
         };
+        // A session-cached *fail* skips the probe outright: a fail key
+        // contributes no candidate docids, so phase 3 loses nothing. A
+        // cached success is unusable here — the probe's result set feeds
+        // the candidate pool — so the probe is re-sent for its ids.
+        let epoch = ctx.server.topology_epoch();
+        if cache.peek(epoch, &key) == Some(ProbeOutcome::Fail) {
+            cache.note_hit(ctx, epoch);
+            continue;
+        }
+        if cache.peek(epoch, &key).is_none() {
+            cache.note_miss();
+        }
         let expr = fj
             .instantiated_search(t, probe_cols)
             .expect("key_values succeeded");
@@ -348,7 +490,7 @@ pub fn probe_rtp(
         if let Some(ids) = ctx.try_probe(&expr) {
             cache.record(
                 ctx.server.topology_epoch(),
-                key,
+                &key,
                 if ids.is_empty() {
                     ProbeOutcome::Fail
                 } else {
@@ -397,7 +539,7 @@ pub fn probe_rtp(
         let Some(probe_key) = fj.key_values(t, probe_cols) else {
             continue;
         };
-        match cache.lookup(ctx.server.topology_epoch(), &probe_key) {
+        match cache.lookup(ctx, ctx.server.topology_epoch(), &probe_key) {
             Some(ProbeOutcome::Fail) => continue,
             Some(ProbeOutcome::Success) => {
                 let mut hits: Vec<(DocId, Document)> = Vec::new();
@@ -435,9 +577,11 @@ pub fn probe_rtp(
     }
 
     let rows = out.len();
+    let mut rep = report(label, ctx, &before, comparisons, rows);
+    cache.fold_into(&mut rep);
     Ok(MethodOutcome {
         table: out,
-        report: report(label, ctx, &before, comparisons, rows),
+        report: rep,
     })
 }
 

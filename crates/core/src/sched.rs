@@ -126,6 +126,9 @@ pub struct Scheduler {
     deadline_misses: Cell<u64>,
     degraded: Cell<u64>,
     missed: Cell<bool>,
+    /// Externally asserted pressure (a serving session under overload):
+    /// `under_pressure` reports true regardless of the deadline state.
+    forced_pressure: Cell<bool>,
     legs: RefCell<Vec<LegRecord>>,
 }
 
@@ -146,6 +149,7 @@ impl Scheduler {
             deadline_misses: Cell::new(0),
             degraded: Cell::new(0),
             missed: Cell::new(false),
+            forced_pressure: Cell::new(false),
             legs: RefCell::new(Vec::new()),
         }
     }
@@ -203,10 +207,21 @@ impl Scheduler {
     /// executor's trigger for graceful degradation (skip probe phases,
     /// fall back TS-style) rather than erroring at the wire.
     pub fn under_pressure(&self) -> bool {
+        if self.forced_pressure.get() {
+            return true;
+        }
         match self.cfg.deadline {
             Some(d) => self.makespan() >= 0.5 * d,
             None => false,
         }
+    }
+
+    /// Asserts pressure from outside the deadline machinery — a serving
+    /// session signalling overload (deep admission queue). The executor's
+    /// degradation lattice then fires exactly as it does under deadline
+    /// pressure: cost-only downgrades, never rows.
+    pub fn force_pressure(&self) {
+        self.forced_pressure.set(true);
     }
 
     /// True once the makespan has passed the deadline outright.

@@ -334,6 +334,51 @@ pub enum EventKind {
         /// Observed traffic hits inside the advised range.
         hits: u64,
     },
+    /// A serving session admitted a request for execution: its estimated
+    /// plan cost fit the tenant's remaining budget. Free.
+    Admit {
+        /// 0-based tenant index within the session.
+        tenant: u64,
+        /// 0-based arrival index of the request in the session stream.
+        arrival: u64,
+        /// The optimizer's estimated plan cost, simulated seconds.
+        est_cost: f64,
+    },
+    /// A serving session shed a queued request under overload — a typed
+    /// refusal, never a silent drop. Free.
+    Shed {
+        /// 0-based tenant index within the session.
+        tenant: u64,
+        /// 0-based arrival index of the shed request.
+        arrival: u64,
+        /// Requests still queued after the shed.
+        queued: u64,
+    },
+    /// A tenant's cost budget ran out — either at admission (the estimate
+    /// exceeded the remainder) or mid-flight (actuals overran the
+    /// estimate and the per-query guard aborted). Free; any partial
+    /// charges were already booked through the ordinary ledger. Budget
+    /// figures are carried in integer milli-seconds of simulated time so
+    /// the event stays `Eq`-comparable.
+    BudgetExhausted {
+        /// 0-based tenant index within the session.
+        tenant: u64,
+        /// 0-based arrival index of the refused/aborted request.
+        arrival: u64,
+        /// Simulated milliseconds charged (admission: the estimate).
+        spent_ms: u64,
+        /// Simulated milliseconds that remained in the tenant's budget.
+        remaining_ms: u64,
+    },
+    /// A session-scoped cache answered without touching the text server:
+    /// `scope` is `"probe"` (probe-outcome cache) or `"plan"` (plan
+    /// cache). Free — that is the point.
+    CacheHit {
+        /// Which session cache hit (`probe` or `plan`).
+        scope: &'static str,
+        /// Topology/stats epoch the cached entry was proved at.
+        epoch: u64,
+    },
     /// The optimizer estimated one candidate method. Free.
     Planner(PlannerChoice),
 }
@@ -626,6 +671,46 @@ impl Event {
                     out,
                     "\"type\":\"rebalance_advice\",\"window\":{window},\"src\":{src},\
                      \"dst\":{dst},\"lo\":{lo},\"hi\":{hi},\"hits\":{hits}"
+                );
+            }
+            EventKind::Admit {
+                tenant,
+                arrival,
+                est_cost,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"admit\",\"tenant\":{tenant},\"arrival\":{arrival},\
+                     \"est_cost\":{est_cost}"
+                );
+            }
+            EventKind::Shed {
+                tenant,
+                arrival,
+                queued,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"shed\",\"tenant\":{tenant},\"arrival\":{arrival},\
+                     \"queued\":{queued}"
+                );
+            }
+            EventKind::BudgetExhausted {
+                tenant,
+                arrival,
+                spent_ms,
+                remaining_ms,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"budget_exhausted\",\"tenant\":{tenant},\"arrival\":{arrival},\
+                     \"spent_ms\":{spent_ms},\"remaining_ms\":{remaining_ms}"
+                );
+            }
+            EventKind::CacheHit { scope, epoch } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"cache_hit\",\"scope\":\"{scope}\",\"epoch\":{epoch}"
                 );
             }
             EventKind::Planner(p) => {

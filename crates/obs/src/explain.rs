@@ -221,6 +221,33 @@ impl Node {
             } => self.items.push(Item::Line(format!(
                 "# advise rebalance window {window}: shard{src} -> shard{dst} docs [{lo},{hi}) ({hits} hits observed)"
             ))),
+            EventKind::Admit {
+                tenant,
+                arrival,
+                est_cost,
+            } => self.items.push(Item::Line(format!(
+                "> admit tenant{tenant} req#{arrival}: est {est_cost:.2}s"
+            ))),
+            EventKind::Shed {
+                tenant,
+                arrival,
+                queued,
+            } => self.items.push(Item::Line(format!(
+                "! shed tenant{tenant} req#{arrival} ({queued} still queued)"
+            ))),
+            EventKind::BudgetExhausted {
+                tenant,
+                arrival,
+                spent_ms,
+                remaining_ms,
+            } => self.items.push(Item::Line(format!(
+                "! budget exhausted tenant{tenant} req#{arrival}: spent {:.1}s of {:.1}s remaining",
+                *spent_ms as f64 / 1000.0,
+                *remaining_ms as f64 / 1000.0
+            ))),
+            EventKind::CacheHit { scope, epoch } => self.items.push(Item::Line(format!(
+                "= cache hit [{scope}] epoch {epoch}"
+            ))),
             EventKind::Planner(p) => {
                 let total = p.invocation + p.processing + p.transmission + p.rtp;
                 self.items.push(Item::Line(format!(

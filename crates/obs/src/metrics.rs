@@ -326,6 +326,22 @@ impl MetricsSnapshot {
                 self.incr(&format!("shard{src}.monitor.advice_out"), 1);
                 self.incr(&format!("shard{dst}.monitor.advice_in"), 1);
             }
+            EventKind::Admit { tenant, .. } => {
+                self.incr("serve.admitted", 1);
+                self.incr(&format!("tenant{tenant}.admitted"), 1);
+            }
+            EventKind::Shed { tenant, .. } => {
+                self.incr("serve.shed", 1);
+                self.incr(&format!("tenant{tenant}.shed"), 1);
+            }
+            EventKind::BudgetExhausted { tenant, .. } => {
+                self.incr("serve.budget_exhausted", 1);
+                self.incr(&format!("tenant{tenant}.budget_exhausted"), 1);
+            }
+            EventKind::CacheHit { scope, .. } => {
+                self.incr("serve.cache_hits", 1);
+                self.incr(&format!("serve.cache_hits.{scope}"), 1);
+            }
             EventKind::SpanBegin { .. } => self.incr("spans", 1),
             EventKind::SpanEnd { .. } => {}
             EventKind::Planner(p) => {

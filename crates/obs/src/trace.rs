@@ -336,6 +336,16 @@ fn component_of(name: &str) -> Result<&'static str, String> {
     }
 }
 
+/// Cache-hit events carry a `&'static str` scope; the serialized name is
+/// interned back the same way as call ops.
+fn cache_scope_of(name: &str) -> Result<&'static str, String> {
+    match name {
+        "probe" => Ok("probe"),
+        "plan" => Ok("plan"),
+        other => Err(format!("unknown cache scope \"{other}\"")),
+    }
+}
+
 fn u64_array(f: &Fields<'_>, key: &str) -> Result<Vec<u64>, String> {
     match f.get(key)? {
         JVal::Arr(items) => items
@@ -484,6 +494,26 @@ fn event_of(line: &str) -> Result<Event, String> {
             configured: f.f64("configured")?,
             fitted: f.f64("fitted")?,
             drifted: f.bool("drifted")?,
+        },
+        "admit" => EventKind::Admit {
+            tenant: f.u64("tenant")?,
+            arrival: f.u64("arrival")?,
+            est_cost: f.f64("est_cost")?,
+        },
+        "shed" => EventKind::Shed {
+            tenant: f.u64("tenant")?,
+            arrival: f.u64("arrival")?,
+            queued: f.u64("queued")?,
+        },
+        "budget_exhausted" => EventKind::BudgetExhausted {
+            tenant: f.u64("tenant")?,
+            arrival: f.u64("arrival")?,
+            spent_ms: f.u64("spent_ms")?,
+            remaining_ms: f.u64("remaining_ms")?,
+        },
+        "cache_hit" => EventKind::CacheHit {
+            scope: cache_scope_of(f.str("scope")?)?,
+            epoch: f.u64("epoch")?,
         },
         "rebalance_advice" => EventKind::RebalanceAdvice {
             window: f.u64("window")?,
@@ -794,6 +824,50 @@ mod tests {
                 lo: 40,
                 hi: 90,
                 hits: 37,
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::Admit {
+                tenant: 2,
+                arrival: 17,
+                est_cost: 145.125,
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::Shed {
+                tenant: 3,
+                arrival: 19,
+                queued: 7,
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::BudgetExhausted {
+                tenant: 1,
+                arrival: 23,
+                spent_ms: 182_500,
+                remaining_ms: 90_000,
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::CacheHit {
+                scope: "probe",
+                epoch: 2,
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::CacheHit {
+                scope: "plan",
+                epoch: 0,
             },
         });
         roundtrip(Event {

@@ -98,6 +98,16 @@ pub struct Usage {
     pub retries: u64,
     /// Simulated seconds the client spent backing off between retries.
     pub time_backoff: f64,
+    /// Probe-cache hits observed by the client during the measured work.
+    /// Free — caches never charge; the counters ride the ledger so every
+    /// cost report can say how much sharing backed it. Server-side
+    /// ledgers always carry zero here; methods fold their cache stats
+    /// into the *delta* they report.
+    pub cache_hits: u64,
+    /// Probe-cache misses observed by the client (free, see `cache_hits`).
+    pub cache_misses: u64,
+    /// Probe-cache entries evicted by epoch garbage collection (free).
+    pub cache_evicted: u64,
 }
 
 impl Usage {
@@ -120,6 +130,9 @@ impl Usage {
         self.faults += other.faults;
         self.retries += other.retries;
         self.time_backoff += other.time_backoff;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evicted += other.cache_evicted;
     }
 
     /// The ledger as a metrics snapshot — the shape the shared bench
@@ -139,6 +152,9 @@ impl Usage {
         m.set_value("usage.time_transmission", self.time_transmission);
         m.set_value("usage.time_backoff", self.time_backoff);
         m.set_value("usage.total_cost", self.total_cost());
+        m.set_counter("usage.cache_hits", self.cache_hits);
+        m.set_counter("usage.cache_misses", self.cache_misses);
+        m.set_counter("usage.cache_evicted", self.cache_evicted);
         m
     }
 
@@ -156,6 +172,9 @@ impl Usage {
             faults: self.faults - earlier.faults,
             retries: self.retries - earlier.retries,
             time_backoff: self.time_backoff - earlier.time_backoff,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            cache_evicted: self.cache_evicted - earlier.cache_evicted,
         }
     }
 }
@@ -222,6 +241,17 @@ pub enum TextError {
     /// already gathered. Not transient at this level: the per-shard retry
     /// loop already ran; callers re-route or fail cleanly.
     Shard(Box<crate::shard::PartialShardError>),
+    /// A serving session's per-query budget guard refused to issue the
+    /// next charged operation: actual charges overran the admitted
+    /// estimate. Not transient — retrying verbatim would only charge
+    /// more. Amounts are integer simulated milliseconds so the error
+    /// stays `Eq`-comparable. Charges already booked stay in the ledger.
+    BudgetExceeded {
+        /// Simulated milliseconds already charged to the query.
+        spent_ms: u64,
+        /// The guard's limit in simulated milliseconds.
+        limit_ms: u64,
+    },
 }
 
 impl TextError {
@@ -252,6 +282,12 @@ impl fmt::Display for TextError {
                 write!(f, "text server reduced its term cap to {new_m} mid-query")
             }
             TextError::Shard(pse) => write!(f, "{pse}"),
+            TextError::BudgetExceeded { spent_ms, limit_ms } => write!(
+                f,
+                "query budget exceeded: {:.3}s charged of {:.3}s admitted",
+                *spent_ms as f64 / 1000.0,
+                *limit_ms as f64 / 1000.0
+            ),
         }
     }
 }

@@ -537,3 +537,80 @@ fn migration_charges_land_in_a_dedicated_bucket_disjoint_from_queries() {
     assert_eq!(after.invocations, frozen.invocations);
     assert!((after.total_cost() - frozen.total_cost()).abs() < 1e-12);
 }
+
+#[test]
+fn serve_aggregate_decomposes_into_tenant_invoices_plus_migration() {
+    use textjoin::core::serve::{Backend, ServeConfig, ServeSession, TenantSpec};
+    use textjoin::obs::MonitorConfig;
+    use textjoin::text::faults::FaultPlan;
+    use textjoin::text::server::Usage;
+    use textjoin::text::shard::ShardedTextServer;
+    use textjoin::text::TextService;
+
+    let w = world();
+    let params = CostParams::mercury(w.server.doc_count() as f64);
+    // A degraded hot shard so the session's monitor derives advice and
+    // the auto-rebalance path actually bills the migration bucket.
+    let mut s = ShardedTextServer::replicated(w.server.collection(), 4, 2, 0x5AD);
+    for r in 0..2 {
+        s.replica_mut(1, r)
+            .set_fault_plan(FaultPlan::transient(0x5EA7 ^ ((r as u64) << 32), 0.35, 2));
+    }
+    let mut cfg = ServeConfig::new(params);
+    cfg.quantum = 1e9;
+    cfg.monitor = Some(MonitorConfig::new(100.0).with_skew(400_000, 320_000));
+    cfg.migration_budget = 1e9;
+    let tenants = vec![
+        TenantSpec::new("a", 1e9, 1),
+        TenantSpec::new("b", 1e9, 1),
+        TenantSpec::new("c", 1e9, 1),
+    ];
+    let q5 = paper::q5(&w);
+    let q6 = paper::q6(&w);
+    let stream: Vec<_> = (0..9)
+        .map(|i| (i % 3, if i % 2 == 0 { q5.clone() } else { q6.clone() }))
+        .collect();
+    let report = ServeSession::new(Backend::Elastic(&mut s), &w.catalog, tenants, cfg).run(&stream);
+
+    assert!(
+        report.migration.invocations > 0,
+        "the fixture must exercise the migration bucket"
+    );
+    // Field-for-field: aggregate = Σ tenant invoices + migration bucket.
+    // Counts exact; the times (running-ledger deltas) to 1e-9.
+    let mut sum = Usage::default();
+    for t in &report.tenants {
+        sum.accumulate(&t.invoice);
+    }
+    sum.accumulate(&report.migration);
+    let a = &report.aggregate;
+    assert_eq!(a.invocations, sum.invocations);
+    assert_eq!(a.rejected, sum.rejected);
+    assert_eq!(a.postings_processed, sum.postings_processed);
+    assert_eq!(a.docs_short, sum.docs_short);
+    assert_eq!(a.docs_long, sum.docs_long);
+    assert_eq!(a.faults, sum.faults);
+    assert_eq!(a.retries, sum.retries);
+    assert!((a.time_invocation - sum.time_invocation).abs() < 1e-9);
+    assert!((a.time_processing - sum.time_processing).abs() < 1e-9);
+    assert!((a.time_transmission - sum.time_transmission).abs() < 1e-9);
+    assert!((a.time_backoff - sum.time_backoff).abs() < 1e-9);
+    assert!((a.total_cost() - sum.total_cost()).abs() < 1e-9);
+
+    // And each tenant invoice still prices by the server's constants:
+    // c_i/c_p/c_s/c_l plus backoff, nothing else.
+    let k = s.constants();
+    for t in &report.tenants {
+        let u = &t.invoice;
+        let expected = k.c_i * u.invocations as f64
+            + k.c_p * u.postings_processed as f64
+            + k.c_s * u.docs_short as f64
+            + k.c_l * u.docs_long as f64
+            + u.time_backoff;
+        assert!(
+            (u.total_cost() - expected).abs() < 1e-6,
+            "tenant {} invoice must decompose into server constants",
+            t.name
+        );
+    }
+}

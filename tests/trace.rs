@@ -229,3 +229,88 @@ fn dead_shard_mid_gather_leaves_no_open_span() {
     assert!(begins > 0, "the failed gathers must still open spans");
     assert_eq!(begins, ends, "every opened span must close");
 }
+
+/// One fixed serve session, traced: a 4-tenant stream with a starved
+/// budget, a tight queue, and repeated specs over a replicated server
+/// with a dead primary — so the trace exercises the full serve taxonomy
+/// (admissions, sheds, budget refusals, cache hits) next to the existing
+/// call/retry/backoff machinery. Returns the JSONL and its explain
+/// rendering.
+fn golden_serve_trace(w: &World) -> (String, String) {
+    use textjoin::core::serve::{Backend, ServeConfig, ServeSession, TenantSpec};
+    use textjoin::obs::Sink;
+
+    let params = CostParams::mercury(w.server.doc_count() as f64);
+    let mut server = ShardedTextServer::replicated(w.server.collection(), 4, 2, 0x5AD);
+    let dead = server.primary_of(2);
+    server.replica_mut(2, dead).set_fault_plan(FaultPlan::dead(77));
+    let mut cfg = ServeConfig::new(params);
+    cfg.queue_cap = 2;
+    cfg.quantum = 40.0;
+    cfg.degrade_depth = 2;
+    let tenants = vec![
+        TenantSpec::new("alpha", 1e9, 2),
+        TenantSpec::new("beta", 1e9, 1),
+        TenantSpec::new("gamma", 40.0, 0),
+        TenantSpec::new("delta", 1e9, 3),
+    ];
+    let q5 = paper::q5(w);
+    let q6 = paper::q6(w);
+    let stream = vec![
+        (0, q5.clone()),
+        (1, q6.clone()),
+        (2, q5.clone()),
+        (0, q5.clone()),
+        (3, q5.clone()),
+        (1, q6.clone()),
+        (3, q5.clone()),
+        (0, q5),
+    ];
+    let report =
+        ServeSession::new(Backend::Elastic(&mut server), &w.catalog, tenants, cfg).run(&stream);
+    let sink = JsonlSink::new();
+    for ev in &report.trace {
+        sink.record(ev);
+    }
+    (sink.contents(), textjoin::obs::render(&report.trace))
+}
+
+#[test]
+fn golden_serve_trace_is_byte_identical_and_renders_serve_events() {
+    let w = compact_world(7);
+    let (a, ea) = golden_serve_trace(&w);
+    let (b, eb) = golden_serve_trace(&w);
+    assert_eq!(a, b, "two identical sessions must serialize identical traces");
+    assert_eq!(ea, eb, "explain renderings must match byte-for-byte");
+
+    // The serve taxonomy is present in the JSONL...
+    for needle in [
+        "\"type\":\"admit\"",
+        "\"type\":\"shed\"",
+        "\"type\":\"budget_exhausted\"",
+        "\"type\":\"cache_hit\"",
+        "\"type\":\"call\"",
+        "\"type\":\"retry\"",
+    ] {
+        assert!(a.contains(needle), "golden serve trace is missing {needle}");
+    }
+    // ...and explain renders each serve event with its dedicated line,
+    // not a generic fallthrough.
+    for needle in [
+        "> admit tenant",
+        "! shed tenant",
+        "! budget exhausted tenant",
+        "= cache hit [",
+    ] {
+        assert!(ea.contains(needle), "explain rendering is missing {needle:?}");
+    }
+
+    // The serialized serve events round-trip through the parser.
+    let parsed = textjoin::obs::parse_jsonl(&a).expect("serve trace parses");
+    let resink = JsonlSink::new();
+    for ev in &parsed {
+        use textjoin::obs::Sink;
+        resink.record(ev);
+    }
+    assert_eq!(resink.contents(), a, "serve trace round-trips byte-identically");
+}
