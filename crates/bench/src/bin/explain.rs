@@ -7,11 +7,15 @@
 //! under seeded transient faults — so CI can diff two invocations.
 //! `--windows <secs>` additionally replays the events through the
 //! windowed [`Monitor`] and appends its per-window health table (the same
-//! rendering the `monitor` binary prints). Everything is seeded — two
+//! rendering the `monitor` binary prints). `--analyze` appends the
+//! EXPLAIN ANALYZE estimated-vs-actual plan tree of the built-in Q5
+//! scenario (it needs a live planner/executor pair, so it does not
+//! combine with a replayed trace file). Flags may appear in any order;
+//! unknown flags print the usage line. Everything is seeded — two
 //! invocations print byte-identical output. The EXPERIMENTS.md
 //! observability appendix is regenerated from this binary.
 
-use textjoin_bench::experiments::{default_world, explain_run};
+use textjoin_bench::experiments::{default_world, explain_analyze, explain_run};
 use textjoin_obs::{parse_jsonl, render, Event, MetricsSnapshot, Monitor, MonitorConfig};
 
 /// The p50/p90/p99 summary `explain` appends below the span tree. The
@@ -43,32 +47,56 @@ fn window_summary(events: &[Event], window_secs: f64) -> String {
     format!("\n{}", mon.render_table())
 }
 
-fn usage() -> ! {
-    eprintln!("usage: explain [trace.jsonl] [--windows <secs>]");
+/// Parsed command line. Flags and the positional trace path may appear in
+/// any order.
+#[derive(Debug, Default, PartialEq)]
+struct Cli {
+    path: Option<String>,
+    windows: Option<f64>,
+    analyze: bool,
+}
+
+/// Parses the argument list (without the program name). Returns a message
+/// for the usage line on any unknown flag, malformed flag value, or extra
+/// positional argument.
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--windows" => {
+                let secs = it
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|s| s.is_finite() && *s > 0.0)
+                    .ok_or("--windows needs a positive number of seconds")?;
+                cli.windows = Some(secs);
+            }
+            "--analyze" => cli.analyze = true,
+            s if s.starts_with('-') => return Err(format!("unknown flag {s}")),
+            _ if cli.path.is_none() => cli.path = Some(arg),
+            _ => return Err(format!("unexpected extra argument {arg}")),
+        }
+    }
+    if cli.analyze && cli.path.is_some() {
+        return Err("--analyze runs the built-in scenario and does not take a trace file".into());
+    }
+    Ok(cli)
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("explain: {msg}");
+    eprintln!("usage: explain [trace.jsonl] [--windows <secs>] [--analyze]");
     std::process::exit(2);
 }
 
 fn main() {
-    let mut path: Option<String> = None;
-    let mut windows: Option<f64> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--windows" {
-            let Some(secs) = args.next().and_then(|s| s.parse::<f64>().ok()) else {
-                usage();
-            };
-            if !secs.is_finite() || secs <= 0.0 {
-                usage();
-            }
-            windows = Some(secs);
-        } else if path.is_none() {
-            path = Some(arg);
-        } else {
-            usage();
-        }
-    }
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => usage(&msg),
+    };
 
-    if let Some(path) = path {
+    if let Some(path) = cli.path {
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) => {
@@ -86,7 +114,7 @@ fn main() {
         println!("Trace replay — {path}\n");
         print!("{}", render(&events));
         print!("{}", quantile_summary(&events));
-        if let Some(secs) = windows {
+        if let Some(secs) = cli.windows {
             print!("{}", window_summary(&events, secs));
         }
         return;
@@ -102,7 +130,48 @@ fn main() {
     let events = explain_run(&w);
     print!("{}", render(&events));
     print!("{}", quantile_summary(&events));
-    if let Some(secs) = windows {
+    if let Some(secs) = cli.windows {
         print!("{}", window_summary(&events, secs));
+    }
+    if cli.analyze {
+        println!("\nEXPLAIN ANALYZE — chosen Q5 plan (PrL+residuals):");
+        print!("{}", explain_analyze(&w));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn flags_parse_in_any_order() {
+        let a = parse(&["trace.jsonl", "--windows", "10"]).expect("parses");
+        let b = parse(&["--windows", "10", "trace.jsonl"]).expect("parses");
+        assert_eq!(a, b);
+        assert_eq!(a.path.as_deref(), Some("trace.jsonl"));
+        assert_eq!(a.windows, Some(10.0));
+        let c = parse(&["--analyze", "--windows", "5"]).expect("parses");
+        assert!(c.analyze);
+        assert_eq!(c.windows, Some(5.0));
+    }
+
+    #[test]
+    fn unknown_flags_and_bad_values_are_rejected() {
+        assert!(parse(&["--frobnicate"]).is_err(), "unknown flag");
+        assert!(parse(&["--windows"]).is_err(), "missing value");
+        assert!(parse(&["--windows", "-3"]).is_err(), "negative width");
+        assert!(parse(&["--windows", "abc"]).is_err(), "non-numeric width");
+        assert!(parse(&["a.jsonl", "b.jsonl"]).is_err(), "two paths");
+        assert!(parse(&["a.jsonl", "--analyze"]).is_err(), "analyze needs the built-in run");
+    }
+
+    #[test]
+    fn empty_args_are_the_builtin_scenario() {
+        let cli = parse(&[]).expect("parses");
+        assert_eq!(cli, Cli::default());
     }
 }

@@ -24,6 +24,7 @@ use textjoin_rel::tuple::Tuple;
 use textjoin_rel::value::{Value, ValueType};
 use textjoin_text::doc::{DocId, TextSchema};
 use textjoin_text::expr::SearchExpr;
+use textjoin_obs::{CostVector, NodeActual, NodeEstimate, PlanQuality};
 use textjoin_text::server::Usage;
 use textjoin_text::service::TextService;
 
@@ -92,6 +93,11 @@ pub struct MultiOutcome {
     /// Deterministic render of the concurrent timeline, when a scheduler
     /// was attached.
     pub timeline: Option<String>,
+    /// Estimated-vs-actual reconciliation per plan node, when EXPLAIN
+    /// ANALYZE attribution was enabled ([`MultiExecutor::set_analyze`]).
+    /// Pure post-hoc arithmetic — never present unless asked for, and
+    /// never perturbs a charge when it is.
+    pub plan_quality: Option<PlanQuality>,
 }
 
 /// Executes multi-join PrL plans.
@@ -112,6 +118,9 @@ pub struct MultiExecutor<'a> {
     /// Locally filtered base tables with qualified column names
     /// (`relation.column`), built once.
     base_tables: Vec<Table>,
+    /// Planner-side node estimates; `Some` switches on per-node actual
+    /// attribution and the [`PlanQuality`] summary on the outcome.
+    analyze: Option<Vec<NodeEstimate>>,
 }
 
 impl<'a> MultiExecutor<'a> {
@@ -141,7 +150,9 @@ impl<'a> MultiExecutor<'a> {
         Ok(Self {
             input,
             server,
-            c_a: 1e-5,
+            // The comparison constant the plan was priced with — planner
+            // estimates and executor booking must share it.
+            c_a: input.params.c_a,
             retry: RetryPolicy::standard(),
             rel_model: input.rel_model,
             budget: None,
@@ -149,6 +160,7 @@ impl<'a> MultiExecutor<'a> {
             probe_cache: None,
             ceiling: None,
             base_tables,
+            analyze: None,
         })
     }
 
@@ -184,6 +196,18 @@ impl<'a> MultiExecutor<'a> {
     /// mid-flight budget guard.
     pub fn set_ceiling(&mut self, ceiling: CostCeiling) {
         self.ceiling = Some(ceiling);
+    }
+
+    /// Switches on EXPLAIN ANALYZE attribution: `estimates` must be the
+    /// planner's pre-order node estimates for the plan about to run
+    /// (`optimizer::multi::estimate_nodes`). The executor walks the plan
+    /// in the same pre-order and books each node's *exclusive* actuals —
+    /// the `Usage` delta of its own work (children subtracted by
+    /// construction: a node's own work runs strictly after its children),
+    /// its output rows, and its local matching cost. Attribution only
+    /// reads ledgers the server already booked; it never charges.
+    pub fn set_analyze(&mut self, estimates: Vec<NodeEstimate>) {
+        self.analyze = Some(estimates);
     }
 
     /// The method-level execution context this executor hands out.
@@ -246,7 +270,8 @@ impl<'a> MultiExecutor<'a> {
         let before = self.server.usage();
         let mut rel_pairs = 0u64;
         let mut rtp_comparisons = 0u64;
-        let table = self.eval(plan, &mut rel_pairs, &mut rtp_comparisons)?;
+        let mut attr = self.analyze.as_ref().map(|_| Vec::new());
+        let table = self.eval(plan, &mut rel_pairs, &mut rtp_comparisons, &mut attr)?;
         let text = self.server.usage().since(&before);
         let total_cost = text.total_cost()
             + self.rel_model.c_pair * rel_pairs as f64
@@ -264,6 +289,10 @@ impl<'a> MultiExecutor<'a> {
                 ),
                 None => (text.total_cost(), text.total_cost(), 0, 0, 0, 0, None),
             };
+        let plan_quality = self
+            .analyze
+            .as_ref()
+            .map(|est| PlanQuality::new(est.clone(), attr.as_deref().unwrap_or(&[])));
         Ok(MultiOutcome {
             table,
             text,
@@ -277,7 +306,49 @@ impl<'a> MultiExecutor<'a> {
             deadline_misses,
             degradations,
             timeline,
+            plan_quality,
         })
+    }
+
+    /// Snapshots the ledgers right before a node's own work begins (its
+    /// children have already evaluated). Free: reads only.
+    fn own_start(
+        &self,
+        attr: &Option<Vec<NodeActual>>,
+        rel_pairs: u64,
+        rtp_comparisons: u64,
+    ) -> Option<(Usage, u64, u64)> {
+        attr.as_ref()
+            .map(|_| (self.server.usage(), rel_pairs, rtp_comparisons))
+    }
+
+    /// Books node `id`'s exclusive actuals: the `Usage` delta since its
+    /// own work began (backoff seconds fold into the invocation component,
+    /// mirroring the planner's `effective_c_i` fold) plus the local
+    /// matching cost (`c_a`·comparisons + `c_pair`·pairs) in the rtp slot.
+    fn book_node(
+        &self,
+        attr: &mut Option<Vec<NodeActual>>,
+        id: usize,
+        own: Option<(Usage, u64, u64)>,
+        rows: usize,
+        rel_pairs: u64,
+        rtp_comparisons: u64,
+    ) {
+        if let (Some(v), Some((u0, pairs0, comps0))) = (attr, own) {
+            let d = self.server.usage().since(&u0);
+            v[id] = NodeActual {
+                rows: rows as f64,
+                postings: d.postings_processed as f64,
+                cost: CostVector {
+                    invocation: d.time_invocation + d.time_backoff,
+                    processing: d.time_processing,
+                    transmission: d.time_transmission,
+                    rtp: self.c_a * (rtp_comparisons - comps0) as f64
+                        + self.rel_model.c_pair * (rel_pairs - pairs0) as f64,
+                },
+            };
+        }
     }
 
     fn eval(
@@ -285,11 +356,27 @@ impl<'a> MultiExecutor<'a> {
         plan: &PlanNode,
         rel_pairs: &mut u64,
         rtp_comparisons: &mut u64,
+        attr: &mut Option<Vec<NodeActual>>,
     ) -> Result<Table, MethodError> {
+        // Pre-order id assignment: the node books its slot before its
+        // children claim theirs — the same walk `estimate_nodes` uses.
+        let id = match attr {
+            Some(v) => {
+                v.push(NodeActual::default());
+                v.len() - 1
+            }
+            None => 0,
+        };
         match plan {
-            PlanNode::Scan { rel } => Ok(self.base_tables[*rel].clone()),
+            PlanNode::Scan { rel } => {
+                let own = self.own_start(attr, *rel_pairs, *rtp_comparisons);
+                let t = self.base_tables[*rel].clone();
+                self.book_node(attr, id, own, t.len(), *rel_pairs, *rtp_comparisons);
+                Ok(t)
+            }
             PlanNode::Probe { input, preds } => {
-                let t = self.eval(input, rel_pairs, rtp_comparisons)?;
+                let t = self.eval(input, rel_pairs, rtp_comparisons, attr)?;
+                let own = self.own_start(attr, *rel_pairs, *rtp_comparisons);
                 // Graceful degradation: probing only prunes, it never
                 // decides membership, so under deadline pressure the
                 // probe phase is skipped outright — the downstream text
@@ -297,10 +384,13 @@ impl<'a> MultiExecutor<'a> {
                 if let Some(s) = self.sched {
                     if s.under_pressure() {
                         s.note_degradation();
+                        self.book_node(attr, id, own, t.len(), *rel_pairs, *rtp_comparisons);
                         return Ok(t);
                     }
                 }
-                self.eval_probe(&t, preds)
+                let out = self.eval_probe(&t, preds)?;
+                self.book_node(attr, id, own, out.len(), *rel_pairs, *rtp_comparisons);
+                Ok(out)
             }
             PlanNode::RelJoin {
                 left,
@@ -308,9 +398,19 @@ impl<'a> MultiExecutor<'a> {
                 preds,
                 foreign_residuals,
             } => {
-                let lt = self.eval(left, rel_pairs, rtp_comparisons)?;
-                let rt = self.eval(right, rel_pairs, rtp_comparisons)?;
-                self.eval_rel_join(&lt, &rt, preds, foreign_residuals, rel_pairs, rtp_comparisons)
+                let lt = self.eval(left, rel_pairs, rtp_comparisons, attr)?;
+                let rt = self.eval(right, rel_pairs, rtp_comparisons, attr)?;
+                let own = self.own_start(attr, *rel_pairs, *rtp_comparisons);
+                let out = self.eval_rel_join(
+                    &lt,
+                    &rt,
+                    preds,
+                    foreign_residuals,
+                    rel_pairs,
+                    rtp_comparisons,
+                )?;
+                self.book_node(attr, id, own, out.len(), *rel_pairs, *rtp_comparisons);
+                Ok(out)
             }
             PlanNode::TextJoin {
                 input,
@@ -319,10 +419,19 @@ impl<'a> MultiExecutor<'a> {
                 probe_cols,
             } => match input {
                 Some(i) => {
-                    let t = self.eval(i, rel_pairs, rtp_comparisons)?;
-                    self.eval_text_join(&t, preds, *method, probe_cols, rtp_comparisons)
+                    let t = self.eval(i, rel_pairs, rtp_comparisons, attr)?;
+                    let own = self.own_start(attr, *rel_pairs, *rtp_comparisons);
+                    let out =
+                        self.eval_text_join(&t, preds, *method, probe_cols, rtp_comparisons)?;
+                    self.book_node(attr, id, own, out.len(), *rel_pairs, *rtp_comparisons);
+                    Ok(out)
                 }
-                None => self.eval_text_scan(),
+                None => {
+                    let own = self.own_start(attr, *rel_pairs, *rtp_comparisons);
+                    let out = self.eval_text_scan()?;
+                    self.book_node(attr, id, own, out.len(), *rel_pairs, *rtp_comparisons);
+                    Ok(out)
+                }
             },
         }
     }
@@ -596,6 +705,12 @@ pub struct ExecHooks<'a> {
     /// Assert overload pressure so the degradation lattice fires from the
     /// first plan node (cost-only downgrades, never rows).
     pub force_pressure: bool,
+    /// EXPLAIN ANALYZE: attribute actual charges back to plan-node ids and
+    /// attach a [`PlanQuality`] summary to the outcome (plus one free
+    /// `EstimateSample` trace event when a recorder is attached). Pure
+    /// observation — results and every `Usage` view are byte-identical
+    /// with it on or off.
+    pub analyze: bool,
 }
 
 /// The planning half of [`plan_and_execute_with`]: folds the observed
@@ -747,7 +862,40 @@ pub fn execute_prepared(
     if let Some(c) = hooks.ceiling {
         exec.set_ceiling(c);
     }
-    exec.execute(&planned.plan)
+    if hooks.analyze {
+        exec.set_analyze(crate::optimizer::multi::estimate_nodes(
+            input,
+            &planned.plan,
+        ));
+    }
+    let outcome = exec.execute(&planned.plan)?;
+    if let (Some(pq), Some(rec)) = (&outcome.plan_quality, server.recorder()) {
+        // One free sample per analyzed query: the plan-level Q-errors the
+        // misestimation detector windows over. `regret_share` is filled by
+        // the replay harness (the executor cannot know the counterfactuals).
+        rec.emit(textjoin_obs::EventKind::EstimateSample {
+            cost_q: pq.cost_q,
+            selectivity_q: pq.rows_q,
+            constants_q: constants_q(&input.params, &outcome.text),
+            regret_share: 0.0,
+        });
+    }
+    Ok(outcome)
+}
+
+/// Q-error between what the run actually paid the text system and what
+/// its booked *counts* should have cost at the planner's configured
+/// constants. Selectivity misestimates cancel out (counts are actuals on
+/// both sides), so a drift here isolates the constants: backoff seconds
+/// from an unmodelled fault rate, or a server whose real per-unit prices
+/// moved away from the configured `CostConstants`.
+pub fn constants_q(params: &crate::cost::params::CostParams, text: &Usage) -> f64 {
+    let c = &params.constants;
+    let repriced = c.c_i * text.invocations as f64
+        + c.c_p * text.postings_processed as f64
+        + c.c_s * text.docs_short as f64
+        + c.c_l * text.docs_long as f64;
+    textjoin_obs::q_error(repriced, text.total_cost())
 }
 
 /// Comparison helper for result equivalence in tests and benches: rows

@@ -24,7 +24,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
-use textjoin_obs::{EventKind, PlannerChoice, Recorder};
+use textjoin_obs::{CostVector, EventKind, NodeEstimate, PlannerChoice, Recorder};
 use textjoin_rel::catalog::Catalog;
 use textjoin_rel::ops::{distinct_count, filter};
 use textjoin_text::doc::{FieldId, TextSchema};
@@ -33,11 +33,12 @@ use textjoin_text::stats::VocabularyStats;
 use crate::cost::formulas::{
     cost_probe_phase, expected_result_fanout, probe_success_probability,
 };
+use crate::cost::formulas::CostBreakdown;
 use crate::cost::params::{CostParams, JoinStatistics, PredStats};
 use crate::methods::{Projection, TextSelection};
 use crate::optimizer::plan::{MultiJoinQuery, PlanNode};
 use crate::optimizer::relcost::{containment_selectivity, join_selectivity, RelCostModel};
-use crate::optimizer::single::enumerate_methods;
+use crate::optimizer::single::{enumerate_methods, MethodCandidate, MethodKind};
 use crate::query::QueryError;
 use crate::stats::{export_predicate, export_selections};
 
@@ -384,6 +385,280 @@ pub fn plan_query(input: &PlannerInput, space: ExecutionSpace) -> Option<Planned
     })
 }
 
+/// Estimated postings behind a processing-cost component: the formulas
+/// price every processed posting at `c_p`, so the count is recoverable
+/// exactly by dividing the constant back out.
+fn est_postings(params: &CostParams, processing: f64) -> f64 {
+    if params.constants.c_p > 0.0 {
+        processing / params.constants.c_p
+    } else {
+        0.0
+    }
+}
+
+/// Re-derives the per-node estimates the dynamic program priced `plan`
+/// with, in **pre-order** (parent before children, inputs left to right).
+/// The executor attributes actual charges under the identical walk, so
+/// index `i` of the returned vector is plan-node id `i` on both sides —
+/// the EXPLAIN ANALYZE contract. The per-node costs are *exclusive*
+/// (children excluded) and sum to the planner's `est_cost`.
+pub fn estimate_nodes(input: &PlannerInput, plan: &PlanNode) -> Vec<NodeEstimate> {
+    let mut out = Vec::new();
+    walk_estimates(input, plan, 0, &mut out);
+    out
+}
+
+fn breakdown_vector(cb: &CostBreakdown) -> CostVector {
+    CostVector {
+        invocation: cb.invocation,
+        processing: cb.processing,
+        transmission: cb.transmission,
+        rtp: cb.rtp,
+    }
+}
+
+/// The text-join projection rule, shared by the planner's extension step,
+/// the estimate walk, and the executor (`exec.rs::text_join_projection`).
+fn text_projection(input: &PlannerInput, preds_here: usize) -> Projection {
+    if preds_here < input.foreign.len() {
+        Projection::Full
+    } else {
+        input.query.projection
+    }
+}
+
+/// Estimated output rows of a text join. Projections that emit one row
+/// per matching document (`Full`, `DocIds`) produce (tuple, doc) pairs —
+/// input rows times the expected result fanout. `RelOnly` has semijoin
+/// semantics (the methods' `emit` pushes each surviving tuple exactly
+/// once), so the estimate is survivors: input rows times the joint probe
+/// success probability, the same rule probe nodes price with. Shared by
+/// the planner's extension step and the EXPLAIN ANALYZE estimate walk so
+/// both sides report the same cardinality.
+fn text_join_rows(
+    params: &CostParams,
+    stats: &JoinStatistics,
+    projection: Projection,
+    in_rows: f64,
+) -> f64 {
+    match projection {
+        Projection::RelOnly => {
+            let local: Vec<usize> = (0..stats.k()).collect();
+            in_rows * probe_success_probability(params, stats, &local)
+        }
+        _ => in_rows * expected_result_fanout(params, stats),
+    }
+}
+
+/// Recursive half of [`estimate_nodes`]; returns the node's estimated
+/// output rows so parents can price themselves.
+fn walk_estimates(
+    input: &PlannerInput,
+    plan: &PlanNode,
+    depth: usize,
+    out: &mut Vec<NodeEstimate>,
+) -> f64 {
+    let id = out.len();
+    out.push(NodeEstimate {
+        id,
+        depth,
+        label: String::new(),
+        rows: 0.0,
+        postings: 0.0,
+        cost: CostVector::default(),
+    });
+    match plan {
+        PlanNode::Scan { rel } => {
+            let rows = input.base[*rel].rows;
+            out[id].label = format!("scan {}", input.query.relations[*rel].name);
+            out[id].rows = rows;
+            rows
+        }
+        PlanNode::Probe { input: child, preds } => {
+            let in_rows = walk_estimates(input, child, depth + 1, out);
+            let stats = input.stats_for(in_rows, preds, Projection::RelOnly);
+            let local: Vec<usize> = (0..preds.len()).collect();
+            let cb = cost_probe_phase(&input.params, &stats, &local);
+            let survive = probe_success_probability(&input.params, &stats, &local);
+            let rows = in_rows * survive;
+            let cols: Vec<String> = preds
+                .iter()
+                .map(|&i| {
+                    let fp = &input.query.foreign[i];
+                    format!("{}.{}", input.query.relations[fp.rel].name, fp.column)
+                })
+                .collect();
+            out[id].label = format!("probe {{{}}}", cols.join(","));
+            out[id].rows = rows;
+            out[id].postings = est_postings(&input.params, cb.processing);
+            out[id].cost = breakdown_vector(&cb);
+            rows
+        }
+        PlanNode::RelJoin {
+            left,
+            right,
+            preds,
+            foreign_residuals,
+        } => {
+            let lr = walk_estimates(input, left, depth + 1, out);
+            let rr = walk_estimates(input, right, depth + 1, out);
+            let mut sel = 1.0;
+            for &i in preds {
+                let p = &input.query.rel_joins[i];
+                let dl = *input.base[p.left_rel]
+                    .distinct
+                    .get(&p.left_col)
+                    .unwrap_or(&1.0);
+                let dr = *input.base[p.right_rel]
+                    .distinct
+                    .get(&p.right_col)
+                    .unwrap_or(&1.0);
+                sel *= join_selectivity(p.op, dl, dr);
+            }
+            for &i in foreign_residuals {
+                sel *= containment_selectivity(input.foreign[i].stats.fanout, input.params.d);
+            }
+            let rows = lr * rr * sel;
+            out[id].label = format!(
+                "join preds={} residuals={}",
+                preds.len(),
+                foreign_residuals.len()
+            );
+            out[id].rows = rows;
+            // Relational matching work lands in the rtp slot, priced
+            // exactly as the executor books it: `c_pair`·pairs +
+            // `c_a`·residual comparisons.
+            out[id].cost.rtp =
+                input
+                    .rel_model
+                    .join_matching(lr, rr, foreign_residuals.len(), input.params.c_a);
+            rows
+        }
+        PlanNode::TextJoin {
+            input: child,
+            preds,
+            method,
+            probe_cols,
+        } => match child {
+            Some(c) => {
+                let in_rows = walk_estimates(input, c, depth + 1, out);
+                let projection = text_projection(input, preds.len());
+                let stats = input.stats_for(in_rows, preds, projection);
+                let choices = enumerate_methods(&input.params, &stats, projection, false);
+                let cand = choices
+                    .iter()
+                    .find(|c| c.kind == *method && c.probe_cols == *probe_cols)
+                    .or(choices.first());
+                let (label, cb) = match cand {
+                    Some(c) => (c.label.clone(), c.cost),
+                    None => ("?".to_owned(), CostBreakdown::default()),
+                };
+                let rows = text_join_rows(&input.params, &stats, projection, in_rows);
+                out[id].label = format!("text-join {label}");
+                out[id].rows = rows;
+                out[id].postings = est_postings(&input.params, cb.processing);
+                out[id].cost = breakdown_vector(&cb);
+                rows
+            }
+            None => {
+                // The text-first seed formula, verbatim from `plan_query`.
+                let c = &input.params.constants;
+                let mut transmission = c.c_s * input.sel_fanout;
+                if input.query.projection == Projection::Full {
+                    transmission += c.c_l * input.sel_fanout;
+                }
+                out[id].label = "text-scan".to_owned();
+                out[id].rows = input.sel_fanout;
+                out[id].postings = input.sel_postings;
+                out[id].cost = CostVector {
+                    invocation: c.c_i,
+                    processing: c.c_p * input.sel_postings,
+                    transmission,
+                    rtp: 0.0,
+                };
+                input.sel_fanout
+            }
+        },
+    }
+}
+
+/// Locates the plan's (unique) method-bearing text join, returning its
+/// input subtree and predicate set. `None` for text-first plans.
+fn find_text_join(plan: &PlanNode) -> Option<(&PlanNode, &[usize])> {
+    match plan {
+        PlanNode::TextJoin {
+            input: Some(c),
+            preds,
+            ..
+        } => Some((c, preds)),
+        PlanNode::TextJoin { input: None, .. } | PlanNode::Scan { .. } => None,
+        PlanNode::Probe { input, .. } => find_text_join(input),
+        PlanNode::RelJoin { left, right, .. } => {
+            find_text_join(left).or_else(|| find_text_join(right))
+        }
+    }
+}
+
+/// Re-derives the method menu the planner considered for `plan`'s text
+/// join — the candidates sorted cheapest first, exactly as the extension
+/// step enumerated them. The counterfactual-regret replay executes every
+/// entry; the plan's stored method is the one the planner chose. `None`
+/// for text-first plans (a text scan has no method alternatives).
+pub fn text_join_candidates(input: &PlannerInput, plan: &PlanNode) -> Option<Vec<MethodCandidate>> {
+    let (child, preds) = find_text_join(plan)?;
+    let mut scratch = Vec::new();
+    let in_rows = walk_estimates(input, child, 0, &mut scratch);
+    let projection = text_projection(input, preds.len());
+    let stats = input.stats_for(in_rows, preds, projection);
+    Some(enumerate_methods(&input.params, &stats, projection, false))
+}
+
+/// Clones `plan` with its text join's method swapped — the counterfactual
+/// replay tool. `None` when the plan has no method-bearing text join.
+pub fn with_text_method(plan: &PlanNode, kind: MethodKind, cols: &[usize]) -> Option<PlanNode> {
+    match plan {
+        PlanNode::TextJoin {
+            input: Some(c),
+            preds,
+            ..
+        } => Some(PlanNode::TextJoin {
+            input: Some(c.clone()),
+            preds: preds.clone(),
+            method: kind,
+            probe_cols: cols.to_vec(),
+        }),
+        PlanNode::TextJoin { input: None, .. } | PlanNode::Scan { .. } => None,
+        PlanNode::Probe { input, preds } => with_text_method(input, kind, cols).map(|n| {
+            PlanNode::Probe {
+                input: Box::new(n),
+                preds: preds.clone(),
+            }
+        }),
+        PlanNode::RelJoin {
+            left,
+            right,
+            preds,
+            foreign_residuals,
+        } => {
+            if let Some(l) = with_text_method(left, kind, cols) {
+                Some(PlanNode::RelJoin {
+                    left: Box::new(l),
+                    right: right.clone(),
+                    preds: preds.clone(),
+                    foreign_residuals: foreign_residuals.clone(),
+                })
+            } else {
+                with_text_method(right, kind, cols).map(|r| PlanNode::RelJoin {
+                    left: left.clone(),
+                    right: Box::new(r),
+                    preds: preds.clone(),
+                    foreign_residuals: foreign_residuals.clone(),
+                })
+            }
+        }
+    }
+}
+
 /// Foreign predicate indices whose relation is inside the mask.
 fn preds_in(input: &PlannerInput, mask: u64) -> Vec<usize> {
     (0..input.foreign.len())
@@ -511,8 +786,14 @@ fn extend_with_relation(
                 sel *= containment_selectivity(input.foreign[i].stats.fanout, input.params.d);
             }
             let rows = l.rows * rt.rows * sel;
-            let cost =
-                l.cost + rt.cost + input.rel_model.nested_loop(l.rows, rt.rows, rows);
+            // Price the join as the executor will book it (see
+            // `walk_estimates`' RelJoin arm) so the DP's `est_cost` is
+            // exact under exact statistics.
+            let cost = l.cost
+                + rt.cost
+                + input
+                    .rel_model
+                    .join_matching(l.rows, rt.rows, residuals.len(), input.params.c_a);
             out.push(Candidate {
                 node: PlanNode::RelJoin {
                     left: Box::new(l.node.clone()),
@@ -548,6 +829,7 @@ fn extend_with_text(input: &PlannerInput, cand: &Candidate, s: u64) -> Option<Ca
     };
     let stats = input.stats_for(cand.rows, &preds, projection);
     let choices = enumerate_methods(&input.params, &stats, projection, false);
+    let rows = text_join_rows(&input.params, &stats, projection, cand.rows);
     // Record the method menu for final-position text joins (every relation
     // already in the plan): one event per candidate, cheapest flagged
     // chosen. Earlier-position decisions are skipped to keep traces small.
@@ -564,13 +846,14 @@ fn extend_with_text(input: &PlannerInput, cand: &Candidate, s: u64) -> Option<Ca
                     transmission: c.cost.transmission,
                     rtp: c.cost.rtp,
                     searches: c.cost.searches,
+                    est_rows: rows,
+                    est_postings: est_postings(&input.params, c.cost.processing),
                     effective_c_i: input.params.effective_c_i(),
                 }));
             }
         }
     }
     let best = choices.first()?;
-    let fanout = expected_result_fanout(&input.params, &stats);
     Some(Candidate {
         node: PlanNode::TextJoin {
             input: Some(Box::new(cand.node.clone())),
@@ -578,7 +861,7 @@ fn extend_with_text(input: &PlannerInput, cand: &Candidate, s: u64) -> Option<Ca
             method: best.kind,
             probe_cols: best.probe_cols.clone(),
         },
-        rows: cand.rows * fanout,
+        rows,
         cost: cand.cost + best.cost.total(),
         probed: cand.probed,
     })

@@ -33,6 +33,16 @@ impl RelCostModel {
     pub fn nested_loop(&self, rows_l: f64, rows_r: f64, rows_out: f64) -> f64 {
         self.c_pair * rows_l * rows_r + self.c_out * rows_out
     }
+
+    /// The matching cost the executor actually books for a relational
+    /// join: `c_pair` per tuple pair plus `c_a` per residual containment
+    /// comparison (one per pair per residual) — exactly
+    /// `exec.rs::eval_rel_join`'s accounting, so exact input
+    /// cardinalities price the join exactly (the EXPLAIN ANALYZE
+    /// Q-error contract).
+    pub fn join_matching(&self, rows_l: f64, rows_r: f64, residuals: usize, c_a: f64) -> f64 {
+        rows_l * rows_r * (self.c_pair + c_a * residuals as f64)
+    }
 }
 
 /// Selectivity of `a <op> b` between columns with `dl` and `dr` distinct

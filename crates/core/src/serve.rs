@@ -137,6 +137,12 @@ pub struct ServeConfig {
     /// recorder. Required for auto-rebalancing (it is the advice
     /// source).
     pub monitor: Option<MonitorConfig>,
+    /// EXPLAIN ANALYZE on every dispatch: per-node actual attribution, a
+    /// per-query plan-level Q-error column on the tenant report, and one
+    /// free `EstimateSample` trace event per completed query (the
+    /// misestimation detector's feed). Pure observation — results,
+    /// ledgers, and invoices are byte-identical with it on or off.
+    pub analyze: bool,
 }
 
 impl ServeConfig {
@@ -156,6 +162,7 @@ impl ServeConfig {
             rebalance_batch_docs: 24,
             adopt_drift_every: 0,
             monitor: None,
+            analyze: false,
         }
     }
 }
@@ -249,6 +256,9 @@ pub struct TenantReport {
     pub exec_errors: u64,
     /// Total cost of each completed request, dispatch order.
     pub costs: Vec<f64>,
+    /// Plan-level cost Q-error of each completed request, dispatch order.
+    /// Empty unless [`ServeConfig::analyze`] was on.
+    pub cost_qs: Vec<f64>,
     /// Session probe-cache counters `(hits, misses, evicted)`.
     pub probe_cache: (u64, u64, u64),
     /// Plan-cache hits.
@@ -329,6 +339,7 @@ struct TenantState {
     budget_aborted: u64,
     exec_errors: u64,
     costs: Vec<f64>,
+    cost_qs: Vec<f64>,
 }
 
 impl TenantState {
@@ -351,6 +362,7 @@ impl TenantState {
             budget_aborted: 0,
             exec_errors: 0,
             costs: Vec::new(),
+            cost_qs: Vec::new(),
         }
     }
 
@@ -668,6 +680,7 @@ impl<'a> ServeSession<'a> {
                 limit: remaining,
             }),
             force_pressure: pressure,
+            analyze: self.cfg.analyze,
         };
         let res = execute_prepared(&input, &planned, self.catalog, service, &hooks);
         let delta = service.usage().since(&before);
@@ -676,6 +689,9 @@ impl<'a> ServeSession<'a> {
             Ok(out) => {
                 self.tenants[ti].completed += 1;
                 self.tenants[ti].costs.push(out.total_cost);
+                if let Some(pq) = &out.plan_quality {
+                    self.tenants[ti].cost_qs.push(pq.cost_q);
+                }
                 let spent = out.total_cost;
                 (
                     Ok(QueryOutcome {
@@ -826,6 +842,7 @@ impl<'a> ServeSession<'a> {
                 budget_aborted: t.budget_aborted,
                 exec_errors: t.exec_errors,
                 costs: t.costs.clone(),
+                cost_qs: t.cost_qs.clone(),
                 probe_cache: t.probe_cache.borrow().full_stats(),
                 plan_hits: t.plan_hits,
             })

@@ -81,6 +81,10 @@ pub struct PlannerChoice {
     pub rtp: f64,
     /// Estimated number of searches behind the invocation component.
     pub searches: f64,
+    /// Estimated result cardinality (rows) the candidate would produce.
+    pub est_rows: f64,
+    /// Estimated postings the candidate's searches would process.
+    pub est_postings: f64,
     /// The fault-adjusted effective invocation constant the estimate used
     /// (`c_i` plus expected backoff per invocation).
     pub effective_c_i: f64,
@@ -381,6 +385,39 @@ pub enum EventKind {
     },
     /// The optimizer estimated one candidate method. Free.
     Planner(PlannerChoice),
+    /// One per-query plan-quality sample, emitted by the executor when
+    /// EXPLAIN ANALYZE attribution is enabled. Free — pure arithmetic over
+    /// charges the ledger already booked; emitting it never charges.
+    EstimateSample {
+        /// Q-error of the estimated total plan cost vs the actual charge.
+        cost_q: f64,
+        /// Q-error of the estimated result cardinality vs actual rows —
+        /// the selectivity/statistics side of a misestimate.
+        selectivity_q: f64,
+        /// Q-error of the actual charge vs the actual counts re-priced at
+        /// the configured constants — the `c_i`/`c_p`/`c_s`/`c_l` side.
+        constants_q: f64,
+        /// Fraction of the actual cost that was regret against the best
+        /// counterfactual candidate, when known (`0.0` otherwise).
+        regret_share: f64,
+    },
+    /// The misestimation detector crossed its threshold: trailing-window
+    /// p90 Q-error or regret share is out of band. Free, edge-triggered
+    /// like [`SkewAlert`](Self::SkewAlert); `component` names the worst
+    /// offender (`selectivity` → stats are stale, re-export stats;
+    /// `constants` → the cost constants drifted, run calibrate).
+    EstimateDrift {
+        /// 0-based index of the window that closed the check.
+        window: u64,
+        /// Worst component: `selectivity` or `constants`.
+        component: &'static str,
+        /// Trailing-window p90 Q-error of the worst component.
+        p90_q: f64,
+        /// Trailing-window mean regret share.
+        regret_share: f64,
+        /// `true` on enter (out of band), `false` on clear.
+        firing: bool,
+    },
 }
 
 impl EventKind {
@@ -719,7 +756,8 @@ impl Event {
                     out,
                     "\"type\":\"planner\",\"label\":\"{}\",\"chosen\":{},\"probe_cols\":[{}],\
                      \"est\":{{\"invocation\":{},\"processing\":{},\"transmission\":{},\
-                     \"rtp\":{},\"searches\":{}}},\"effective_c_i\":{}",
+                     \"rtp\":{},\"searches\":{},\"rows\":{},\"postings\":{}}},\
+                     \"effective_c_i\":{}",
                     esc(&p.label),
                     p.chosen,
                     cols.join(","),
@@ -728,7 +766,36 @@ impl Event {
                     p.transmission,
                     p.rtp,
                     p.searches,
+                    p.est_rows,
+                    p.est_postings,
                     p.effective_c_i
+                );
+            }
+            EventKind::EstimateSample {
+                cost_q,
+                selectivity_q,
+                constants_q,
+                regret_share,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"estimate_sample\",\"cost_q\":{cost_q},\
+                     \"selectivity_q\":{selectivity_q},\"constants_q\":{constants_q},\
+                     \"regret_share\":{regret_share}"
+                );
+            }
+            EventKind::EstimateDrift {
+                window,
+                component,
+                p90_q,
+                regret_share,
+                firing,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"estimate_drift\",\"window\":{window},\
+                     \"component\":\"{component}\",\"p90_q\":{p90_q},\
+                     \"regret_share\":{regret_share},\"firing\":{firing}"
                 );
             }
         }

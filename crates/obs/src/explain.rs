@@ -211,6 +211,25 @@ impl Node {
                 if *drifted { "!" } else { "o" },
                 if *drifted { "alert" } else { "clear" },
             ))),
+            EventKind::EstimateSample {
+                cost_q,
+                selectivity_q,
+                constants_q,
+                regret_share,
+            } => self.items.push(Item::Line(format!(
+                "? plan quality: cost q {cost_q:.2} (sel {selectivity_q:.2} const {constants_q:.2}) regret share {regret_share:.2}"
+            ))),
+            EventKind::EstimateDrift {
+                window,
+                component,
+                p90_q,
+                regret_share,
+                firing,
+            } => self.items.push(Item::Line(format!(
+                "{} estimates {} {component} window {window}: p90 q {p90_q:.2} regret share {regret_share:.2}",
+                if *firing { "!" } else { "o" },
+                if *firing { "alert" } else { "clear" },
+            ))),
             EventKind::RebalanceAdvice {
                 window,
                 src,

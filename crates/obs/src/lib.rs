@@ -19,6 +19,7 @@
 //! recorder (any sink, including [`NoopSink`]) must leave every `Usage`
 //! field untouched.
 
+mod analyze;
 mod calibrate;
 mod event;
 mod explain;
@@ -29,6 +30,9 @@ mod sample;
 mod sink;
 mod trace;
 
+pub use analyze::{
+    q_error, quantile, CostVector, NodeActual, NodeEstimate, NodeQuality, PlanQuality,
+};
 pub use calibrate::{calibrate_trace, ComponentFit, TraceCalibration};
 pub use event::{Charge, Event, EventKind, PlannerChoice};
 pub use explain::render;

@@ -350,6 +350,16 @@ impl MetricsSnapshot {
                     self.incr("planner.chosen", 1);
                 }
             }
+            EventKind::EstimateSample { .. } => self.incr("analyze.samples", 1),
+            EventKind::EstimateDrift { firing, component, .. } => {
+                let key = if *firing {
+                    "monitor.estimate.alert"
+                } else {
+                    "monitor.estimate.clear"
+                };
+                self.incr(key, 1);
+                self.incr(&format!("{key}.{component}"), 1);
+            }
         }
     }
 

@@ -18,7 +18,7 @@
 //! attaching a monitor cannot change a single byte of the recorded trace
 //! or a single field of any `Usage` ledger (`tests/audit.rs` pins this).
 //!
-//! Three detectors run when a window closes, all charge-free and
+//! Four detectors run when a window closes, all charge-free and
 //! edge-triggered (one event on enter, one on clear — steady state is
 //! silent):
 //!
@@ -45,6 +45,15 @@
 //!   of chargeable events and compares each determined constant against
 //!   the configured baseline; a component whose fit moves beyond the
 //!   relative tolerance is flagged until it returns.
+//! - **Misestimation** ([`EventKind::EstimateDrift`]): plan-quality
+//!   samples ([`EventKind::EstimateSample`], emitted by EXPLAIN ANALYZE
+//!   runs) are collected into a trailing window; the detector fires when
+//!   the trailing p90 of the worse component Q-error or the mean regret
+//!   share crosses its threshold, and names that component so the operator
+//!   knows which knob to turn: a selectivity-dominated miss means the
+//!   exported statistics are stale (re-run `export_stats`), a
+//!   constants-dominated miss means the configured cost constants no
+//!   longer match the server (re-run calibration).
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
@@ -93,6 +102,20 @@ pub struct MonitorConfig {
     /// Drift watchdog baseline `(c_i, c_p, c_s, c_l)`; `None` disables
     /// the watchdog (nothing to compare against).
     pub baseline: Option<(f64, f64, f64, f64)>,
+    /// Misestimation detector: fires when the trailing p90 of the worse
+    /// component Q-error (selectivity vs constants) reaches this value.
+    pub est_p90_alert: f64,
+    /// Misestimation detector: clears when the trailing p90 falls to or
+    /// below this (must be below `est_p90_alert` for hysteresis).
+    pub est_p90_clear: f64,
+    /// Misestimation detector: fires when the trailing mean regret share
+    /// (regret / chosen cost) reaches this value.
+    pub est_regret_alert: f64,
+    /// Misestimation detector: trailing windows with fewer plan-quality
+    /// samples than this are too quiet to judge.
+    pub est_min_samples: usize,
+    /// Misestimation detector: trailing sample buffer, in windows.
+    pub est_trailing_windows: usize,
     /// Smoothing factor of the per-call latency EWMA (weight of the
     /// newest observation).
     pub ewma_alpha: f64,
@@ -106,7 +129,9 @@ impl MonitorConfig {
     /// windows: skew hot at 45% / clear at 35% of the windowed invoice
     /// with at least 4 invocations, SLO burn over 3-fast/12-slow windows
     /// at 1 bad event per window, drift re-fit every 4 windows over an
-    /// 8-window trail at 25% relative tolerance.
+    /// 8-window trail at 25% relative tolerance, and misestimation at a
+    /// trailing p90 Q-error of 4 (clear at 2) or 25% mean regret share
+    /// over an 8-window trail with at least 3 samples.
     pub fn new(window_secs: f64) -> Self {
         assert!(window_secs > 0.0, "window width must be positive");
         Self {
@@ -121,6 +146,11 @@ impl MonitorConfig {
             drift_trailing_windows: 8,
             drift_tolerance: 0.25,
             baseline: None,
+            est_p90_alert: 4.0,
+            est_p90_clear: 2.0,
+            est_regret_alert: 0.25,
+            est_min_samples: 3,
+            est_trailing_windows: 8,
             ewma_alpha: 0.25,
             owner: None,
         }
@@ -158,6 +188,30 @@ impl MonitorConfig {
         self.drift_every_windows = every;
         self.drift_trailing_windows = trailing;
         self.drift_tolerance = tolerance;
+        self
+    }
+
+    /// Sets the misestimation thresholds: alert at trailing p90 Q-error
+    /// `p90_alert` (clear at `p90_clear`) or mean regret share
+    /// `regret_alert`, judged over `trailing` windows holding at least
+    /// `min_samples` plan-quality samples.
+    pub fn with_estimates(
+        mut self,
+        p90_alert: f64,
+        p90_clear: f64,
+        regret_alert: f64,
+        min_samples: usize,
+        trailing: usize,
+    ) -> Self {
+        assert!(p90_clear < p90_alert, "hysteresis needs clear < alert");
+        assert!(p90_clear >= 1.0, "q-error is never below 1");
+        assert!(regret_alert > 0.0, "regret threshold must be positive");
+        assert!(min_samples >= 1 && trailing >= 1, "need samples and trail >= 1");
+        self.est_p90_alert = p90_alert;
+        self.est_p90_clear = p90_clear;
+        self.est_regret_alert = regret_alert;
+        self.est_min_samples = min_samples;
+        self.est_trailing_windows = trailing;
         self
     }
 
@@ -264,6 +318,17 @@ pub struct Advice {
     pub hits: u64,
 }
 
+/// One plan-quality observation, as carried by an `EstimateSample`. The
+/// detector judges the component Q-errors (the blended plan `cost_q` can
+/// hide a stale estimate behind a well-priced dominant term), so only
+/// the components and the regret share are retained.
+#[derive(Clone, Copy)]
+struct EstSample {
+    selectivity_q: f64,
+    constants_q: f64,
+    regret_share: f64,
+}
+
 /// Accumulator for the window currently being filled.
 #[derive(Default)]
 struct WindowAcc {
@@ -276,6 +341,9 @@ struct WindowAcc {
     hedges: u64,
     /// Chargeable events of the window, buffered for the drift trail.
     chargeable: Vec<Event>,
+    /// Plan-quality samples of the window, buffered for the
+    /// misestimation trail.
+    est_samples: Vec<EstSample>,
 }
 
 struct MonState {
@@ -293,6 +361,10 @@ struct MonState {
     /// trail length.
     trailing: VecDeque<Vec<Event>>,
     drift_flags: BTreeMap<&'static str, bool>,
+    /// Per-window plan-quality samples, newest last, capped at the
+    /// misestimation trail length.
+    est_trailing: VecDeque<Vec<EstSample>>,
+    est_firing: bool,
     alerts: Vec<Event>,
     alert_seq: u64,
     advice: Vec<Advice>,
@@ -313,6 +385,8 @@ impl Default for MonState {
             slo_firing: false,
             trailing: VecDeque::new(),
             drift_flags: BTreeMap::new(),
+            est_trailing: VecDeque::new(),
+            est_firing: false,
             alerts: Vec::new(),
             alert_seq: 0,
             advice: Vec::new(),
@@ -370,7 +444,7 @@ impl Monitor {
     }
 
     /// The detector alert stream: `SkewAlert`, `SloAlert`, `DriftAlert`,
-    /// and `RebalanceAdvice` events with their own sequence numbers,
+    /// `EstimateDrift`, and `RebalanceAdvice` events with their own sequence numbers,
     /// stamped at the simulated-clock window boundary that closed them.
     /// Disjoint from the recorded trace by construction.
     pub fn alerts(&self) -> Vec<Event> {
@@ -453,6 +527,16 @@ impl Monitor {
             EventKind::Cancel { shard, replica } => {
                 acc.per_replica.entry((*shard, *replica)).or_default().cancels += 1;
             }
+            EventKind::EstimateSample {
+                selectivity_q,
+                constants_q,
+                regret_share,
+                ..
+            } => acc.est_samples.push(EstSample {
+                selectivity_q: *selectivity_q,
+                constants_q: *constants_q,
+                regret_share: *regret_share,
+            }),
             EventKind::DeadlineMiss { .. } => acc.deadline_misses += 1,
             EventKind::CircuitOpen { .. } => acc.circuit_opens += 1,
             EventKind::DocTraffic { shard, docs } => {
@@ -491,9 +575,14 @@ impl Monitor {
         while st.trailing.len() > self.cfg.drift_trailing_windows {
             st.trailing.pop_front();
         }
+        st.est_trailing.push_back(acc.est_samples);
+        while st.est_trailing.len() > self.cfg.est_trailing_windows {
+            st.est_trailing.pop_front();
+        }
         self.detect_skew(st, &stats);
         self.detect_slo(st, &stats);
         self.detect_drift(st, stats.index);
+        self.detect_estimates(st, stats.index);
         st.windows.push(stats);
         st.current += 1;
     }
@@ -687,6 +776,55 @@ impl Monitor {
             }
         }
     }
+
+    /// Trailing-window misestimation detector over plan-quality samples.
+    /// Fires (with hysteresis, edge-triggered) when the trailing p90 cost
+    /// Q-error or the mean regret share crosses its threshold, naming the
+    /// worse Q-error component — `selectivity` (exported stats are stale)
+    /// or `constants` (configured cost constants no longer match the
+    /// server).
+    fn detect_estimates(&self, st: &mut MonState, window: u64) {
+        let samples: Vec<EstSample> = st.est_trailing.iter().flatten().copied().collect();
+        if samples.len() < self.cfg.est_min_samples {
+            return; // too quiet to judge
+        }
+        let p90 = |f: fn(&EstSample) -> f64| -> f64 {
+            let xs: Vec<f64> = samples.iter().map(f).collect();
+            crate::quantile(&xs, 0.90)
+        };
+        let sel_q = p90(|s| s.selectivity_q);
+        let con_q = p90(|s| s.constants_q);
+        let regret_share =
+            samples.iter().map(|s| s.regret_share).sum::<f64>() / samples.len() as f64;
+        // Judge the worse *component* Q-error, not the blended plan cost:
+        // a badly stale cardinality estimate can hide inside an accurate
+        // total when a well-priced term dominates the plan, and it is the
+        // component that tells the operator which knob to turn.
+        let (component, p90_q) = if con_q > sel_q {
+            ("constants", con_q)
+        } else {
+            ("selectivity", sel_q)
+        };
+        let firing = if st.est_firing {
+            p90_q > self.cfg.est_p90_clear || regret_share >= self.cfg.est_regret_alert
+        } else {
+            p90_q >= self.cfg.est_p90_alert || regret_share >= self.cfg.est_regret_alert
+        };
+        if firing != st.est_firing {
+            st.est_firing = firing;
+            self.emit_alert(
+                st,
+                window,
+                EventKind::EstimateDrift {
+                    window,
+                    component,
+                    p90_q,
+                    regret_share,
+                    firing,
+                },
+            );
+        }
+    }
 }
 
 impl Sink for Monitor {
@@ -764,6 +902,21 @@ pub fn render_windows(window_secs: f64, windows: &[WindowStats], alerts: &[Event
                 } => out.push_str(&format!(
                     "  [w{window}] drift {} {component}: configured {configured:.6} fitted {fitted:.6}\n",
                     if *drifted { "alert" } else { "clear" }
+                )),
+                EventKind::EstimateDrift {
+                    window,
+                    component,
+                    p90_q,
+                    regret_share,
+                    firing,
+                } => out.push_str(&format!(
+                    "  [w{window}] estimates {} {component} p90 q {p90_q:.2} regret share {regret_share:.2} ({})\n",
+                    if *firing { "alert" } else { "clear" },
+                    if *component == "selectivity" {
+                        "stats stale, re-export export_stats"
+                    } else {
+                        "constants drifted, run calibrate"
+                    }
                 )),
                 EventKind::RebalanceAdvice {
                     window,
@@ -962,6 +1115,104 @@ mod tests {
             flags.contains(&("c_i", true)),
             "2x pricing must flag c_i within the trailing window: {flags:?}"
         );
+    }
+
+    fn sample(clock: f64, cost_q: f64, sel_q: f64, con_q: f64, regret: f64) -> Event {
+        Event {
+            seq: 0,
+            clock,
+            kind: EventKind::EstimateSample {
+                cost_q,
+                selectivity_q: sel_q,
+                constants_q: con_q,
+                regret_share: regret,
+            },
+        }
+    }
+
+    #[test]
+    fn estimate_detector_fires_on_q_error_and_clears_with_hysteresis() {
+        let cfg = MonitorConfig::new(10.0).with_estimates(4.0, 2.0, 0.25, 3, 2);
+        let mut events = Vec::new();
+        // Window 0: badly misestimated plans, selectivity-dominated.
+        for i in 0..3 {
+            events.push(sample(0.5 + i as f64 * 0.1, 10.0, 10.0, 1.0, 0.0));
+        }
+        // Windows 1-2: perfect plans; w1 still holds w0 in the trail
+        // (stays firing), w2 drops it (clears).
+        for w in [1u64, 2] {
+            for i in 0..3 {
+                events.push(sample(w as f64 * 10.0 + 0.5 + i as f64 * 0.1, 1.0, 1.0, 1.0, 0.0));
+            }
+        }
+        let mon = Monitor::replay(cfg, &events);
+        let drifts: Vec<(u64, &'static str, bool)> = mon
+            .alerts()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::EstimateDrift { window, component, firing, .. } => {
+                    Some((window, component, firing))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            drifts,
+            vec![(0, "selectivity", true), (2, "selectivity", false)],
+            "one enter, one clear"
+        );
+        let table = mon.render_table();
+        assert!(table.contains("stats stale, re-export export_stats"), "{table}");
+    }
+
+    #[test]
+    fn estimate_detector_names_constants_and_watches_regret() {
+        // Constants-dominated misses name the calibration knob.
+        let cfg = MonitorConfig::new(10.0).with_estimates(4.0, 2.0, 0.25, 3, 2);
+        let events: Vec<Event> =
+            (0..3).map(|i| sample(0.5 + i as f64 * 0.1, 6.0, 1.0, 6.0, 0.0)).collect();
+        let mon = Monitor::replay(cfg, &events);
+        assert!(
+            mon.alerts().iter().any(|e| matches!(
+                e.kind,
+                EventKind::EstimateDrift { component: "constants", firing: true, .. }
+            )),
+            "constants-dominated q-error must name constants"
+        );
+        assert!(
+            mon.render_table().contains("constants drifted, run calibrate"),
+            "{}",
+            mon.render_table()
+        );
+        // Accurate estimates but costly wrong method choices: the regret
+        // share alone trips the detector.
+        let cfg = MonitorConfig::new(10.0).with_estimates(4.0, 2.0, 0.25, 3, 2);
+        let events: Vec<Event> =
+            (0..3).map(|i| sample(0.5 + i as f64 * 0.1, 1.0, 1.0, 1.0, 0.5)).collect();
+        let mon = Monitor::replay(cfg, &events);
+        assert!(
+            mon.alerts().iter().any(|e| matches!(
+                e.kind,
+                EventKind::EstimateDrift { firing: true, .. }
+            )),
+            "high regret share must fire even with perfect q-error"
+        );
+    }
+
+    #[test]
+    fn estimate_detector_is_silent_below_min_samples_and_on_good_plans() {
+        let cfg = MonitorConfig::new(10.0).with_estimates(4.0, 2.0, 0.25, 3, 2);
+        // Two terrible samples: below the minimum, too quiet to judge.
+        let quiet = Monitor::replay(
+            cfg.clone(),
+            &[sample(0.5, 100.0, 100.0, 1.0, 0.9), sample(0.6, 100.0, 100.0, 1.0, 0.9)],
+        );
+        assert!(quiet.alerts().is_empty(), "below min_samples stays silent");
+        // Plenty of accurate samples: nothing to report.
+        let good: Vec<Event> =
+            (0..12).map(|i| sample(i as f64, 1.1, 1.1, 1.0, 0.01)).collect();
+        let mon = Monitor::replay(cfg, &good);
+        assert!(mon.alerts().is_empty(), "well-estimated plans never alert");
     }
 
     #[test]

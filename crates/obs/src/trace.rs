@@ -336,6 +336,16 @@ fn component_of(name: &str) -> Result<&'static str, String> {
     }
 }
 
+/// Estimate-drift alerts carry a `&'static str` component name; the
+/// serialized name maps back to the interned one the detector uses.
+fn quality_component_of(name: &str) -> Result<&'static str, String> {
+    match name {
+        "selectivity" => Ok("selectivity"),
+        "constants" => Ok("constants"),
+        other => Err(format!("unknown estimate component \"{other}\"")),
+    }
+}
+
 /// Cache-hit events carry a `&'static str` scope; the serialized name is
 /// interned back the same way as call ops.
 fn cache_scope_of(name: &str) -> Result<&'static str, String> {
@@ -546,9 +556,24 @@ fn event_of(line: &str) -> Result<Event, String> {
                 transmission: est.f64("transmission")?,
                 rtp: est.f64("rtp")?,
                 searches: est.f64("searches")?,
+                est_rows: est.f64("rows")?,
+                est_postings: est.f64("postings")?,
                 effective_c_i: f.f64("effective_c_i")?,
             })
         }
+        "estimate_sample" => EventKind::EstimateSample {
+            cost_q: f.f64("cost_q")?,
+            selectivity_q: f.f64("selectivity_q")?,
+            constants_q: f.f64("constants_q")?,
+            regret_share: f.f64("regret_share")?,
+        },
+        "estimate_drift" => EventKind::EstimateDrift {
+            window: f.u64("window")?,
+            component: quality_component_of(f.str("component")?)?,
+            p90_q: f.f64("p90_q")?,
+            regret_share: f.f64("regret_share")?,
+            firing: f.bool("firing")?,
+        },
         other => return Err(format!("unknown event type \"{other}\"")),
     };
     Ok(Event { seq, clock, kind })
@@ -882,8 +907,42 @@ mod tests {
                 transmission: 3.25,
                 rtp: 0.001,
                 searches: 4.0,
+                est_rows: 6.5,
+                est_postings: 1200.0,
                 effective_c_i: 3.2,
             }),
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::EstimateSample {
+                cost_q: 1.75,
+                selectivity_q: 2.5,
+                constants_q: 1.0,
+                regret_share: 0.125,
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::EstimateDrift {
+                window: 5,
+                component: "selectivity",
+                p90_q: 3.25,
+                regret_share: 0.2,
+                firing: true,
+            },
+        });
+        roundtrip(Event {
+            seq: 9,
+            clock: 11.17,
+            kind: EventKind::EstimateDrift {
+                window: 8,
+                component: "constants",
+                p90_q: 1.125,
+                regret_share: 0.0,
+                firing: false,
+            },
         });
         roundtrip(Event {
             seq: 10,

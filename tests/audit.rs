@@ -746,3 +746,188 @@ fn migration_transfer_traces_reconcile_and_never_rebuy_postings() {
     assert_eq!(mig.postings_processed, ctrl_mig.postings_processed);
     assert_eq!(mig.docs_long, ctrl_mig.docs_long);
 }
+
+/// The passivity contract extended to EXPLAIN ANALYZE: switching
+/// `ExecHooks::analyze` on must leave the multi-join result multiset and
+/// every ledger view — the single faulted server's `Usage`, the
+/// replicated sharded aggregate, and each per-shard view — byte-identical
+/// to the unanalyzed run, on both paper multi-join queries. Attribution
+/// only reads ledgers the executor's methods already booked, and the
+/// estimate walk prices plan nodes without issuing a single text call.
+#[test]
+fn explain_analyze_never_perturbs_results_or_ledgers() {
+    use textjoin::core::cost::params::CostParams;
+    use textjoin::core::exec::{execute_prepared, prepare_plan, ExecHooks};
+    use textjoin::core::optimizer::multi::ExecutionSpace;
+    use textjoin::rel::table::Table;
+
+    let w = compact_world(7);
+    for (qname, q) in [("q5", paper::q5(&w)), ("q6", paper::q6(&w))] {
+        // Single faulted server: result rows + the one ledger.
+        let run_single = |analyze: bool| -> (Table, Usage, bool) {
+            let mut s = TextServer::new(w.server.collection().clone());
+            s.set_fault_plan(FaultPlan::transient(11, 0.2, 2));
+            let params = CostParams::mercury(s.doc_count() as f64);
+            let (input, planned) = prepare_plan(
+                &q,
+                &w.catalog,
+                &s,
+                params,
+                ExecutionSpace::PrlResiduals,
+                None,
+                None,
+            )
+            .expect("paper query plans");
+            let hooks = ExecHooks { analyze, ..ExecHooks::default() };
+            let out = execute_prepared(&input, &planned, &w.catalog, &s, &hooks)
+                .expect("bounded faults complete");
+            (out.table, s.usage(), out.plan_quality.is_some())
+        };
+        let bare = run_single(false);
+        let analyzed = run_single(true);
+        assert_eq!(
+            bare.0, analyzed.0,
+            "{qname}: EXPLAIN ANALYZE changed a result row"
+        );
+        assert_eq!(
+            bare.1, analyzed.1,
+            "{qname}: EXPLAIN ANALYZE changed the single-server ledger"
+        );
+        assert!(!bare.2, "{qname}: unanalyzed run grew a PlanQuality");
+        assert!(analyzed.2, "{qname}: analyzed run must attach PlanQuality");
+
+        // Replicated sharded server with a degraded shard: result rows,
+        // the aggregate ledger, and all four per-shard views.
+        let run_sharded = |analyze: bool| -> (Table, Usage, Vec<Usage>) {
+            let mut s = ShardedTextServer::replicated(w.server.collection(), 4, 2, 0x5AD);
+            for r in 0..2 {
+                s.replica_mut(1, r).set_fault_plan(FaultPlan::transient(
+                    0x5EA7 ^ ((r as u64) << 32),
+                    0.2,
+                    2,
+                ));
+            }
+            let params = CostParams::mercury(s.doc_count() as f64);
+            let (input, planned) = prepare_plan(
+                &q,
+                &w.catalog,
+                &s,
+                params,
+                ExecutionSpace::PrlResiduals,
+                None,
+                None,
+            )
+            .expect("paper query plans");
+            let budget = RetryBudget::new(RetryPolicy::standard());
+            let hooks = ExecHooks {
+                analyze,
+                retry_budget: Some(&budget),
+                ..ExecHooks::default()
+            };
+            let out = execute_prepared(&input, &planned, &w.catalog, &s, &hooks)
+                .expect("bounded faults complete");
+            let shards: Vec<Usage> = (0..4).map(|i| s.shard_usage(i)).collect();
+            (out.table, s.usage(), shards)
+        };
+        let bare = run_sharded(false);
+        let analyzed = run_sharded(true);
+        assert_eq!(
+            bare.0, analyzed.0,
+            "{qname}: EXPLAIN ANALYZE changed a sharded result row"
+        );
+        assert_eq!(
+            bare.1, analyzed.1,
+            "{qname}: EXPLAIN ANALYZE changed the aggregate ledger"
+        );
+        assert_eq!(
+            bare.2, analyzed.2,
+            "{qname}: EXPLAIN ANALYZE changed a per-shard ledger view"
+        );
+    }
+
+    // Serving sessions: the config's `analyze` flag must leave every
+    // tenant's invoice (and the result counts behind them) untouched —
+    // only the plan-quality columns appear.
+    use textjoin::core::serve::{Backend, ServeConfig, ServeSession, TenantSpec};
+    let run_serve = |analyze: bool| -> Vec<(String, Usage, usize)> {
+        let server = TextServer::new(w.server.collection().clone());
+        let mut cfg = ServeConfig::new(CostParams::mercury(server.doc_count() as f64));
+        cfg.analyze = analyze;
+        let tenants = vec![
+            TenantSpec::new("alpha", 1e9, 1),
+            TenantSpec::new("beta", 1e9, 1),
+        ];
+        let stream = vec![
+            (0usize, paper::q5(&w)),
+            (1, paper::q6(&w)),
+            (0, paper::q6(&w)),
+            (1, paper::q5(&w)),
+        ];
+        let report =
+            ServeSession::new(Backend::Single(&server), &w.catalog, tenants, cfg).run(&stream);
+        report
+            .tenants
+            .iter()
+            .map(|t| (t.name.clone(), t.invoice, t.cost_qs.len()))
+            .collect()
+    };
+    let bare = run_serve(false);
+    let analyzed = run_serve(true);
+    for ((bn, bi, bq), (an, ai, aq)) in bare.iter().zip(analyzed.iter()) {
+        assert_eq!(bn, an);
+        assert_eq!(bi, ai, "{bn}: the analyze flag changed a tenant invoice");
+        assert_eq!(*bq, 0, "{bn}: unanalyzed session recorded a cost_q");
+        assert!(*aq > 0, "{an}: analyzed session must record cost_qs");
+    }
+}
+
+/// The counterfactual-regret replays run every unchosen candidate on a
+/// sandboxed clone of the collection: repeating them must be
+/// byte-identical (the regret tables CI diffs), and the audited world's
+/// real server ledger must never move — shadow execution is free by
+/// contract.
+#[test]
+fn regret_replays_are_deterministic_and_never_touch_the_audited_ledger() {
+    use textjoin_bench::experiments::{multi_join_regret, single_join_regret};
+
+    let w = compact_world(7);
+    let before = w.server.usage();
+
+    let a = single_join_regret(&w, None);
+    let b = single_join_regret(&w, None);
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "fault-free regret table drifted between runs"
+    );
+    let c = single_join_regret(&w, Some((0.2, 2)));
+    let d = single_join_regret(&w, Some((0.2, 2)));
+    assert_eq!(
+        format!("{c:?}"),
+        format!("{d:?}"),
+        "chaos regret table drifted between runs"
+    );
+    let (m1, e1) = multi_join_regret(&w);
+    let (m2, e2) = multi_join_regret(&w);
+    assert_eq!(e1, e2, "EXPLAIN ANALYZE render drifted between runs");
+    assert_eq!(
+        format!("{m1:?}"),
+        format!("{m2:?}"),
+        "multi-join regret table drifted between runs"
+    );
+    for rows in [&a, &c, &m1] {
+        for r in rows {
+            assert!(
+                r.best_actual <= r.chosen_actual + 1e-9,
+                "{}: best candidate costs more than the chosen one",
+                r.query
+            );
+            assert!(r.regret >= 0.0 && r.regret_share >= 0.0);
+        }
+    }
+    assert_eq!(
+        w.server.usage(),
+        before,
+        "counterfactual replays charged the audited server"
+    );
+}

@@ -191,3 +191,135 @@ proptest! {
             "bounded {} ({:?}) vs exhaustive {}", b.total(), cols, e.total());
     }
 }
+
+// ---------------------------------------------------------------------
+// Plan-quality: on exact-stats uniform worlds, EXPLAIN ANALYZE must
+// report Q-error 1.0 and the counterfactual regret must be zero.
+// ---------------------------------------------------------------------
+
+/// A uniform single-relation world the cost model is *exact* on: one
+/// relation row whose key matches exactly `f` documents, an optional
+/// selection term present in every document (so the selection scaling
+/// factor is 1 and intersections are exact), no faults, n = 1 (the
+/// distinct-docs formula `D(1-(1-F/D)^n)` is exact only at n = 1).
+fn uniform_world(
+    f: usize,
+    bg: usize,
+    with_selection: bool,
+    projection: textjoin::core::methods::Projection,
+) -> (
+    textjoin::rel::catalog::Catalog,
+    TextServer,
+    textjoin::core::optimizer::plan::MultiJoinQuery,
+) {
+    use textjoin::core::optimizer::plan::{ForeignSpec, MultiJoinQuery, RelSpec};
+    use textjoin::rel::catalog::Catalog;
+    use textjoin::rel::expr::Pred;
+    use textjoin::rel::schema::RelSchema;
+    use textjoin::rel::table::Table;
+    use textjoin::rel::value::ValueType;
+    use textjoin::rel::tuple;
+
+    let mut catalog = Catalog::new();
+    let mut r = Table::new(
+        "r",
+        RelSchema::from_columns(vec![("name", ValueType::Str)]),
+    );
+    r.push(tuple!["alpha"]);
+    catalog.register(r);
+
+    let schema = TextSchema::bibliographic();
+    let ti = schema.field_by_name("title").expect("title");
+    let au = schema.field_by_name("author").expect("author");
+    let mut coll = Collection::new(schema);
+    for _ in 0..f {
+        coll.add_document(Document::new().with(ti, "common").with(au, "alpha"));
+    }
+    for _ in 0..bg {
+        coll.add_document(Document::new().with(ti, "common").with(au, "beta"));
+    }
+    let q = MultiJoinQuery {
+        relations: vec![RelSpec {
+            name: "r".into(),
+            local_pred: Pred::True,
+        }],
+        rel_joins: vec![],
+        selections: if with_selection {
+            vec![("common".into(), "title".into())]
+        } else {
+            vec![]
+        },
+        foreign: vec![ForeignSpec {
+            rel: 0,
+            column: "name".into(),
+            field: "author".into(),
+        }],
+        projection,
+    };
+    (catalog, TextServer::new(coll), q)
+}
+
+proptest! {
+    /// On a fault-free world whose exported statistics describe the
+    /// corpus exactly, the planner's estimate matches the booked actuals
+    /// to within float noise (per-query cost and rows Q-error == 1.0),
+    /// and no counterfactual text-join method measures cheaper than the
+    /// chosen one (true regret == 0) — for every generated workload.
+    #[test]
+    fn exact_stats_mean_unit_q_error_and_zero_regret(
+        f in 1usize..5,
+        bg in 0usize..7,
+        with_selection in proptest::bool::ANY,
+        full in proptest::bool::ANY,
+    ) {
+        use textjoin::core::exec::{execute_prepared, prepare_plan, ExecHooks};
+        use textjoin::core::methods::Projection;
+        use textjoin::core::optimizer::multi::{
+            text_join_candidates, with_text_method, ExecutionSpace, PlannedQuery,
+        };
+
+        let projection = if full { Projection::Full } else { Projection::RelOnly };
+        let (catalog, server, q) = uniform_world(f, bg, with_selection, projection);
+        let params = CostParams::mercury(server.doc_count() as f64);
+        let (input, planned) = prepare_plan(
+            &q, &catalog, &server, params, ExecutionSpace::PrlResiduals, None, None,
+        ).expect("plans");
+        let hooks = ExecHooks { analyze: true, ..ExecHooks::default() };
+        let outcome = execute_prepared(&input, &planned, &catalog, &server, &hooks)
+            .expect("executes");
+        let pq = outcome.plan_quality.as_ref().expect("analyze was on");
+        prop_assert!(
+            (pq.cost_q - 1.0).abs() < 1e-9,
+            "cost q {} on exact stats (f={f} bg={bg} sel={with_selection} full={full})\n{}",
+            pq.cost_q, pq.render()
+        );
+        prop_assert!(
+            (pq.rows_q - 1.0).abs() < 1e-9,
+            "rows q {} on exact stats\n{}", pq.rows_q, pq.render()
+        );
+        // Counterfactual regret: graft every enumerated text-join method
+        // into the same tree and replay each on its own fresh sandbox —
+        // none may measure cheaper than the chosen plan.
+        if let Some(cands) = text_join_candidates(&input, &planned.plan) {
+            for c in cands {
+                let Some(variant) = with_text_method(&planned.plan, c.kind, &c.probe_cols)
+                else { continue };
+                let vplanned = PlannedQuery {
+                    plan: variant,
+                    est_cost: planned.est_cost,
+                    est_rows: planned.est_rows,
+                };
+                let vbox = TextServer::new(server.collection().clone());
+                if let Ok(vout) = execute_prepared(
+                    &input, &vplanned, &catalog, &vbox, &ExecHooks::default(),
+                ) {
+                    prop_assert!(
+                        outcome.total_cost <= vout.total_cost + 1e-9,
+                        "regret: chosen {} but {} measured {}",
+                        outcome.total_cost, c.label, vout.total_cost
+                    );
+                }
+            }
+        }
+    }
+}

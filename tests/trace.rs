@@ -54,6 +54,8 @@ fn golden_chaos_trace_is_byte_identical_across_runs() {
     // decisions, spans, server calls, and the retry/backoff machinery.
     for needle in [
         "\"type\":\"planner\"",
+        "\"rows\":",
+        "\"postings\":",
         "\"type\":\"span_begin\"",
         "\"type\":\"span_end\"",
         "\"type\":\"call\"",
